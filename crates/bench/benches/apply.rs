@@ -1,0 +1,28 @@
+//! Criterion bench: applying each generated optimizer to each suite
+//! program (the wall-clock side of the §4 cost experiment, E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genesis_bench::apply_generated;
+use gospel_opts::catalog;
+
+fn bench_apply(c: &mut Criterion) {
+    let opts = catalog().expect("catalog generates");
+    let suite = gospel_workloads::suite();
+    let mut g = c.benchmark_group("apply");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for (name, prog) in &suite {
+        for opt in &opts {
+            g.bench_with_input(
+                BenchmarkId::new(opt.name.clone(), name),
+                prog,
+                |b, prog| b.iter(|| apply_generated(opt, prog).expect("applies")),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

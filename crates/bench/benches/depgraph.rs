@@ -1,0 +1,32 @@
+//! Criterion bench: dependence-graph construction vs program size
+//! (an extension beyond the paper: the analyzer is the substrate every
+//! generated optimizer re-runs between applications).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gospel_dep::DepGraph;
+use gospel_workloads::generator::{generate, GenConfig};
+
+fn bench_depgraph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("depgraph");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for statements in [50usize, 100, 200, 400] {
+        let prog = generate(
+            42,
+            GenConfig {
+                statements,
+                ..GenConfig::default()
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("analyze", prog.len()),
+            &prog,
+            |b, prog| b.iter(|| DepGraph::analyze(prog).expect("analyzes")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_depgraph);
+criterion_main!(benches);

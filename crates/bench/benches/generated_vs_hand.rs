@@ -1,0 +1,39 @@
+//! Criterion bench: a generated optimizer vs its hand-coded twin on the
+//! same workload (the overhead of interpretation over the compiled plan —
+//! the engineering counterpart of the paper's E1 quality comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genesis_bench::{apply_generated, apply_hand};
+use gospel_opts::by_name;
+
+fn bench_generated_vs_hand(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generated_vs_hand");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for opt_name in ["CTP", "DCE", "PAR", "FUS"] {
+        let opt = by_name(opt_name);
+        for prog_name in ["matmul", "interact"] {
+            let prog = gospel_workloads::program(prog_name);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{opt_name}/generated"), prog_name),
+                &prog,
+                |b, prog| b.iter(|| apply_generated(&opt, prog).expect("applies")),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{opt_name}/hand"), prog_name),
+                &prog,
+                |b, prog| {
+                    b.iter(|| {
+                        let mut scratch = prog.clone();
+                        apply_hand(opt_name, &mut scratch).expect("applies")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generated_vs_hand);
+criterion_main!(benches);

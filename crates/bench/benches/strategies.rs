@@ -1,0 +1,36 @@
+//! Criterion bench: the two §4 membership-checking strategies plus the
+//! heuristic, on the membership-heavy optimizations (E6's timing side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genesis::{Driver, Strategy};
+use gospel_opts::by_name;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategies");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for opt_name in ["ICM", "INX", "FUS", "PAR"] {
+        let base = by_name(opt_name);
+        for (prog_name, prog) in gospel_workloads::suite() {
+            for (label, strat) in [
+                ("members_first", Strategy::MembersFirst),
+                ("deps_first", Strategy::DepsFirst),
+                ("heuristic", Strategy::Heuristic),
+            ] {
+                let opt = base.with_strategy(strat);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{opt_name}/{label}"), prog_name),
+                    &prog,
+                    |b, prog| {
+                        b.iter(|| Driver::new(&opt).matches(prog).expect("scans"));
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Runs every experiment E1–E7 and prints all tables (the input to
+//! EXPERIMENTS.md).
+
+fn main() {
+    let mut failed = false;
+    println!("==== E1: generated vs hand-coded optimizers ====");
+    match genesis_bench::e1_quality() {
+        Ok(r) => println!("{}", genesis_bench::format_quality(&r)),
+        Err(e) => { eprintln!("E1 failed: {e}"); failed = true; }
+    }
+    println!("==== E2: application frequency and enablement ====");
+    match genesis_bench::e2_enablement() {
+        Ok(r) => println!("{}", genesis_bench::format_e2(&r)),
+        Err(e) => { eprintln!("E2 failed: {e}"); failed = true; }
+    }
+    println!("==== E3: FUS/INX/LUR ordering interactions ====");
+    match genesis_bench::e3_ordering() {
+        Ok(r) => println!("{}", genesis_bench::format_e3(&r)),
+        Err(e) => { eprintln!("E3 failed: {e}"); failed = true; }
+    }
+    println!("==== E4: cost and benefit ====");
+    match genesis_bench::e4_cost_benefit() {
+        Ok(r) => println!("{}", genesis_bench::format_e4(&r)),
+        Err(e) => { eprintln!("E4 failed: {e}"); failed = true; }
+    }
+    println!("==== E5: specification variants (LUR) ====");
+    match genesis_bench::e5_spec_variants() {
+        Ok(r) => println!("{}", genesis_bench::format_e5(&r)),
+        Err(e) => { eprintln!("E5 failed: {e}"); failed = true; }
+    }
+    println!("==== E6: membership-checking strategies ====");
+    match genesis_bench::e6_strategies() {
+        Ok(r) => println!("{}", genesis_bench::format_e6(&r)),
+        Err(e) => { eprintln!("E6 failed: {e}"); failed = true; }
+    }
+    println!("==== E7: generated-code statistics ====");
+    match genesis_bench::e7_loc_stats() {
+        Ok(r) => println!("{}", genesis_bench::format_e7(&r)),
+        Err(e) => { eprintln!("E7 failed: {e}"); failed = true; }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates experiment E1 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    match genesis_bench::e1_quality() {
+        Ok(r) => println!("{}", genesis_bench::format_quality(&r)),
+        Err(e) => {
+            eprintln!("E1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates experiment E2 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    match genesis_bench::e2_enablement() {
+        Ok(r) => println!("{}", genesis_bench::format_e2(&r)),
+        Err(e) => {
+            eprintln!("E2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates experiment E3 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    match genesis_bench::e3_ordering() {
+        Ok(r) => println!("{}", genesis_bench::format_e3(&r)),
+        Err(e) => {
+            eprintln!("E3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates experiment E4 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    match genesis_bench::e4_cost_benefit() {
+        Ok(r) => println!("{}", genesis_bench::format_e4(&r)),
+        Err(e) => {
+            eprintln!("E4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

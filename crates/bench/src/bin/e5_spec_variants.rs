@@ -1,0 +1,11 @@
+//! Regenerates experiment E5 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    match genesis_bench::e5_spec_variants() {
+        Ok(r) => println!("{}", genesis_bench::format_e5(&r)),
+        Err(e) => {
+            eprintln!("E5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

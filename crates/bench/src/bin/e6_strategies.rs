@@ -1,0 +1,11 @@
+//! Regenerates experiment E6 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    match genesis_bench::e6_strategies() {
+        Ok(r) => println!("{}", genesis_bench::format_e6(&r)),
+        Err(e) => {
+            eprintln!("E6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates experiment E7 (see DESIGN.md / EXPERIMENTS.md).
+
+fn main() {
+    match genesis_bench::e7_loc_stats() {
+        Ok(r) => println!("{}", genesis_bench::format_e7(&r)),
+        Err(e) => {
+            eprintln!("E7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,807 @@
+//! The §4 experiments (E1–E7 in DESIGN.md), each as a function returning a
+//! structured, printable report.
+
+use crate::model::MachineModel;
+use genesis::{emit, ApplyMode, CompiledOptimizer, Cost, Driver, Strategy};
+use gospel_dep::DepGraph;
+use gospel_ir::Program;
+use gospel_opts::interaction::{self, natural_mode};
+use gospel_opts::{by_name, catalog, hand, specs};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn suite() -> Vec<(&'static str, Program)> {
+    gospel_workloads::suite()
+}
+
+// ===========================================================================
+// E1 — generated vs hand-coded optimizers
+// ===========================================================================
+
+/// One (program, optimization) comparison.
+#[derive(Clone, Debug)]
+pub struct QualityRow {
+    /// Workload name.
+    pub program: String,
+    /// Optimization acronym.
+    pub opt: String,
+    /// Applications made by the generated optimizer.
+    pub generated: usize,
+    /// Applications made by the hand-coded optimizer.
+    pub hand: usize,
+    /// Whether the two final programs are structurally identical.
+    pub same_result: bool,
+}
+
+/// Runs every catalog optimization on every suite program, generated and
+/// hand-coded, and compares application counts and final programs.
+///
+/// # Errors
+///
+/// Returns a description of the first driver failure.
+pub fn e1_quality() -> Result<Vec<QualityRow>, String> {
+    let opts = catalog().map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for (name, prog) in suite() {
+        for opt in &opts {
+            let mut gen_prog = prog.clone();
+            let mut d = Driver::new(opt);
+            let report = d
+                .apply(&mut gen_prog, natural_mode(opt))
+                .map_err(|e| format!("{name}/{}: {e}", opt.name))?;
+
+            let mut hand_prog = prog.clone();
+            let hand_apps =
+                apply_hand(&opt.name, &mut hand_prog).map_err(|e| format!("{name}: {e}"))?;
+
+            rows.push(QualityRow {
+                program: name.to_string(),
+                opt: opt.name.clone(),
+                generated: report.applications,
+                hand: hand_apps,
+                same_result: gen_prog.structurally_eq(&hand_prog),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Dispatches to the hand-coded twin of a catalog optimization.
+///
+/// # Errors
+///
+/// Propagates the hand optimizer's failure.
+pub fn apply_hand(name: &str, prog: &mut Program) -> Result<usize, String> {
+    let r = match name.to_ascii_uppercase().as_str() {
+        "CTP" => hand::ctp(prog),
+        "CPP" => hand::cpp(prog),
+        "CFO" => hand::cfo(prog),
+        "DCE" => hand::dce(prog),
+        "ICM" => hand::icm(prog),
+        "LUR" => hand::lur(prog),
+        "BMP" => hand::bmp(prog),
+        "INX" => hand::inx(prog),
+        "CRC" => hand::crc(prog),
+        "PAR" => hand::par(prog),
+        "FUS" => hand::fus(prog),
+        other => return Err(format!("no hand-coded twin for `{other}`")),
+    };
+    r.map_err(|e| e.to_string())
+}
+
+/// Renders the E1 table.
+pub fn format_quality(rows: &[QualityRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<10} {:<5} {:>9} {:>6} {:>7}", "program", "opt", "generated", "hand", "equal");
+    let mut all_equal = true;
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<5} {:>9} {:>6} {:>7}",
+            r.program, r.opt, r.generated, r.hand, r.same_result
+        );
+        all_equal &= r.same_result && r.generated == r.hand;
+    }
+    let _ = writeln!(
+        s,
+        "=> generated optimizers {} the hand-coded ones",
+        if all_equal { "MATCH" } else { "DIFFER FROM" }
+    );
+    s
+}
+
+// ===========================================================================
+// E2 — application frequency and enablement
+// ===========================================================================
+
+/// The E2 report: per-optimization totals and CTP's enablement counts.
+#[derive(Clone, Debug)]
+pub struct E2Report {
+    /// Applications per optimization per program.
+    pub per_program: Vec<(String, BTreeMap<String, usize>)>,
+    /// Suite-wide totals.
+    pub totals: BTreeMap<String, usize>,
+    /// CTP's enablement: optimization → opportunities created by CTP.
+    pub ctp_enabled: BTreeMap<String, usize>,
+    /// Programs where CPP applies at least once.
+    pub cpp_programs: Vec<String>,
+}
+
+/// Counts application points of every optimization across the suite and
+/// the opportunities CTP creates for DCE, CFO and LUR (the paper's
+/// "97 application points … 13 enabled DCE, 5 enabled CFO, 41 enabled
+/// LUR").
+///
+/// # Errors
+///
+/// Returns a description of the first driver failure.
+pub fn e2_enablement() -> Result<E2Report, String> {
+    let opts = catalog().map_err(|e| e.to_string())?;
+    let ctp = by_name("CTP");
+    let lur_ok = gospel_opts::compile_spec(specs::LUR_APPLICABLE).map_err(|e| e.to_string())?;
+
+    let mut per_program = Vec::new();
+    let mut totals: BTreeMap<String, usize> = BTreeMap::new();
+    let mut ctp_enabled: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cpp_programs = Vec::new();
+
+    for (name, prog) in suite() {
+        let counts = interaction::count_all(&prog, &opts).map_err(|e| format!("{name}: {e}"))?;
+        for (k, v) in &counts {
+            *totals.entry(k.clone()).or_insert(0) += v;
+        }
+        if counts.get("CPP").copied().unwrap_or(0) > 0 {
+            cpp_programs.push(name.to_string());
+        }
+        per_program.push((name.to_string(), counts));
+
+        // CTP's enablement of DCE / CFO (by application) and LUR (by
+        // applicability of the constant-bound pattern).
+        for (target, by_match) in [("DCE", false), ("CFO", false)] {
+            let e = interaction::enablement(&prog, &ctp, &by_name(target), by_match)
+                .map_err(|e| format!("{name}: {e}"))?;
+            *ctp_enabled.entry(target.to_string()).or_insert(0) += e.enabled();
+        }
+        let e = interaction::enablement(&prog, &ctp, &lur_ok, true)
+            .map_err(|e| format!("{name}: {e}"))?;
+        *ctp_enabled.entry("LUR".to_string()).or_insert(0) += e.enabled();
+    }
+
+    Ok(E2Report {
+        per_program,
+        totals,
+        ctp_enabled,
+        cpp_programs,
+    })
+}
+
+/// Renders the E2 tables.
+pub fn format_e2(r: &E2Report) -> String {
+    let mut s = String::new();
+    let names: Vec<&String> = r.totals.keys().collect();
+    let _ = write!(s, "{:<10}", "program");
+    for n in &names {
+        let _ = write!(s, "{n:>5}");
+    }
+    let _ = writeln!(s);
+    for (prog, counts) in &r.per_program {
+        let _ = write!(s, "{prog:<10}");
+        for n in &names {
+            let _ = write!(s, "{:>5}", counts.get(*n).copied().unwrap_or(0));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = write!(s, "{:<10}", "TOTAL");
+    for n in &names {
+        let _ = write!(s, "{:>5}", r.totals[*n]);
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s);
+    let _ = writeln!(s, "CTP applications enabled further opportunities:");
+    for (k, v) in &r.ctp_enabled {
+        let _ = writeln!(s, "  CTP -> {k}: {v}");
+    }
+    let _ = writeln!(s, "CPP applies in {} program(s): {:?}", r.cpp_programs.len(), r.cpp_programs);
+    let _ = writeln!(
+        s,
+        "ICM application points across the suite: {}",
+        r.totals.get("ICM").copied().unwrap_or(0)
+    );
+    s
+}
+
+// ===========================================================================
+// E3 — ordering interactions of FUS / INX / LUR
+// ===========================================================================
+
+/// The E3 report.
+#[derive(Clone, Debug)]
+pub struct E3Report {
+    /// Per-ordering application counts.
+    pub orders: Vec<(Vec<String>, Vec<usize>)>,
+    /// Number of distinct final programs across the 6 orderings.
+    pub distinct_finals: usize,
+    /// Named interaction claims and whether they held.
+    pub claims: Vec<(String, bool)>,
+}
+
+/// Reproduces the three-way interaction study on the `interact` workload.
+///
+/// # Errors
+///
+/// Returns a description of the first driver failure.
+pub fn e3_ordering() -> Result<E3Report, String> {
+    let prog = gospel_workloads::program("interact");
+    let fus = by_name("FUS");
+    let inx = by_name("INX");
+    let lur = by_name("LUR");
+
+    let outcomes =
+        interaction::all_orders(&prog, &[&fus, &inx, &lur]).map_err(|e| e.to_string())?;
+    let orders: Vec<(Vec<String>, Vec<usize>)> = outcomes
+        .iter()
+        .map(|o| (o.names.clone(), o.counts.clone()))
+        .collect();
+    let distinct_finals = interaction::distinct_results(&outcomes).len();
+
+    let mut claims = Vec::new();
+
+    // FUS disables INX (segment 2: fusing the outer loops breaks tightness).
+    let e = interaction::enablement(&prog, &fus, &inx, true).map_err(|e| e.to_string())?;
+    claims.push(("applying FUS disabled INX points".to_string(), e.disabled() > 0));
+
+    // LUR disables FUS (segment 1: unrolling removes the fusable loops).
+    let e = interaction::enablement(&prog, &lur, &fus, true).map_err(|e| e.to_string())?;
+    claims.push(("applying LUR disabled FUS points".to_string(), e.disabled() > 0));
+
+    // LUR does not disable INX (segment 2 untouched by unrolling).
+    let e = interaction::enablement(&prog, &lur, &inx, true).map_err(|e| e.to_string())?;
+    claims.push(("applying LUR left INX applicable".to_string(), e.disabled() == 0));
+
+    // INX *enables* FUS in segment 3 (interchange the last nest) while
+    // *disabling* it in segment 2 (interchange the first nest): the
+    // direction of the interaction depends on the application point.
+    let deps = DepGraph::analyze(&prog).map_err(|e| e.to_string())?;
+    let tights = deps.loops().tight_pairs(&prog);
+    let first_nest = deps.loops().get(tights.first().expect("has nests").0).head;
+    let last_nest = deps.loops().get(tights.last().expect("has nests").0).head;
+    let fus_count = |p: &Program| interaction::match_count(p, &fus).map_err(|e| e.to_string());
+
+    let before = fus_count(&prog)?;
+    let mut seg2 = prog.clone();
+    Driver::new(&inx)
+        .apply(&mut seg2, ApplyMode::AtPoint(first_nest))
+        .map_err(|e| e.to_string())?;
+    let after_seg2 = fus_count(&seg2)?;
+    claims.push((
+        "INX at segment 2 disabled a FUS point".to_string(),
+        after_seg2 < before,
+    ));
+
+    let mut seg3 = prog.clone();
+    Driver::new(&inx)
+        .apply(&mut seg3, ApplyMode::AtPoint(last_nest))
+        .map_err(|e| e.to_string())?;
+    let after_seg3 = fus_count(&seg3)?;
+    claims.push((
+        "INX at segment 3 enabled a FUS point".to_string(),
+        after_seg3 > before,
+    ));
+
+    Ok(E3Report {
+        orders,
+        distinct_finals,
+        claims,
+    })
+}
+
+/// Renders the E3 report.
+pub fn format_e3(r: &E3Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<18} applications", "order");
+    for (names, counts) in &r.orders {
+        let _ = writeln!(s, "{:<18} {:?}", names.join(","), counts);
+    }
+    let _ = writeln!(s, "distinct final programs: {} of {}", r.distinct_finals, r.orders.len());
+    for (claim, held) in &r.claims {
+        let _ = writeln!(s, "[{}] {claim}", if *held { "ok" } else { "FAILED" });
+    }
+    s
+}
+
+// ===========================================================================
+// E4 — cost and benefit
+// ===========================================================================
+
+/// One cost/benefit measurement.
+#[derive(Clone, Debug)]
+pub struct CostRow {
+    /// Workload name.
+    pub program: String,
+    /// Optimization acronym.
+    pub opt: String,
+    /// Applications performed.
+    pub applications: usize,
+    /// The paper's cost metric for the whole run.
+    pub cost: Cost,
+    /// Wall-clock microseconds for the same run.
+    pub wall_micros: u128,
+    /// Cost of a pure precondition scan (no transformations).
+    pub scan_cost: u64,
+    /// Wall-clock microseconds of that scan.
+    pub scan_micros: u128,
+    /// Estimated cycles saved on a sequential machine.
+    pub benefit_seq: f64,
+    /// Estimated cycles saved on an 8-processor machine.
+    pub benefit_par8: f64,
+    /// Estimated cycles saved on an 8-lane vector machine.
+    pub benefit_vec8: f64,
+    /// Interpreter-executed statements before the optimization.
+    pub steps_before: u64,
+    /// … and after: the empirical "code that was eliminated" effect.
+    pub steps_after: u64,
+}
+
+/// Measures cost (checks + transformation operations, and wall time) and
+/// benefit (machine-model cycles saved) for every optimization on every
+/// suite program. Interactive transformations are applied at their first
+/// point, like the paper's interface would.
+///
+/// # Errors
+///
+/// Returns a description of the first driver failure.
+pub fn e4_cost_benefit() -> Result<Vec<CostRow>, String> {
+    let opts = catalog().map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for (name, prog) in suite() {
+        // Benefit is measured between *constant-normalized* versions of
+        // the before/after programs: otherwise a loop whose symbolic bound
+        // becomes a known constant changes the model's assumed trip count
+        // and the artifact swamps the real effect.
+        let base = estimates(&normalize_constants(&prog)?)?;
+        for opt in &opts {
+            // Pure precondition scan: the cost↔time validation data.
+            let scan_start = Instant::now();
+            let scan = Driver::new(opt)
+                .matches(&prog)
+                .map_err(|e| format!("{name}/{}: {e}", opt.name))?;
+            let scan_micros = scan_start.elapsed().as_micros();
+
+            let (work, report, wall) = if natural_mode(opt) == ApplyMode::FirstPoint {
+                // Interactive transformations: the paper's user picks the
+                // application point; evaluate every point and keep the
+                // most beneficial one.
+                best_point(&prog, opt, &base)?
+            } else {
+                let mut work = prog.clone();
+                let start = Instant::now();
+                let report = Driver::new(opt)
+                    .apply(&mut work, ApplyMode::AllPoints)
+                    .map_err(|e| format!("{name}/{}: {e}", opt.name))?;
+                let wall = start.elapsed().as_micros();
+                (work, report, wall)
+            };
+            let after = estimates(&normalize_constants(&work)?)?;
+            let steps_before = gospel_exec::run(&prog, &[])
+                .map(|t| t.steps)
+                .unwrap_or(0);
+            let steps_after = gospel_exec::run(&work, &[]).map(|t| t.steps).unwrap_or(0);
+            rows.push(CostRow {
+                program: name.to_string(),
+                opt: opt.name.clone(),
+                applications: report.applications,
+                cost: report.cost,
+                wall_micros: wall,
+                scan_cost: scan.cost.total(),
+                scan_micros,
+                benefit_seq: base[0] - after[0],
+                benefit_par8: base[1] - after[1],
+                benefit_vec8: base[2] - after[2],
+                steps_before,
+                steps_after,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Aggregates E4 rows per optimization and computes the cost↔time
+/// correlation the paper validated ("estimated times very closely
+/// reflect the actual times").
+pub fn format_e4(rows: &[CostRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<6} {:>5} {:>9} {:>8} {:>11} {:>11} {:>11} {:>11}",
+        "program", "opt", "apps", "cost", "wall_us", "gain_seq", "gain_par8", "gain_vec8", "dyn_steps"
+    );
+    for r in rows {
+        let dyn_delta = r.steps_before as i64 - r.steps_after as i64;
+        let _ = writeln!(
+            s,
+            "{:<10} {:<6} {:>5} {:>9} {:>8} {:>11.0} {:>11.0} {:>11.0} {:>+11}",
+            r.program,
+            r.opt,
+            r.applications,
+            r.cost.total(),
+            r.wall_micros,
+            r.benefit_seq,
+            r.benefit_par8,
+            r.benefit_vec8,
+            -dyn_delta
+        );
+    }
+    // Per-opt summary.
+    let mut agg: BTreeMap<&str, (u64, f64, f64, usize)> = BTreeMap::new();
+    for r in rows {
+        let e = agg.entry(&r.opt).or_insert((0, 0.0, 0.0, 0));
+        e.0 += r.cost.total();
+        e.1 += r.benefit_par8.max(r.benefit_vec8).max(r.benefit_seq);
+        e.2 += r.wall_micros as f64;
+        e.3 += r.applications;
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "{:<6} {:>10} {:>8} {:>12} {:>14}",
+        "opt", "cost", "apps", "best_gain", "gain/cost"
+    );
+    for (opt, (cost, gain, _, apps)) in &agg {
+        let ratio = if *cost > 0 { gain / *cost as f64 } else { 0.0 };
+        let _ = writeln!(s, "{:<6} {:>10} {:>8} {:>12.0} {:>14.2}", opt, cost, apps, gain, ratio);
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, "cost vs wall-time correlation (full runs): r = {:.3}", cost_time_correlation(rows));
+    let _ = writeln!(s, "cost vs wall-time correlation (pure precondition scans): r = {:.3}", scan_correlation(rows));
+    s
+}
+
+/// Applies an interactive transformation at each of its points on a
+/// scratch copy, keeping the outcome with the largest modelled benefit.
+fn best_point(
+    prog: &Program,
+    opt: &CompiledOptimizer,
+    base: &[f64; 3],
+) -> Result<(Program, genesis::ApplyReport, u128), String> {
+    let anchors = point_anchors(prog, opt)?;
+    let mut best: Option<(Program, genesis::ApplyReport, u128, f64)> = None;
+    if anchors.is_empty() {
+        // No points: measure the (empty) search itself.
+        let mut work = prog.clone();
+        let start = Instant::now();
+        let report = Driver::new(opt)
+            .apply(&mut work, ApplyMode::FirstPoint)
+            .map_err(|e| e.to_string())?;
+        return Ok((work, report, start.elapsed().as_micros()));
+    }
+    for anchor in anchors {
+        let mut work = prog.clone();
+        let start = Instant::now();
+        let report = Driver::new(opt)
+            .apply(&mut work, ApplyMode::AtPoint(anchor))
+            .map_err(|e| e.to_string())?;
+        let wall = start.elapsed().as_micros();
+        let after = estimates(&normalize_constants(&work)?)?;
+        let gain = (base[0] - after[0])
+            .max(base[1] - after[1])
+            .max(base[2] - after[2]);
+        if best.as_ref().map(|(_, _, _, g)| gain > *g).unwrap_or(true) {
+            best = Some((work, report, wall, gain));
+        }
+    }
+    let (work, report, wall, _) = best.expect("anchors non-empty");
+    Ok((work, report, wall))
+}
+
+/// The anchor statement (first pattern element) of every match.
+fn point_anchors(prog: &Program, opt: &CompiledOptimizer) -> Result<Vec<gospel_ir::StmtId>, String> {
+    let deps = DepGraph::analyze(prog).map_err(|e| e.to_string())?;
+    let ms = Driver::new(opt).matches(prog).map_err(|e| e.to_string())?;
+    let first_var = opt
+        .patterns
+        .first()
+        .and_then(|(p, _)| p.vars.first())
+        .cloned()
+        .ok_or_else(|| "optimizer has no pattern clause".to_string())?;
+    let mut anchors = Vec::new();
+    for b in &ms.bindings {
+        let anchor = match b.get(&first_var) {
+            Some(genesis::RtVal::Stmt(s)) => Some(*s),
+            Some(genesis::RtVal::Loop(l)) => Some(deps.loops().get(*l).head),
+            _ => None,
+        };
+        if let Some(a) = anchor {
+            if !anchors.contains(&a) {
+                anchors.push(a);
+            }
+        }
+    }
+    Ok(anchors)
+}
+
+/// Pearson correlation between the scalar cost metric and wall time.
+pub fn cost_time_correlation(rows: &[CostRow]) -> f64 {
+    let xs: Vec<f64> = rows.iter().map(|r| r.cost.total() as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.wall_micros as f64).collect();
+    pearson(&xs, &ys)
+}
+
+/// Pearson correlation between scan cost and scan wall time — the purest
+/// form of the paper's "estimated times very closely reflect the actual
+/// times" validation (no re-analysis or transformation in either side).
+pub fn scan_correlation(rows: &[CostRow]) -> f64 {
+    let xs: Vec<f64> = rows.iter().map(|r| r.scan_cost as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.scan_micros as f64).collect();
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+// ===========================================================================
+// E5 — specification variants (LUR bound-check order)
+// ===========================================================================
+
+/// The E5 report: pattern checks performed by each LUR variant.
+#[derive(Clone, Debug)]
+pub struct E5Report {
+    /// Per program: (upper-bound-first checks, lower-bound-first checks).
+    pub per_program: Vec<(String, u64, u64)>,
+}
+
+/// Compares the two LUR specifications: testing the (more often variable)
+/// upper bound first discards non-application points earlier, so it
+/// performs fewer precondition checks.
+///
+/// # Errors
+///
+/// Returns a description of the first driver failure.
+pub fn e5_spec_variants() -> Result<E5Report, String> {
+    let upper_first = by_name("LUR");
+    let lower_first =
+        gospel_opts::compile_spec(specs::LUR_LOWER_FIRST).map_err(|e| e.to_string())?;
+    let mut per_program = Vec::new();
+    for (name, prog) in suite() {
+        let a = Driver::new(&upper_first)
+            .matches(&prog)
+            .map_err(|e| e.to_string())?
+            .cost
+            .pattern_checks;
+        let b = Driver::new(&lower_first)
+            .matches(&prog)
+            .map_err(|e| e.to_string())?
+            .cost
+            .pattern_checks;
+        per_program.push((name.to_string(), a, b));
+    }
+    Ok(E5Report { per_program })
+}
+
+/// Renders the E5 table.
+pub fn format_e5(r: &E5Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<10} {:>12} {:>12}", "program", "upper-first", "lower-first");
+    let (mut ta, mut tb) = (0u64, 0u64);
+    for (p, a, b) in &r.per_program {
+        let _ = writeln!(s, "{p:<10} {a:>12} {b:>12}");
+        ta += a;
+        tb += b;
+    }
+    let _ = writeln!(s, "{:<10} {ta:>12} {tb:>12}", "TOTAL");
+    let _ = writeln!(
+        s,
+        "=> checking the upper bound first saves {} checks ({:.1}%)",
+        tb.saturating_sub(ta),
+        100.0 * (tb.saturating_sub(ta)) as f64 / tb.max(1) as f64
+    );
+    s
+}
+
+// ===========================================================================
+// E6 — membership-checking strategies
+// ===========================================================================
+
+/// One strategy measurement.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    /// Workload name.
+    pub program: String,
+    /// Optimization acronym.
+    pub opt: String,
+    /// Dependence checks under members-then-dependences.
+    pub members_first: u64,
+    /// Dependence checks under dependences-then-membership.
+    pub deps_first: u64,
+    /// Dependence checks under the per-clause heuristic.
+    pub heuristic: u64,
+}
+
+impl StrategyRow {
+    /// Did the heuristic match (or beat) the better fixed strategy?
+    pub fn heuristic_optimal(&self) -> bool {
+        self.heuristic <= self.members_first.min(self.deps_first)
+    }
+}
+
+/// Runs the membership-heavy optimizations under both §4 strategies and
+/// the heuristic, measuring the dependence-check counts of a full match
+/// scan.
+///
+/// # Errors
+///
+/// Returns a description of the first driver failure.
+pub fn e6_strategies() -> Result<Vec<StrategyRow>, String> {
+    let mut rows = Vec::new();
+    for opt_name in ["ICM", "INX", "FUS", "PAR", "CRC"] {
+        let base = by_name(opt_name);
+        for (name, prog) in suite() {
+            let measure = |s: Strategy| -> Result<u64, String> {
+                Driver::new(&base.with_strategy(s))
+                    .matches(&prog)
+                    .map(|m| m.cost.dep_checks)
+                    .map_err(|e| e.to_string())
+            };
+            rows.push(StrategyRow {
+                program: name.to_string(),
+                opt: opt_name.to_string(),
+                members_first: measure(Strategy::MembersFirst)?,
+                deps_first: measure(Strategy::DepsFirst)?,
+                heuristic: measure(Strategy::Heuristic)?,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the E6 table.
+pub fn format_e6(rows: &[StrategyRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<5} {:>13} {:>11} {:>10} {:>8}",
+        "program", "opt", "members-first", "deps-first", "heuristic", "best?"
+    );
+    let mut optimal = 0usize;
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<5} {:>13} {:>11} {:>10} {:>8}",
+            r.program,
+            r.opt,
+            r.members_first,
+            r.deps_first,
+            r.heuristic,
+            r.heuristic_optimal()
+        );
+        optimal += usize::from(r.heuristic_optimal());
+    }
+    let _ = writeln!(
+        s,
+        "=> heuristic picked the cheaper implementation in {optimal}/{} cases",
+        rows.len()
+    );
+    s
+}
+
+// ===========================================================================
+// E7 — generated-code statistics
+// ===========================================================================
+
+/// One optimizer's generated-source statistics.
+#[derive(Clone, Debug)]
+pub struct LocRow {
+    /// Optimization acronym.
+    pub opt: String,
+    /// Call-interface lines (paper average: 29).
+    pub interface: usize,
+    /// Generated-procedure lines (paper average: 70).
+    pub procedures: usize,
+}
+
+/// Emits C for every catalog optimizer and counts lines — the paper's
+/// "an optimization consists of 99 lines on the average" statistic.
+///
+/// # Errors
+///
+/// Returns a description of the first generation failure.
+pub fn e7_loc_stats() -> Result<Vec<LocRow>, String> {
+    let opts = catalog().map_err(|e| e.to_string())?;
+    Ok(opts
+        .iter()
+        .map(|o| {
+            let st = emit::stats(o);
+            LocRow {
+                opt: o.name.clone(),
+                interface: st.interface_lines,
+                procedures: st.procedure_lines,
+            }
+        })
+        .collect())
+}
+
+/// Renders the E7 table.
+pub fn format_e7(rows: &[LocRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<6} {:>10} {:>11} {:>7}", "opt", "interface", "procedures", "total");
+    let mut sum = 0usize;
+    for r in rows {
+        let total = r.interface + r.procedures;
+        sum += total;
+        let _ = writeln!(s, "{:<6} {:>10} {:>11} {:>7}", r.opt, r.interface, r.procedures, total);
+    }
+    let _ = writeln!(
+        s,
+        "average generated lines per optimization: {} (paper: ≈99)",
+        sum / rows.len().max(1)
+    );
+    s
+}
+
+/// Runs CTP and CFO alternately to a fixpoint so loop bounds become
+/// explicit constants — the benefit model's oracle for trip counts.
+///
+/// # Errors
+///
+/// Propagates driver failures as strings.
+pub fn normalize_constants(prog: &Program) -> Result<Program, String> {
+    let ctp = by_name("CTP");
+    let cfo = by_name("CFO");
+    let mut p = prog.clone();
+    for _ in 0..4 {
+        let a = Driver::new(&ctp)
+            .apply(&mut p, ApplyMode::AllPoints)
+            .map_err(|e| e.to_string())?
+            .applications;
+        let b = Driver::new(&cfo)
+            .apply(&mut p, ApplyMode::AllPoints)
+            .map_err(|e| e.to_string())?
+            .applications;
+        if a + b == 0 {
+            break;
+        }
+    }
+    Ok(p)
+}
+
+fn estimates(prog: &Program) -> Result<[f64; 3], String> {
+    let deps = DepGraph::analyze(prog).map_err(|e| e.to_string())?;
+    Ok([
+        MachineModel::sequential().estimate(prog, &deps),
+        MachineModel::multiprocessor(8.0).estimate(prog, &deps),
+        MachineModel::vector(8.0).estimate(prog, &deps),
+    ])
+}
+
+/// Convenience wrapper used by one compiled optimizer against one program
+/// (shared by the Criterion benches).
+///
+/// # Errors
+///
+/// Propagates driver failures as strings.
+pub fn apply_generated(opt: &CompiledOptimizer, prog: &Program) -> Result<usize, String> {
+    let mut scratch = prog.clone();
+    Driver::new(opt)
+        .apply(&mut scratch, natural_mode(opt))
+        .map(|r| r.applications)
+        .map_err(|e| e.to_string())
+}

@@ -1,0 +1,19 @@
+//! # genesis-bench — the evaluation harness
+//!
+//! One module per experiment of the paper's §4 (see DESIGN.md's experiment
+//! index E1–E7), plus the [`model`] machine model used to estimate
+//! optimization *benefit* "taking into account code that was parallelized
+//! and code that was eliminated … including vectorization and
+//! multi-processing".
+//!
+//! Binaries under `src/bin/` print each experiment's table; the Criterion
+//! benches measure the wall-clock side of the cost metric.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod model;
+
+pub use experiments::*;
+pub use model::MachineModel;

@@ -1,0 +1,290 @@
+//! `genesis-opt` — the optimizer GENesis constructs (the paper's "OPT"
+//! box in Figure 3): reads a MiniFor source program, converts it to the
+//! intermediate representation, computes dependences, and applies
+//! generated optimizers — in batch or through the §3 interactive
+//! interface (select optimizations, select application points, override
+//! dependence restrictions, control dependence recomputation).
+
+use genesis::{emit, ApplyMode, Session, SessionOptions};
+use gospel_dep::DepGraph;
+use gospel_ir::{DisplayProgram, Program, StmtId};
+use std::io::BufRead;
+use std::process::ExitCode;
+
+mod repl;
+
+const USAGE: &str = "\
+genesis-opt — an optimizer generated from GOSpeL specifications
+
+USAGE:
+    genesis-opt specs                              list the catalog optimizations
+    genesis-opt show <prog.mf>                     compile and print the IR
+    genesis-opt deps <prog.mf> [--dot]             print the dependence graph
+    genesis-opt points <prog.mf> <OPT>             list application points
+    genesis-opt apply <prog.mf> <OPT>[,<OPT>…]     apply optimizers in order
+        [--first] [--at sN] [--force] [--no-recompute] [--source] [--spec FILE]…
+    genesis-opt emit <OPT> [--lang c|rust]         print the generated source
+    genesis-opt interactive <prog.mf> [--spec FILE]…   the §3 interface
+
+Catalog: CPP CTP DCE ICM INX CRC BMP PAR LUR FUS CFO.
+--spec FILE adds a user-written GOSpeL specification to the session.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "specs" => {
+            for (name, src) in gospel_opts::specs::ALL {
+                let opt = gospel_opts::compile_spec(src).map_err(|e| e.to_string())?;
+                println!(
+                    "{name:<5} {:<12} {} pattern clause(s), {} dependence clause(s), {} action(s)",
+                    format!("[{:?}]", opt.mode).to_lowercase(),
+                    opt.patterns.len(),
+                    opt.depends.len(),
+                    opt.actions.len()
+                );
+            }
+            Ok(())
+        }
+        "show" => {
+            let prog = load_program(args.get(1))?;
+            print!("{}", DisplayProgram(&prog));
+            Ok(())
+        }
+        "deps" => {
+            let prog = load_program(args.get(1))?;
+            let deps = DepGraph::analyze(&prog).map_err(|e| e.to_string())?;
+            if flag(args, "--dot") {
+                print!("{}", dot_graph(&prog, &deps));
+                return Ok(());
+            }
+            for e in deps.edges() {
+                let dirs: String = e.dirvec.iter().map(|d| d.symbol()).collect();
+                println!(
+                    "{:<10} {} -> {}  var {}  dir ({})",
+                    e.kind.gospel_name(),
+                    e.src,
+                    e.dst,
+                    prog.syms().name(e.var),
+                    dirs
+                );
+            }
+            println!("{} edges", deps.len());
+            Ok(())
+        }
+        "points" => {
+            let prog = load_program(args.get(1))?;
+            let name = args.get(2).ok_or("missing optimization name")?;
+            let session = build_session(prog, args)?;
+            let ms = session.matches(name).map_err(|e| e.to_string())?;
+            for (i, b) in ms.bindings.iter().enumerate() {
+                let pairs: Vec<String> =
+                    b.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+                println!("point {}: {}", i + 1, pairs.join(", "));
+            }
+            println!("{} application point(s); search cost {}", ms.bindings.len(), ms.cost);
+            Ok(())
+        }
+        "apply" => {
+            let prog = load_program(args.get(1))?;
+            let list = args.get(2).ok_or("missing optimization list")?;
+            let mut session = build_session_with_options(
+                prog,
+                args,
+                SessionOptions {
+                    recompute_deps: !flag(args, "--no-recompute"),
+                    max_applications: 10_000,
+                },
+            )?;
+            let mode = parse_mode(args)?;
+            for name in list.split(',') {
+                let report = session.apply(name, mode).map_err(|e| e.to_string())?;
+                println!(
+                    "{name}: {} application(s), cost {}",
+                    report.applications, report.cost
+                );
+            }
+            if flag(args, "--source") {
+                print!("{}", gospel_frontend::unparse(session.program()));
+            } else {
+                print!("{}", DisplayProgram(session.program()));
+            }
+            Ok(())
+        }
+        "emit" => {
+            let name = args.get(1).ok_or("missing optimization name")?;
+            let opt = find_opt(name, args)?;
+            match option(args, "--lang").as_deref().unwrap_or("c") {
+                "c" => {
+                    println!("{}", emit::emit_c(&opt));
+                    println!("{}", emit::emit_c_interface(&opt));
+                }
+                "rust" => println!("{}", emit::emit_rust(&opt)),
+                other => return Err(format!("unknown language `{other}`")),
+            }
+            Ok(())
+        }
+        "interactive" => {
+            let prog = load_program(args.get(1))?;
+            let session = build_session(prog, args)?;
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            repl::run(session, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try --help")),
+    }
+}
+
+fn load_program(path: Option<&String>) -> Result<Program, String> {
+    let path = path.ok_or("missing program file")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    gospel_frontend::compile(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn option(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn options(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+fn parse_mode(args: &[String]) -> Result<ApplyMode, String> {
+    let at = option(args, "--at");
+    let force = flag(args, "--force");
+    match (at, force) {
+        (Some(p), false) => Ok(ApplyMode::AtPoint(parse_stmt(&p)?)),
+        (Some(p), true) => Ok(ApplyMode::AtPointUnchecked(parse_stmt(&p)?)),
+        (None, true) => Err("--force requires --at".into()),
+        (None, false) if flag(args, "--first") => Ok(ApplyMode::FirstPoint),
+        (None, false) => Ok(ApplyMode::AllPoints),
+    }
+}
+
+fn parse_stmt(text: &str) -> Result<StmtId, String> {
+    // Statement ids print as `sN`; accept with or without the prefix.
+    let digits = text.trim_start_matches('s');
+    let n: u32 = digits
+        .parse()
+        .map_err(|_| format!("`{text}` is not a statement id (expected sN)"))?;
+    Ok(StmtId::from_raw(n))
+}
+
+fn build_session(prog: Program, args: &[String]) -> Result<Session, String> {
+    build_session_with_options(prog, args, SessionOptions::default())
+}
+
+fn build_session_with_options(
+    prog: Program,
+    args: &[String],
+    opts: SessionOptions,
+) -> Result<Session, String> {
+    let mut session = Session::with_options(prog, opts);
+    for opt in gospel_opts::catalog().map_err(|e| e.to_string())? {
+        session.register(opt);
+    }
+    for path in options(args, "--spec") {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let opt = gospel_opts::compile_spec(&src).map_err(|e| format!("{path}: {e}"))?;
+        println!("registered user optimization {}", opt.name);
+        session.register(opt);
+    }
+    Ok(session)
+}
+
+fn find_opt(name: &str, args: &[String]) -> Result<genesis::CompiledOptimizer, String> {
+    for path in options(args, "--spec") {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let opt = gospel_opts::compile_spec(&src).map_err(|e| format!("{path}: {e}"))?;
+        if opt.name.eq_ignore_ascii_case(name) {
+            return Ok(opt);
+        }
+    }
+    if gospel_opts::specs::ALL
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case(name))
+    {
+        Ok(gospel_opts::by_name(name))
+    } else {
+        Err(format!("`{name}` is not in the catalog (try `specs`)"))
+    }
+}
+
+/// Renders the dependence graph in Graphviz dot form (one node per
+/// statement, edge styles per dependence kind).
+fn dot_graph(prog: &Program, deps: &DepGraph) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("digraph deps {\n  rankdir=TB;\n  node [shape=box, fontname=monospace];\n");
+    for id in prog.iter() {
+        let mut label = String::new();
+        let _ = write!(label, "{id}: {}", prog.quad(id).op);
+        let _ = writeln!(s, "  \"{id}\" [label=\"{label}\"];");
+    }
+    for e in deps.edges() {
+        let style = match e.kind {
+            gospel_dep::DepKind::Flow => "solid",
+            gospel_dep::DepKind::Anti => "dashed",
+            gospel_dep::DepKind::Output => "dotted",
+            gospel_dep::DepKind::Control => "bold",
+        };
+        let dirs: String = e.dirvec.iter().map(|d| d.symbol()).collect();
+        let _ = writeln!(
+            s,
+            "  \"{}\" -> \"{}\" [style={style}, label=\"{} ({dirs})\"];",
+            e.src,
+            e.dst,
+            prog.syms().name(e.var)
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Used by the interactive REPL too.
+pub(crate) fn prompt(mut out: impl std::io::Write) -> std::io::Result<()> {
+    write!(out, "opt> ")?;
+    out.flush()
+}
+
+/// Reads one line; `None` on EOF.
+pub(crate) fn read_line(mut input: impl BufRead) -> Option<String> {
+    let mut line = String::new();
+    match input.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line.trim().to_string()),
+        Err(_) => None,
+    }
+}

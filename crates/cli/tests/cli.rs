@@ -1,0 +1,159 @@
+//! End-to-end tests of the `genesis-opt` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const PROG: &str = "\
+program demo
+  integer n, i
+  real a(50)
+  n = 50
+  do i = 1, n
+    a(i) = 1.0
+  end do
+  write a(1)
+end
+";
+
+fn write_prog() -> tempfile_path::TempPath {
+    tempfile_path::write(PROG)
+}
+
+/// Minimal temp-file helper (std only).
+mod tempfile_path {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(contents: &str) -> TempPath {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "genesis-opt-test-{}-{:?}-{}.mf",
+            std::process::id(),
+            std::thread::current().id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&p, contents).expect("write temp program");
+        TempPath(p)
+    }
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_genesis-opt"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8")
+}
+
+#[test]
+fn specs_lists_the_catalog() {
+    let out = run_ok(&["specs"]);
+    for name in ["CPP", "CTP", "DCE", "ICM", "INX", "CRC", "BMP", "PAR", "LUR", "FUS", "CFO"] {
+        assert!(out.contains(name), "missing {name}:\n{out}");
+    }
+}
+
+#[test]
+fn show_points_apply_pipeline() {
+    let prog = write_prog();
+    let path = prog.0.to_str().unwrap();
+
+    let shown = run_ok(&["show", path]);
+    assert!(shown.contains("do i = 1, n"), "{shown}");
+
+    let points = run_ok(&["points", path, "CTP"]);
+    assert!(points.contains("application point(s)"), "{points}");
+
+    let applied = run_ok(&["apply", path, "CTP,PAR"]);
+    assert!(applied.contains("pardo i = 1, 50"), "{applied}");
+    assert!(applied.contains("write a(1)"), "{applied}");
+}
+
+#[test]
+fn apply_emits_source_with_flag() {
+    let prog = write_prog();
+    let path = prog.0.to_str().unwrap();
+    let out = run_ok(&["apply", path, "CTP,PAR", "--source"]);
+    assert!(out.contains("pardo i = 1, 50"), "{out}");
+    assert!(out.contains("program demo"), "{out}");
+    // the emitted source recompiles through the same tool
+    let reprog = tempfile_path::write(&out[out.find("program").unwrap()..]);
+    let reout = run_ok(&["show", reprog.0.to_str().unwrap()]);
+    assert!(reout.contains("pardo"), "{reout}");
+}
+
+#[test]
+fn emit_prints_figure_6_shape() {
+    let out = run_ok(&["emit", "CTP"]);
+    for piece in ["set_up_CTP", "match_CTP", "pre_CTP", "act_CTP", "set_up_OPT"] {
+        assert!(out.contains(piece), "missing {piece}");
+    }
+    let rust = run_ok(&["emit", "CTP", "--lang", "rust"]);
+    assert!(rust.contains("pub fn apply_ctp"), "{rust}");
+}
+
+#[test]
+fn interactive_session_over_stdin() {
+    let prog = write_prog();
+    let path = prog.0.to_str().unwrap();
+    let mut child = bin()
+        .args(["interactive", path])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"list\napply CTP\nsource\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("CTP"), "{text}");
+    assert!(text.contains("application(s)"), "{text}");
+    assert!(text.contains("program demo"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn user_spec_file_registers() {
+    let prog = write_prog();
+    let path = prog.0.to_str().unwrap();
+    let spec = tempfile_path::write(
+        "OPTIMIZATION MY TYPE Stmt: S; PRECOND Code_Pattern any S: S.opc == assign AND S.opr_1 == S.opr_2; ACTION delete(S); END",
+    );
+    let out = run_ok(&["points", path, "MY", "--spec", spec.0.to_str().unwrap()]);
+    assert!(out.contains("0 application point(s)"), "{out}");
+}
+
+#[test]
+fn deps_dot_output_is_wellformed() {
+    let prog = write_prog();
+    let out = run_ok(&["deps", prog.0.to_str().unwrap(), "--dot"]);
+    assert!(out.starts_with("digraph deps {"), "{out}");
+    assert!(out.trim_end().ends_with('}'), "{out}");
+    assert!(out.contains("style=solid"), "{out}");
+}

@@ -1,0 +1,89 @@
+//! The paper's cost metric.
+//!
+//! §4: "The cost of applying an optimization was estimated using the number
+//! of checks to determine preconditions and the number of operations to
+//! apply the code transformation." The driver accumulates both while it
+//! runs; the experiment harness validates the counts against wall-clock
+//! time, as the paper did.
+
+use std::ops::{Add, AddAssign};
+
+/// Precondition checks plus transformation operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Code-pattern format tests performed.
+    pub pattern_checks: u64,
+    /// Dependence-condition tests performed (including membership tests).
+    pub dep_checks: u64,
+    /// Transformation primitives executed.
+    pub transform_ops: u64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub fn zero() -> Cost {
+        Cost::default()
+    }
+
+    /// Total precondition checks (pattern + dependence).
+    pub fn checks(&self) -> u64 {
+        self.pattern_checks + self.dep_checks
+    }
+
+    /// The paper's scalar cost: checks plus transformation operations.
+    pub fn total(&self) -> u64 {
+        self.checks() + self.transform_ops
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            pattern_checks: self.pattern_checks + rhs.pattern_checks,
+            dep_checks: self.dep_checks + rhs.dep_checks,
+            transform_ops: self.transform_ops + rhs.transform_ops,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} checks ({} pattern + {} dependence) + {} ops = {}",
+            self.checks(),
+            self.pattern_checks,
+            self.dep_checks,
+            self.transform_ops,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cost {
+            pattern_checks: 1,
+            dep_checks: 2,
+            transform_ops: 3,
+        };
+        let b = a + a;
+        assert_eq!(b.checks(), 6);
+        assert_eq!(b.total(), 12);
+        let mut c = Cost::zero();
+        c += a;
+        assert_eq!(c, a);
+    }
+}

@@ -1,0 +1,288 @@
+//! The standard driver of Figure 5: search for an application point
+//! (`match_OPT`, `pre_OPT`), apply the actions (`act_OPT`), repeat.
+
+use crate::actions::run_actions;
+use crate::compile::{CompiledOptimizer, Strategy};
+use crate::cost::Cost;
+use crate::error::RunError;
+use crate::rt::Bindings;
+use crate::solve::Searcher;
+use gospel_dep::DepGraph;
+use gospel_ir::{Program, StmtId};
+
+/// How the driver should apply the optimizer (the §3 interface options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// Apply at every application point, recomputing dependences between
+    /// applications, until none remain.
+    AllPoints,
+    /// Apply at the first application point only.
+    FirstPoint,
+    /// Apply once, anchored at the given statement (the first pattern
+    /// element — a statement, or a loop's header — must be this point).
+    AtPoint(StmtId),
+    /// Like [`ApplyMode::AtPoint`] but skipping the `Depend` section —
+    /// the paper's "override dependence restrictions" option.
+    AtPointUnchecked(StmtId),
+}
+
+/// What one [`Driver::apply`] run did.
+#[derive(Clone, Debug, Default)]
+pub struct ApplyReport {
+    /// Number of times the actions ran.
+    pub applications: usize,
+    /// Accumulated search + transformation cost (the paper's metric).
+    pub cost: Cost,
+    /// The bindings of each application, in order.
+    pub points: Vec<Bindings>,
+    /// Which membership strategy each dependence-clause evaluation used.
+    pub strategies_used: Vec<Strategy>,
+}
+
+/// All application points found by [`Driver::matches`], without applying.
+#[derive(Clone, Debug, Default)]
+pub struct MatchSet {
+    /// One binding per application point, in search order.
+    pub bindings: Vec<Bindings>,
+    /// Search cost.
+    pub cost: Cost,
+}
+
+/// The driver that runs one compiled optimizer over a program.
+#[derive(Clone, Debug)]
+pub struct Driver<'o> {
+    opt: &'o CompiledOptimizer,
+    /// Application budget for [`ApplyMode::AllPoints`]; exceeded → the
+    /// specification's actions do not invalidate its precondition.
+    pub max_applications: usize,
+    /// Recompute the dependence graph between applications (the paper lets
+    /// the user decide; correctness of chained applications needs it).
+    pub recompute_deps: bool,
+}
+
+impl<'o> Driver<'o> {
+    /// A driver with the defaults the paper's interface uses: recompute
+    /// dependences, generous application budget.
+    pub fn new(opt: &'o CompiledOptimizer) -> Driver<'o> {
+        Driver {
+            opt,
+            max_applications: 10_000,
+            recompute_deps: true,
+        }
+    }
+
+    /// The optimizer this driver runs.
+    pub fn optimizer(&self) -> &CompiledOptimizer {
+        self.opt
+    }
+
+    /// Lists every application point in the current program without
+    /// transforming anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Analyze`] if the program fails dependence
+    /// analysis.
+    pub fn matches(&self, prog: &Program) -> Result<MatchSet, RunError> {
+        let deps = analyze(prog)?;
+        let mut s = Searcher::new(prog, &deps, self.opt);
+        let bindings = s.find_all(usize::MAX)?;
+        Ok(MatchSet {
+            bindings,
+            cost: s.cost,
+        })
+    }
+
+    /// Runs the optimizer per `mode`, transforming `prog` in place.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Analyze`] for malformed programs, [`RunError::Action`]
+    /// for action failures, and [`RunError::Diverged`] when `AllPoints`
+    /// exceeds the application budget.
+    pub fn apply(&mut self, prog: &mut Program, mode: ApplyMode) -> Result<ApplyReport, RunError> {
+        let mut report = ApplyReport::default();
+        let mut deps = analyze(prog)?;
+
+        loop {
+            let found = {
+                let mut s = Searcher::new(prog, &deps, self.opt);
+                match mode {
+                    ApplyMode::AtPoint(p) => s.at_point = Some(p),
+                    ApplyMode::AtPointUnchecked(p) => {
+                        s.at_point = Some(p);
+                        s.ignore_depends = true;
+                    }
+                    _ => {}
+                }
+                let found = s.find_first()?;
+                report.cost += s.cost;
+                report.strategies_used.append(&mut s.strategies_used);
+                found
+            };
+
+            let Some(mut env) = found else {
+                break;
+            };
+
+            // Actions run on a scratch copy and commit only on success, so a
+            // mid-action failure can never leave a half-transformed program.
+            let mut scratch = prog.clone();
+            let ops = run_actions(&mut scratch, deps.loops(), &mut env, &self.opt.actions)?;
+            *prog = scratch;
+            report.cost.transform_ops += ops;
+            report.applications += 1;
+            report.points.push(env);
+
+            if !matches!(mode, ApplyMode::AllPoints) {
+                break;
+            }
+            if report.applications >= self.max_applications {
+                return Err(RunError::Diverged {
+                    limit: self.max_applications,
+                });
+            }
+            if self.recompute_deps {
+                deps = analyze(prog)?;
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn analyze(prog: &Program) -> Result<DepGraph, RunError> {
+    DepGraph::analyze(prog).map_err(|e| RunError::Analyze(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::generate;
+    use gospel_frontend::compile as minifor;
+    use gospel_ir::{DisplayProgram, Operand};
+
+    fn ctp() -> CompiledOptimizer {
+        let (spec, info) = gospel_lang::parse_validated(crate::CTP_EXAMPLE_SPEC).unwrap();
+        generate(spec, info).unwrap()
+    }
+
+    #[test]
+    fn ctp_propagates_a_constant() {
+        let mut prog = minifor(
+            "program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend",
+        )
+        .unwrap();
+        let opt = ctp();
+        let mut d = Driver::new(&opt);
+        let report = d.apply(&mut prog, ApplyMode::AllPoints).unwrap();
+        // two points: x into `y = x`, then the new constant y into `write y`
+        assert_eq!(report.applications, 2);
+        let y_stmt = prog.iter().nth(1).unwrap();
+        assert_eq!(prog.quad(y_stmt).a, Operand::int(3));
+        let w_stmt = prog.iter().nth(2).unwrap();
+        assert_eq!(prog.quad(w_stmt).a, Operand::int(3));
+        assert!(report.cost.total() > 0);
+    }
+
+    #[test]
+    fn ctp_blocked_by_second_definition() {
+        // two defs of x reach the use: no propagation
+        let mut prog = minifor(
+            "program p\ninteger x, y, c\nx = 3\nif (c > 0) then\nx = 4\nend if\ny = x\nwrite y\nend",
+        )
+        .unwrap();
+        let opt = ctp();
+        let mut d = Driver::new(&opt);
+        let report = d.apply(&mut prog, ApplyMode::AllPoints).unwrap();
+        // The only possible propagations are blocked (both defs reach y=x).
+        let listing = DisplayProgram(&prog).to_string();
+        assert!(listing.contains("y := x"), "{listing}");
+        assert_eq!(report.applications, 0);
+    }
+
+    #[test]
+    fn ctp_cascades_through_copies() {
+        // x = 3; y = x; z = y; write z — three applications (the chain
+        // y, then z, then the write).
+        let mut prog = minifor(
+            "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+        )
+        .unwrap();
+        let opt = ctp();
+        let mut d = Driver::new(&opt);
+        let report = d.apply(&mut prog, ApplyMode::AllPoints).unwrap();
+        assert_eq!(report.applications, 3);
+        let z_stmt = prog.iter().nth(2).unwrap();
+        assert_eq!(prog.quad(z_stmt).a, Operand::int(3));
+    }
+
+    #[test]
+    fn first_point_applies_once() {
+        let mut prog = minifor(
+            "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+        )
+        .unwrap();
+        let opt = ctp();
+        let mut d = Driver::new(&opt);
+        let report = d.apply(&mut prog, ApplyMode::FirstPoint).unwrap();
+        assert_eq!(report.applications, 1);
+    }
+
+    #[test]
+    fn at_point_restricts_anchor() {
+        let mut prog = minifor(
+            "program p\ninteger x, y, a, b\nx = 3\na = 5\ny = x\nb = a\nwrite y\nwrite b\nend",
+        )
+        .unwrap();
+        let a_def = prog.iter().nth(1).unwrap(); // a = 5
+        let opt = ctp();
+        let mut d = Driver::new(&opt);
+        let report = d.apply(&mut prog, ApplyMode::AtPoint(a_def)).unwrap();
+        assert_eq!(report.applications, 1);
+        // only b = a was rewritten
+        let b_stmt = prog.iter().nth(3).unwrap();
+        assert_eq!(prog.quad(b_stmt).a, Operand::int(5));
+        let y_stmt = prog.iter().nth(2).unwrap();
+        assert_ne!(prog.quad(y_stmt).a, Operand::int(3));
+    }
+
+    #[test]
+    fn matches_lists_without_applying() {
+        let prog = minifor(
+            "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+        )
+        .unwrap();
+        let opt = ctp();
+        let d = Driver::new(&opt);
+        let ms = d.matches(&prog).unwrap();
+        // before any transformation, only x=3 → y=x is a valid point
+        assert_eq!(ms.bindings.len(), 1);
+        let listing = DisplayProgram(&prog).to_string();
+        assert!(listing.contains("y := x"), "unchanged: {listing}");
+    }
+
+    #[test]
+    fn diverging_spec_hits_budget() {
+        // A pathological spec whose action does not invalidate its own
+        // precondition: copy a statement after itself forever.
+        let src = r#"
+OPTIMIZATION LOOPY
+TYPE Stmt: S;
+PRECOND
+  Code_Pattern
+    any S: S.opc == assign;
+ACTION
+  copy(S, S, S2);
+END
+"#;
+        let (spec, info) = gospel_lang::parse_validated(src).unwrap();
+        let opt = generate(spec, info).unwrap();
+        let mut prog = minifor("program p\ninteger x\nx = 1\nend").unwrap();
+        let mut d = Driver::new(&opt);
+        d.max_applications = 5;
+        assert!(matches!(
+            d.apply(&mut prog, ApplyMode::AllPoints),
+            Err(RunError::Diverged { limit: 5 })
+        ));
+    }
+}

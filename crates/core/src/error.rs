@@ -1,0 +1,62 @@
+//! Error types for generation and execution.
+
+use gospel_lang::SpecError;
+use std::fmt;
+
+/// Error turning a specification into an optimizer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenerateError {
+    /// The specification failed validation.
+    Spec(SpecError),
+    /// A construct the generator does not support (mirrors the paper's
+    /// listed prototype restrictions).
+    Unsupported(String),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::Spec(e) => write!(f, "invalid specification: {e}"),
+            GenerateError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<SpecError> for GenerateError {
+    fn from(e: SpecError) -> Self {
+        GenerateError::Spec(e)
+    }
+}
+
+/// Error while running a generated optimizer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// Dependence analysis failed (malformed program).
+    Analyze(String),
+    /// An action referenced something that no longer exists or evaluated to
+    /// the wrong kind of value.
+    Action(String),
+    /// The optimizer kept finding the same application point; the driver
+    /// aborted after its application budget (guards against specifications
+    /// whose actions do not invalidate their own precondition).
+    Diverged {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Analyze(m) => write!(f, "dependence analysis failed: {m}"),
+            RunError::Action(m) => write!(f, "action failed: {m}"),
+            RunError::Diverged { limit } => {
+                write!(f, "optimizer did not converge within {limit} applications")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}

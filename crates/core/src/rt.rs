@@ -1,0 +1,134 @@
+//! Runtime values and binding environments for specification evaluation.
+
+use gospel_ir::{LoopId, Opcode, Operand, OperandPos, StmtId};
+use std::collections::BTreeMap;
+
+/// A runtime value a specification variable can hold while an optimizer
+/// searches for (and acts on) an application point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtVal {
+    /// A statement.
+    Stmt(StmtId),
+    /// A loop (resolved against the dependence snapshot's loop table).
+    Loop(LoopId),
+    /// An operand value (what `Si.opr_2`, `L.init`, `operand(S, p)` yield).
+    Operand(Operand),
+    /// An opcode (what `Si.opc` yields).
+    Opc(Opcode),
+    /// An operand position bound by a `(var, pos)` dependence binding.
+    Pos(OperandPos),
+    /// A collected set from an `all` clause: statements with the position
+    /// at which each matched (when the clause requested one).
+    Set(Vec<(StmtId, Option<OperandPos>)>),
+    /// An integer (literals in comparisons).
+    Int(i64),
+    /// A real literal.
+    Real(f64),
+    /// An unresolved bare name — an opcode spelling such as `assign` in
+    /// `Si.opc == assign`.
+    Name(String),
+}
+
+impl RtVal {
+    /// The statement, if this value is one.
+    pub fn as_stmt(&self) -> Option<StmtId> {
+        match self {
+            RtVal::Stmt(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The loop, if this value is one.
+    pub fn as_loop(&self) -> Option<LoopId> {
+        match self {
+            RtVal::Loop(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// The position, if this value is one (integer literals 1–3 coerce).
+    pub fn as_pos(&self) -> Option<OperandPos> {
+        match self {
+            RtVal::Pos(p) => Some(*p),
+            RtVal::Int(n) => OperandPos::from_index(usize::try_from(*n).ok()?),
+            _ => None,
+        }
+    }
+
+    /// The operand, if this value is one (numeric literals coerce to
+    /// constants).
+    pub fn as_operand(&self) -> Option<Operand> {
+        match self {
+            RtVal::Operand(o) => Some(o.clone()),
+            RtVal::Int(n) => Some(Operand::int(*n)),
+            RtVal::Real(r) => Some(Operand::real(*r)),
+            _ => None,
+        }
+    }
+}
+
+/// An immutable-ish binding environment. Cloning is cheap enough for the
+/// program sizes GENesis works on (the paper's optimizers search a few
+/// hundred statements); a `BTreeMap` keeps candidate enumeration
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Bindings {
+    map: BTreeMap<String, RtVal>,
+}
+
+impl Bindings {
+    /// Empty environment.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<&RtVal> {
+        self.map.get(name)
+    }
+
+    /// True if `name` is bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Returns a copy with `name` bound to `val`.
+    #[must_use]
+    pub fn with(&self, name: &str, val: RtVal) -> Bindings {
+        let mut next = self.clone();
+        next.map.insert(name.to_owned(), val);
+        next
+    }
+
+    /// Binds in place.
+    pub fn set(&mut self, name: &str, val: RtVal) {
+        self.map.insert(name.to_owned(), val);
+    }
+
+    /// Iterates bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &RtVal)> + '_ {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(RtVal::Int(2).as_pos(), Some(OperandPos::A));
+        assert_eq!(RtVal::Int(7).as_pos(), None);
+        assert_eq!(RtVal::Int(3).as_operand(), Some(Operand::int(3)));
+        assert!(RtVal::Opc(Opcode::Assign).as_operand().is_none());
+    }
+
+    #[test]
+    fn with_does_not_mutate() {
+        let b = Bindings::new();
+        let b2 = b.with("x", RtVal::Int(1));
+        assert!(!b.is_bound("x"));
+        assert!(b2.is_bound("x"));
+        assert_eq!(b2.get("x"), Some(&RtVal::Int(1)));
+    }
+}

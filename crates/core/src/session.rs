@@ -1,0 +1,202 @@
+//! The constructor's interactive interface (paper Figure 4, Step 3): a
+//! session holds the program, a set of generated optimizers, and the
+//! user-facing options — select optimizations, select application points,
+//! override dependence restrictions, control dependence recomputation.
+
+use crate::compile::CompiledOptimizer;
+use crate::cost::Cost;
+use crate::driver::{ApplyMode, ApplyReport, Driver, MatchSet};
+use crate::error::RunError;
+use gospel_ir::Program;
+
+/// Session configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionOptions {
+    /// Recompute the dependence graph between applications of one
+    /// optimizer (Figure 5 note: "the data flow analyzer may have to be
+    /// called after each application").
+    pub recompute_deps: bool,
+    /// Per-optimizer application budget.
+    pub max_applications: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            recompute_deps: true,
+            max_applications: 10_000,
+        }
+    }
+}
+
+/// One entry in the session log.
+#[derive(Clone, Debug)]
+pub struct SessionEvent {
+    /// Optimizer name.
+    pub optimizer: String,
+    /// How it was applied.
+    pub mode: ApplyMode,
+    /// What happened.
+    pub report: ApplyReport,
+}
+
+/// An interactive optimization session: "the user may execute any number
+/// of optimizations in any order".
+#[derive(Debug)]
+pub struct Session {
+    prog: Program,
+    optimizers: Vec<CompiledOptimizer>,
+    options: SessionOptions,
+    log: Vec<SessionEvent>,
+}
+
+impl Session {
+    /// Starts a session over `prog`.
+    pub fn new(prog: Program) -> Session {
+        Session {
+            prog,
+            optimizers: Vec::new(),
+            options: SessionOptions::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Starts a session with explicit options.
+    pub fn with_options(prog: Program, options: SessionOptions) -> Session {
+        Session {
+            options,
+            ..Session::new(prog)
+        }
+    }
+
+    /// Registers a generated optimizer; it becomes selectable by name.
+    pub fn register(&mut self, opt: CompiledOptimizer) {
+        self.optimizers.retain(|o| o.name != opt.name);
+        self.optimizers.push(opt);
+    }
+
+    /// Names of the registered optimizers, in registration order.
+    pub fn optimizer_names(&self) -> Vec<&str> {
+        self.optimizers.iter().map(|o| o.name.as_str()).collect()
+    }
+
+    /// The current program.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Consumes the session, returning the optimized program.
+    pub fn into_program(self) -> Program {
+        self.prog
+    }
+
+    /// The session log.
+    pub fn log(&self) -> &[SessionEvent] {
+        &self.log
+    }
+
+    /// Total cost spent so far.
+    pub fn total_cost(&self) -> Cost {
+        self.log
+            .iter()
+            .fold(Cost::zero(), |acc, e| acc + e.report.cost)
+    }
+
+    fn find(&self, name: &str) -> Result<&CompiledOptimizer, RunError> {
+        self.optimizers
+            .iter()
+            .find(|o| o.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| RunError::Action(format!("no optimizer named `{name}` registered")))
+    }
+
+    /// Lists the application points of `name` in the current program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the optimizer is unknown or analysis fails.
+    pub fn matches(&self, name: &str) -> Result<MatchSet, RunError> {
+        let opt = self.find(name)?;
+        Driver::new(opt).matches(&self.prog)
+    }
+
+    /// Applies optimizer `name` with the given mode and logs the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the optimizer is unknown, analysis fails,
+    /// an action fails, or the application budget is exceeded.
+    pub fn apply(&mut self, name: &str, mode: ApplyMode) -> Result<&ApplyReport, RunError> {
+        let opt = self.find(name)?.clone();
+        let mut driver = Driver::new(&opt);
+        driver.recompute_deps = self.options.recompute_deps;
+        driver.max_applications = self.options.max_applications;
+        let report = driver.apply(&mut self.prog, mode)?;
+        self.log.push(SessionEvent {
+            optimizer: opt.name.clone(),
+            mode,
+            report,
+        });
+        Ok(&self.log.last().expect("just pushed").report)
+    }
+
+    /// Applies a sequence of optimizers, each at all points — the workflow
+    /// of the §4 ordering experiments. Returns one report per optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first failure.
+    pub fn run_sequence(&mut self, names: &[&str]) -> Result<Vec<ApplyReport>, RunError> {
+        let mut out = Vec::new();
+        for n in names {
+            let report = self.apply(n, ApplyMode::AllPoints)?.clone();
+            out.push(report);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::generate;
+
+    fn ctp() -> CompiledOptimizer {
+        let (spec, info) = gospel_lang::parse_validated(crate::CTP_EXAMPLE_SPEC).unwrap();
+        generate(spec, info).unwrap()
+    }
+
+    #[test]
+    fn session_applies_and_logs() {
+        let prog = gospel_frontend::compile(
+            "program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend",
+        )
+        .unwrap();
+        let mut s = Session::new(prog);
+        s.register(ctp());
+        assert_eq!(s.optimizer_names(), vec!["CTP"]);
+        let report = s.apply("ctp", ApplyMode::AllPoints).unwrap();
+        assert_eq!(report.applications, 2); // y = x, then write y
+        assert_eq!(s.log().len(), 1);
+        assert!(s.total_cost().total() > 0);
+    }
+
+    #[test]
+    fn unknown_optimizer_is_an_error() {
+        let prog = gospel_frontend::compile("program p\ninteger x\nx = 1\nend").unwrap();
+        let mut s = Session::new(prog);
+        assert!(s.apply("nope", ApplyMode::FirstPoint).is_err());
+    }
+
+    #[test]
+    fn sequence_runs_in_order() {
+        let prog = gospel_frontend::compile(
+            "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+        )
+        .unwrap();
+        let mut s = Session::new(prog);
+        s.register(ctp());
+        let reports = s.run_sequence(&["CTP"]).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].applications, 3); // y, z, then the write
+    }
+}

@@ -1,0 +1,1302 @@
+//! Precondition evaluation: pattern matching, dependence verification and
+//! the two membership-checking strategies of §4.
+
+use crate::compile::{CompiledClause, CompiledOptimizer, Strategy};
+use crate::cost::Cost;
+use crate::error::RunError;
+use crate::rt::{Bindings, RtVal};
+use gospel_dep::{DepEdge, DepGraph, DepKind, DirElem, DirPattern};
+use gospel_ir::{LoopTable, Operand, OperandPos, Program, StmtId};
+use gospel_lang::ast::{
+    Attr, BoolExpr, CmpOp, ElemType, OperandClass, PatternClause, Quant, SetExpr, ValExpr,
+};
+use gospel_lang::VarClass;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// value evaluation (shared with the action interpreter)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn eval_val(
+    prog: &Program,
+    loops: &LoopTable,
+    env: &Bindings,
+    v: &ValExpr,
+) -> Result<RtVal, RunError> {
+    match v {
+        ValExpr::Int(n) => Ok(RtVal::Int(*n)),
+        ValExpr::Real(r) => Ok(RtVal::Real(*r)),
+        ValExpr::Name(n) => Ok(env
+            .get(n)
+            .cloned()
+            .unwrap_or_else(|| RtVal::Name(n.clone()))),
+        ValExpr::Ref(r) => {
+            let mut val = env
+                .get(&r.base)
+                .cloned()
+                .ok_or_else(|| RunError::Action(format!("`{}` is not bound", r.base)))?;
+            for attr in &r.path {
+                val = step_attr(prog, loops, val, *attr)?;
+            }
+            Ok(val)
+        }
+        ValExpr::OperandFn(s, p) => {
+            let (stmt, pos) = operand_fn_place(prog, loops, env, s, p)?;
+            Ok(RtVal::Operand(prog.quad(stmt).operand(pos).clone()))
+        }
+        ValExpr::Eval(a, opexpr, b) => {
+            let fa = const_of(eval_val(prog, loops, env, a)?)?;
+            let fb = const_of(eval_val(prog, loops, env, b)?)?;
+            let opname = match eval_val(prog, loops, env, opexpr)? {
+                RtVal::Opc(o) => o.gospel_name().to_owned(),
+                RtVal::Name(n) => n,
+                other => {
+                    return Err(RunError::Action(format!(
+                        "eval(): operation is not an opcode: {other:?}"
+                    )))
+                }
+            };
+            let op = fold_op(&opname)
+                .ok_or_else(|| RunError::Action(format!("eval(): unknown op `{opname}`")))?;
+            let folded = gospel_ir::Value::fold(op, fa, fb)
+                .ok_or_else(|| RunError::Action("eval(): fold failed".into()))?;
+            Ok(RtVal::Operand(Operand::Const(folded)))
+        }
+        ValExpr::Bump(x, var, k) => {
+            let ox = eval_val(prog, loops, env, x)?
+                .as_operand()
+                .ok_or_else(|| RunError::Action("bump(): first argument not an operand".into()))?;
+            let ov = eval_val(prog, loops, env, var)?
+                .as_operand()
+                .and_then(|o| o.as_var())
+                .ok_or_else(|| RunError::Action("bump(): second argument not a variable".into()))?;
+            let amount = const_of(eval_val(prog, loops, env, k)?)?
+                .as_int()
+                .ok_or_else(|| RunError::Action("bump(): amount is not an integer".into()))?;
+            let repl = gospel_ir::AffineExpr::var(ov).plus_const(amount);
+            // A bare scalar use of the bumped variable cannot be rewritten
+            // to `var + k` inside a single operand slot: fail loudly rather
+            // than silently leaving it unbumped.
+            if amount != 0 && ox.as_var() == Some(ov) {
+                return Err(RunError::Action(
+                    "bump(): the control variable is used as a direct scalar operand; \
+                     the substitution is not expressible (prototype restriction)"
+                        .into(),
+                ));
+            }
+            Ok(RtVal::Operand(ox.substitute_affine(ov, &repl)))
+        }
+    }
+}
+
+fn const_of(v: RtVal) -> Result<gospel_ir::Value, RunError> {
+    match v {
+        RtVal::Operand(Operand::Const(c)) => Ok(c),
+        RtVal::Int(n) => Ok(gospel_ir::Value::Int(n)),
+        RtVal::Real(r) => Ok(gospel_ir::Value::Real(r)),
+        other => Err(RunError::Action(format!(
+            "expected a constant operand, got {other:?}"
+        ))),
+    }
+}
+
+fn fold_op(name: &str) -> Option<gospel_ir::FoldOp> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "add" => gospel_ir::FoldOp::Add,
+        "sub" => gospel_ir::FoldOp::Sub,
+        "mul" => gospel_ir::FoldOp::Mul,
+        "div" => gospel_ir::FoldOp::Div,
+        "mod" => gospel_ir::FoldOp::Mod,
+        _ => return None,
+    })
+}
+
+fn step_attr(
+    prog: &Program,
+    loops: &LoopTable,
+    val: RtVal,
+    attr: Attr,
+) -> Result<RtVal, RunError> {
+    let nav_err = || RunError::Action(format!("attribute `.{}` navigated off the program", attr.keyword()));
+    match (val, attr) {
+        (RtVal::Stmt(s), Attr::Nxt) => prog.next(s).map(RtVal::Stmt).ok_or_else(nav_err),
+        (RtVal::Stmt(s), Attr::Prev) => prog.prev(s).map(RtVal::Stmt).ok_or_else(nav_err),
+        (RtVal::Stmt(s), Attr::Opr(i)) => {
+            let pos = OperandPos::from_index(i as usize).ok_or_else(nav_err)?;
+            Ok(RtVal::Operand(prog.quad(s).operand(pos).clone()))
+        }
+        (RtVal::Stmt(s), Attr::Opc) => Ok(RtVal::Opc(prog.quad(s).op)),
+        (RtVal::Loop(l), Attr::Head) => Ok(RtVal::Stmt(loops.get(l).head)),
+        (RtVal::Loop(l), Attr::End) => Ok(RtVal::Stmt(loops.get(l).end)),
+        // Live reads through the header statement so that modified bounds
+        // are observed.
+        (RtVal::Loop(l), Attr::Lcv) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).dst.clone())),
+        (RtVal::Loop(l), Attr::Init) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).a.clone())),
+        (RtVal::Loop(l), Attr::Final) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).b.clone())),
+        (RtVal::Loop(l), Attr::Nxt) => {
+            let next = l.index() + 1;
+            if next < loops.len() {
+                Ok(RtVal::Loop(loops.iter().nth(next).unwrap().id))
+            } else {
+                Err(nav_err())
+            }
+        }
+        (RtVal::Loop(l), Attr::Prev) => {
+            if l.index() > 0 {
+                Ok(RtVal::Loop(loops.iter().nth(l.index() - 1).unwrap().id))
+            } else {
+                Err(nav_err())
+            }
+        }
+        (other, a) => Err(RunError::Action(format!(
+            "attribute `.{}` not defined on {other:?}",
+            a.keyword()
+        ))),
+    }
+}
+
+/// Resolves an operand *place* — where `modify` writes.
+pub(crate) fn eval_place(
+    prog: &Program,
+    loops: &LoopTable,
+    env: &Bindings,
+    v: &ValExpr,
+) -> Result<(StmtId, OperandPos), RunError> {
+    match v {
+        ValExpr::OperandFn(s, p) => operand_fn_place(prog, loops, env, s, p),
+        ValExpr::Ref(r) if !r.path.is_empty() => {
+            let (prefix, last) = r.path.split_at(r.path.len() - 1);
+            let base = ValExpr::Ref(gospel_lang::ast::ElemRef {
+                base: r.base.clone(),
+                path: prefix.to_vec(),
+            });
+            let holder = eval_val(prog, loops, env, &base)?;
+            match (holder, last[0]) {
+                (RtVal::Stmt(s), Attr::Opr(i)) => {
+                    let pos = OperandPos::from_index(i as usize)
+                        .ok_or_else(|| RunError::Action("bad operand index".into()))?;
+                    Ok((s, pos))
+                }
+                (RtVal::Loop(l), Attr::Lcv) => Ok((loops.get(l).head, OperandPos::Dst)),
+                (RtVal::Loop(l), Attr::Init) => Ok((loops.get(l).head, OperandPos::A)),
+                (RtVal::Loop(l), Attr::Final) => Ok((loops.get(l).head, OperandPos::B)),
+                (_h, a) => Err(RunError::Action(format!(
+                    "`{}.{}` is not an operand place",
+                    r.base,
+                    a.keyword()
+                ))),
+            }
+        }
+        other => Err(RunError::Action(format!(
+            "not an operand place: {other:?}"
+        ))),
+    }
+}
+
+fn operand_fn_place(
+    prog: &Program,
+    loops: &LoopTable,
+    env: &Bindings,
+    s: &ValExpr,
+    p: &ValExpr,
+) -> Result<(StmtId, OperandPos), RunError> {
+    let stmt = eval_val(prog, loops, env, s)?
+        .as_stmt()
+        .ok_or_else(|| RunError::Action("operand(): first argument not a statement".into()))?;
+    let pos = eval_val(prog, loops, env, p)?
+        .as_pos()
+        .ok_or_else(|| RunError::Action("operand(): second argument not a position".into()))?;
+    Ok((stmt, pos))
+}
+
+// ---------------------------------------------------------------------------
+// comparisons
+// ---------------------------------------------------------------------------
+
+fn numeric(v: &RtVal) -> Option<f64> {
+    match v {
+        RtVal::Int(n) => Some(*n as f64),
+        RtVal::Real(r) => Some(*r),
+        RtVal::Operand(Operand::Const(c)) => Some(c.to_f64()),
+        _ => None,
+    }
+}
+
+pub(crate) fn compare(a: &RtVal, op: CmpOp, b: &RtVal) -> Result<bool, RunError> {
+    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+        return Ok(match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        });
+    }
+    let eq = match (a, b) {
+        (RtVal::Stmt(x), RtVal::Stmt(y)) => x == y,
+        (RtVal::Loop(x), RtVal::Loop(y)) => x == y,
+        (RtVal::Pos(x), RtVal::Pos(y)) => x == y,
+        (RtVal::Pos(p), RtVal::Int(n)) | (RtVal::Int(n), RtVal::Pos(p)) => {
+            usize::try_from(*n).ok() == Some(p.index())
+        }
+        (RtVal::Operand(x), RtVal::Operand(y)) => x == y,
+        (RtVal::Opc(o), RtVal::Name(n)) | (RtVal::Name(n), RtVal::Opc(o)) => {
+            o.gospel_name().eq_ignore_ascii_case(n)
+        }
+        (RtVal::Name(x), RtVal::Name(y)) => x.eq_ignore_ascii_case(y),
+        // Values of different kinds are simply unequal.
+        _ => false,
+    };
+    match op {
+        CmpOp::Eq => Ok(eq),
+        CmpOp::Ne => Ok(!eq),
+        _ => Err(RunError::Action(format!(
+            "ordering comparison on non-numeric values {a:?} / {b:?}"
+        ))),
+    }
+}
+
+fn class_matches(o: &Operand, cls: OperandClass) -> bool {
+    match cls {
+        OperandClass::Const => matches!(o, Operand::Const(_)),
+        OperandClass::Var => matches!(o, Operand::Var(_)),
+        OperandClass::Elem => matches!(o, Operand::Elem { .. }),
+        OperandClass::None => matches!(o, Operand::None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the searcher
+// ---------------------------------------------------------------------------
+
+/// One precondition search over a program snapshot. Owns the running cost
+/// counters and the per-clause strategy log used by the §4 experiments.
+pub(crate) struct Searcher<'a> {
+    pub prog: &'a Program,
+    pub deps: &'a DepGraph,
+    pub opt: &'a CompiledOptimizer,
+    pub cost: Cost,
+    /// Restrict the first pattern clause's anchor to this statement
+    /// ("select application points", §3 interface option).
+    pub at_point: Option<StmtId>,
+    /// Skip the Depend section ("override dependence restrictions").
+    pub ignore_depends: bool,
+    /// Which strategy each Depend clause actually used, in evaluation
+    /// order (introspection for the strategy experiments).
+    pub strategies_used: Vec<Strategy>,
+}
+
+impl<'a> Searcher<'a> {
+    pub fn new(prog: &'a Program, deps: &'a DepGraph, opt: &'a CompiledOptimizer) -> Searcher<'a> {
+        Searcher {
+            prog,
+            deps,
+            opt,
+            cost: Cost::zero(),
+            at_point: None,
+            ignore_depends: false,
+            strategies_used: Vec::new(),
+        }
+    }
+
+    fn loops(&self) -> &'a LoopTable {
+        self.deps.loops()
+    }
+
+    /// Finds the first full binding satisfying the precondition.
+    pub fn find_first(&mut self) -> Result<Option<Bindings>, RunError> {
+        let mut out = Vec::new();
+        self.rec(0, Bindings::new(), &mut out, 1)?;
+        Ok(out.into_iter().next())
+    }
+
+    /// Finds up to `limit` bindings (all application points).
+    pub fn find_all(&mut self, limit: usize) -> Result<Vec<Bindings>, RunError> {
+        let mut out = Vec::new();
+        self.rec(0, Bindings::new(), &mut out, limit)?;
+        Ok(out)
+    }
+
+    /// Recursive backtracking over pattern clauses then dependence clauses.
+    /// Returns `true` when enough bindings were collected.
+    fn rec(
+        &mut self,
+        idx: usize,
+        env: Bindings,
+        out: &mut Vec<Bindings>,
+        limit: usize,
+    ) -> Result<bool, RunError> {
+        let opt = self.opt;
+        let np = opt.patterns.len();
+        if idx < np {
+            let (clause, ty) = &opt.patterns[idx];
+            return self.rec_pattern(idx, clause, *ty, env, out, limit);
+        }
+        let di = idx - np;
+        let depends = if self.ignore_depends {
+            0
+        } else {
+            opt.depends.len()
+        };
+        if di < depends {
+            let cc = &opt.depends[di];
+            return self.rec_depend(idx, cc, env, out, limit);
+        }
+        out.push(env);
+        Ok(out.len() >= limit)
+    }
+
+    fn rec_pattern(
+        &mut self,
+        idx: usize,
+        clause: &PatternClause,
+        ty: ElemType,
+        env: Bindings,
+        out: &mut Vec<Bindings>,
+        limit: usize,
+    ) -> Result<bool, RunError> {
+        let candidates = self.pattern_candidates(ty, idx == 0);
+        match clause.quant {
+            Quant::Any => {
+                'cands: for cand in candidates {
+                    let mut env2 = env.clone();
+                    for (v, val) in clause.vars.iter().zip(&cand) {
+                        // A variable bound by an earlier clause (loop pairs
+                        // chained through a shared loop) must agree.
+                        if let Some(existing) = env2.get(v) {
+                            if existing != val {
+                                continue 'cands;
+                            }
+                        }
+                        env2.set(v, val.clone());
+                    }
+                    if self.format_holds(clause, &env2)? && self.rec(idx + 1, env2, out, limit)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Quant::No => {
+                for cand in candidates {
+                    let mut env2 = env.clone();
+                    for (v, val) in clause.vars.iter().zip(&cand) {
+                        env2.set(v, val.clone());
+                    }
+                    if self.format_holds(clause, &env2)? {
+                        return Ok(false); // an element matches: clause fails
+                    }
+                }
+                self.rec(idx + 1, env, out, limit)
+            }
+            Quant::All => Err(RunError::Action(
+                "`all` in Code_Pattern is rejected at generation time".into(),
+            )),
+        }
+    }
+
+    fn format_holds(&mut self, clause: &PatternClause, env: &Bindings) -> Result<bool, RunError> {
+        match &clause.format {
+            None => Ok(true),
+            Some(f) => {
+                let mut checks = 0u64;
+                let ok = eval_format(self.prog, self.loops(), env, f, &mut checks)?;
+                self.cost.pattern_checks += checks;
+                Ok(ok)
+            }
+        }
+    }
+
+    fn pattern_candidates(&self, ty: ElemType, first: bool) -> Vec<Vec<RtVal>> {
+        let loops = self.loops();
+        let anchor_ok = |head: StmtId| -> bool {
+            !first || self.at_point.map(|p| p == head).unwrap_or(true)
+        };
+        match ty {
+            ElemType::Stmt => self
+                .prog
+                .iter()
+                .filter(|&s| anchor_ok(s))
+                .map(|s| vec![RtVal::Stmt(s)])
+                .collect(),
+            ElemType::Loop => loops
+                .iter()
+                .filter(|l| anchor_ok(l.head))
+                .map(|l| vec![RtVal::Loop(l.id)])
+                .collect(),
+            ElemType::NestedLoops => loops
+                .nested_pairs()
+                .into_iter()
+                .filter(|&(o, _)| anchor_ok(loops.get(o).head))
+                .map(|(o, i)| vec![RtVal::Loop(o), RtVal::Loop(i)])
+                .collect(),
+            ElemType::TightLoops => loops
+                .tight_pairs(self.prog)
+                .into_iter()
+                .filter(|&(o, _)| anchor_ok(loops.get(o).head))
+                .map(|(o, i)| vec![RtVal::Loop(o), RtVal::Loop(i)])
+                .collect(),
+            ElemType::AdjacentLoops => loops
+                .adjacent_pairs(self.prog)
+                .into_iter()
+                .filter(|&(l1, _)| anchor_ok(loops.get(l1).head))
+                .map(|(l1, l2)| vec![RtVal::Loop(l1), RtVal::Loop(l2)])
+                .collect(),
+        }
+    }
+
+    fn rec_depend(
+        &mut self,
+        idx: usize,
+        cc: &CompiledClause,
+        env: Bindings,
+        out: &mut Vec<Bindings>,
+        limit: usize,
+    ) -> Result<bool, RunError> {
+        match cc.clause.quant {
+            Quant::Any => {
+                let solutions = self.solve_clause(cc, &env, false)?;
+                for sol in solutions {
+                    if self.rec(idx + 1, sol, out, limit)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Quant::No => {
+                let solutions = self.solve_clause(cc, &env, false)?;
+                if solutions.is_empty() {
+                    self.rec(idx + 1, env, out, limit)
+                } else {
+                    Ok(false)
+                }
+            }
+            Quant::All => {
+                let solutions = self.solve_clause(cc, &env, true)?;
+                let mut env2 = env;
+                for (v, pv) in cc.clause.vars.iter().zip(&cc.clause.pos_vars) {
+                    let mut collected: Vec<(StmtId, Option<OperandPos>)> = Vec::new();
+                    for sol in &solutions {
+                        let stmt = sol.get(v).and_then(RtVal::as_stmt);
+                        let pos = pv
+                            .as_ref()
+                            .and_then(|p| sol.get(p))
+                            .and_then(RtVal::as_pos);
+                        if let Some(s) = stmt {
+                            if !collected.iter().any(|(cs, cp)| *cs == s && *cp == pos) {
+                                collected.push((s, pos));
+                            }
+                        }
+                    }
+                    env2.set(v, RtVal::Set(collected));
+                }
+                self.rec(idx + 1, env2, out, limit)
+            }
+        }
+    }
+
+    /// Solves one dependence clause: returns every extension of `env`
+    /// binding the clause's variables (and position variables) that makes
+    /// the membership constraints and conditions true.
+    pub(crate) fn solve_clause(
+        &mut self,
+        cc: &CompiledClause,
+        env: &Bindings,
+        _want_all: bool,
+    ) -> Result<Vec<Bindings>, RunError> {
+        let strategy = self.pick_strategy(cc, env);
+        self.strategies_used.push(strategy);
+        match strategy {
+            Strategy::MembersFirst => self.solve_members_first(cc, env),
+            Strategy::DepsFirst => self.solve_deps_first(cc, env),
+            Strategy::Heuristic => unreachable!("pick_strategy resolves Heuristic"),
+        }
+    }
+
+    fn pick_strategy(&self, cc: &CompiledClause, env: &Bindings) -> Strategy {
+        let forced = self.opt.strategy;
+        match forced {
+            Strategy::MembersFirst => Strategy::MembersFirst,
+            Strategy::DepsFirst if cc.deps_first_ok => Strategy::DepsFirst,
+            Strategy::DepsFirst => Strategy::MembersFirst,
+            Strategy::Heuristic => {
+                if !cc.deps_first_ok {
+                    return Strategy::MembersFirst;
+                }
+                let members_cost = self.estimate_members(cc, env);
+                let deps_cost = self.estimate_deps(cc, env);
+                if deps_cost <= members_cost {
+                    Strategy::DepsFirst
+                } else {
+                    Strategy::MembersFirst
+                }
+            }
+        }
+    }
+
+    /// Cost estimate for members-then-deps: the product of candidate-set
+    /// sizes (the number of tuples enumerated).
+    fn estimate_members(&self, cc: &CompiledClause, env: &Bindings) -> usize {
+        let mut product = 1usize;
+        for v in &cc.clause.vars {
+            let size = self
+                .member_generator(cc, v, env)
+                .map(|set| set.len())
+                .unwrap_or_else(|| self.prog.len());
+            product = product.saturating_mul(size.max(1));
+        }
+        product
+    }
+
+    /// Cost estimate for deps-then-membership: the number of edges the
+    /// first binding atom would enumerate.
+    fn estimate_deps(&self, cc: &CompiledClause, env: &Bindings) -> usize {
+        let mut atoms = Vec::new();
+        flatten_and(&cc.clause.cond, &mut atoms);
+        for atom in atoms {
+            if let BoolExpr::Dep { from, to, .. } = atom {
+                let from_bound = self.side_stmt(from, env);
+                let to_bound = self.side_stmt(to, env);
+                return match (from_bound, to_bound) {
+                    (Some(s), _) => self.deps.from(s).count(),
+                    (_, Some(s)) => self.deps.to(s).count(),
+                    _ => self.deps.len(),
+                };
+            }
+        }
+        usize::MAX
+    }
+
+    fn side_stmt(&self, side: &ValExpr, env: &Bindings) -> Option<StmtId> {
+        match side {
+            ValExpr::Name(n) => env.get(n).and_then(RtVal::as_stmt),
+            ValExpr::Ref(_) => eval_val(self.prog, self.loops(), env, side)
+                .ok()
+                .and_then(|v| v.as_stmt()),
+            _ => None,
+        }
+    }
+
+    /// The candidate set for `var` from a positive `mem(var, set)`
+    /// constraint, if one exists.
+    fn member_generator(
+        &self,
+        cc: &CompiledClause,
+        var: &str,
+        env: &Bindings,
+    ) -> Option<Vec<StmtId>> {
+        for m in &cc.clause.members {
+            if m.negated {
+                continue;
+            }
+            if let ValExpr::Name(n) = &m.elem {
+                if n == var {
+                    return self.set_elements(&m.set, env).ok();
+                }
+            }
+        }
+        None
+    }
+
+    fn set_elements(&self, set: &SetExpr, env: &Bindings) -> Result<Vec<StmtId>, RunError> {
+        match set {
+            SetExpr::Named(n) => match env.get(n) {
+                Some(RtVal::Loop(l)) => Ok(self.loops().body(self.prog, *l).collect()),
+                Some(RtVal::Set(items)) => Ok(items.iter().map(|(s, _)| *s).collect()),
+                other => Err(RunError::Action(format!(
+                    "`{n}` is not a set (bound to {other:?})"
+                ))),
+            },
+            SetExpr::Path(a, b) => {
+                let sa = eval_val(self.prog, self.loops(), env, a)?
+                    .as_stmt()
+                    .ok_or_else(|| RunError::Action("path(): not a statement".into()))?;
+                let sb = eval_val(self.prog, self.loops(), env, b)?
+                    .as_stmt()
+                    .ok_or_else(|| RunError::Action("path(): not a statement".into()))?;
+                let mut out = vec![sa];
+                out.extend(self.prog.iter_between(sa, sb));
+                if sa != sb {
+                    out.push(sb);
+                }
+                Ok(out)
+            }
+            SetExpr::Union(a, b) => {
+                let mut out = self.set_elements(a, env)?;
+                for s in self.set_elements(b, env)? {
+                    if !out.contains(&s) {
+                        out.push(s);
+                    }
+                }
+                Ok(out)
+            }
+            SetExpr::Inter(a, b) => {
+                let right = self.set_elements(b, env)?;
+                Ok(self
+                    .set_elements(a, env)?
+                    .into_iter()
+                    .filter(|s| right.contains(s))
+                    .collect())
+            }
+        }
+    }
+
+    // ---- strategy (1): members first --------------------------------------
+
+    fn solve_members_first(
+        &mut self,
+        cc: &CompiledClause,
+        env: &Bindings,
+    ) -> Result<Vec<Bindings>, RunError> {
+        // Candidate list per clause variable.
+        let mut lists: Vec<(String, Vec<RtVal>)> = Vec::new();
+        for v in &cc.clause.vars {
+            let class = self.opt.info.classes.get(v).copied();
+            let cands: Vec<RtVal> = if let Some(set) = self.member_generator(cc, v, env) {
+                set.into_iter().map(RtVal::Stmt).collect()
+            } else if class == Some(VarClass::Loop) {
+                self.loops().iter().map(|l| RtVal::Loop(l.id)).collect()
+            } else {
+                self.prog.iter().map(RtVal::Stmt).collect()
+            };
+            lists.push((v.clone(), cands));
+        }
+
+        let mut results = Vec::new();
+        let mut stack = vec![env.clone()];
+        for (v, cands) in &lists {
+            let mut next = Vec::new();
+            for e in &stack {
+                for c in cands {
+                    next.push(e.with(v, c.clone()));
+                }
+            }
+            stack = next;
+        }
+        for e in stack {
+            // Residual membership checks (negated or non-generator ones).
+            if !self.members_hold(cc, &e)? {
+                continue;
+            }
+            let mut envs = self.eval_bool_envs(&cc.clause.cond, e, cc)?;
+            results.append(&mut envs);
+        }
+        dedup_envs(&mut results);
+        Ok(results)
+    }
+
+    fn members_hold(&mut self, cc: &CompiledClause, env: &Bindings) -> Result<bool, RunError> {
+        for m in &cc.clause.members {
+            self.cost.dep_checks += 1;
+            let elem = eval_val(self.prog, self.loops(), env, &m.elem)?
+                .as_stmt()
+                .ok_or_else(|| RunError::Action("mem(): element is not a statement".into()))?;
+            let members = self.set_elements(&m.set, env)?;
+            let inside = members.contains(&elem);
+            if inside == m.negated {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    // ---- strategy (2): dependences first -----------------------------------
+
+    fn solve_deps_first(
+        &mut self,
+        cc: &CompiledClause,
+        env: &Bindings,
+    ) -> Result<Vec<Bindings>, RunError> {
+        let mut envs = self.eval_bool_envs(&cc.clause.cond, env.clone(), cc)?;
+        // Filter by membership afterwards.
+        let mut out = Vec::new();
+        for e in envs.drain(..) {
+            if self.members_hold(cc, &e)? {
+                out.push(e);
+            }
+        }
+        dedup_envs(&mut out);
+        Ok(out)
+    }
+
+    // ---- relational condition evaluation ------------------------------------
+
+    /// Evaluates a condition, returning every extension of `env` that makes
+    /// it true. Dependence atoms may bind the clause's still-unbound
+    /// variables (edge-driven generation) and position variables.
+    fn eval_bool_envs(
+        &mut self,
+        b: &BoolExpr,
+        env: Bindings,
+        cc: &CompiledClause,
+    ) -> Result<Vec<Bindings>, RunError> {
+        match b {
+            BoolExpr::And(l, r) => {
+                let left = self.eval_bool_envs(l, env, cc)?;
+                let mut out = Vec::new();
+                for e in left {
+                    out.extend(self.eval_bool_envs(r, e, cc)?);
+                }
+                Ok(out)
+            }
+            BoolExpr::Or(l, r) => {
+                let mut out = self.eval_bool_envs(l, env.clone(), cc)?;
+                out.extend(self.eval_bool_envs(r, env, cc)?);
+                dedup_envs(&mut out);
+                Ok(out)
+            }
+            BoolExpr::Not(inner) => {
+                let inner_envs = self.eval_bool_envs(inner, env.clone(), cc)?;
+                if inner_envs.is_empty() {
+                    Ok(vec![env])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            BoolExpr::Cmp(l, op, r) => {
+                self.cost.dep_checks += 1;
+                let lv = eval_val(self.prog, self.loops(), &env, l)?;
+                let rv = eval_val(self.prog, self.loops(), &env, r)?;
+                if compare(&lv, *op, &rv)? {
+                    Ok(vec![env])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            BoolExpr::TypeIs(v, cls, positive) => {
+                self.cost.dep_checks += 1;
+                let val = eval_val(self.prog, self.loops(), &env, v)?;
+                let o = val
+                    .as_operand()
+                    .ok_or_else(|| RunError::Action("type(): not an operand".into()))?;
+                if class_matches(&o, *cls) == *positive {
+                    Ok(vec![env])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            BoolExpr::Dep {
+                kind,
+                from,
+                to,
+                dirs,
+            } => self.eval_dep_atom(*kind, from, to, dirs.as_deref(), env, cc),
+        }
+    }
+
+    fn eval_dep_atom(
+        &mut self,
+        kind: DepKind,
+        from: &ValExpr,
+        to: &ValExpr,
+        dirs: Option<&[DirElem]>,
+        env: Bindings,
+        cc: &CompiledClause,
+    ) -> Result<Vec<Bindings>, RunError> {
+        let pattern = match dirs {
+            Some(d) => DirPattern::new(d.to_vec()),
+            None => DirPattern::any(),
+        };
+        // position variable associated with each clause variable
+        let posmap: HashMap<&str, &str> = cc
+            .clause
+            .vars
+            .iter()
+            .zip(&cc.clause.pos_vars)
+            .filter_map(|(v, p)| p.as_ref().map(|p| (v.as_str(), p.as_str())))
+            .collect();
+
+        let from_state = self.side_state(from, &env, cc)?;
+        let to_state = self.side_state(to, &env, cc)?;
+
+        // The cost of this atom is the number of candidate edges scanned —
+        // this is what makes the two §4 strategies measurably different.
+        let scanned: usize;
+        let edges: Vec<&DepEdge> = match (&from_state, &to_state) {
+            (Side::Bound(f), Side::Bound(t)) => {
+                scanned = self.deps.from(*f).count();
+                self.deps
+                    .from(*f)
+                    .filter(|e| e.dst == *t && e.kind == kind && pattern.matches(&e.dirvec))
+                    .collect()
+            }
+            (Side::Bound(f), Side::Unbound(_)) => {
+                scanned = self.deps.from(*f).count();
+                self.deps
+                    .from(*f)
+                    .filter(|e| e.kind == kind && pattern.matches(&e.dirvec))
+                    .collect()
+            }
+            (Side::Unbound(_), Side::Bound(t)) => {
+                scanned = self.deps.to(*t).count();
+                self.deps
+                    .to(*t)
+                    .filter(|e| e.kind == kind && pattern.matches(&e.dirvec))
+                    .collect()
+            }
+            (Side::Unbound(_), Side::Unbound(_)) => {
+                scanned = self.deps.len();
+                self.deps
+                    .edges()
+                    .iter()
+                    .filter(|e| e.kind == kind && pattern.matches(&e.dirvec))
+                    .collect()
+            }
+        };
+        self.cost.dep_checks += scanned.max(1) as u64;
+
+        let mut out = Vec::new();
+        for e in edges {
+            let mut env2 = env.clone();
+            let mut ok = true;
+            if let Side::Unbound(v) = &from_state {
+                env2.set(v, RtVal::Stmt(e.src));
+            }
+            if let Side::Unbound(v) = &to_state {
+                env2.set(v, RtVal::Stmt(e.dst));
+            }
+            // Bind the position variables of any clause variable that is an
+            // endpoint of this atom. The position reported is the paper's
+            // "position of the dependence within the statement": the
+            // operand position at the dependence's *sink*.
+            for side in [from, to] {
+                if let ValExpr::Name(v) = side {
+                    if let Some(pv) = posmap.get(v.as_str()) {
+                        let posval = RtVal::Pos(e.dst_pos);
+                        match env2.get(pv) {
+                            None => env2.set(pv, posval),
+                            Some(existing) => {
+                                if *existing != posval {
+                                    ok = false;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if ok {
+                out.push(env2);
+            }
+        }
+        dedup_envs(&mut out);
+        Ok(out)
+    }
+
+    fn side_state(
+        &self,
+        side: &ValExpr,
+        env: &Bindings,
+        cc: &CompiledClause,
+    ) -> Result<Side, RunError> {
+        if let ValExpr::Name(n) = side {
+            if !env.is_bound(n) {
+                if cc.clause.vars.iter().any(|v| v == n) {
+                    return Ok(Side::Unbound(n.clone()));
+                }
+                return Err(RunError::Action(format!(
+                    "dependence endpoint `{n}` is unbound and not a clause variable"
+                )));
+            }
+        }
+        let stmt = eval_val(self.prog, self.loops(), env, side)?
+            .as_stmt()
+            .ok_or_else(|| {
+                RunError::Action("dependence endpoints must be statements".into())
+            })?;
+        Ok(Side::Bound(stmt))
+    }
+}
+
+enum Side {
+    Bound(StmtId),
+    Unbound(String),
+}
+
+fn dedup_envs(envs: &mut Vec<Bindings>) {
+    let mut seen: Vec<Bindings> = Vec::new();
+    envs.retain(|e| {
+        if seen.contains(e) {
+            false
+        } else {
+            seen.push(e.clone());
+            true
+        }
+    });
+}
+
+fn flatten_and<'b>(b: &'b BoolExpr, out: &mut Vec<&'b BoolExpr>) {
+    match b {
+        BoolExpr::And(l, r) => {
+            flatten_and(l, out);
+            flatten_and(r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Pattern-format evaluation (no dependence atoms; short-circuit with
+/// per-atom counting, which the §4 "specification variants" experiment
+/// relies on).
+pub(crate) fn eval_format(
+    prog: &Program,
+    loops: &LoopTable,
+    env: &Bindings,
+    b: &BoolExpr,
+    checks: &mut u64,
+) -> Result<bool, RunError> {
+    match b {
+        BoolExpr::And(l, r) => {
+            Ok(eval_format(prog, loops, env, l, checks)?
+                && eval_format(prog, loops, env, r, checks)?)
+        }
+        BoolExpr::Or(l, r) => {
+            Ok(eval_format(prog, loops, env, l, checks)?
+                || eval_format(prog, loops, env, r, checks)?)
+        }
+        BoolExpr::Not(i) => Ok(!eval_format(prog, loops, env, i, checks)?),
+        BoolExpr::Cmp(l, op, r) => {
+            *checks += 1;
+            // Navigation off the program edge (e.g. `.nxt` of the last
+            // statement) makes the comparison false rather than an error.
+            let lv = match eval_val(prog, loops, env, l) {
+                Ok(v) => v,
+                Err(_) => return Ok(false),
+            };
+            let rv = match eval_val(prog, loops, env, r) {
+                Ok(v) => v,
+                Err(_) => return Ok(false),
+            };
+            compare(&lv, *op, &rv)
+        }
+        BoolExpr::TypeIs(v, cls, positive) => {
+            *checks += 1;
+            let val = match eval_val(prog, loops, env, v) {
+                Ok(v) => v,
+                Err(_) => return Ok(false),
+            };
+            let o = val
+                .as_operand()
+                .ok_or_else(|| RunError::Action("type(): not an operand".into()))?;
+            Ok(class_matches(&o, *cls) == *positive)
+        }
+        BoolExpr::Dep { .. } => Err(RunError::Action(
+            "dependence test in Code_Pattern (rejected at validation)".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::generate;
+    use gospel_frontend::compile as minifor;
+    use gospel_lang::ast::ElemRef;
+    use gospel_lang::parse_validated;
+
+    fn world(src: &str) -> (Program, DepGraph) {
+        let p = minifor(src).unwrap();
+        let d = DepGraph::analyze(&p).unwrap();
+        (p, d)
+    }
+
+    fn opt_of(spec: &str) -> CompiledOptimizer {
+        let (s, i) = parse_validated(spec).unwrap();
+        generate(s, i).unwrap()
+    }
+
+    const LOOPY: &str =
+        "program p\ninteger i, n, x\nreal a(10)\nn = 10\ndo i = 1, n\na(i) = 0.0\nend do\nx = n\nend";
+
+    #[test]
+    fn attribute_navigation_on_statements_and_loops() {
+        let (p, d) = world(LOOPY);
+        let loops = d.loops();
+        let first = p.first().unwrap();
+        let mut env = Bindings::new();
+        env.set("S", RtVal::Stmt(first));
+        env.set("L", RtVal::Loop(loops.iter().next().unwrap().id));
+
+        let r = |base: &str, path: Vec<Attr>| {
+            eval_val(
+                &p,
+                loops,
+                &env,
+                &ValExpr::Ref(ElemRef {
+                    base: base.into(),
+                    path,
+                }),
+            )
+        };
+        // S.nxt is the do header; S.opc is assign; S.opr_2 the constant.
+        assert!(matches!(r("S", vec![Attr::Nxt]).unwrap(), RtVal::Stmt(_)));
+        assert_eq!(
+            r("S", vec![Attr::Opc]).unwrap(),
+            RtVal::Opc(gospel_ir::Opcode::Assign)
+        );
+        assert_eq!(
+            r("S", vec![Attr::Opr(2)]).unwrap(),
+            RtVal::Operand(Operand::int(10))
+        );
+        // L.head.nxt is the body statement; L.lcv / L.init / L.final read live.
+        assert!(matches!(
+            r("L", vec![Attr::Head, Attr::Nxt]).unwrap(),
+            RtVal::Stmt(_)
+        ));
+        assert!(matches!(
+            r("L", vec![Attr::Lcv]).unwrap(),
+            RtVal::Operand(Operand::Var(_))
+        ));
+        assert_eq!(
+            r("L", vec![Attr::Init]).unwrap(),
+            RtVal::Operand(Operand::int(1))
+        );
+        // navigating off the program is an error
+        assert!(r("S", vec![Attr::Prev]).is_err());
+    }
+
+    #[test]
+    fn eval_place_forms() {
+        let (p, d) = world(LOOPY);
+        let loops = d.loops();
+        let first = p.first().unwrap();
+        let head = loops.iter().next().unwrap().head;
+        let mut env = Bindings::new();
+        env.set("S", RtVal::Stmt(first));
+        env.set("L", RtVal::Loop(loops.iter().next().unwrap().id));
+        env.set("p", RtVal::Pos(OperandPos::A));
+
+        // S.opr_2
+        let place = eval_place(
+            &p,
+            loops,
+            &env,
+            &ValExpr::Ref(ElemRef {
+                base: "S".into(),
+                path: vec![Attr::Opr(2)],
+            }),
+        )
+        .unwrap();
+        assert_eq!(place, (first, OperandPos::A));
+        // operand(S, p)
+        let place2 = eval_place(
+            &p,
+            loops,
+            &env,
+            &ValExpr::OperandFn(
+                Box::new(ValExpr::Name("S".into())),
+                Box::new(ValExpr::Name("p".into())),
+            ),
+        )
+        .unwrap();
+        assert_eq!(place2, (first, OperandPos::A));
+        // L.final is the head's third slot
+        let place3 = eval_place(
+            &p,
+            loops,
+            &env,
+            &ValExpr::Ref(ElemRef {
+                base: "L".into(),
+                path: vec![Attr::Final],
+            }),
+        )
+        .unwrap();
+        assert_eq!(place3, (head, OperandPos::B));
+        // a bare statement is not a place
+        assert!(eval_place(&p, loops, &env, &ValExpr::Name("S".into())).is_err());
+    }
+
+    #[test]
+    fn compare_semantics() {
+        use CmpOp::*;
+        let t = |a: &RtVal, op, b: &RtVal| compare(a, op, b).unwrap();
+        // numerics compare across Int/Real/Const operands
+        assert!(t(&RtVal::Int(3), Eq, &RtVal::Operand(Operand::int(3))));
+        assert!(t(&RtVal::Real(2.5), Gt, &RtVal::Int(2)));
+        // positions coerce against ints
+        assert!(t(&RtVal::Pos(OperandPos::B), Eq, &RtVal::Int(3)));
+        // opcode vs name, case-insensitive
+        assert!(t(
+            &RtVal::Opc(gospel_ir::Opcode::Assign),
+            Eq,
+            &RtVal::Name("ASSIGN".into())
+        ));
+        // mismatched kinds are unequal, not an error (for ==/!=)
+        assert!(t(&RtVal::Int(1), Ne, &RtVal::Name("assign".into())));
+        // …but ordering them is an error
+        assert!(compare(
+            &RtVal::Name("x".into()),
+            Lt,
+            &RtVal::Name("y".into())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn format_counting_short_circuits() {
+        let (p, d) = world(LOOPY);
+        let loops = d.loops();
+        let first = p.first().unwrap(); // n := 10
+        let mut env = Bindings::new();
+        env.set("S", RtVal::Stmt(first));
+        let cond = |txt: &str| -> BoolExpr {
+            // reuse the spec parser to build conditions succinctly
+            let spec = format!(
+                "OPTIMIZATION T TYPE Stmt: S; PRECOND Code_Pattern any S: {txt}; ACTION delete(S); END"
+            );
+            let (ast, _) = parse_validated(&spec).unwrap();
+            ast.patterns[0].format.clone().unwrap()
+        };
+        // first conjunct false => one check only
+        let mut checks = 0;
+        let ok = eval_format(
+            &p,
+            loops,
+            &env,
+            &cond("S.opc == add AND type(S.opr_2) == const"),
+            &mut checks,
+        )
+        .unwrap();
+        assert!(!ok);
+        assert_eq!(checks, 1);
+        // first true => both evaluated
+        checks = 0;
+        let ok = eval_format(
+            &p,
+            loops,
+            &env,
+            &cond("S.opc == assign AND type(S.opr_2) == const"),
+            &mut checks,
+        )
+        .unwrap();
+        assert!(ok);
+        assert_eq!(checks, 2);
+    }
+
+    #[test]
+    fn strategies_agree_on_solutions() {
+        // Whatever the strategy, the set of application points must match.
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: Si, Sm; Loop: L;
+PRECOND
+  Code_Pattern
+    any L;
+  Depend
+    any Si, Sm: mem(Si, L), flow_dep(Si, Sm) OR anti_dep(Si, Sm);
+ACTION
+  delete(Si);
+END
+"#;
+        // note: this clause is deps_first-incompatible (OR) — exercise the
+        // fallback too.
+        let base = opt_of(spec);
+        let src = "program p\ninteger i, x\nreal a(10)\ndo i = 1, 5\nx = i\na(i) = x\nend do\nwrite a(1)\nend";
+        let (p, d) = world(src);
+        let mut results = Vec::new();
+        for strat in [Strategy::MembersFirst, Strategy::DepsFirst, Strategy::Heuristic] {
+            let opt = base.with_strategy(strat);
+            let mut s = Searcher::new(&p, &d, &opt);
+            let found = s.find_all(usize::MAX).unwrap();
+            results.push(found);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn deps_first_binds_from_edges_members_first_from_sets() {
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: Sm, Sn; Loop: L;
+PRECOND
+  Code_Pattern
+    any L;
+  Depend
+    any Sm, Sn: mem(Sm, L) AND mem(Sn, L), flow_dep(Sm, Sn);
+ACTION
+  modify(Sm.opr_1, 1);
+END
+"#;
+        let base = opt_of(spec);
+        let src = "program p\ninteger i, x, y\ndo i = 1, 5\nx = i\ny = x\nend do\nwrite y\nend";
+        let (p, d) = world(src);
+        for strat in [Strategy::MembersFirst, Strategy::DepsFirst] {
+            let opt = base.with_strategy(strat);
+            let mut s = Searcher::new(&p, &d, &opt);
+            let found = s.find_first().unwrap();
+            assert!(found.is_some(), "{strat:?} found nothing");
+            assert_eq!(s.strategies_used, vec![strat]);
+        }
+        // …and their costs differ (the E6 effect, in miniature)
+        let cost_of = |strat| {
+            let opt = base.with_strategy(strat);
+            let mut s = Searcher::new(&p, &d, &opt);
+            s.find_all(usize::MAX).unwrap();
+            s.cost.dep_checks
+        };
+        assert_ne!(
+            cost_of(Strategy::MembersFirst),
+            cost_of(Strategy::DepsFirst)
+        );
+    }
+
+    #[test]
+    fn no_clause_with_empty_binding_is_a_pure_check() {
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: Sa, Sb;
+PRECOND
+  Code_Pattern
+    any Sa: Sa.opc == assign;
+    any Sb: Sb.opc == assign;
+  Depend
+    no: flow_dep(Sa, Sb);
+ACTION
+  delete(Sb);
+END
+"#;
+        let opt = opt_of(spec);
+        // x = 1; y = x: the pair (Sa=x, Sb=y-stmt) is rejected; the search
+        // backtracks to independent pairs.
+        let (p, d) = world("program p\ninteger x, y\nx = 1\ny = x\nwrite y\nend");
+        let mut s = Searcher::new(&p, &d, &opt);
+        let found = s.find_first().unwrap().expect("some pair is independent");
+        let sa = found.get("Sa").unwrap().as_stmt().unwrap();
+        let sb = found.get("Sb").unwrap().as_stmt().unwrap();
+        assert!(!d.exists(
+            DepKind::Flow,
+            sa,
+            sb,
+            &DirPattern::any()
+        ));
+    }
+
+    #[test]
+    fn path_sets_are_inclusive_and_ordered() {
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: Sa, Sb, Sm;
+PRECOND
+  Code_Pattern
+    any Sa: Sa.opc == assign;
+    any Sb: Sb.opc == write;
+  Depend
+    all Sm: mem(Sm, path(Sa, Sb)), Sm.opc == assign;
+ACTION
+  delete(Sa);
+END
+"#;
+        let opt = opt_of(spec);
+        let (p, d) = world("program p\ninteger x, y\nx = 1\ny = 2\nwrite y\nend");
+        let mut s = Searcher::new(&p, &d, &opt);
+        let found = s.find_first().unwrap().unwrap();
+        match found.get("Sm") {
+            Some(RtVal::Set(items)) => {
+                // both assignments are on the path from the first assign to
+                // the write
+                assert_eq!(items.len(), 2, "{items:?}");
+            }
+            other => panic!("expected a set, got {other:?}"),
+        }
+    }
+}

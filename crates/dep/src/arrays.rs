@@ -1,0 +1,723 @@
+//! Array data dependences via dimension-by-dimension subscript tests.
+//!
+//! For every pair of references to the same array (at least one a write) the
+//! analyzer classifies each subscript dimension with:
+//!
+//! * **ZIV** — both subscripts free of varying terms: unequal constants
+//!   prove independence;
+//! * **strong SIV** — `a·i + c₁` vs `a·i + c₂` in one common loop: the
+//!   dependence distance `(c₂-c₁)/a` fixes the direction, non-integral
+//!   distances and distances beyond the trip count prove independence;
+//! * **GCD** — the general case: if the gcd of all induction coefficients
+//!   does not divide the constant difference there is no dependence,
+//!   otherwise every direction is possible at the involved levels.
+//!
+//! Scalar symbols appearing in subscripts are assumed loop-invariant (the
+//! standard assumption for this style of analyzer; see DESIGN.md), while
+//! loop-control variables of non-common loops and compiler temporaries are
+//! treated as varying and handled conservatively.
+
+use crate::edge::{DepEdge, DepKind, Direction};
+use gospel_ir::{AffineExpr, LoopTable, Operand, OperandPos, Program, StmtId, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// One textual array reference.
+#[derive(Clone, Debug)]
+struct ArrayRef {
+    stmt: StmtId,
+    pos: OperandPos,
+    array: Sym,
+    subs: Vec<AffineExpr>,
+    is_write: bool,
+}
+
+/// Computes all array data dependence edges.
+pub(crate) fn array_deps(prog: &Program, loops: &LoopTable) -> Vec<DepEdge> {
+    let refs = collect_refs(prog);
+    let order = prog.order_index();
+
+    // Every variable that is the LCV of some loop is "varying" when it is
+    // not one of the pair's common LCVs.
+    let all_lcvs: HashSet<Sym> = loops.iter().map(|l| l.lcv).collect();
+
+    let mut by_array: HashMap<Sym, Vec<usize>> = HashMap::new();
+    for (i, r) in refs.iter().enumerate() {
+        by_array.entry(r.array).or_default().push(i);
+    }
+
+    let mut edges = Vec::new();
+    for idxs in by_array.values() {
+        for (ii, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[ii..] {
+                let (a, b) = (&refs[i], &refs[j]);
+                if !a.is_write && !b.is_write {
+                    continue;
+                }
+                if i == j {
+                    // A single reference can only depend on itself across
+                    // iterations; the pair test below covers it.
+                    test_pair(prog, loops, &order, &all_lcvs, a, b, &mut edges);
+                    continue;
+                }
+                // Orient the pair so `a` is textually first.
+                if order[&a.stmt] <= order[&b.stmt] {
+                    test_pair(prog, loops, &order, &all_lcvs, a, b, &mut edges);
+                } else {
+                    test_pair(prog, loops, &order, &all_lcvs, b, a, &mut edges);
+                }
+            }
+        }
+    }
+    fusion_preview_deps(prog, loops, &all_lcvs, &refs, &mut edges);
+    edges
+}
+
+/// Cross-loop direction vectors for *fusable-shaped* adjacent loop pairs.
+///
+/// References in two adjacent loops share no loop, so their ordinary
+/// direction vectors are empty — which cannot express fusion legality.
+/// For adjacent pairs with equal bounds this pass aligns the two loop
+/// control variables and reports the direction the dependence would have
+/// *after* fusion, oriented textually (first-loop reference → second-loop
+/// reference). A `>` at the aligned level is the fusion-preventing
+/// direction loop fusion tests for.
+fn fusion_preview_deps(
+    prog: &Program,
+    loops: &LoopTable,
+    all_lcvs: &HashSet<Sym>,
+    refs: &[ArrayRef],
+    edges: &mut Vec<DepEdge>,
+) {
+    for (l1, l2) in loops.adjacent_pairs(prog) {
+        let i1 = loops.get(l1);
+        let i2 = loops.get(l2);
+        if i1.init != i2.init || i1.fin != i2.fin {
+            continue;
+        }
+        let (lcv1, lcv2) = (i1.lcv, i2.lcv);
+        let outer = loops.common_nest(i1.head, i2.head);
+        let mut common_lcvs: Vec<Sym> = outer.iter().map(|&l| loops.get(l).lcv).collect();
+        common_lcvs.push(lcv1);
+        let mut trip: Vec<Option<i64>> = outer.iter().map(|&l| loops.trip_count(l)).collect();
+        trip.push(loops.trip_count(l1));
+        let depth = common_lcvs.len();
+
+        for a in refs.iter().filter(|r| loops.contains(l1, r.stmt)) {
+            for b in refs.iter().filter(|r| loops.contains(l2, r.stmt)) {
+                if a.array != b.array || (!a.is_write && !b.is_write) {
+                    continue;
+                }
+                // Align the second loop's control variable with the first's.
+                let b_subs: Vec<AffineExpr> = if lcv1 == lcv2 {
+                    b.subs.clone()
+                } else if b.subs.iter().any(|e| e.mentions(lcv1)) {
+                    continue; // the alias would capture; stay conservative
+                } else {
+                    b.subs.iter().map(|e| e.rename(lcv2, lcv1)).collect()
+                };
+
+                let mut constraint = vec![DirSet::all(); depth];
+                let mut independent = false;
+                for (sa, sb) in a.subs.iter().zip(&b_subs) {
+                    match test_dim(sa, sb, &common_lcvs, &trip, all_lcvs) {
+                        DimResult::NoDep => {
+                            independent = true;
+                            break;
+                        }
+                        DimResult::Dirs(sets) => {
+                            for (k, s) in sets.into_iter().enumerate() {
+                                constraint[k] = constraint[k].intersect(s);
+                                if constraint[k].is_empty() {
+                                    independent = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if independent {
+                    continue;
+                }
+                let kind = match (a.is_write, b.is_write) {
+                    (true, false) => DepKind::Flow,
+                    (false, true) => DepKind::Anti,
+                    (true, true) => DepKind::Output,
+                    (false, false) => unreachable!("filtered above"),
+                };
+                // Enumerate every feasible vector, keeping the textual
+                // orientation (no lexicographic flip: these are previews).
+                let mut vector = vec![Direction::Eq; depth];
+                enumerate_preview(a, b, kind, &constraint, &mut vector, 0, edges);
+            }
+        }
+    }
+}
+
+fn enumerate_preview(
+    a: &ArrayRef,
+    b: &ArrayRef,
+    kind: DepKind,
+    constraint: &[DirSet],
+    vector: &mut Vec<Direction>,
+    level: usize,
+    edges: &mut Vec<DepEdge>,
+) {
+    if level == constraint.len() {
+        edges.push(DepEdge {
+            src: a.stmt,
+            dst: b.stmt,
+            kind,
+            var: a.array,
+            src_pos: a.pos,
+            dst_pos: b.pos,
+            dirvec: vector.clone(),
+        });
+        return;
+    }
+    for d in constraint[level].iter() {
+        vector[level] = d;
+        enumerate_preview(a, b, kind, constraint, vector, level + 1, edges);
+    }
+}
+
+fn collect_refs(prog: &Program) -> Vec<ArrayRef> {
+    let mut out = Vec::new();
+    for stmt in prog.iter() {
+        let quad = prog.quad(stmt);
+        if let Some(Operand::Elem { array, subs }) = quad.def_operand() {
+            out.push(ArrayRef {
+                stmt,
+                pos: OperandPos::Dst,
+                array: *array,
+                subs: subs.clone(),
+                is_write: true,
+            });
+        }
+        for pos in quad.used_positions() {
+            if let Operand::Elem { array, subs } = quad.operand(pos) {
+                out.push(ArrayRef {
+                    stmt,
+                    pos,
+                    array: *array,
+                    subs: subs.clone(),
+                    is_write: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Per-level direction possibilities (a subset of `{<,=,>}`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct DirSet(u8);
+
+impl DirSet {
+    const LT: u8 = 1;
+    const EQ: u8 = 2;
+    const GT: u8 = 4;
+
+    fn all() -> DirSet {
+        DirSet(Self::LT | Self::EQ | Self::GT)
+    }
+
+    fn only(d: Direction) -> DirSet {
+        DirSet(match d {
+            Direction::Lt => Self::LT,
+            Direction::Eq => Self::EQ,
+            Direction::Gt => Self::GT,
+            Direction::Any => Self::LT | Self::EQ | Self::GT,
+        })
+    }
+
+    fn intersect(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    fn iter(self) -> impl Iterator<Item = Direction> {
+        [
+            (Self::LT, Direction::Lt),
+            (Self::EQ, Direction::Eq),
+            (Self::GT, Direction::Gt),
+        ]
+        .into_iter()
+        .filter_map(move |(bit, d)| if self.0 & bit != 0 { Some(d) } else { None })
+    }
+}
+
+enum DimResult {
+    /// Dimension proves the pair independent.
+    NoDep,
+    /// Per-common-level constraints contributed by this dimension.
+    Dirs(Vec<DirSet>),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn test_pair(
+    prog: &Program,
+    loops: &LoopTable,
+    order: &HashMap<StmtId, usize>,
+    all_lcvs: &HashSet<Sym>,
+    a: &ArrayRef,
+    b: &ArrayRef,
+    edges: &mut Vec<DepEdge>,
+) {
+    let common = loops.common_nest(a.stmt, b.stmt);
+    let common_lcvs: Vec<Sym> = common.iter().map(|&l| loops.get(l).lcv).collect();
+    let trip: Vec<Option<i64>> = common.iter().map(|&l| loops.trip_count(l)).collect();
+
+    let depth = common.len();
+    let mut constraint: Vec<DirSet> = vec![DirSet::all(); depth];
+
+    debug_assert_eq!(a.subs.len(), b.subs.len(), "same array, same rank");
+    for d in 0..a.subs.len() {
+        match test_dim(&a.subs[d], &b.subs[d], &common_lcvs, &trip, all_lcvs) {
+            DimResult::NoDep => return,
+            DimResult::Dirs(sets) => {
+                for (k, s) in sets.into_iter().enumerate() {
+                    constraint[k] = constraint[k].intersect(s);
+                    if constraint[k].is_empty() {
+                        return; // contradictory directions: independent
+                    }
+                }
+            }
+        }
+    }
+
+    // Enumerate feasible direction vectors and orient each.
+    let mut vector = vec![Direction::Eq; depth];
+    enumerate(prog, order, a, b, &constraint, &mut vector, 0, edges);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    prog: &Program,
+    order: &HashMap<StmtId, usize>,
+    a: &ArrayRef,
+    b: &ArrayRef,
+    constraint: &[DirSet],
+    vector: &mut Vec<Direction>,
+    level: usize,
+    edges: &mut Vec<DepEdge>,
+) {
+    if level == constraint.len() {
+        emit_oriented(prog, order, a, b, vector.clone(), edges);
+        return;
+    }
+    for d in constraint[level].iter() {
+        vector[level] = d;
+        enumerate(prog, order, a, b, constraint, vector, level + 1, edges);
+    }
+}
+
+fn emit_oriented(
+    prog: &Program,
+    order: &HashMap<StmtId, usize>,
+    a: &ArrayRef,
+    b: &ArrayRef,
+    vector: Vec<Direction>,
+    edges: &mut Vec<DepEdge>,
+) {
+    let first = vector.iter().find(|d| **d != Direction::Eq);
+    let same_ref = std::ptr::eq(a, b);
+    let (src, dst, dirs) = match first {
+        Some(Direction::Lt) => (a, b, vector),
+        Some(Direction::Gt) if same_ref => return, // mirror of the Lt vector
+        Some(Direction::Gt) => {
+            // Lexicographically negative: the real dependence runs b → a
+            // with the reversed vector.
+            let rev: Vec<Direction> = vector.iter().map(|d| d.reversed()).collect();
+            (b, a, rev)
+        }
+        _ => {
+            // Loop-independent: textual order decides; same-statement
+            // read/write pairs (a(i) = a(i)+1) read before writing, so no
+            // same-iteration edge.
+            if a.stmt == b.stmt {
+                return;
+            }
+            debug_assert!(order[&a.stmt] <= order[&b.stmt]);
+            (a, b, vector)
+        }
+    };
+    let kind = match (src.is_write, dst.is_write) {
+        (true, false) => DepKind::Flow,
+        (false, true) => DepKind::Anti,
+        (true, true) => DepKind::Output,
+        (false, false) => return,
+    };
+    edges.push(DepEdge {
+        src: src.stmt,
+        dst: dst.stmt,
+        kind,
+        var: src.array,
+        src_pos: src.pos,
+        dst_pos: dst.pos,
+        dirvec: dirs,
+    });
+    let _ = prog;
+}
+
+/// Classifies one subscript dimension. `a_sub` belongs to the textually
+/// first reference. Directions are *source-relative*: `Lt` at level `k`
+/// means the `a` iteration precedes the `b` iteration in loop `k`.
+fn test_dim(
+    a_sub: &AffineExpr,
+    b_sub: &AffineExpr,
+    common_lcvs: &[Sym],
+    trip: &[Option<i64>],
+    all_lcvs: &HashSet<Sym>,
+) -> DimResult {
+    let depth = common_lcvs.len();
+    let level_of: HashMap<Sym, usize> = common_lcvs
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| (s, k))
+        .collect();
+
+    // Split both subscripts into common-LCV terms, varying terms and the
+    // invariant remainder.
+    let mut acoef = vec![0i64; depth];
+    let mut bcoef = vec![0i64; depth];
+    let mut varying: Vec<i64> = Vec::new();
+    let mut invariant_unknown = false;
+    let c: i64 = a_sub.constant() - b_sub.constant();
+
+    let mut invariant: HashMap<Sym, i64> = HashMap::new();
+    for (expr, sign) in [(a_sub, 1i64), (b_sub, -1i64)] {
+        for v in expr.vars() {
+            let co = expr.coeff(v);
+            if let Some(&k) = level_of.get(&v) {
+                if sign > 0 {
+                    acoef[k] = co;
+                } else {
+                    bcoef[k] = co;
+                }
+            } else if all_lcvs.contains(&v) || is_temp_name(v, expr) {
+                // A non-common LCV: the two references bind it
+                // independently, so each occurrence is its own unknown.
+                varying.push(co);
+            } else {
+                *invariant.entry(v).or_insert(0) += sign * co;
+            }
+        }
+        let _ = sign;
+    }
+    // is_temp detection needs the program's symbol table; approximated by
+    // treating temps as invariant here — they are single-assignment values
+    // in straight-line lowering. (Non-affine subscripts already went
+    // through a temp, which makes them opaque-but-invariant.)
+    for (_, coeff) in invariant {
+        if coeff != 0 {
+            invariant_unknown = true;
+        }
+    }
+    // With `c = a.const - b.const` the dependence equation is
+    //   Σ acoef·I_k - Σ bcoef·I'_k + c = 0
+    // (symbolically equal invariant parts cancelled above; otherwise
+    // invariant_unknown is set). Strong SIV then gives I' - I = c / ak.
+
+    let all_zero = acoef.iter().all(|&x| x == 0)
+        && bcoef.iter().all(|&x| x == 0)
+        && varying.is_empty();
+
+    if all_zero {
+        // ZIV
+        if invariant_unknown {
+            return DimResult::Dirs(vec![DirSet::all(); depth]);
+        }
+        return if c == 0 {
+            DimResult::Dirs(vec![DirSet::all(); depth])
+        } else {
+            DimResult::NoDep
+        };
+    }
+
+    if invariant_unknown {
+        return DimResult::Dirs(vec![DirSet::all(); depth]);
+    }
+
+    // SIV: exactly one involved common level, no varying terms.
+    let involved: Vec<usize> = (0..depth)
+        .filter(|&k| acoef[k] != 0 || bcoef[k] != 0)
+        .collect();
+    if varying.is_empty() && involved.len() == 1 {
+        let k = involved[0];
+        let (ak, bk) = (acoef[k], bcoef[k]);
+        if ak == bk {
+            // strong SIV: ak·I + a_c = ak·I' + b_c  ⇒  I' - I = c / ak
+            if c % ak != 0 {
+                return DimResult::NoDep;
+            }
+            let dist = c / ak;
+            if let Some(t) = trip[k] {
+                if dist.abs() >= t.max(0) {
+                    return DimResult::NoDep;
+                }
+            }
+            let dir = match dist.cmp(&0) {
+                std::cmp::Ordering::Greater => Direction::Lt,
+                std::cmp::Ordering::Equal => Direction::Eq,
+                std::cmp::Ordering::Less => Direction::Gt,
+            };
+            let mut sets = vec![DirSet::all(); depth];
+            sets[k] = DirSet::only(dir);
+            return DimResult::Dirs(sets);
+        }
+        // weak SIV: fall through to the GCD test.
+    }
+
+    // GCD test over every induction coefficient.
+    let mut g: i64 = 0;
+    for &x in acoef.iter().chain(bcoef.iter()).chain(varying.iter()) {
+        g = gcd(g, x.abs());
+    }
+    if g != 0 && c % g != 0 {
+        return DimResult::NoDep;
+    }
+    DimResult::Dirs(vec![DirSet::all(); depth])
+}
+
+fn is_temp_name(_v: Sym, _expr: &AffineExpr) -> bool {
+    // Temps are treated as invariant; see the comment at the call site.
+    false
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gospel_frontend::compile;
+    use gospel_ir::Cfg;
+
+    fn deps(src: &str) -> (Program, Vec<DepEdge>) {
+        let p = compile(src).unwrap();
+        let _ = Cfg::of(&p);
+        let loops = LoopTable::of(&p).unwrap();
+        let e = array_deps(&p, &loops);
+        (p, e)
+    }
+
+    #[test]
+    fn independent_elementwise_loop() {
+        // a(i) = a(i) + 1 : the only array pair is the same-statement
+        // read/write with distance 0 — no loop-carried edge.
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(100)\ndo i = 1, 100\na(i) = a(i) + 1.0\nend do\nend",
+        );
+        assert!(e.is_empty(), "expected no edges, got {e:#?}");
+    }
+
+    #[test]
+    fn forward_carried_flow() {
+        // a(i+1) read of previous iteration's write a(i)?  Write a(i),
+        // read a(i-1): distance +1 ⇒ flow (<) from the write to the read.
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(100), x\ndo i = 2, 100\na(i) = x\nx = a(i-1)\nend do\nend",
+        );
+        let flows: Vec<_> = e.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert_eq!(flows.len(), 1, "{e:#?}");
+        assert_eq!(flows[0].dirvec, vec![Direction::Lt]);
+    }
+
+    #[test]
+    fn backward_reference_becomes_anti() {
+        // write a(i), read a(i+1): the read at iteration i uses the element
+        // written at iteration i+1 ⇒ anti dependence (<) from read to write.
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(100), x\ndo i = 1, 99\na(i) = x\nx = a(i+1)\nend do\nend",
+        );
+        let antis: Vec<_> = e.iter().filter(|d| d.kind == DepKind::Anti).collect();
+        assert_eq!(antis.len(), 1, "{e:#?}");
+        assert_eq!(antis[0].dirvec, vec![Direction::Lt]);
+    }
+
+    #[test]
+    fn distance_beyond_trip_count_is_independent() {
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(300), x\ndo i = 1, 10\na(i) = x\nx = a(i+100)\nend do\nend",
+        );
+        assert!(e.is_empty(), "{e:#?}");
+    }
+
+    #[test]
+    fn gcd_disproves_dependence() {
+        // writes even elements, reads odd elements
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(300), x\ndo i = 1, 100\na(2*i) = x\nx = a(2*i+1)\nend do\nend",
+        );
+        assert!(e.is_empty(), "{e:#?}");
+    }
+
+    #[test]
+    fn ziv_different_constants_independent() {
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(10), x\ndo i = 1, 10\na(1) = x\nx = a(2)\nend do\nend",
+        );
+        // No flow/anti between a(1) and a(2); the only edge is the carried
+        // output self-dependence of the a(1) write.
+        assert!(e
+            .iter()
+            .all(|d| d.kind == DepKind::Output && d.src == d.dst), "{e:#?}");
+        assert_eq!(e.len(), 1, "{e:#?}");
+    }
+
+    #[test]
+    fn ziv_same_constant_output_dep() {
+        // a(1) written every iteration: carried output dependence on itself
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(10)\ndo i = 1, 10\na(1) = 0.0\nend do\nend",
+        );
+        let outs: Vec<_> = e.iter().filter(|d| d.kind == DepKind::Output).collect();
+        assert!(
+            outs.iter().any(|d| d.dirvec == vec![Direction::Lt]),
+            "{e:#?}"
+        );
+    }
+
+    #[test]
+    fn interchange_blocking_pair_in_2d() {
+        // a(i,j) = a(i-1,j+1): flow dep with direction (<,>): the classic
+        // loop-interchange blocker.
+        let (_, e) = deps(
+            "program p\ninteger i, j\nreal a(20,20)\ndo i = 2, 10\ndo j = 1, 9\na(i,j) = a(i-1,j+1)\nend do\nend do\nend",
+        );
+        let flows: Vec<_> = e.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert_eq!(flows.len(), 1, "{e:#?}");
+        assert_eq!(flows[0].dirvec, vec![Direction::Lt, Direction::Gt]);
+    }
+
+    #[test]
+    fn interchange_safe_2d_has_no_lt_gt() {
+        let (_, e) = deps(
+            "program p\ninteger i, j\nreal a(20,20)\ndo i = 2, 10\ndo j = 2, 10\na(i,j) = a(i-1,j-1)\nend do\nend do\nend",
+        );
+        let flows: Vec<_> = e.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert_eq!(flows.len(), 1, "{e:#?}");
+        assert_eq!(flows[0].dirvec, vec![Direction::Lt, Direction::Lt]);
+    }
+
+    #[test]
+    fn cross_loop_same_subscript_pattern() {
+        // Two adjacent loops touching the same elements: write in loop 1,
+        // read in loop 2. No common loops ⇒ empty direction vector, flow
+        // edge oriented by textual order.
+        let (_, e) = deps(
+            "program p\ninteger i\nreal a(100), x\ndo i = 1, 100\na(i) = 1.0\nend do\ndo i = 1, 100\nx = a(i)\nend do\nend",
+        );
+        let flows: Vec<_> = e.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        // The plain cross-loop edge (empty vector) plus its fusion-preview
+        // twin (aligned direction `=`, since the bounds match).
+        assert_eq!(flows.len(), 2, "{e:#?}");
+        assert!(flows.iter().any(|d| d.dirvec.is_empty()));
+        assert!(flows.iter().any(|d| d.dirvec == vec![Direction::Eq]));
+    }
+
+    #[test]
+    fn symbolic_invariant_subscripts_cancel() {
+        // a(m) twice: same symbolic subscript ⇒ dependence; a(m) vs a(m+1)
+        // ⇒ provably distinct under the invariance assumption.
+        let (_, e) = deps(
+            "program p\ninteger m\nreal a(10), x, y\nm = 3\na(m) = 1.0\nx = a(m)\ny = a(m+1)\nend",
+        );
+        let flows: Vec<_> = e.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert_eq!(flows.len(), 1, "{e:#?}");
+    }
+
+    #[test]
+    fn unknown_invariant_difference_is_conservative() {
+        // a(m) vs a(n): cannot decide ⇒ dependence assumed.
+        let (_, e) = deps(
+            "program p\ninteger m, n\nreal a(10), x\na(m) = 1.0\nx = a(n)\nend",
+        );
+        assert_eq!(e.iter().filter(|d| d.kind == DepKind::Flow).count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fusion_tests {
+    use super::*;
+    use gospel_frontend::compile;
+    use crate::edge::Direction;
+
+    fn deps(src: &str) -> Vec<DepEdge> {
+        let p = compile(src).unwrap();
+        let loops = LoopTable::of(&p).unwrap();
+        array_deps(&p, &loops)
+    }
+
+    #[test]
+    fn aligned_adjacent_loops_preview_equal_direction() {
+        // write a(i) in loop 1, read a(i) in loop 2: after fusion the
+        // dependence is same-iteration: preview (=), which is fusable.
+        let e = deps(
+            "program p\ninteger i\nreal a(100), x\ndo i = 1, 100\na(i) = 1.0\nend do\ndo i = 1, 100\nx = a(i)\nend do\nend",
+        );
+        let preview: Vec<_> = e
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow && d.dirvec.len() == 1)
+            .collect();
+        assert_eq!(preview.len(), 1, "{e:#?}");
+        assert_eq!(preview[0].dirvec, vec![Direction::Eq]);
+        // no fusion-preventing (>) edge
+        assert!(!e.iter().any(|d| d.dirvec == vec![Direction::Gt]));
+    }
+
+    #[test]
+    fn forward_reference_previews_fusion_preventing() {
+        // loop 1 writes a(i); loop 2 reads a(i+1): loop 2's iteration i
+        // needs the element loop 1 writes at iteration i+1 — after fusion
+        // that write has not happened yet: direction (>), not fusable.
+        let e = deps(
+            "program p\ninteger i\nreal a(200), x\ndo i = 1, 100\na(i) = 1.0\nend do\ndo i = 1, 100\nx = a(i+1)\nend do\nend",
+        );
+        assert!(
+            e.iter().any(|d| d.kind == DepKind::Flow && d.dirvec == vec![Direction::Gt]),
+            "{e:#?}"
+        );
+    }
+
+    #[test]
+    fn backward_reference_previews_forward_carried() {
+        // loop 2 reads a(i-1): after fusion the value arrives from the
+        // previous iteration: direction (<), fusable.
+        let e = deps(
+            "program p\ninteger i\nreal a(200), x\ndo i = 2, 100\na(i) = 1.0\nend do\ndo i = 2, 100\nx = a(i-1)\nend do\nend",
+        );
+        let previews: Vec<_> = e.iter().filter(|d| d.dirvec.len() == 1).collect();
+        assert!(
+            previews.iter().any(|d| d.dirvec == vec![Direction::Lt]),
+            "{e:#?}"
+        );
+        assert!(!previews.iter().any(|d| d.dirvec == vec![Direction::Gt]));
+    }
+
+    #[test]
+    fn different_bounds_get_no_preview() {
+        let e = deps(
+            "program p\ninteger i\nreal a(200), x\ndo i = 1, 100\na(i) = 1.0\nend do\ndo i = 1, 50\nx = a(i)\nend do\nend",
+        );
+        assert!(e.iter().all(|d| d.dirvec.is_empty()), "{e:#?}");
+    }
+
+    #[test]
+    fn different_lcv_names_still_align() {
+        let e = deps(
+            "program p\ninteger i, j\nreal a(100), x\ndo i = 1, 100\na(i) = 1.0\nend do\ndo j = 1, 100\nx = a(j)\nend do\nend",
+        );
+        assert!(
+            e.iter().any(|d| d.dirvec == vec![Direction::Eq]),
+            "{e:#?}"
+        );
+    }
+}

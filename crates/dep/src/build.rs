@@ -1,0 +1,72 @@
+//! Top-level analysis driver assembling the dependence graph.
+
+use crate::arrays::array_deps;
+use crate::control::{assert_no_directions, control_deps};
+use crate::query::DepGraph;
+use crate::scalars::scalar_deps;
+use gospel_ir::{Cfg, LoopStructureError, LoopTable, Program, ValidateError};
+use std::fmt;
+
+/// Error analyzing a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The program failed structural validation.
+    Invalid(ValidateError),
+    /// Loop structure could not be recovered.
+    Loops(LoopStructureError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Invalid(e) => write!(f, "invalid program: {e}"),
+            AnalyzeError::Loops(e) => write!(f, "loop structure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<ValidateError> for AnalyzeError {
+    fn from(e: ValidateError) -> Self {
+        AnalyzeError::Invalid(e)
+    }
+}
+
+impl From<LoopStructureError> for AnalyzeError {
+    fn from(e: LoopStructureError) -> Self {
+        AnalyzeError::Loops(e)
+    }
+}
+
+pub(crate) fn analyze(prog: &Program) -> Result<DepGraph, AnalyzeError> {
+    gospel_ir::validate(prog)?;
+    let cfg = Cfg::of(prog);
+    let loops = LoopTable::of(prog)?;
+
+    let mut edges = scalar_deps(prog, &cfg, &loops);
+    edges.extend(array_deps(prog, &loops));
+    let ctrl = control_deps(prog);
+    assert_no_directions(&ctrl);
+    edges.extend(ctrl);
+
+    // Deterministic order and deduplication.
+    let order = prog.order_index();
+    edges.sort_by_key(|e| {
+        (
+            order[&e.src],
+            order[&e.dst],
+            e.kind as u8,
+            e.var,
+            e.src_pos,
+            e.dst_pos,
+            e.dirvec
+                .iter()
+                .map(|d| d.symbol())
+                .collect::<String>(),
+        )
+    });
+    edges.dedup();
+
+    Ok(DepGraph::from_edges(prog, loops, edges))
+}

@@ -1,0 +1,237 @@
+//! The dependence graph and its Figure-7 query interface.
+
+use crate::build::{analyze, AnalyzeError};
+use crate::edge::{DepEdge, DepKind, DirPattern};
+use gospel_ir::{LoopTable, Program, StmtId};
+use std::collections::HashMap;
+
+/// A queryable snapshot of a program's dependences.
+///
+/// The query methods mirror the paper's `dep` routine (Figure 7):
+/// [`DepGraph::exists`] is the `TYPE == IF` form (both endpoints known),
+/// and [`DepGraph::first_from`] / [`DepGraph::first_to`] are the
+/// `TYPE == LST` forms that search for the first emanating or terminating
+/// dependence; `all_*` variants return every match, in program order.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    edges: Vec<DepEdge>,
+    from: HashMap<StmtId, Vec<usize>>,
+    to: HashMap<StmtId, Vec<usize>>,
+    loops: LoopTable,
+}
+
+impl DepGraph {
+    /// Analyzes `prog`, computing scalar, array and control dependences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] if the program is structurally invalid.
+    pub fn analyze(prog: &Program) -> Result<DepGraph, AnalyzeError> {
+        analyze(prog)
+    }
+
+    pub(crate) fn from_edges(
+        _prog: &Program,
+        loops: LoopTable,
+        edges: Vec<DepEdge>,
+    ) -> DepGraph {
+        let mut from: HashMap<StmtId, Vec<usize>> = HashMap::new();
+        let mut to: HashMap<StmtId, Vec<usize>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            from.entry(e.src).or_default().push(i);
+            to.entry(e.dst).or_default().push(i);
+        }
+        DepGraph { edges, from, to, loops }
+    }
+
+    /// All edges, in program order of (src, dst).
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the program has no dependences at all.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The loop structure this snapshot was computed against (GOSpeL
+    /// membership predicates evaluate against the same snapshot).
+    pub fn loops(&self) -> &LoopTable {
+        &self.loops
+    }
+
+    /// Edges emanating from `s`.
+    pub fn from(&self, s: StmtId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.from
+            .get(&s)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Edges terminating at `s`.
+    pub fn to(&self, s: StmtId) -> impl Iterator<Item = &DepEdge> + '_ {
+        self.to
+            .get(&s)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Figure 7, `TYPE == IF`: is there a `kind` dependence from `src` to
+    /// `dst` whose direction vector matches `pattern`?
+    pub fn exists(&self, kind: DepKind, src: StmtId, dst: StmtId, pattern: &DirPattern) -> bool {
+        self.from(src)
+            .any(|e| e.dst == dst && e.kind == kind && pattern.matches(&e.dirvec))
+    }
+
+    /// Figure 7, `TYPE == LST`, emanating: the first `kind` dependence out
+    /// of `src` matching `pattern`.
+    pub fn first_from(
+        &self,
+        kind: DepKind,
+        src: StmtId,
+        pattern: &DirPattern,
+    ) -> Option<&DepEdge> {
+        self.from(src)
+            .find(|e| e.kind == kind && pattern.matches(&e.dirvec))
+    }
+
+    /// Figure 7, `TYPE == LST`, terminating: the first `kind` dependence
+    /// into `dst` matching `pattern`.
+    pub fn first_to(&self, kind: DepKind, dst: StmtId, pattern: &DirPattern) -> Option<&DepEdge> {
+        self.to(dst)
+            .find(|e| e.kind == kind && pattern.matches(&e.dirvec))
+    }
+
+    /// Every `kind` dependence out of `src` matching `pattern`.
+    pub fn all_from(
+        &self,
+        kind: DepKind,
+        src: StmtId,
+        pattern: &DirPattern,
+    ) -> Vec<&DepEdge> {
+        self.from(src)
+            .filter(|e| e.kind == kind && pattern.matches(&e.dirvec))
+            .collect()
+    }
+
+    /// Every `kind` dependence into `dst` matching `pattern`.
+    pub fn all_to(&self, kind: DepKind, dst: StmtId, pattern: &DirPattern) -> Vec<&DepEdge> {
+        self.to(dst)
+            .filter(|e| e.kind == kind && pattern.matches(&e.dirvec))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Direction;
+    use gospel_frontend::compile;
+
+    fn graph(src: &str) -> (Program, DepGraph) {
+        let p = compile(src).unwrap();
+        let g = DepGraph::analyze(&p).unwrap();
+        (p, g)
+    }
+
+    #[test]
+    fn exists_and_first_queries() {
+        let (p, g) = graph("program p\ninteger x, y\nx = 1\ny = x\nend");
+        let s0 = p.iter().next().unwrap();
+        let s1 = p.iter().nth(1).unwrap();
+        assert!(g.exists(DepKind::Flow, s0, s1, &DirPattern::any()));
+        assert!(g.exists(DepKind::Flow, s0, s1, &DirPattern::loop_independent()));
+        assert!(!g.exists(DepKind::Anti, s0, s1, &DirPattern::any()));
+        let e = g.first_from(DepKind::Flow, s0, &DirPattern::any()).unwrap();
+        assert_eq!(e.dst, s1);
+        let e2 = g.first_to(DepKind::Flow, s1, &DirPattern::any()).unwrap();
+        assert_eq!(e2.src, s0);
+        assert!(g.first_from(DepKind::Flow, s1, &DirPattern::any()).is_none());
+    }
+
+    #[test]
+    fn all_from_respects_pattern() {
+        let (p, g) = graph(
+            "program p\ninteger i, s\ns = 0\ndo i = 1, 10\ns = s + 1\nend do\nwrite s\nend",
+        );
+        let body = p.iter().nth(2).unwrap();
+        // carried self-dep visible only to carried-compatible patterns
+        let carried = g.all_from(
+            DepKind::Flow,
+            body,
+            &DirPattern::new(vec![crate::DirElem::Lt]),
+        );
+        assert!(carried.iter().any(|e| e.dst == body));
+        let independent = g.all_from(DepKind::Flow, body, &DirPattern::loop_independent());
+        assert!(!independent.iter().any(|e| e.dst == body
+            && e.dirvec == vec![Direction::Lt]));
+    }
+
+    #[test]
+    fn analyze_rejects_invalid() {
+        let mut p = Program::new("bad");
+        p.push(gospel_ir::Quad::marker(gospel_ir::Opcode::EndDo));
+        assert!(DepGraph::analyze(&p).is_err());
+    }
+
+    #[test]
+    fn edges_are_sorted_and_deduped() {
+        let (_, g) = graph(
+            "program p\ninteger i\nreal a(100)\ndo i = 1, 100\na(i) = a(i) + 1.0\nend do\nend",
+        );
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            assert!(seen.insert(format!("{e:?}")), "duplicate edge {e:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod order_tests {
+    use super::*;
+    use crate::DepKind;
+    use gospel_frontend::compile;
+
+    #[test]
+    fn queries_return_edges_in_program_order() {
+        // x feeds three uses; first_from must return the textually first.
+        let p = compile(
+            "program p\ninteger x, a, b, c\nx = 1\na = x\nb = x\nc = x\nwrite a\nwrite b\nwrite c\nend",
+        )
+        .unwrap();
+        let g = DepGraph::analyze(&p).unwrap();
+        let def = p.first().unwrap();
+        let uses: Vec<StmtId> = p.iter().skip(1).take(3).collect();
+        let first = g.first_from(DepKind::Flow, def, &crate::DirPattern::any()).unwrap();
+        assert_eq!(first.dst, uses[0]);
+        let all = g.all_from(DepKind::Flow, def, &crate::DirPattern::any());
+        let dsts: Vec<StmtId> = all.iter().map(|e| e.dst).collect();
+        assert_eq!(dsts, uses, "all_from must follow program order");
+        // terminating-side query symmetry
+        let back = g.first_to(DepKind::Flow, uses[2], &crate::DirPattern::any()).unwrap();
+        assert_eq!(back.src, def);
+    }
+
+    #[test]
+    fn loops_snapshot_agrees_with_fresh_loop_table(){
+        for (_, p) in [("t", compile(
+            "program p\ninteger i, j\nreal a(9,9)\ndo i = 1, 9\ndo j = 1, 9\na(i,j) = 1.0\nend do\nend do\nend",
+        ).unwrap())] {
+            let g = DepGraph::analyze(&p).unwrap();
+            let fresh = gospel_ir::LoopTable::of(&p).unwrap();
+            assert_eq!(g.loops().len(), fresh.len());
+            for (a, b) in g.loops().iter().zip(fresh.iter()) {
+                assert_eq!(a.head, b.head);
+                assert_eq!(a.end, b.end);
+                assert_eq!(a.depth, b.depth);
+            }
+        }
+    }
+}

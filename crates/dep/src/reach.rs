@@ -1,0 +1,385 @@
+//! Bit-vector dataflow: reaching definitions and reaching uses over the
+//! statement-level CFG.
+
+use gospel_ir::{Cfg, Operand, OperandPos, Program, StmtId, Sym};
+use std::collections::HashMap;
+
+/// A dense bit set sized at construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `n` bits.
+    pub fn new(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// `self |= other`; returns true if anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Iterates set bits.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// One scalar access (a definition site or a use site).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The statement.
+    pub stmt: StmtId,
+    /// The scalar variable.
+    pub var: Sym,
+    /// The operand position of the access.
+    pub pos: OperandPos,
+}
+
+/// Scalar access tables for one program snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Accesses {
+    /// All scalar definition sites, indexed densely.
+    pub defs: Vec<Access>,
+    /// All scalar use sites, indexed densely.
+    pub uses: Vec<Access>,
+    /// Definition indices per variable.
+    pub defs_of_var: HashMap<Sym, Vec<usize>>,
+    /// Use indices per variable.
+    pub uses_of_var: HashMap<Sym, Vec<usize>>,
+    /// Definition indices per statement.
+    pub defs_at: HashMap<StmtId, Vec<usize>>,
+    /// Use indices per statement.
+    pub uses_at: HashMap<StmtId, Vec<usize>>,
+}
+
+impl Accesses {
+    /// Collects the scalar accesses of `prog`. Array element reads/writes
+    /// are handled by the subscript tests, but their *subscript variables*
+    /// count as scalar uses here.
+    pub fn collect(prog: &Program) -> Accesses {
+        let mut out = Accesses::default();
+        for stmt in prog.iter() {
+            let quad = prog.quad(stmt);
+            // Definition: scalar destination only.
+            if let Some(Operand::Var(v)) = quad.def_operand() {
+                let idx = out.defs.len();
+                out.defs.push(Access {
+                    stmt,
+                    var: *v,
+                    pos: OperandPos::Dst,
+                });
+                out.defs_of_var.entry(*v).or_default().push(idx);
+                out.defs_at.entry(stmt).or_default().push(idx);
+            }
+            // Uses: scalar operands in used positions, plus subscript
+            // variables of element operands in *any* position.
+            let push_use = |var: Sym, pos: OperandPos, out: &mut Accesses| {
+                let idx = out.uses.len();
+                out.uses.push(Access { stmt, var, pos });
+                out.uses_of_var.entry(var).or_default().push(idx);
+                out.uses_at.entry(stmt).or_default().push(idx);
+            };
+            for pos in quad.used_positions() {
+                match quad.operand(pos) {
+                    Operand::Var(v) => push_use(*v, pos, &mut out),
+                    e @ Operand::Elem { .. } => {
+                        for v in e.subscript_vars() {
+                            push_use(v, pos, &mut out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(Operand::Elem { .. }) = quad.def_operand() {
+                for v in quad.dst.subscript_vars() {
+                    push_use(v, OperandPos::Dst, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Result of a forward may-dataflow: one `IN` set per CFG node.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// `IN[node]` sets.
+    pub ins: Vec<BitSet>,
+    /// `OUT[node]` sets.
+    pub outs: Vec<BitSet>,
+}
+
+/// Reaching definitions: which scalar definitions may reach each node.
+/// A definition of `v` kills all other definitions of `v`.
+pub fn reaching_defs(cfg: &Cfg, acc: &Accesses) -> FlowResult {
+    let nd = acc.defs.len();
+    let gen_kill = |node: usize| -> (BitSet, BitSet) {
+        let stmt = cfg.nodes()[node];
+        let mut gen = BitSet::new(nd);
+        let mut kill = BitSet::new(nd);
+        if let Some(dixs) = acc.defs_at.get(&stmt) {
+            for &d in dixs {
+                gen.insert(d);
+                for &other in &acc.defs_of_var[&acc.defs[d].var] {
+                    if other != d {
+                        kill.insert(other);
+                    }
+                }
+            }
+        }
+        (gen, kill)
+    };
+    forward_may(cfg, nd, gen_kill)
+}
+
+/// Reaching uses: which scalar uses may reach each node without the used
+/// variable being redefined in between (the substrate for anti
+/// dependences). A definition of `v` kills all uses of `v`.
+pub fn reaching_uses(cfg: &Cfg, acc: &Accesses) -> FlowResult {
+    let nu = acc.uses.len();
+    let gen_kill = |node: usize| -> (BitSet, BitSet) {
+        let stmt = cfg.nodes()[node];
+        let mut gen = BitSet::new(nu);
+        let mut kill = BitSet::new(nu);
+        if let Some(dixs) = acc.defs_at.get(&stmt) {
+            for &d in dixs {
+                if let Some(us) = acc.uses_of_var.get(&acc.defs[d].var) {
+                    for &u in us {
+                        kill.insert(u);
+                    }
+                }
+            }
+        }
+        if let Some(uixs) = acc.uses_at.get(&stmt) {
+            for &u in uixs {
+                gen.insert(u);
+            }
+        }
+        (gen, kill)
+    };
+    forward_may(cfg, nu, gen_kill)
+}
+
+fn forward_may(
+    cfg: &Cfg,
+    nbits: usize,
+    gen_kill: impl Fn(usize) -> (BitSet, BitSet),
+) -> FlowResult {
+    let n = cfg.len();
+    let mut gens = Vec::with_capacity(n);
+    let mut kills = Vec::with_capacity(n);
+    for i in 0..n {
+        let (g, k) = gen_kill(i);
+        gens.push(g);
+        kills.push(k);
+    }
+    let mut ins = vec![BitSet::new(nbits); n];
+    let mut outs = vec![BitSet::new(nbits); n];
+    // Round-robin to a fixpoint; programs are small.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let mut inset = BitSet::new(nbits);
+            for &p in cfg.preds(i) {
+                inset.union_with(&outs[p]);
+            }
+            let mut outset = inset.clone();
+            outset.subtract(&kills[i]);
+            outset.union_with(&gens[i]);
+            if outset != outs[i] {
+                outs[i] = outset;
+                changed = true;
+            }
+            ins[i] = inset;
+        }
+    }
+    FlowResult { ins, outs }
+}
+
+/// True if there is a path from the first statement of loop-body `body_start`
+/// to `target` along which `is_kill` never fires *before* reaching the
+/// target. Searches only forward CFG edges that stay inside the body region
+/// (node indices in `(head_node, end_node)`), ignoring the back edge.
+///
+/// Used to decide whether an access at `target` is exposed to values that
+/// arrive at the loop header — the sink-side condition for a loop-carried
+/// dependence.
+pub fn exposed_from_head(
+    cfg: &Cfg,
+    head_node: usize,
+    end_node: usize,
+    target: usize,
+    is_kill: impl Fn(usize) -> bool,
+) -> bool {
+    if target <= head_node || target > end_node {
+        return false;
+    }
+    let mut seen = vec![false; cfg.len()];
+    let mut stack = vec![head_node + 1];
+    while let Some(n) = stack.pop() {
+        if n == target {
+            return true;
+        }
+        if n <= head_node || n > end_node || seen[n] {
+            continue;
+        }
+        seen[n] = true;
+        if is_kill(n) {
+            continue; // the value is clobbered here; don't look past it
+        }
+        for &s in cfg.succs(n) {
+            if s > n || s == target {
+                stack.push(s); // forward edges only (skip back edges)
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gospel_frontend::compile;
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = BitSet::new(130);
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(129));
+        assert!(!b.contains(128));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        let mut c = BitSet::new(130);
+        c.insert(5);
+        assert!(c.union_with(&b));
+        assert!(!c.union_with(&b));
+        c.remove(64);
+        assert!(!c.contains(64));
+        let mut d = BitSet::new(130);
+        d.insert(0);
+        c.subtract(&d);
+        assert!(!c.contains(0));
+        assert!(c.contains(5));
+    }
+
+    #[test]
+    fn collects_scalar_accesses() {
+        let p = compile("program p\ninteger i\nreal a(10), x\nx = a(i) + x\nend").unwrap();
+        let acc = Accesses::collect(&p);
+        // defs: x ; uses: i (subscript), x
+        assert_eq!(acc.defs.len(), 1);
+        let use_vars: Vec<&str> = acc
+            .uses
+            .iter()
+            .map(|u| p.syms().name(u.var))
+            .collect();
+        assert!(use_vars.contains(&"i"));
+        assert!(use_vars.contains(&"x"));
+    }
+
+    #[test]
+    fn reaching_def_killed_by_redefinition() {
+        let p = compile("program p\ninteger x, y\nx = 1\nx = 2\ny = x\nend").unwrap();
+        let cfg = gospel_ir::Cfg::of(&p);
+        let acc = Accesses::collect(&p);
+        let rd = reaching_defs(&cfg, &acc);
+        // At node 2 (y = x) only the def from node 1 reaches.
+        let in2: Vec<usize> = rd.ins[2].iter().collect();
+        assert_eq!(in2.len(), 1);
+        assert_eq!(acc.defs[in2[0]].stmt, cfg.nodes()[1]);
+    }
+
+    #[test]
+    fn defs_flow_around_back_edge() {
+        let p = compile(
+            "program p\ninteger i, s\ns = 0\ndo i = 1, 10\ns = s + 1\nend do\nend",
+        )
+        .unwrap();
+        let cfg = gospel_ir::Cfg::of(&p);
+        let acc = Accesses::collect(&p);
+        let rd = reaching_defs(&cfg, &acc);
+        // At the body statement (node 2), both the init def (node 0) and the
+        // in-loop def (node 2 itself, around the back edge) reach.
+        let in2: Vec<StmtId> = rd.ins[2].iter().map(|d| acc.defs[d].stmt).collect();
+        assert!(in2.contains(&cfg.nodes()[0]));
+        assert!(in2.contains(&cfg.nodes()[2]));
+    }
+
+    #[test]
+    fn reaching_uses_killed_by_def() {
+        let p = compile("program p\ninteger x, y\ny = x\nx = 1\nx = 2\nend").unwrap();
+        let cfg = gospel_ir::Cfg::of(&p);
+        let acc = Accesses::collect(&p);
+        let ru = reaching_uses(&cfg, &acc);
+        // The use of x at node 0 reaches node 1 (x = 1) …
+        assert!(ru.ins[1].iter().any(|u| acc.uses[u].stmt == cfg.nodes()[0]));
+        // … but is killed before node 2 (x = 2).
+        assert!(!ru.ins[2].iter().any(|u| acc.uses[u].stmt == cfg.nodes()[0]
+            && p.syms().name(acc.uses[u].var) == "x"));
+    }
+
+    #[test]
+    fn exposure_stops_at_kills() {
+        // do i: x = 1 ; y = x  — the use of x at node 2 is NOT exposed to
+        // the header because node 1 always redefines x first.
+        let p = compile(
+            "program p\ninteger i, x, y\ndo i = 1, 10\nx = 1\ny = x\nend do\nend",
+        )
+        .unwrap();
+        let cfg = gospel_ir::Cfg::of(&p);
+        // nodes: 0 do, 1 x=1, 2 y=x, 3 end do
+        let x_sym = p.syms().lookup("x").unwrap();
+        let kills_x = |n: usize| {
+            p.quad(cfg.nodes()[n]).def_base() == Some(x_sym)
+        };
+        assert!(!exposed_from_head(&cfg, 0, 3, 2, kills_x));
+        // node 1 itself is reachable without a prior kill
+        assert!(exposed_from_head(&cfg, 0, 3, 1, kills_x));
+    }
+}

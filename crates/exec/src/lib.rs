@@ -1,0 +1,645 @@
+//! # gospel-exec — a reference interpreter for the quad IR
+//!
+//! Executes [`gospel_ir::Program`]s directly, with FORTRAN-style `do`
+//! semantics (bounds evaluated at entry, at most `final - init + 1` trips,
+//! control variable left at `final + 1` on natural exit) and `pardo`
+//! executed sequentially (the legality conditions of the PAR optimization
+//! guarantee that the parallel and sequential orders agree).
+//!
+//! Its purpose is **differential testing**: run a program before and after
+//! an optimization and compare the `write` traces — a semantic check that
+//! complements the paper's structural generated-vs-hand comparison.
+//!
+//! ```
+//! let prog = gospel_frontend::compile("
+//! program p
+//!   integer i, s
+//!   s = 0
+//!   do i = 1, 4
+//!     s = s + i
+//!   end do
+//!   write s
+//! end
+//! ").unwrap();
+//! let trace = gospel_exec::run(&prog, &[]).unwrap();
+//! assert_eq!(trace.outputs, vec![gospel_exec::ExecValue::Int(10)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gospel_ir::{
+    AffineExpr, Opcode, Operand, Program, StmtId, Sym, Value, VarKind, VarType,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value: integer or real, with FORTRAN-ish promotion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecValue {
+    /// Integer.
+    Int(i64),
+    /// Real.
+    Real(f64),
+}
+
+impl ExecValue {
+    fn to_f64(self) -> f64 {
+        match self {
+            ExecValue::Int(i) => i as f64,
+            ExecValue::Real(r) => r,
+        }
+    }
+
+    fn as_int(self) -> i64 {
+        match self {
+            ExecValue::Int(i) => i,
+            ExecValue::Real(r) => r as i64,
+        }
+    }
+
+    /// Bit-exact equality (the comparison differential tests need: the
+    /// optimizations under test must preserve values exactly, not merely
+    /// approximately).
+    pub fn bit_eq(self, other: ExecValue) -> bool {
+        match (self, other) {
+            (ExecValue::Int(a), ExecValue::Int(b)) => a == b,
+            (ExecValue::Real(a), ExecValue::Real(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ExecValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecValue::Int(i) => write!(f, "{i}"),
+            ExecValue::Real(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// What an execution produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Values written, in order.
+    pub outputs: Vec<ExecValue>,
+    /// Statements executed (a step count, for the step limit and for
+    /// rough performance comparisons).
+    pub steps: u64,
+}
+
+impl Trace {
+    /// Bit-exact comparison of two traces' outputs.
+    pub fn same_outputs(&self, other: &Trace) -> bool {
+        self.outputs.len() == other.outputs.len()
+            && self
+                .outputs
+                .iter()
+                .zip(&other.outputs)
+                .all(|(a, b)| a.bit_eq(*b))
+    }
+}
+
+/// Execution failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// Array subscript outside the declared extents.
+    OutOfBounds {
+        /// The array.
+        array: String,
+        /// The offending (1-based) subscript values.
+        subs: Vec<i64>,
+        /// At which statement.
+        at: StmtId,
+    },
+    /// Integer division or modulus by zero.
+    DivideByZero(StmtId),
+    /// Unknown intrinsic function.
+    UnknownIntrinsic(String, StmtId),
+    /// The step budget was exhausted (runaway program).
+    StepLimit(u64),
+    /// Malformed program (unbalanced markers, missing operand, …).
+    Malformed(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { array, subs, at } => {
+                write!(f, "subscript {subs:?} out of bounds for `{array}` at {at}")
+            }
+            ExecError::DivideByZero(at) => write!(f, "division by zero at {at}"),
+            ExecError::UnknownIntrinsic(n, at) => write!(f, "unknown intrinsic `{n}` at {at}"),
+            ExecError::StepLimit(n) => write!(f, "step limit of {n} exhausted"),
+            ExecError::Malformed(m) => write!(f, "malformed program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Runs `prog` with the default step limit (10 million statements),
+/// feeding `inputs` to `read` statements (zero once exhausted).
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run(prog: &Program, inputs: &[ExecValue]) -> Result<Trace, ExecError> {
+    run_limited(prog, inputs, 10_000_000)
+}
+
+/// [`run`] with an explicit step limit.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run_limited(
+    prog: &Program,
+    inputs: &[ExecValue],
+    step_limit: u64,
+) -> Result<Trace, ExecError> {
+    Interp::new(prog, inputs, step_limit)?.run()
+}
+
+struct LoopFrame {
+    head_idx: usize,
+    lcv: Sym,
+    fin: i64,
+}
+
+struct Interp<'p> {
+    prog: &'p Program,
+    stmts: Vec<StmtId>,
+    /// end-do index for each do-head index, and vice versa.
+    do_end: HashMap<usize, usize>,
+    if_else: HashMap<usize, usize>,
+    if_end: HashMap<usize, usize>,
+    scalars: HashMap<Sym, ExecValue>,
+    arrays: HashMap<Sym, (Vec<i64>, Vec<ExecValue>)>,
+    loops: Vec<LoopFrame>,
+    inputs: std::collections::VecDeque<ExecValue>,
+    trace: Trace,
+    step_limit: u64,
+}
+
+impl<'p> Interp<'p> {
+    fn new(prog: &'p Program, inputs: &[ExecValue], step_limit: u64) -> Result<Self, ExecError> {
+        let stmts: Vec<StmtId> = prog.iter().collect();
+        let mut do_stack = Vec::new();
+        let mut if_stack = Vec::new();
+        let mut do_end = HashMap::new();
+        let mut if_else = HashMap::new();
+        let mut if_end = HashMap::new();
+        for (i, &s) in stmts.iter().enumerate() {
+            match prog.quad(s).op {
+                Opcode::DoHead | Opcode::ParDo => do_stack.push(i),
+                Opcode::EndDo => {
+                    let h = do_stack
+                        .pop()
+                        .ok_or_else(|| ExecError::Malformed("unmatched end do".into()))?;
+                    do_end.insert(h, i);
+                }
+                op if op.is_if() => if_stack.push(i),
+                Opcode::Else => {
+                    let h = *if_stack
+                        .last()
+                        .ok_or_else(|| ExecError::Malformed("else outside if".into()))?;
+                    if_else.insert(h, i);
+                }
+                Opcode::EndIf => {
+                    let h = if_stack
+                        .pop()
+                        .ok_or_else(|| ExecError::Malformed("unmatched end if".into()))?;
+                    if_end.insert(h, i);
+                }
+                _ => {}
+            }
+        }
+        if !do_stack.is_empty() || !if_stack.is_empty() {
+            return Err(ExecError::Malformed("unclosed region".into()));
+        }
+
+        let mut scalars = HashMap::new();
+        let mut arrays = HashMap::new();
+        for info in prog.variables() {
+            match &info.kind {
+                VarKind::Scalar => {
+                    let zero = match info.ty {
+                        VarType::Int => ExecValue::Int(0),
+                        VarType::Real => ExecValue::Real(0.0),
+                    };
+                    scalars.insert(info.sym, zero);
+                }
+                VarKind::Array(dims) => {
+                    let n: i64 = dims.iter().product();
+                    let zero = match info.ty {
+                        VarType::Int => ExecValue::Int(0),
+                        VarType::Real => ExecValue::Real(0.0),
+                    };
+                    arrays.insert(
+                        info.sym,
+                        (dims.clone(), vec![zero; usize::try_from(n.max(0)).unwrap_or(0)]),
+                    );
+                }
+            }
+        }
+
+        Ok(Interp {
+            prog,
+            stmts,
+            do_end,
+            if_else,
+            if_end,
+            scalars,
+            arrays,
+            loops: Vec::new(),
+            inputs: inputs.iter().copied().collect(),
+            trace: Trace::default(),
+            step_limit,
+        })
+    }
+
+    fn run(mut self) -> Result<Trace, ExecError> {
+        let mut pc = 0usize;
+        while pc < self.stmts.len() {
+            self.trace.steps += 1;
+            if self.trace.steps > self.step_limit {
+                return Err(ExecError::StepLimit(self.step_limit));
+            }
+            pc = self.step(pc)?;
+        }
+        Ok(self.trace)
+    }
+
+    /// Executes the statement at index `pc`, returning the next index.
+    fn step(&mut self, pc: usize) -> Result<usize, ExecError> {
+        let sid = self.stmts[pc];
+        let q = self.prog.quad(sid).clone();
+        match q.op {
+            Opcode::DoHead | Opcode::ParDo => {
+                let init = self.eval(&q.a, sid)?.as_int();
+                let fin = self.eval(&q.b, sid)?.as_int();
+                let lcv = q
+                    .dst
+                    .as_var()
+                    .ok_or_else(|| ExecError::Malformed("loop without LCV".into()))?;
+                self.scalars.insert(lcv, ExecValue::Int(init));
+                if init > fin {
+                    // zero-trip: FORTRAN leaves the LCV at init
+                    return Ok(self.do_end[&pc] + 1);
+                }
+                self.loops.push(LoopFrame {
+                    head_idx: pc,
+                    lcv,
+                    fin,
+                });
+                Ok(pc + 1)
+            }
+            Opcode::EndDo => {
+                let frame = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| ExecError::Malformed("end do without frame".into()))?;
+                let cur = self.scalars[&frame.lcv].as_int();
+                if cur < frame.fin {
+                    let lcv = frame.lcv;
+                    let head = frame.head_idx;
+                    self.scalars.insert(lcv, ExecValue::Int(cur + 1));
+                    Ok(head + 1)
+                } else {
+                    let lcv = frame.lcv;
+                    self.scalars.insert(lcv, ExecValue::Int(cur + 1));
+                    self.loops.pop();
+                    Ok(pc + 1)
+                }
+            }
+            op if op.is_if() => {
+                let a = self.eval(&q.a, sid)?.to_f64();
+                let b = self.eval(&q.b, sid)?.to_f64();
+                let taken = match op {
+                    Opcode::IfLt => a < b,
+                    Opcode::IfLe => a <= b,
+                    Opcode::IfGt => a > b,
+                    Opcode::IfGe => a >= b,
+                    Opcode::IfEq => a == b,
+                    Opcode::IfNe => a != b,
+                    _ => unreachable!(),
+                };
+                if taken {
+                    Ok(pc + 1)
+                } else {
+                    match self.if_else.get(&pc) {
+                        Some(&e) => Ok(e + 1),
+                        None => Ok(self.if_end[&pc]),
+                    }
+                }
+            }
+            Opcode::Else => {
+                // reached from the then branch: skip the else body
+                let head = self
+                    .if_else
+                    .iter()
+                    .find(|&(_, &e)| e == pc)
+                    .map(|(&h, _)| h)
+                    .ok_or_else(|| ExecError::Malformed("stray else".into()))?;
+                Ok(self.if_end[&head])
+            }
+            Opcode::EndIf | Opcode::Nop => Ok(pc + 1),
+            Opcode::Read => {
+                let v = self.inputs.pop_front().unwrap_or(ExecValue::Int(0));
+                self.store(&q.dst, v, sid)?;
+                Ok(pc + 1)
+            }
+            Opcode::Write => {
+                let v = self.eval(&q.a, sid)?;
+                self.trace.outputs.push(v);
+                Ok(pc + 1)
+            }
+            Opcode::Assign => {
+                let v = self.eval(&q.a, sid)?;
+                self.store(&q.dst, v, sid)?;
+                Ok(pc + 1)
+            }
+            Opcode::Neg => {
+                let v = match self.eval(&q.a, sid)? {
+                    ExecValue::Int(i) => ExecValue::Int(-i),
+                    ExecValue::Real(r) => ExecValue::Real(-r),
+                };
+                self.store(&q.dst, v, sid)?;
+                Ok(pc + 1)
+            }
+            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Div | Opcode::Mod => {
+                let a = self.eval(&q.a, sid)?;
+                let b = self.eval(&q.b, sid)?;
+                let v = self.arith(q.op, a, b, sid)?;
+                self.store(&q.dst, v, sid)?;
+                Ok(pc + 1)
+            }
+            Opcode::Call(f) => {
+                let name = self.prog.syms().name(f).trim_start_matches("@fn:").to_owned();
+                let a = self.eval(&q.a, sid)?.to_f64();
+                let v = match name.as_str() {
+                    "sqrt" => a.sqrt(),
+                    "sin" => a.sin(),
+                    "cos" => a.cos(),
+                    "abs" => a.abs(),
+                    "exp" => a.exp(),
+                    "log" => a.ln(),
+                    "atan" => a.atan(),
+                    "min" => a.min(self.eval(&q.b, sid)?.to_f64()),
+                    "max" => a.max(self.eval(&q.b, sid)?.to_f64()),
+                    other => return Err(ExecError::UnknownIntrinsic(other.into(), sid)),
+                };
+                self.store(&q.dst, ExecValue::Real(v), sid)?;
+                Ok(pc + 1)
+            }
+            other => Err(ExecError::Malformed(format!("unexpected opcode {other}"))),
+        }
+    }
+
+    fn arith(
+        &self,
+        op: Opcode,
+        a: ExecValue,
+        b: ExecValue,
+        at: StmtId,
+    ) -> Result<ExecValue, ExecError> {
+        if let (ExecValue::Int(x), ExecValue::Int(y)) = (a, b) {
+            let v = match op {
+                Opcode::Add => x.wrapping_add(y),
+                Opcode::Sub => x.wrapping_sub(y),
+                Opcode::Mul => x.wrapping_mul(y),
+                Opcode::Div => {
+                    if y == 0 {
+                        return Err(ExecError::DivideByZero(at));
+                    }
+                    x.wrapping_div(y)
+                }
+                Opcode::Mod => {
+                    if y == 0 {
+                        return Err(ExecError::DivideByZero(at));
+                    }
+                    x.wrapping_rem(y)
+                }
+                _ => unreachable!(),
+            };
+            return Ok(ExecValue::Int(v));
+        }
+        let (x, y) = (a.to_f64(), b.to_f64());
+        let v = match op {
+            Opcode::Add => x + y,
+            Opcode::Sub => x - y,
+            Opcode::Mul => x * y,
+            Opcode::Div => x / y,
+            Opcode::Mod => {
+                if y == 0.0 {
+                    return Err(ExecError::DivideByZero(at));
+                }
+                x % y
+            }
+            _ => unreachable!(),
+        };
+        Ok(ExecValue::Real(v))
+    }
+
+    fn eval(&self, o: &Operand, at: StmtId) -> Result<ExecValue, ExecError> {
+        match o {
+            Operand::None => Ok(ExecValue::Int(0)),
+            Operand::Const(Value::Int(i)) => Ok(ExecValue::Int(*i)),
+            Operand::Const(Value::Real(r)) => Ok(ExecValue::Real(*r)),
+            Operand::Var(s) => Ok(self.scalars.get(s).copied().unwrap_or(ExecValue::Int(0))),
+            Operand::Elem { array, subs } => {
+                let idx = self.flat_index(*array, subs, at)?;
+                let (_, data) = &self.arrays[array];
+                Ok(data[idx])
+            }
+        }
+    }
+
+    fn store(&mut self, dst: &Operand, v: ExecValue, at: StmtId) -> Result<(), ExecError> {
+        match dst {
+            Operand::Var(s) => {
+                // Coerce to the declared type (FORTRAN assignment).
+                let coerced = match self.prog.var_info(*s).map(|i| i.ty) {
+                    Some(VarType::Int) => ExecValue::Int(v.as_int()),
+                    Some(VarType::Real) => ExecValue::Real(v.to_f64()),
+                    None => v,
+                };
+                self.scalars.insert(*s, coerced);
+                Ok(())
+            }
+            Operand::Elem { array, subs } => {
+                let idx = self.flat_index(*array, subs, at)?;
+                let ty = self.prog.var_info(*array).map(|i| i.ty);
+                let coerced = match ty {
+                    Some(VarType::Int) => ExecValue::Int(v.as_int()),
+                    _ => ExecValue::Real(v.to_f64()),
+                };
+                self.arrays.get_mut(array).expect("declared").1[idx] = coerced;
+                Ok(())
+            }
+            other => Err(ExecError::Malformed(format!(
+                "cannot store into {other:?}"
+            ))),
+        }
+    }
+
+    fn eval_affine(&self, e: &AffineExpr) -> i64 {
+        let mut v = e.constant();
+        for var in e.vars() {
+            let val = self
+                .scalars
+                .get(&var)
+                .copied()
+                .unwrap_or(ExecValue::Int(0))
+                .as_int();
+            v += e.coeff(var) * val;
+        }
+        v
+    }
+
+    fn flat_index(
+        &self,
+        array: Sym,
+        subs: &[AffineExpr],
+        at: StmtId,
+    ) -> Result<usize, ExecError> {
+        let (dims, _) = self
+            .arrays
+            .get(&array)
+            .ok_or_else(|| ExecError::Malformed("undeclared array".into()))?;
+        let vals: Vec<i64> = subs.iter().map(|e| self.eval_affine(e)).collect();
+        if vals.len() != dims.len() {
+            return Err(ExecError::Malformed("subscript arity".into()));
+        }
+        // Column-major (FORTRAN) with 1-based subscripts.
+        let mut idx: i64 = 0;
+        let mut stride: i64 = 1;
+        for (v, d) in vals.iter().zip(dims) {
+            if *v < 1 || *v > *d {
+                return Err(ExecError::OutOfBounds {
+                    array: self.prog.syms().name(array).into(),
+                    subs: vals.clone(),
+                    at,
+                });
+            }
+            idx += (v - 1) * stride;
+            stride *= d;
+        }
+        Ok(usize::try_from(idx).expect("non-negative"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gospel_frontend::compile;
+
+    fn outputs(src: &str) -> Vec<ExecValue> {
+        run(&compile(src).unwrap(), &[]).unwrap().outputs
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let o = outputs(
+            "program p\ninteger i, s\ns = 0\ndo i = 1, 10\ns = s + i\nend do\nwrite s\nwrite i\nend",
+        );
+        // sum 1..10 and the FORTRAN post-loop LCV value
+        assert_eq!(o, vec![ExecValue::Int(55), ExecValue::Int(11)]);
+    }
+
+    #[test]
+    fn zero_trip_loop_body_skipped() {
+        let o = outputs(
+            "program p\ninteger i, s\ns = 7\ndo i = 5, 4\ns = 0\nend do\nwrite s\nend",
+        );
+        assert_eq!(o, vec![ExecValue::Int(7)]);
+    }
+
+    #[test]
+    fn branches_both_ways() {
+        let o = outputs(
+            "program p\ninteger x, y\nx = 3\nif (x > 2) then\ny = 1\nelse\ny = 2\nend if\nwrite y\nif (x > 5) then\ny = 3\nelse\ny = 4\nend if\nwrite y\nend",
+        );
+        assert_eq!(o, vec![ExecValue::Int(1), ExecValue::Int(4)]);
+    }
+
+    #[test]
+    fn arrays_are_column_major_one_based() {
+        let o = outputs(
+            "program p\ninteger i, j\nreal a(3,3)\ndo i = 1, 3\ndo j = 1, 3\na(i,j) = 10 * i + j\nend do\nend do\nwrite a(2,3)\nend",
+        );
+        assert_eq!(o, vec![ExecValue::Real(23.0)]);
+    }
+
+    #[test]
+    fn integer_division_semantics() {
+        let o = outputs("program p\ninteger n, m\nn = 7\nm = n / 2\nwrite m\nwrite n mod 2\nend");
+        assert_eq!(o[0], ExecValue::Int(3));
+        assert_eq!(o[1], ExecValue::Int(1));
+    }
+
+    #[test]
+    fn intrinsics_evaluate() {
+        let o = outputs("program p\nreal x\nx = sqrt(16.0)\nwrite x\nwrite abs(0.0 - 2.5)\nend");
+        assert_eq!(o[0], ExecValue::Real(4.0));
+        assert_eq!(o[1], ExecValue::Real(2.5));
+    }
+
+    #[test]
+    fn reads_consume_inputs_then_zero() {
+        let prog = compile("program p\ninteger a, b\nread a\nread b\nwrite a + b\nend").unwrap();
+        let t = run(&prog, &[ExecValue::Int(40), ExecValue::Int(2)]).unwrap();
+        assert_eq!(t.outputs, vec![ExecValue::Int(42)]);
+        let t2 = run(&prog, &[ExecValue::Int(40)]).unwrap();
+        assert_eq!(t2.outputs, vec![ExecValue::Int(40)]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_detected() {
+        let r = run(
+            &compile("program p\ninteger i\nreal a(3)\ni = 4\na(i) = 1.0\nend").unwrap(),
+            &[],
+        );
+        assert!(matches!(r, Err(ExecError::OutOfBounds { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn divide_by_zero_is_detected() {
+        let r = run(
+            &compile("program p\ninteger x, z\nz = 0\nx = 1 / z\nend").unwrap(),
+            &[],
+        );
+        assert!(matches!(r, Err(ExecError::DivideByZero(_))), "{r:?}");
+    }
+
+    #[test]
+    fn step_limit_guards_runaway() {
+        // 1000-trip loop with a 10-step budget
+        let r = run_limited(
+            &compile("program p\ninteger i, s\ndo i = 1, 1000\ns = i\nend do\nend").unwrap(),
+            &[],
+            10,
+        );
+        assert!(matches!(r, Err(ExecError::StepLimit(10))));
+    }
+
+    #[test]
+    fn pardo_runs_sequentially() {
+        let mut prog = compile(
+            "program p\ninteger i\nreal a(5)\ndo i = 1, 5\na(i) = i\nend do\nwrite a(5)\nend",
+        )
+        .unwrap();
+        // flip the header to pardo by hand
+        let head = prog
+            .iter()
+            .find(|&s| prog.quad(s).op == Opcode::DoHead)
+            .unwrap();
+        let q = prog.quad(head).clone();
+        prog.replace(head, gospel_ir::Quad::new(Opcode::ParDo, q.dst, q.a, q.b));
+        let t = run(&prog, &[]).unwrap();
+        assert_eq!(t.outputs, vec![ExecValue::Real(5.0)]);
+    }
+
+}

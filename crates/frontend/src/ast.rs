@@ -1,0 +1,137 @@
+//! Abstract syntax for MiniFor.
+
+pub use crate::lexer::Relop;
+
+/// A whole source program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceProgram {
+    /// Program name from the `program` header.
+    pub name: String,
+    /// Variable declarations.
+    pub decls: Vec<Decl>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Element type in a declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeclType {
+    /// `integer`
+    Integer,
+    /// `real`
+    Real,
+}
+
+/// One declared name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decl {
+    /// Element type.
+    pub ty: DeclType,
+    /// Variable name.
+    pub name: String,
+    /// Array extents; empty for scalars.
+    pub dims: Vec<i64>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `lhs = expr`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `do v = lo, hi … end do` (or `pardo v = lo, hi`, the surface form
+    /// of a parallelized loop).
+    Do {
+        /// Loop control variable.
+        var: String,
+        /// Lower bound.
+        from: Expr,
+        /// Upper bound.
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// True for `pardo`.
+        parallel: bool,
+        /// Source line of the header.
+        line: u32,
+    },
+    /// `if (a RELOP b) then … [else …] end if`
+    If {
+        /// Left comparison operand.
+        lhs: Expr,
+        /// The comparison.
+        op: Relop,
+        /// Right comparison operand.
+        rhs: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_body: Vec<Stmt>,
+        /// Source line of the header.
+        line: u32,
+    },
+    /// `read v`
+    Read {
+        /// Input target.
+        target: LValue,
+        /// Source line.
+        line: u32,
+    },
+    /// `write expr`
+    Write {
+        /// Value written.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// An assignable location.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element.
+    Elem(String, Vec<Expr>),
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference (or intrinsic call — resolved during
+    /// lowering by declaration lookup).
+    Index(String, Vec<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `mod`
+    Mod,
+}

@@ -1,0 +1,307 @@
+//! Tokenizer for MiniFor.
+
+use std::fmt;
+
+/// Kind of a MiniFor token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// Comparison operator: `<`, `<=`, `>`, `>=`, `==`, `!=`
+    Relop(Relop),
+    /// End of statement (newline or `;`).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A comparison operator in conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relop {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Source line number.
+    pub line: u32,
+}
+
+/// Tokenization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// Source line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MiniFor source. Comments run from `!` to end of line;
+/// newlines (and `;`) are statement separators and become
+/// [`TokenKind::Newline`] tokens (collapsed runs produce a single token).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on a character outside the language.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    let mut last_was_newline = true; // swallow leading newlines
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' | ';' => {
+                chars.next();
+                if c == '\n' {
+                    line += 1;
+                }
+                if !last_was_newline {
+                    out.push(Token {
+                        kind: TokenKind::Newline,
+                        line: line - u32::from(c == '\n'),
+                    });
+                    last_was_newline = true;
+                }
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '!' => {
+                // comment to end of line
+                for nc in chars.by_ref() {
+                    if nc == '\n' {
+                        line += 1;
+                        if !last_was_newline {
+                            out.push(Token {
+                                kind: TokenKind::Newline,
+                                line: line - 1,
+                            });
+                            last_was_newline = true;
+                        }
+                        break;
+                    }
+                }
+            }
+            _ => {
+                let kind = lex_one(&mut chars, line)?;
+                out.push(Token { kind, line });
+                last_was_newline = false;
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Newline,
+        line,
+    });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn lex_one(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: u32,
+) -> Result<TokenKind, LexError> {
+    let c = *chars.peek().expect("caller checked");
+    if c.is_ascii_alphabetic() || c == '_' {
+        let mut s = String::new();
+        while let Some(&nc) = chars.peek() {
+            if nc.is_ascii_alphanumeric() || nc == '_' {
+                s.push(nc);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        return Ok(TokenKind::Ident(s.to_ascii_lowercase()));
+    }
+    if c.is_ascii_digit() {
+        let mut s = String::new();
+        let mut is_real = false;
+        while let Some(&nc) = chars.peek() {
+            if nc.is_ascii_digit() {
+                s.push(nc);
+                chars.next();
+            } else if nc == '.' && !is_real {
+                // lookahead: `1.5` is a real, `1.x` is not expected in the
+                // language, treat any digit-dot as real start
+                is_real = true;
+                s.push(nc);
+                chars.next();
+            } else if (nc == 'e' || nc == 'E') && is_real {
+                s.push('e');
+                chars.next();
+                if let Some(&sign) = chars.peek() {
+                    if sign == '+' || sign == '-' {
+                        s.push(sign);
+                        chars.next();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        return if is_real {
+            Ok(TokenKind::Real(s.parse().map_err(|_| LexError { ch: '.', line })?))
+        } else {
+            Ok(TokenKind::Int(s.parse().map_err(|_| LexError { ch: '9', line })?))
+        };
+    }
+    chars.next();
+    let two = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>, next: char| -> bool {
+        if chars.peek() == Some(&next) {
+            chars.next();
+            true
+        } else {
+            false
+        }
+    };
+    Ok(match c {
+        '=' => {
+            if two(chars, '=') {
+                TokenKind::Relop(Relop::Eq)
+            } else {
+                TokenKind::Assign
+            }
+        }
+        '<' => {
+            if two(chars, '=') {
+                TokenKind::Relop(Relop::Le)
+            } else {
+                TokenKind::Relop(Relop::Lt)
+            }
+        }
+        '>' => {
+            if two(chars, '=') {
+                TokenKind::Relop(Relop::Ge)
+            } else {
+                TokenKind::Relop(Relop::Gt)
+            }
+        }
+        '/' => {
+            if two(chars, '=') {
+                TokenKind::Relop(Relop::Ne) // FORTRAN-style /=
+            } else {
+                TokenKind::Slash
+            }
+        }
+        '+' => TokenKind::Plus,
+        '-' => TokenKind::Minus,
+        '*' => TokenKind::Star,
+        '(' => TokenKind::LParen,
+        ')' => TokenKind::RParen,
+        ',' => TokenKind::Comma,
+        other => return Err(LexError { ch: other, line }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_and_operators() {
+        let k = kinds("x = a(i) + 2.5");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("a".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("i".into()),
+                TokenKind::RParen,
+                TokenKind::Plus,
+                TokenKind::Real(2.5),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn relops_and_fortran_ne() {
+        let k = kinds("a <= b /= c == d");
+        assert!(k.contains(&TokenKind::Relop(Relop::Le)));
+        assert!(k.contains(&TokenKind::Relop(Relop::Ne)));
+        assert!(k.contains(&TokenKind::Relop(Relop::Eq)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_collapse() {
+        let k = kinds("x = 1 ! set x\n\n\n  ! lone comment\ny = 2");
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 2); // one after each statement
+    }
+
+    #[test]
+    fn semicolon_separates() {
+        let k = kinds("x = 1; y = 2");
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn case_insensitive_idents() {
+        assert_eq!(kinds("DO")[0], TokenKind::Ident("do".into()));
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("x = #").is_err());
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1.5e-3")[0], TokenKind::Real(1.5e-3));
+    }
+}

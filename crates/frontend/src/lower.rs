@@ -1,0 +1,524 @@
+//! Lowering from the MiniFor AST to the quad IR.
+
+use crate::ast::*;
+use gospel_ir::{
+    AffineExpr, Opcode, Operand, Program, ProgramBuilder, Sym, VarKind, VarType,
+};
+use std::fmt;
+
+/// Intrinsic functions callable from MiniFor (all real-valued).
+pub const INTRINSICS: &[&str] = &["sqrt", "sin", "cos", "abs", "exp", "log", "atan", "min", "max"];
+
+/// Semantic error during lowering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// Name used but never declared.
+    Undeclared(String, u32),
+    /// Scalar used with subscripts (and not an intrinsic).
+    NotAnArray(String, u32),
+    /// Array used without subscripts.
+    NotAScalar(String, u32),
+    /// Wrong number of subscripts/arguments.
+    WrongArity(String, u32),
+    /// Loop control variable is not an integer scalar.
+    BadLoopVar(String, u32),
+    /// A name is declared twice.
+    Redeclared(String, u32),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Undeclared(n, l) => write!(f, "`{n}` is not declared (line {l})"),
+            LowerError::NotAnArray(n, l) => write!(f, "`{n}` is not an array (line {l})"),
+            LowerError::NotAScalar(n, l) => write!(f, "`{n}` is not a scalar (line {l})"),
+            LowerError::WrongArity(n, l) => write!(f, "wrong arity for `{n}` (line {l})"),
+            LowerError::BadLoopVar(n, l) => {
+                write!(f, "loop variable `{n}` must be an integer scalar (line {l})")
+            }
+            LowerError::Redeclared(n, l) => write!(f, "`{n}` declared twice (line {l})"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+struct Lowerer {
+    b: ProgramBuilder,
+}
+
+/// Lowers a parsed program to IR.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] for undeclared names, arity mismatches, and
+/// malformed loop variables.
+pub fn lower(src: &SourceProgram) -> Result<Program, LowerError> {
+    let mut lw = Lowerer {
+        b: ProgramBuilder::new(src.name.clone()),
+    };
+    for d in &src.decls {
+        if lw.b.program().syms().lookup(&d.name).is_some() {
+            return Err(LowerError::Redeclared(d.name.clone(), d.line));
+        }
+        match (d.ty, d.dims.is_empty()) {
+            (DeclType::Integer, true) => {
+                lw.b.scalar_int(&d.name);
+            }
+            (DeclType::Integer, false) => {
+                lw.b.array_int(&d.name, &d.dims);
+            }
+            (DeclType::Real, true) => {
+                lw.b.scalar_real(&d.name);
+            }
+            (DeclType::Real, false) => {
+                lw.b.array_real(&d.name, &d.dims);
+            }
+        }
+    }
+    lw.stmts(&src.body)?;
+    Ok(lw.b.finish())
+}
+
+impl Lowerer {
+    fn lookup(&self, name: &str, line: u32) -> Result<Sym, LowerError> {
+        self.b
+            .program()
+            .syms()
+            .lookup(name)
+            .filter(|s| self.b.program().var_info(*s).is_some())
+            .ok_or_else(|| LowerError::Undeclared(name.to_owned(), line))
+    }
+
+    fn is_array(&self, s: Sym) -> bool {
+        self.b.program().is_array(s)
+    }
+
+    fn var_type(&self, s: Sym) -> VarType {
+        self.b
+            .program()
+            .var_info(s)
+            .map(|i| i.ty)
+            .unwrap_or(VarType::Real)
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), LowerError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
+                let dst = self.lvalue(target, *line)?;
+                self.assign_into(dst, value, *line)?;
+            }
+            Stmt::Do {
+                var,
+                from,
+                to,
+                body,
+                parallel,
+                line,
+            } => {
+                let lcv = self.lookup(var, *line)?;
+                if self.is_array(lcv) || self.var_type(lcv) != VarType::Int {
+                    return Err(LowerError::BadLoopVar(var.clone(), *line));
+                }
+                let init = self.operand(from, *line)?;
+                let fin = self.operand(to, *line)?;
+                let tok = self.b.do_head(lcv, init, fin);
+                if *parallel {
+                    // rewrite the freshly emitted header to a pardo
+                    let head = self
+                        .b
+                        .program()
+                        .last()
+                        .expect("do_head just pushed a statement");
+                    let q = self.b.program().quad(head).clone();
+                    self.b
+                        .program_mut()
+                        .replace(head, gospel_ir::Quad::new(Opcode::ParDo, q.dst, q.a, q.b));
+                }
+                self.stmts(body)?;
+                self.b.end_do(tok);
+            }
+            Stmt::If {
+                lhs,
+                op,
+                rhs,
+                then_body,
+                else_body,
+                line,
+            } => {
+                let a = self.operand(lhs, *line)?;
+                let bb = self.operand(rhs, *line)?;
+                let opc = match op {
+                    Relop::Lt => Opcode::IfLt,
+                    Relop::Le => Opcode::IfLe,
+                    Relop::Gt => Opcode::IfGt,
+                    Relop::Ge => Opcode::IfGe,
+                    Relop::Eq => Opcode::IfEq,
+                    Relop::Ne => Opcode::IfNe,
+                };
+                let tok = self.b.if_head(opc, a, bb);
+                self.stmts(then_body)?;
+                if !else_body.is_empty() {
+                    self.b.else_mark(tok);
+                    self.stmts(else_body)?;
+                }
+                self.b.end_if(tok);
+            }
+            Stmt::Read { target, line } => {
+                let dst = self.lvalue(target, *line)?;
+                self.b.read(dst);
+            }
+            Stmt::Write { value, line } => {
+                let v = self.operand(value, *line)?;
+                self.b.write(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn lvalue(&mut self, lv: &LValue, line: u32) -> Result<Operand, LowerError> {
+        match lv {
+            LValue::Var(name) => {
+                let s = self.lookup(name, line)?;
+                if self.is_array(s) {
+                    return Err(LowerError::NotAScalar(name.clone(), line));
+                }
+                Ok(Operand::Var(s))
+            }
+            LValue::Elem(name, subs) => self.elem(name, subs, line),
+        }
+    }
+
+    fn elem(&mut self, name: &str, subs: &[Expr], line: u32) -> Result<Operand, LowerError> {
+        let s = self.lookup(name, line)?;
+        let rank = match &self.b.program().var_info(s).unwrap().kind {
+            VarKind::Array(dims) => dims.len(),
+            VarKind::Scalar => return Err(LowerError::NotAnArray(name.to_owned(), line)),
+        };
+        if subs.len() != rank {
+            return Err(LowerError::WrongArity(name.to_owned(), line));
+        }
+        let subs = subs
+            .iter()
+            .map(|e| self.affine(e, line))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Operand::Elem { array: s, subs })
+    }
+
+    /// Lowers `value` directly into `dst`, producing a single quad when the
+    /// top of the expression is a binary operation / negation / call, and
+    /// temps for anything nested deeper.
+    fn assign_into(&mut self, dst: Operand, value: &Expr, line: u32) -> Result<(), LowerError> {
+        match value {
+            Expr::Bin(op, l, r) => {
+                let a = self.operand(l, line)?;
+                let b = self.operand(r, line)?;
+                self.b.stmt(bin_opcode(*op), dst, a, b);
+            }
+            Expr::Neg(e) => {
+                let a = self.operand(e, line)?;
+                self.b.stmt(Opcode::Neg, dst, a, Operand::None);
+            }
+            Expr::Index(name, args) if self.intrinsic(name) => {
+                let (f, a, b) = self.call_parts(name, args, line)?;
+                self.b.stmt(Opcode::Call(f), dst, a, b);
+            }
+            simple => {
+                let a = self.operand(simple, line)?;
+                self.b.assign(dst, a);
+            }
+        }
+        Ok(())
+    }
+
+    fn intrinsic(&self, name: &str) -> bool {
+        // Any declared name shadows an intrinsic of the same name.
+        if let Some(s) = self.b.program().syms().lookup(name) {
+            if self.b.program().var_info(s).is_some() {
+                return false;
+            }
+        }
+        INTRINSICS.contains(&name)
+    }
+
+    fn call_parts(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<(Sym, Operand, Operand), LowerError> {
+        let binary = matches!(name, "min" | "max");
+        let expected = if binary { 2 } else { 1 };
+        if args.len() != expected {
+            return Err(LowerError::WrongArity(name.to_owned(), line));
+        }
+        let a = self.operand(&args[0], line)?;
+        let b = if binary {
+            self.operand(&args[1], line)?
+        } else {
+            Operand::None
+        };
+        // Intrinsic names are interned under a reserved spelling so they can
+        // never collide with (or be looked up as) program variables.
+        let f = self.b.scalar_real(&format!("@fn:{name}"));
+        Ok((f, a, b))
+    }
+
+    /// Lowers an expression to a single operand, materializing temporaries
+    /// for compound sub-expressions.
+    fn operand(&mut self, e: &Expr, line: u32) -> Result<Operand, LowerError> {
+        Ok(match e {
+            Expr::Int(n) => Operand::int(*n),
+            Expr::Real(r) => Operand::real(*r),
+            Expr::Var(name) => {
+                let s = self.lookup(name, line)?;
+                if self.is_array(s) {
+                    return Err(LowerError::NotAScalar(name.clone(), line));
+                }
+                Operand::Var(s)
+            }
+            Expr::Index(name, args) => {
+                if self.intrinsic(name) {
+                    let t = self.temp_for(e);
+                    let (f, a, b) = self.call_parts(name, args, line)?;
+                    self.b.stmt(Opcode::Call(f), Operand::Var(t), a, b);
+                    Operand::Var(t)
+                } else {
+                    self.elem(name, args, line)?
+                }
+            }
+            Expr::Neg(inner) => {
+                if let Expr::Int(n) = **inner {
+                    return Ok(Operand::int(-n));
+                }
+                if let Expr::Real(r) = **inner {
+                    return Ok(Operand::real(-r));
+                }
+                let t = self.temp_for(e);
+                let a = self.operand(inner, line)?;
+                self.b.stmt(Opcode::Neg, Operand::Var(t), a, Operand::None);
+                Operand::Var(t)
+            }
+            Expr::Bin(op, l, r) => {
+                let t = self.temp_for(e);
+                let a = self.operand(l, line)?;
+                let b = self.operand(r, line)?;
+                self.b.stmt(bin_opcode(*op), Operand::Var(t), a, b);
+                Operand::Var(t)
+            }
+        })
+    }
+
+    fn temp_for(&mut self, e: &Expr) -> Sym {
+        let ty = self.expr_type(e);
+        // ProgramBuilder does not expose new_temp; approximate with a
+        // deterministic reserved name.
+        let mut n = 0usize;
+        loop {
+            let name = format!("@t{n}");
+            if self.b.program().syms().lookup(&name).is_none() {
+                return match ty {
+                    VarType::Int => self.b.scalar_int(&name),
+                    VarType::Real => self.b.scalar_real(&name),
+                };
+            }
+            n += 1;
+        }
+    }
+
+    fn expr_type(&self, e: &Expr) -> VarType {
+        match e {
+            Expr::Int(_) => VarType::Int,
+            Expr::Real(_) => VarType::Real,
+            Expr::Var(n) | Expr::Index(n, _) => {
+                if self.intrinsic(n) && matches!(e, Expr::Index(_, _)) {
+                    VarType::Real
+                } else {
+                    self.b
+                        .program()
+                        .syms()
+                        .lookup(n)
+                        .map(|s| self.var_type(s))
+                        .unwrap_or(VarType::Real)
+                }
+            }
+            Expr::Neg(i) => self.expr_type(i),
+            Expr::Bin(_, l, r) => {
+                if self.expr_type(l) == VarType::Real || self.expr_type(r) == VarType::Real {
+                    VarType::Real
+                } else {
+                    VarType::Int
+                }
+            }
+        }
+    }
+
+    /// Converts a subscript expression to affine form, lowering non-affine
+    /// parts through a temporary (which then appears as an opaque variable
+    /// in the affine expression).
+    fn affine(&mut self, e: &Expr, line: u32) -> Result<AffineExpr, LowerError> {
+        match e {
+            Expr::Int(n) => Ok(AffineExpr::constant_expr(*n)),
+            Expr::Var(name) => {
+                let s = self.lookup(name, line)?;
+                if self.is_array(s) {
+                    return Err(LowerError::NotAScalar(name.clone(), line));
+                }
+                Ok(AffineExpr::var(s))
+            }
+            Expr::Neg(inner) => Ok(self.affine(inner, line)?.scaled(-1)),
+            Expr::Bin(BinOp::Add, l, r) => {
+                Ok(self.affine(l, line)?.plus(&self.affine(r, line)?))
+            }
+            Expr::Bin(BinOp::Sub, l, r) => {
+                Ok(self.affine(l, line)?.minus(&self.affine(r, line)?))
+            }
+            Expr::Bin(BinOp::Mul, l, r) => {
+                let la = self.affine(l, line)?;
+                let ra = self.affine(r, line)?;
+                if la.is_constant() {
+                    Ok(ra.scaled(la.constant()))
+                } else if ra.is_constant() {
+                    Ok(la.scaled(ra.constant()))
+                } else {
+                    self.opaque_affine(e, line)
+                }
+            }
+            _ => self.opaque_affine(e, line),
+        }
+    }
+
+    fn opaque_affine(&mut self, e: &Expr, line: u32) -> Result<AffineExpr, LowerError> {
+        let op = self.operand(e, line)?;
+        match op {
+            Operand::Var(s) => Ok(AffineExpr::var(s)),
+            Operand::Const(v) => Ok(AffineExpr::constant_expr(v.as_int().unwrap_or(0))),
+            other => {
+                // Element used as a subscript: route through a temp.
+                let t = self.temp_for(e);
+                self.b.assign(Operand::Var(t), other);
+                Ok(AffineExpr::var(t))
+            }
+        }
+    }
+}
+
+fn bin_opcode(op: BinOp) -> Opcode {
+    match op {
+        BinOp::Add => Opcode::Add,
+        BinOp::Sub => Opcode::Sub,
+        BinOp::Mul => Opcode::Mul,
+        BinOp::Div => Opcode::Div,
+        BinOp::Mod => Opcode::Mod,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use gospel_ir::{validate, DisplayProgram, Opcode};
+
+    #[test]
+    fn lowers_single_quad_assignment() {
+        let p = compile("program p\ninteger x, y\nx = y + 1\nend").unwrap();
+        assert_eq!(p.len(), 1);
+        let s = p.first().unwrap();
+        assert_eq!(p.quad(s).op, Opcode::Add);
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn nested_expressions_make_temps() {
+        let p = compile("program p\ninteger x, y\nx = (y + 1) * (y - 2)\nend").unwrap();
+        // t1 := y+1 ; t2 := y-2 ; x := t1*t2
+        assert_eq!(p.len(), 3);
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn affine_subscripts_survive() {
+        let p = compile(
+            "program p\ninteger i\nreal a(100)\ndo i = 1, 10\na(2*i+1) = 0.0\nend do\nend",
+        )
+        .unwrap();
+        let text = DisplayProgram(&p).to_string();
+        assert!(text.contains("a(2*i+1) := 0.0"), "got:\n{text}");
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn nonaffine_subscript_through_temp() {
+        let p = compile(
+            "program p\ninteger i, j\nreal a(100)\ndo i = 1, 10\na(i*j) = 0.0\nend do\nend",
+        )
+        .unwrap();
+        // i*j is lowered to a temp, subscript mentions the temp
+        let text = DisplayProgram(&p).to_string();
+        assert!(text.contains("@t0 := i * j"), "got:\n{text}");
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn intrinsic_calls() {
+        let p = compile("program p\nreal x, y\nx = sqrt(y)\nend").unwrap();
+        let s = p.first().unwrap();
+        assert!(matches!(p.quad(s).op, Opcode::Call(_)));
+    }
+
+    #[test]
+    fn array_shadows_intrinsic() {
+        let p = compile("program p\ninteger i\nreal abs(10), x\nx = abs(3)\nend").unwrap();
+        let s = p.first().unwrap();
+        assert_eq!(p.quad(s).op, Opcode::Assign); // element load, not a call
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        assert!(compile("program p\nx = 1\nend").is_err());
+    }
+
+    #[test]
+    fn real_loop_var_rejected() {
+        assert!(compile("program p\nreal r\ndo r = 1, 3\nend do\nend").is_err());
+    }
+
+    #[test]
+    fn wrong_subscript_arity_rejected() {
+        assert!(compile("program p\nreal a(10,10)\na(1) = 0.0\nend").is_err());
+    }
+
+    #[test]
+    fn redeclaration_rejected() {
+        assert!(compile("program p\ninteger x\nreal x\nend").is_err());
+    }
+
+    #[test]
+    fn if_else_lowering_shape() {
+        let p = compile(
+            "program p\ninteger x\nif (x > 0) then\nx = 1\nelse\nx = 2\nend if\nend",
+        )
+        .unwrap();
+        let ops: Vec<_> = p.iter().map(|s| p.quad(s).op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Opcode::IfGt,
+                Opcode::Assign,
+                Opcode::Else,
+                Opcode::Assign,
+                Opcode::EndIf
+            ]
+        );
+    }
+}

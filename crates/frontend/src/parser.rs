@@ -1,0 +1,444 @@
+//! Recursive-descent parser for MiniFor.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use std::fmt;
+
+/// Syntax error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on line {}", self.message, self.line)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a [`SourceProgram`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+pub fn parse_tokens(toks: &[Token]) -> Result<SourceProgram, ParseError> {
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let k = &self.toks[self.pos].kind;
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        self.expect(&TokenKind::Newline, "end of statement")
+    }
+
+    fn skip_newlines(&mut self) {
+        while *self.peek() == TokenKind::Newline {
+            self.bump();
+        }
+    }
+
+    /// Consumes the keyword `kw` if next.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        if let TokenKind::Ident(s) = self.peek() {
+            let s = s.clone();
+            self.bump();
+            Ok(s)
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    // program <name> NL decls stmts end [program] NL EOF
+    fn program(&mut self) -> Result<SourceProgram, ParseError> {
+        self.skip_newlines();
+        if !self.eat_kw("program") {
+            return self.err("expected `program`");
+        }
+        let name = self.ident("program name")?;
+        self.expect_newline()?;
+        self.skip_newlines();
+
+        let mut decls = Vec::new();
+        loop {
+            let ty = if self.peek_kw("integer") {
+                DeclType::Integer
+            } else if self.peek_kw("real") {
+                DeclType::Real
+            } else {
+                break;
+            };
+            self.bump();
+            loop {
+                let line = self.line();
+                let name = self.ident("variable name")?;
+                let mut dims = Vec::new();
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    loop {
+                        match self.bump().clone() {
+                            TokenKind::Int(n) => dims.push(n),
+                            other => {
+                                return self.err(format!(
+                                    "array extents must be integer literals, found {other:?}"
+                                ))
+                            }
+                        }
+                        if *self.peek() == TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)` after array extents")?;
+                }
+                decls.push(Decl {
+                    ty,
+                    name,
+                    dims,
+                    line,
+                });
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_newline()?;
+            self.skip_newlines();
+        }
+
+        let body = self.stmt_list(&["end"])?;
+        if !self.eat_kw("end") {
+            return self.err("expected `end`");
+        }
+        let _ = self.eat_kw("program");
+        Ok(SourceProgram { name, decls, body })
+    }
+
+    /// Parses statements until one of the given closing keywords is next
+    /// (not consumed).
+    fn stmt_list(&mut self, until: &[&str]) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            if *self.peek() == TokenKind::Eof {
+                return self.err(format!("unexpected end of input, expected {until:?}"));
+            }
+            if until.iter().any(|kw| self.peek_kw(kw)) {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let parallel = self.peek_kw("pardo");
+        if parallel || self.peek_kw("do") {
+            self.bump();
+            let var = self.ident("loop variable")?;
+            self.expect(&TokenKind::Assign, "`=` in do header")?;
+            let from = self.expr()?;
+            self.expect(&TokenKind::Comma, "`,` in do header")?;
+            let to = self.expr()?;
+            self.expect_newline()?;
+            let body = self.stmt_list(&["end"])?;
+            self.bump(); // `end`
+            if !self.eat_kw("do") {
+                return self.err("expected `end do`");
+            }
+            self.expect_newline()?;
+            return Ok(Stmt::Do {
+                var,
+                from,
+                to,
+                body,
+                parallel,
+                line,
+            });
+        }
+        if self.eat_kw("if") {
+            self.expect(&TokenKind::LParen, "`(` after if")?;
+            let lhs = self.expr()?;
+            let op = match self.bump().clone() {
+                TokenKind::Relop(r) => r,
+                other => return self.err(format!("expected comparison, found {other:?}")),
+            };
+            let rhs = self.expr()?;
+            self.expect(&TokenKind::RParen, "`)` after condition")?;
+            if !self.eat_kw("then") {
+                return self.err("expected `then`");
+            }
+            self.expect_newline()?;
+            let then_body = self.stmt_list(&["else", "end"])?;
+            let mut else_body = Vec::new();
+            if self.eat_kw("else") {
+                self.expect_newline()?;
+                else_body = self.stmt_list(&["end"])?;
+            }
+            self.bump(); // `end`
+            if !self.eat_kw("if") {
+                return self.err("expected `end if`");
+            }
+            self.expect_newline()?;
+            return Ok(Stmt::If {
+                lhs,
+                op,
+                rhs,
+                then_body,
+                else_body,
+                line,
+            });
+        }
+        if self.eat_kw("read") {
+            let target = self.lvalue()?;
+            self.expect_newline()?;
+            return Ok(Stmt::Read { target, line });
+        }
+        if self.eat_kw("write") {
+            let value = self.expr()?;
+            self.expect_newline()?;
+            return Ok(Stmt::Write { value, line });
+        }
+        // assignment
+        let target = self.lvalue()?;
+        self.expect(&TokenKind::Assign, "`=` in assignment")?;
+        let value = self.expr()?;
+        self.expect_newline()?;
+        Ok(Stmt::Assign {
+            target,
+            value,
+            line,
+        })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, ParseError> {
+        let name = self.ident("variable")?;
+        if *self.peek() == TokenKind::LParen {
+            self.bump();
+            let mut subs = Vec::new();
+            loop {
+                subs.push(self.expr()?);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)` after subscripts")?;
+            Ok(LValue::Elem(name, subs))
+        } else {
+            Ok(LValue::Var(name))
+        }
+    }
+
+    // expr := term ((+|-) term)*
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    // term := factor ((*|/|mod) factor)*
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Ident(s) if s == "mod" => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::Real(r) => {
+                self.bump();
+                Ok(Expr::Real(r))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.expr()?);
+                        if *self.peek() == TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)` after arguments")?;
+                    Ok(Expr::Index(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> SourceProgram {
+        parse_tokens(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse("program p\nx = 1\nend");
+        assert_eq!(p.name, "p");
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn declarations() {
+        let p = parse("program p\ninteger i, n\nreal a(10,20), x\nx = 1.0\nend");
+        assert_eq!(p.decls.len(), 4);
+        assert_eq!(p.decls[2].dims, vec![10, 20]);
+        assert_eq!(p.decls[2].ty, DeclType::Real);
+    }
+
+    #[test]
+    fn nested_do_and_if() {
+        let p = parse(
+            "program p\ninteger i, j, x\ndo i = 1, 10\n do j = 1, i\n  if (j > 2) then\n   x = j\n  else\n   x = 0\n  end if\n end do\nend do\nend",
+        );
+        match &p.body[0] {
+            Stmt::Do { body, .. } => match &body[0] {
+                Stmt::Do { body, .. } => {
+                    assert!(matches!(&body[0], Stmt::If { else_body, .. } if else_body.len() == 1))
+                }
+                other => panic!("expected inner do, got {other:?}"),
+            },
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("program p\ninteger x\nx = 1 + 2 * 3\nend");
+        match &p.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Bin(BinOp::Add, l, r) => {
+                    assert_eq!(**l, Expr::Int(1));
+                    assert!(matches!(**r, Expr::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn array_and_call_syntax_shared() {
+        let p = parse("program p\nreal a(10), x\nx = a(3) + sqrt(x)\nend");
+        match &p.body[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value, Expr::Bin(BinOp::Add, _, _)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let toks = lex("program p\nx = \nend").unwrap();
+        let e = parse_tokens(&toks).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn missing_end_do_is_error() {
+        let toks = lex("program p\ninteger i\ndo i = 1, 3\nend").unwrap();
+        assert!(parse_tokens(&toks).is_err());
+    }
+}

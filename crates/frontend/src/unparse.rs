@@ -1,0 +1,281 @@
+//! Un-lowering: render a quad [`Program`] back to compilable MiniFor
+//! source, making the whole system usable as a **source-to-source
+//! optimizer** (the level the paper's interactive loop transformations
+//! are meant to be seen at).
+//!
+//! Compiler temporaries (`@tN`) are renamed to fresh legal identifiers,
+//! and `pardo` headers use the `pardo` surface form. Unparsing is a left
+//! inverse of compilation up to temp names: `compile(unparse(p))` executes
+//! identically to `p`, and `unparse` is a fixpoint of
+//! `unparse ∘ compile` (tested below and in `tests/`).
+
+use gospel_ir::{Opcode, Operand, Program, Sym, VarKind, VarType};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders `prog` as MiniFor source.
+///
+/// Statements with no surface form (`nop`) are dropped; everything else in
+/// the IR round-trips.
+pub fn unparse(prog: &Program) -> String {
+    let renames = temp_renames(prog);
+    let name_of = |s: Sym| -> String {
+        renames
+            .get(&s)
+            .cloned()
+            .unwrap_or_else(|| prog.syms().name(s).to_string())
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", prog.name());
+
+    // Declarations, grouped by type like a human would write them.
+    for ty in [VarType::Int, VarType::Real] {
+        let mut decls = Vec::new();
+        for info in prog.variables() {
+            if info.ty != ty || prog.syms().name(info.sym).starts_with("@fn:") {
+                continue;
+            }
+            match &info.kind {
+                VarKind::Scalar => decls.push(name_of(info.sym)),
+                VarKind::Array(dims) => {
+                    let dims: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+                    decls.push(format!("{}({})", name_of(info.sym), dims.join(",")));
+                }
+            }
+        }
+        if !decls.is_empty() {
+            let kw = if ty == VarType::Int { "integer" } else { "real" };
+            let _ = writeln!(out, "  {kw} {}", decls.join(", "));
+        }
+    }
+
+    let mut indent = 1usize;
+    for id in prog.iter() {
+        let q = prog.quad(id);
+        if matches!(q.op, Opcode::EndDo | Opcode::EndIf | Opcode::Else) {
+            indent = indent.saturating_sub(1);
+        }
+        let pad = "  ".repeat(indent);
+        let opnd = |o: &Operand| operand_text(prog, o, &name_of);
+        match q.op {
+            Opcode::Assign => {
+                let _ = writeln!(out, "{pad}{} = {}", opnd(&q.dst), opnd(&q.a));
+            }
+            Opcode::Neg => {
+                let _ = writeln!(out, "{pad}{} = -{}", opnd(&q.dst), paren(opnd(&q.a)));
+            }
+            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Div | Opcode::Mod => {
+                let sym = q.op.infix().expect("binary arith has infix");
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {} {} {}",
+                    opnd(&q.dst),
+                    paren(opnd(&q.a)),
+                    sym,
+                    paren(opnd(&q.b))
+                );
+            }
+            Opcode::Call(f) => {
+                let fname = prog.syms().name(f).trim_start_matches("@fn:").to_string();
+                if q.b.is_none() {
+                    let _ = writeln!(out, "{pad}{} = {fname}({})", opnd(&q.dst), opnd(&q.a));
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{pad}{} = {fname}({}, {})",
+                        opnd(&q.dst),
+                        opnd(&q.a),
+                        opnd(&q.b)
+                    );
+                }
+            }
+            Opcode::DoHead | Opcode::ParDo => {
+                let kw = if q.op == Opcode::ParDo { "pardo" } else { "do" };
+                let _ = writeln!(
+                    out,
+                    "{pad}{kw} {} = {}, {}",
+                    opnd(&q.dst),
+                    opnd(&q.a),
+                    opnd(&q.b)
+                );
+                indent += 1;
+            }
+            Opcode::EndDo => {
+                let _ = writeln!(out, "{pad}end do");
+            }
+            op if op.is_if() => {
+                let _ = writeln!(
+                    out,
+                    "{pad}if ({} {} {}) then",
+                    opnd(&q.a),
+                    op.relop().expect("if has relop"),
+                    opnd(&q.b)
+                );
+                indent += 1;
+            }
+            Opcode::Else => {
+                let _ = writeln!(out, "{pad}else");
+                indent += 1;
+            }
+            Opcode::EndIf => {
+                let _ = writeln!(out, "{pad}end if");
+            }
+            Opcode::Read => {
+                let _ = writeln!(out, "{pad}read {}", opnd(&q.dst));
+            }
+            Opcode::Write => {
+                let _ = writeln!(out, "{pad}write {}", opnd(&q.a));
+            }
+            Opcode::Nop => {}
+            other => unreachable!("unhandled opcode {other}"),
+        }
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+/// Fresh legal names for compiler temporaries (`@t1` → `tmp1`, avoiding
+/// collisions with user names).
+fn temp_renames(prog: &Program) -> HashMap<Sym, String> {
+    let mut out = HashMap::new();
+    let mut counter = 0usize;
+    for info in prog.variables() {
+        let name = prog.syms().name(info.sym);
+        if name.starts_with("@t") {
+            loop {
+                counter += 1;
+                let candidate = format!("tmp{counter}");
+                if prog.syms().lookup(&candidate).is_none() {
+                    out.insert(info.sym, candidate);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn paren(s: String) -> String {
+    // Operand text is always atomic (a name, literal, or element ref), so
+    // no parentheses are ever required; negative literals are the one case
+    // that reads better wrapped.
+    if s.starts_with('-') {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn operand_text(prog: &Program, o: &Operand, name_of: &impl Fn(Sym) -> String) -> String {
+    match o {
+        Operand::None => "0".into(),
+        Operand::Const(v) => v.to_string(),
+        Operand::Var(s) => name_of(*s),
+        Operand::Elem { array, subs } => {
+            let subs: Vec<String> = subs
+                .iter()
+                .map(|e| affine_text(prog, e, name_of))
+                .collect();
+            format!("{}({})", name_of(*array), subs.join(", "))
+        }
+    }
+}
+
+fn affine_text(
+    prog: &Program,
+    e: &gospel_ir::AffineExpr,
+    name_of: &impl Fn(Sym) -> String,
+) -> String {
+    let _ = prog;
+    let mut parts: Vec<String> = Vec::new();
+    for v in e.vars() {
+        let c = e.coeff(v);
+        let name = name_of(v);
+        let term = match c {
+            1 => name,
+            -1 => format!("0 - {name}"),
+            c if c > 0 => format!("{c} * {name}"),
+            c => format!("0 - {} * {name}", -c),
+        };
+        parts.push(term);
+    }
+    let k = e.constant();
+    if parts.is_empty() {
+        return k.to_string();
+    }
+    let mut s = parts.join(" + ");
+    if k > 0 {
+        let _ = write!(s, " + {k}");
+    } else if k < 0 {
+        let _ = write!(s, " - {}", -k);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn roundtrip(src: &str) -> (Program, Program) {
+        let p = compile(src).unwrap();
+        let text = unparse(&p);
+        let q = compile(&text).unwrap_or_else(|e| panic!("unparse output invalid: {e}\n{text}"));
+        (p, q)
+    }
+
+    #[test]
+    fn simple_program_roundtrips_structurally() {
+        let (p, q) = roundtrip(
+            "program p\ninteger i, n\nreal a(10)\nn = 10\ndo i = 1, n\na(i) = a(i) + 1.0\nend do\nwrite a(1)\nend",
+        );
+        assert!(p.structurally_eq(&q), "\n{}\nvs\n{}", unparse(&p), unparse(&q));
+    }
+
+    #[test]
+    fn unparse_is_a_fixpoint_of_compile() {
+        for (name, src) in [
+            ("negsub", "program p\ninteger x, y\nreal a(5,5)\nx = 3\ny = -x\na(x, y + 2) = 1.5\nwrite a(3,1)\nend"),
+            ("branch", "program p\ninteger x\nx = 1\nif (x >= 0) then\nx = 2\nelse\nx = 3\nend if\nwrite x\nend"),
+            ("call", "program p\nreal r\nr = sqrt(2.0)\nr = max(r, 1.0)\nwrite r\nend"),
+        ] {
+            let p = compile(src).unwrap();
+            let once = unparse(&p);
+            let twice = unparse(&compile(&once).unwrap());
+            assert_eq!(once, twice, "{name} not a fixpoint:\n{once}\nvs\n{twice}");
+        }
+    }
+
+    #[test]
+    fn temps_get_legal_fresh_names() {
+        let p = compile(
+            "program p\ninteger x, y, tmp1\ntmp1 = 4\nx = (tmp1 + 1) * (tmp1 - 1)\ny = x\nwrite y\nend",
+        )
+        .unwrap();
+        let text = unparse(&p);
+        assert!(!text.contains('@'), "{text}");
+        // the user's own `tmp1` must not be captured
+        assert!(text.contains("tmp1 = 4"), "{text}");
+        compile(&text).unwrap();
+    }
+
+    #[test]
+    fn pardo_survives_the_roundtrip() {
+        let src = "program p\ninteger i\nreal a(10)\npardo i = 1, 10\na(i) = 1.0\nend do\nwrite a(1)\nend";
+        let p = compile(src).unwrap();
+        let head = p.iter().find(|&s| p.quad(s).op.is_loop_head()).unwrap();
+        assert_eq!(p.quad(head).op, Opcode::ParDo);
+        let text = unparse(&p);
+        assert!(text.contains("pardo i = 1, 10"), "{text}");
+        let q = compile(&text).unwrap();
+        assert!(p.structurally_eq(&q));
+    }
+
+    #[test]
+    fn negative_subscript_coefficients_unparse() {
+        let src = "program p\ninteger i, d\nreal a(40)\nd = 20\ndo i = 1, 10\na(d - i) = 1.0\nend do\nwrite a(10)\nend";
+        let (p, q) = roundtrip(src);
+        assert!(p.structurally_eq(&q), "{}", unparse(&p));
+    }
+}

@@ -1,0 +1,75 @@
+//! # gospel-lang — the General Optimization Specification Language
+//!
+//! GOSpeL is the declarative language of *Automatic Generation of Global
+//! Optimizers* (Whitfield & Soffa, PLDI 1991). An optimization is written as
+//! three sections:
+//!
+//! * **TYPE** — declares the code elements the optimization manipulates:
+//!   statements, loops, and nested / tightly-nested / adjacent loop pairs;
+//! * **PRECOND** — a `Code_Pattern` part describing the syntactic shape of
+//!   the elements (opcode and operand formats) followed by a `Depend` part
+//!   stating the flow/anti/output/control dependence conditions, with
+//!   direction vectors for loop-carried dependences;
+//! * **ACTION** — the transformation, composed from the five primitives
+//!   `delete`, `copy`, `move`, `add` and `modify`, optionally iterated with
+//!   `forall` over a set collected by an `all` quantifier.
+//!
+//! The paper's Figure 1 (constant propagation) reads, in this
+//! implementation's concrete syntax:
+//!
+//! ```text
+//! OPTIMIZATION CTP
+//! TYPE
+//!   Stmt: Si, Sj, Sl;
+//! PRECOND
+//!   Code_Pattern
+//!     any Si: Si.opc == assign AND type(Si.opr_2) == const;
+//!   Depend
+//!     any (Sj, pos): flow_dep(Si, Sj, (=));
+//!     no (Sl, pos2): flow_dep(Sl, Sj) AND (Sl != Si)
+//!                    AND operand(Sj, pos2) == operand(Sj, pos);
+//! ACTION
+//!   modify(operand(Sj, pos), Si.opr_2);
+//! END
+//! ```
+//!
+//! This crate provides the lexer, parser ([`parse_spec`]), AST ([`ast`]),
+//! semantic validation ([`validate_spec`]) and a pretty-printer. Turning a
+//! validated specification into an executable optimizer is the job of the
+//! `genesis` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lexer;
+mod parser;
+mod pretty;
+mod validate;
+
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::ParseError;
+pub use pretty::pretty;
+pub use validate::{validate_spec, SpecError, SpecInfo, VarClass};
+
+/// Parses a GOSpeL specification.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for lexical or syntax errors.
+pub fn parse_spec(src: &str) -> Result<ast::Spec, ParseError> {
+    let toks = lexer::lex(src).map_err(ParseError::from_lex)?;
+    parser::parse_tokens(&toks)
+}
+
+/// Parses *and validates* a specification: the form the generator accepts.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for syntax errors or semantic defects (undeclared
+/// names, ill-typed attribute paths, malformed quantifier structure).
+pub fn parse_validated(src: &str) -> Result<(ast::Spec, SpecInfo), SpecError> {
+    let spec = parse_spec(src).map_err(SpecError::Parse)?;
+    let info = validate_spec(&spec)?;
+    Ok((spec, info))
+}

@@ -1,0 +1,853 @@
+//! Recursive-descent parser for GOSpeL.
+
+use crate::ast::*;
+use crate::lexer::{LexError, Token, TokenKind};
+use std::fmt;
+
+/// Syntax error with line information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl ParseError {
+    pub(crate) fn from_lex(e: LexError) -> ParseError {
+        ParseError {
+            message: e.to_string(),
+            line: e.line,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on line {}", self.message, self.line)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a [`Spec`].
+///
+/// # Errors
+///
+/// Returns the first syntax error found.
+pub fn parse_tokens(toks: &[Token]) -> Result<Spec, ParseError> {
+    Parser { toks, pos: 0 }.spec()
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        if let TokenKind::Ident(s) = self.peek() {
+            let s = s.clone();
+            self.bump();
+            Ok(s)
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    // ---- top level ---------------------------------------------------------
+
+    fn spec(&mut self) -> Result<Spec, ParseError> {
+        self.expect_kw("optimization")?;
+        let name = self.ident("optimization name")?;
+        let mode = if self.eat_kw("mode") {
+            if self.eat_kw("interactive") {
+                Mode::Interactive
+            } else {
+                self.expect_kw("auto")?;
+                Mode::Auto
+            }
+        } else {
+            Mode::Auto
+        };
+
+        self.expect_kw("type")?;
+        let mut decls = Vec::new();
+        while !self.peek_kw("precond") {
+            decls.push(self.type_decl()?);
+        }
+        self.expect_kw("precond")?;
+        self.expect_kw("code_pattern")?;
+        let mut patterns = Vec::new();
+        while !(self.peek_kw("depend") || self.peek_kw("action")) {
+            patterns.push(self.pattern_clause()?);
+        }
+        let mut depends = Vec::new();
+        if self.eat_kw("depend") {
+            while !self.peek_kw("action") {
+                depends.push(self.depend_clause()?);
+            }
+        }
+        self.expect_kw("action")?;
+        let actions = self.actions(&["end"])?;
+        self.expect_kw("end")?;
+        Ok(Spec {
+            name,
+            mode,
+            decls,
+            patterns,
+            depends,
+            actions,
+        })
+    }
+
+    fn type_decl(&mut self) -> Result<TypeDecl, ParseError> {
+        let kw = self.ident("element type")?;
+        let ty = match kw.to_ascii_lowercase().as_str() {
+            "stmt" | "statement" => ElemType::Stmt,
+            "loop" => ElemType::Loop,
+            "nested_loops" => ElemType::NestedLoops,
+            "tight_loops" => ElemType::TightLoops,
+            "adjacent_loops" => ElemType::AdjacentLoops,
+            other => return self.err(format!("unknown element type `{other}`")),
+        };
+        self.expect(&TokenKind::Colon, "`:` after element type")?;
+        let mut groups = Vec::new();
+        loop {
+            if *self.peek() == TokenKind::LParen {
+                self.bump();
+                let a = self.ident("identifier")?;
+                self.expect(&TokenKind::Comma, "`,` in pair")?;
+                let b = self.ident("identifier")?;
+                self.expect(&TokenKind::RParen, "`)` after pair")?;
+                groups.push(vec![a, b]);
+            } else {
+                groups.push(vec![self.ident("identifier")?]);
+            }
+            if *self.peek() == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi, "`;` after declaration")?;
+        // Arity check is syntactic enough to do here.
+        for g in &groups {
+            if g.len() != ty.arity() {
+                return self.err(format!(
+                    "{} declares {} identifier(s) per group, got {}",
+                    ty.keyword(),
+                    ty.arity(),
+                    g.len()
+                ));
+            }
+        }
+        Ok(TypeDecl { ty, groups })
+    }
+
+    fn quant(&mut self) -> Result<Quant, ParseError> {
+        if self.eat_kw("any") {
+            Ok(Quant::Any)
+        } else if self.eat_kw("all") {
+            Ok(Quant::All)
+        } else if self.eat_kw("no") {
+            Ok(Quant::No)
+        } else {
+            self.err(format!("expected quantifier, found {:?}", self.peek()))
+        }
+    }
+
+    fn pattern_clause(&mut self) -> Result<PatternClause, ParseError> {
+        let quant = self.quant()?;
+        let mut vars = Vec::new();
+        if *self.peek() == TokenKind::LParen {
+            self.bump();
+            loop {
+                vars.push(self.ident("element variable")?);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)` after variables")?;
+        } else {
+            vars.push(self.ident("element variable")?);
+        }
+        let format = if *self.peek() == TokenKind::Colon {
+            self.bump();
+            Some(self.bool_expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi, "`;` after pattern clause")?;
+        Ok(PatternClause {
+            quant,
+            vars,
+            format,
+        })
+    }
+
+    fn depend_clause(&mut self) -> Result<DependClause, ParseError> {
+        let quant = self.quant()?;
+        let mut vars = Vec::new();
+        let mut pos_vars = Vec::new();
+        // Bindings up to the `:` — possibly none (pure check: `no: cond;`).
+        while *self.peek() != TokenKind::Colon {
+            if *self.peek() == TokenKind::LParen {
+                self.bump();
+                let v = self.ident("element variable")?;
+                self.expect(&TokenKind::Comma, "`,` in (var, pos)")?;
+                let p = self.ident("position variable")?;
+                self.expect(&TokenKind::RParen, "`)` after (var, pos)")?;
+                vars.push(v);
+                pos_vars.push(Some(p));
+            } else {
+                vars.push(self.ident("element variable")?);
+                pos_vars.push(None);
+            }
+            if *self.peek() == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Colon, "`:` after dependence bindings")?;
+
+        // Optional membership constraints, then the conditions.
+        let mut members = Vec::new();
+        if self.peek_kw("mem") || self.peek_kw("nmem") {
+            loop {
+                members.push(self.mem_expr()?);
+                if self.eat_kw("and") {
+                    if self.peek_kw("mem") || self.peek_kw("nmem") {
+                        continue;
+                    }
+                    // The AND belonged to the condition list; we already
+                    // consumed it — parse the conditions now.
+                    let cond = self.bool_expr()?;
+                    self.expect(&TokenKind::Semi, "`;` after dependence clause")?;
+                    return Ok(DependClause {
+                        quant,
+                        vars,
+                        pos_vars,
+                        members,
+                        cond,
+                    });
+                }
+                break;
+            }
+            self.expect(&TokenKind::Comma, "`,` between membership and conditions")?;
+        }
+        let cond = self.bool_expr()?;
+        self.expect(&TokenKind::Semi, "`;` after dependence clause")?;
+        Ok(DependClause {
+            quant,
+            vars,
+            pos_vars,
+            members,
+            cond,
+        })
+    }
+
+    fn mem_expr(&mut self) -> Result<MemExpr, ParseError> {
+        let negated = if self.eat_kw("nmem") {
+            true
+        } else {
+            self.expect_kw("mem")?;
+            false
+        };
+        self.expect(&TokenKind::LParen, "`(` after mem")?;
+        let elem = self.val_expr()?;
+        self.expect(&TokenKind::Comma, "`,` in mem")?;
+        let set = self.set_expr()?;
+        self.expect(&TokenKind::RParen, "`)` after mem")?;
+        Ok(MemExpr {
+            elem,
+            set,
+            negated,
+        })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr, ParseError> {
+        let mut lhs = self.set_atom()?;
+        loop {
+            if self.eat_kw("union") {
+                let rhs = self.set_atom()?;
+                lhs = SetExpr::Union(Box::new(lhs), Box::new(rhs));
+            } else if self.eat_kw("inter") {
+                let rhs = self.set_atom()?;
+                lhs = SetExpr::Inter(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn set_atom(&mut self) -> Result<SetExpr, ParseError> {
+        if self.eat_kw("path") {
+            self.expect(&TokenKind::LParen, "`(` after path")?;
+            let a = self.val_expr()?;
+            self.expect(&TokenKind::Comma, "`,` in path")?;
+            let b = self.val_expr()?;
+            self.expect(&TokenKind::RParen, "`)` after path")?;
+            return Ok(SetExpr::Path(a, b));
+        }
+        let name = self.ident("set name")?;
+        // `L.body` is sugar for the loop's body set.
+        if *self.peek() == TokenKind::Dot {
+            self.bump();
+            self.expect_kw("body")?;
+        }
+        Ok(SetExpr::Named(name))
+    }
+
+    // ---- boolean expressions ------------------------------------------------
+
+    fn bool_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.bool_term()?;
+        while self.eat_kw("or") {
+            let rhs = self.bool_term()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_term(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut lhs = self.bool_factor()?;
+        while self.eat_kw("and") {
+            let rhs = self.bool_factor()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_factor(&mut self) -> Result<BoolExpr, ParseError> {
+        if self.eat_kw("not") {
+            self.expect(&TokenKind::LParen, "`(` after NOT")?;
+            let inner = self.bool_expr()?;
+            self.expect(&TokenKind::RParen, "`)` after NOT(...)")?;
+            return Ok(BoolExpr::Not(Box::new(inner)));
+        }
+        if *self.peek() == TokenKind::LParen {
+            self.bump();
+            let inner = self.bool_expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        // dependence functions
+        for (kw, kind) in [
+            ("flow_dep", DepKind::Flow),
+            ("anti_dep", DepKind::Anti),
+            ("out_dep", DepKind::Output),
+            ("ctrl_dep", DepKind::Control),
+        ] {
+            if self.peek_kw(kw) {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(` after dependence")?;
+                let from = self.val_expr()?;
+                self.expect(&TokenKind::Comma, "`,` in dependence")?;
+                let to = self.val_expr()?;
+                let dirs = if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                    Some(self.dirvec()?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::RParen, "`)` after dependence")?;
+                return Ok(BoolExpr::Dep {
+                    kind,
+                    from,
+                    to,
+                    dirs,
+                });
+            }
+        }
+        // type(x) == const
+        if self.peek_kw("type") {
+            self.bump();
+            self.expect(&TokenKind::LParen, "`(` after type")?;
+            let v = self.val_expr()?;
+            self.expect(&TokenKind::RParen, "`)` after type")?;
+            let positive = match self.bump() {
+                TokenKind::EqEq => true,
+                TokenKind::Ne => false,
+                other => return self.err(format!("expected == or != after type(), got {other:?}")),
+            };
+            let cls = self.operand_class()?;
+            return Ok(BoolExpr::TypeIs(v, cls, positive));
+        }
+        // plain comparison
+        let lhs = self.val_expr()?;
+        let op = match self.bump() {
+            TokenKind::EqEq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => return self.err(format!("expected comparison operator, got {other:?}")),
+        };
+        let rhs = self.val_expr()?;
+        Ok(BoolExpr::Cmp(lhs, op, rhs))
+    }
+
+    fn operand_class(&mut self) -> Result<OperandClass, ParseError> {
+        let name = self.ident("operand class")?;
+        match name.to_ascii_lowercase().as_str() {
+            "const" | "cons" | "constant" => Ok(OperandClass::Const),
+            "var" | "variable" => Ok(OperandClass::Var),
+            "elem" | "element" | "array" => Ok(OperandClass::Elem),
+            "none" | "empty" => Ok(OperandClass::None),
+            other => self.err(format!("unknown operand class `{other}`")),
+        }
+    }
+
+    fn dirvec(&mut self) -> Result<Vec<DirElem>, ParseError> {
+        self.expect(&TokenKind::LParen, "`(` opening direction vector")?;
+        let mut dirs = Vec::new();
+        loop {
+            let d = match self.bump() {
+                TokenKind::Lt => DirElem::Lt,
+                TokenKind::Gt => DirElem::Gt,
+                TokenKind::Assign => DirElem::Eq,
+                TokenKind::Star => DirElem::Any,
+                TokenKind::Ident(s) if s.eq_ignore_ascii_case("any") => DirElem::Any,
+                other => {
+                    return self.err(format!("expected direction (<, >, =, *), got {other:?}"))
+                }
+            };
+            dirs.push(d);
+            if *self.peek() == TokenKind::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)` closing direction vector")?;
+        Ok(dirs)
+    }
+
+    // ---- value expressions ---------------------------------------------------
+
+    fn val_expr(&mut self) -> Result<ValExpr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(ValExpr::Int(n))
+            }
+            TokenKind::Real(r) => {
+                self.bump();
+                Ok(ValExpr::Real(r))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                match self.bump() {
+                    TokenKind::Int(n) => Ok(ValExpr::Int(-n)),
+                    TokenKind::Real(r) => Ok(ValExpr::Real(-r)),
+                    other => self.err(format!("expected number after `-`, got {other:?}")),
+                }
+            }
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("operand") {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(` after operand")?;
+                    let s = self.val_expr()?;
+                    self.expect(&TokenKind::Comma, "`,` in operand()")?;
+                    let p = self.val_expr()?;
+                    self.expect(&TokenKind::RParen, "`)` after operand()")?;
+                    return Ok(ValExpr::OperandFn(Box::new(s), Box::new(p)));
+                }
+                if name.eq_ignore_ascii_case("eval") {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(` after eval")?;
+                    let a = self.val_expr()?;
+                    self.expect(&TokenKind::Comma, "`,` in eval()")?;
+                    let op = self.val_expr()?;
+                    self.expect(&TokenKind::Comma, "`,` in eval()")?;
+                    let b = self.val_expr()?;
+                    self.expect(&TokenKind::RParen, "`)` after eval()")?;
+                    return Ok(ValExpr::Eval(Box::new(a), Box::new(op), Box::new(b)));
+                }
+                if name.eq_ignore_ascii_case("bump") {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(` after bump")?;
+                    let x = self.val_expr()?;
+                    self.expect(&TokenKind::Comma, "`,` in bump()")?;
+                    let v = self.val_expr()?;
+                    self.expect(&TokenKind::Comma, "`,` in bump()")?;
+                    let k = self.val_expr()?;
+                    self.expect(&TokenKind::RParen, "`)` after bump()")?;
+                    return Ok(ValExpr::Bump(Box::new(x), Box::new(v), Box::new(k)));
+                }
+                self.bump();
+                if *self.peek() == TokenKind::Dot {
+                    let mut path = Vec::new();
+                    while *self.peek() == TokenKind::Dot {
+                        self.bump();
+                        path.push(self.attr()?);
+                    }
+                    Ok(ValExpr::Ref(ElemRef { base: name, path }))
+                } else {
+                    Ok(ValExpr::Name(name))
+                }
+            }
+            other => self.err(format!("expected value expression, got {other:?}")),
+        }
+    }
+
+    fn attr(&mut self) -> Result<Attr, ParseError> {
+        let name = self.ident("attribute")?;
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "nxt" | "next" => Attr::Nxt,
+            "prev" => Attr::Prev,
+            "head" => Attr::Head,
+            "end" => Attr::End,
+            "body" => Attr::Body,
+            "lcv" => Attr::Lcv,
+            "init" => Attr::Init,
+            "final" => Attr::Final,
+            "opc" => Attr::Opc,
+            "opr_1" => Attr::Opr(1),
+            "opr_2" => Attr::Opr(2),
+            "opr_3" => Attr::Opr(3),
+            other => return self.err(format!("unknown attribute `.{other}`")),
+        })
+    }
+
+    // ---- actions ---------------------------------------------------------------
+
+    fn actions(&mut self, until: &[&str]) -> Result<Vec<Action>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if until.iter().any(|kw| self.peek_kw(kw)) {
+                return Ok(out);
+            }
+            if *self.peek() == TokenKind::Eof {
+                return self.err("unexpected end of specification in ACTION section");
+            }
+            out.push(self.action()?);
+        }
+    }
+
+    fn action(&mut self) -> Result<Action, ParseError> {
+        if self.eat_kw("delete") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let a = self.val_expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            self.expect(&TokenKind::Semi, "`;` after delete")?;
+            return Ok(Action::Delete(a));
+        }
+        if self.eat_kw("copy") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let a = self.val_expr()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let b = self.val_expr()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let c = self.ident("new statement name")?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            self.expect(&TokenKind::Semi, "`;` after copy")?;
+            return Ok(Action::Copy(a, b, c));
+        }
+        if self.eat_kw("move") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let a = self.val_expr()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let b = self.val_expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            self.expect(&TokenKind::Semi, "`;` after move")?;
+            return Ok(Action::Move(a, b));
+        }
+        if self.eat_kw("add") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let a = self.val_expr()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let desc = self.elem_desc()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let b = self.ident("new statement name")?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            self.expect(&TokenKind::Semi, "`;` after add")?;
+            return Ok(Action::Add(a, desc, b));
+        }
+        if self.eat_kw("modify") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let place = self.val_expr()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let new = self.val_expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            self.expect(&TokenKind::Semi, "`;` after modify")?;
+            return Ok(Action::Modify(place, new));
+        }
+        if self.eat_kw("forall") {
+            let (var, pos_var) = if *self.peek() == TokenKind::LParen {
+                self.bump();
+                let v = self.ident("element variable")?;
+                self.expect(&TokenKind::Comma, "`,`")?;
+                let p = self.ident("position variable")?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                (v, Some(p))
+            } else {
+                (self.ident("element variable")?, None)
+            };
+            self.expect_kw("in")?;
+            let set = self.set_expr()?;
+            self.expect_kw("do")?;
+            let body = self.actions(&["end"])?;
+            self.expect_kw("end")?;
+            self.expect(&TokenKind::Semi, "`;` after forall … end")?;
+            return Ok(Action::ForAll {
+                var,
+                pos_var,
+                set,
+                body,
+            });
+        }
+        self.err(format!("expected an action, found {:?}", self.peek()))
+    }
+
+    fn elem_desc(&mut self) -> Result<ElemDesc, ParseError> {
+        self.expect(&TokenKind::LBracket, "`[` opening statement template")?;
+        let opc = self.ident("opcode name")?;
+        let mut oprs: Vec<ValExpr> = Vec::new();
+        while *self.peek() == TokenKind::Comma {
+            self.bump();
+            oprs.push(self.val_expr()?);
+        }
+        if oprs.len() > 3 {
+            return self.err("a statement template has at most three operands");
+        }
+        self.expect(&TokenKind::RBracket, "`]` closing statement template")?;
+        let mut it = oprs.into_iter();
+        Ok(ElemDesc {
+            opc,
+            opr_1: it.next(),
+            opr_2: it.next(),
+            opr_3: it.next(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_spec;
+
+    const CTP: &str = r#"
+OPTIMIZATION CTP
+TYPE
+  Stmt: Si, Sj, Sl;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos2): flow_dep(Sl, Sj) AND (Sl != Si)
+                   AND operand(Sj, pos2) == operand(Sj, pos);
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+END
+"#;
+
+    const INX: &str = r#"
+OPTIMIZATION INX MODE interactive
+TYPE
+  Stmt: Sm, Sn;
+  Tight_Loops: (L1, L2);
+PRECOND
+  Code_Pattern
+    any (L1, L2);
+  Depend
+    no: flow_dep(L1.head, L2.head);
+    no Sm, Sn: mem(Sm, L2) AND mem(Sn, L2), flow_dep(Sn, Sm, (<,>));
+ACTION
+  move(L1.head, L2.head);
+  move(L1.end, L2.end.prev);
+END
+"#;
+
+    #[test]
+    fn parses_ctp() {
+        let s = parse_spec(CTP).unwrap();
+        assert_eq!(s.name, "CTP");
+        assert_eq!(s.mode, Mode::Auto);
+        assert_eq!(s.decls.len(), 1);
+        assert_eq!(s.patterns.len(), 1);
+        assert_eq!(s.depends.len(), 2);
+        assert_eq!(s.actions.len(), 1);
+        // the any clause binds (Sj, pos)
+        assert_eq!(s.depends[0].vars, vec!["Sj"]);
+        assert_eq!(s.depends[0].pos_vars, vec![Some("pos".to_string())]);
+        match &s.depends[0].cond {
+            BoolExpr::Dep { kind, dirs, .. } => {
+                assert_eq!(*kind, DepKind::Flow);
+                assert_eq!(dirs.as_deref(), Some(&[DirElem::Eq][..]));
+            }
+            other => panic!("expected dep condition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_inx() {
+        let s = parse_spec(INX).unwrap();
+        assert_eq!(s.mode, Mode::Interactive);
+        assert_eq!(s.decls[1].ty, ElemType::TightLoops);
+        assert_eq!(s.decls[1].groups, vec![vec!["L1", "L2"]]);
+        // first depend clause binds nothing (pure check)
+        assert!(s.depends[0].vars.is_empty());
+        // second binds two statements with membership constraints
+        assert_eq!(s.depends[1].vars, vec!["Sm", "Sn"]);
+        assert_eq!(s.depends[1].members.len(), 2);
+        match &s.depends[1].cond {
+            BoolExpr::Dep { dirs, .. } => {
+                assert_eq!(dirs.as_deref(), Some(&[DirElem::Lt, DirElem::Gt][..]));
+            }
+            other => panic!("expected dep, got {other:?}"),
+        }
+        // actions navigate attribute paths
+        match &s.actions[1] {
+            Action::Move(ValExpr::Ref(a), ValExpr::Ref(b)) => {
+                assert_eq!(a.path, vec![Attr::End]);
+                assert_eq!(b.path, vec![Attr::End, Attr::Prev]);
+            }
+            other => panic!("expected move, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_forall_and_add() {
+        let src = r#"
+OPTIMIZATION X
+TYPE
+  Stmt: Si;
+  Loop: L;
+PRECOND
+  Code_Pattern
+    any L;
+  Depend
+    all (Si, p): mem(Si, L), flow_dep(L.head, Si);
+ACTION
+  forall (S, p) in Si do
+    modify(operand(S, p), L.init);
+  end;
+  add(L.head, [assign, L.lcv, L.init], Snew);
+  delete(L.end);
+END
+"#;
+        let s = parse_spec(src).unwrap();
+        assert_eq!(s.actions.len(), 3);
+        match &s.actions[0] {
+            Action::ForAll { var, pos_var, body, .. } => {
+                assert_eq!(var, "S");
+                assert_eq!(pos_var.as_deref(), Some("p"));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected forall, got {other:?}"),
+        }
+        match &s.actions[1] {
+            Action::Add(_, desc, name) => {
+                assert_eq!(desc.opc, "assign");
+                assert!(desc.opr_1.is_some());
+                assert!(desc.opr_3.is_none());
+                assert_eq!(name, "Snew");
+            }
+            other => panic!("expected add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arity_declaration() {
+        let src = "OPTIMIZATION X TYPE Tight_Loops: L1; PRECOND Code_Pattern any L1; ACTION delete(L1); END";
+        assert!(parse_spec(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let src = "OPTIMIZATION X TYPE Stmt: S; PRECOND Code_Pattern any S: S.bogus == 1; ACTION delete(S); END";
+        assert!(parse_spec(src).is_err());
+    }
+
+    #[test]
+    fn error_carries_line() {
+        let e = parse_spec("OPTIMIZATION X\nTYPE\n  Junk: S;\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn eval_and_bump_extensions() {
+        let src = r#"
+OPTIMIZATION CFO
+TYPE Stmt: Si;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == add AND type(Si.opr_2) == const AND type(Si.opr_3) == const;
+ACTION
+  modify(Si.opr_2, eval(Si.opr_2, add, Si.opr_3));
+  modify(Si.opr_3, bump(Si.opr_3, Si.opr_1, 1));
+END
+"#;
+        let s = parse_spec(src).unwrap();
+        match &s.actions[0] {
+            Action::Modify(_, ValExpr::Eval(_, op, _)) => {
+                assert_eq!(**op, ValExpr::Name("add".into()))
+            }
+            other => panic!("expected eval modify, got {other:?}"),
+        }
+        match &s.actions[1] {
+            Action::Modify(_, ValExpr::Bump(_, _, k)) => assert_eq!(**k, ValExpr::Int(1)),
+            other => panic!("expected bump modify, got {other:?}"),
+        }
+    }
+}

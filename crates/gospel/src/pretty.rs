@@ -1,0 +1,411 @@
+//! Pretty-printer: renders a [`Spec`] back to concrete syntax.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a specification in canonical concrete syntax. The result
+/// re-parses to an equal AST (round-trip property, tested below).
+pub fn pretty(spec: &Spec) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "OPTIMIZATION {}", spec.name);
+    if spec.mode == Mode::Interactive {
+        let _ = write!(s, " MODE interactive");
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(s, "TYPE");
+    for d in &spec.decls {
+        let groups: Vec<String> = d
+            .groups
+            .iter()
+            .map(|g| {
+                if g.len() == 1 {
+                    g[0].clone()
+                } else {
+                    format!("({})", g.join(", "))
+                }
+            })
+            .collect();
+        let _ = writeln!(s, "  {}: {};", d.ty.keyword(), groups.join(", "));
+    }
+    let _ = writeln!(s, "PRECOND");
+    let _ = writeln!(s, "  Code_Pattern");
+    for p in &spec.patterns {
+        let vars = if p.vars.len() == 1 {
+            p.vars[0].clone()
+        } else {
+            format!("({})", p.vars.join(", "))
+        };
+        let _ = match &p.format {
+            Some(f) => writeln!(s, "    {} {}: {};", p.quant.keyword(), vars, bool_str(f)),
+            None => writeln!(s, "    {} {};", p.quant.keyword(), vars),
+        };
+    }
+    if !spec.depends.is_empty() {
+        let _ = writeln!(s, "  Depend");
+        for d in &spec.depends {
+            let mut binds = Vec::new();
+            for (v, pv) in d.vars.iter().zip(&d.pos_vars) {
+                match pv {
+                    Some(p) => binds.push(format!("({v}, {p})")),
+                    None => binds.push(v.clone()),
+                }
+            }
+            let mut line = format!("    {} {}: ", d.quant.keyword(), binds.join(", "));
+            if !d.members.is_empty() {
+                let mems: Vec<String> = d.members.iter().map(mem_str).collect();
+                let _ = write!(line, "{}, ", mems.join(" AND "));
+            }
+            let _ = writeln!(s, "{line}{};", bool_str(&d.cond));
+        }
+    }
+    let _ = writeln!(s, "ACTION");
+    for a in &spec.actions {
+        action_str(a, 1, &mut s);
+    }
+    let _ = writeln!(s, "END");
+    s
+}
+
+fn mem_str(m: &MemExpr) -> String {
+    format!(
+        "{}({}, {})",
+        if m.negated { "nmem" } else { "mem" },
+        val_str(&m.elem),
+        set_str(&m.set)
+    )
+}
+
+fn set_str(se: &SetExpr) -> String {
+    match se {
+        SetExpr::Named(n) => n.clone(),
+        SetExpr::Path(a, b) => format!("path({}, {})", val_str(a), val_str(b)),
+        SetExpr::Union(a, b) => format!("{} UNION {}", set_str(a), set_str(b)),
+        SetExpr::Inter(a, b) => format!("{} INTER {}", set_str(a), set_str(b)),
+    }
+}
+
+fn bool_str(b: &BoolExpr) -> String {
+    match b {
+        BoolExpr::And(l, r) => format!("{} AND {}", bool_factor_str(l), bool_factor_str(r)),
+        BoolExpr::Or(l, r) => format!("{} OR {}", bool_factor_str(l), bool_factor_str(r)),
+        BoolExpr::Not(i) => format!("NOT ({})", bool_str(i)),
+        BoolExpr::Cmp(l, op, r) => format!("{} {} {}", val_str(l), op.symbol(), val_str(r)),
+        BoolExpr::Dep {
+            kind,
+            from,
+            to,
+            dirs,
+        } => {
+            let mut s = format!("{}({}, {}", kind.gospel_name(), val_str(from), val_str(to));
+            if let Some(ds) = dirs {
+                let parts: Vec<String> = ds.iter().map(|d| d.symbol().to_string()).collect();
+                let _ = write!(s, ", ({})", parts.join(","));
+            }
+            s.push(')');
+            s
+        }
+        BoolExpr::TypeIs(v, cls, positive) => format!(
+            "type({}) {} {}",
+            val_str(v),
+            if *positive { "==" } else { "!=" },
+            cls.keyword()
+        ),
+    }
+}
+
+fn bool_factor_str(b: &BoolExpr) -> String {
+    match b {
+        BoolExpr::And(_, _) | BoolExpr::Or(_, _) => format!("({})", bool_str(b)),
+        _ => bool_str(b),
+    }
+}
+
+fn val_str(v: &ValExpr) -> String {
+    match v {
+        ValExpr::Ref(r) => {
+            let mut s = r.base.clone();
+            for a in &r.path {
+                s.push('.');
+                s.push_str(&a.keyword());
+            }
+            s
+        }
+        ValExpr::OperandFn(st, p) => format!("operand({}, {})", val_str(st), val_str(p)),
+        ValExpr::Name(n) => n.clone(),
+        ValExpr::Int(n) => n.to_string(),
+        ValExpr::Real(r) => format!("{r:?}"),
+        ValExpr::Eval(a, op, b) => format!(
+            "eval({}, {}, {})",
+            val_str(a),
+            val_str(op),
+            val_str(b)
+        ),
+        ValExpr::Bump(x, var, k) => format!(
+            "bump({}, {}, {})",
+            val_str(x),
+            val_str(var),
+            val_str(k)
+        ),
+    }
+}
+
+fn action_str(a: &Action, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match a {
+        Action::Delete(x) => {
+            let _ = writeln!(out, "{pad}delete({});", val_str(x));
+        }
+        Action::Copy(x, after, name) => {
+            let _ = writeln!(out, "{pad}copy({}, {}, {name});", val_str(x), val_str(after));
+        }
+        Action::Move(x, after) => {
+            let _ = writeln!(out, "{pad}move({}, {});", val_str(x), val_str(after));
+        }
+        Action::Add(after, desc, name) => {
+            let mut parts = vec![desc.opc.clone()];
+            for o in [&desc.opr_1, &desc.opr_2, &desc.opr_3].into_iter().flatten() {
+                parts.push(val_str(o));
+            }
+            let _ = writeln!(
+                out,
+                "{pad}add({}, [{}], {name});",
+                val_str(after),
+                parts.join(", ")
+            );
+        }
+        Action::Modify(place, new) => {
+            let _ = writeln!(out, "{pad}modify({}, {});", val_str(place), val_str(new));
+        }
+        Action::ForAll {
+            var,
+            pos_var,
+            set,
+            body,
+        } => {
+            let binder = match pos_var {
+                Some(p) => format!("({var}, {p})"),
+                None => var.clone(),
+            };
+            let _ = writeln!(out, "{pad}forall {binder} in {} do", set_str(set));
+            for b in body {
+                action_str(b, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}end;");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_spec;
+
+    const CTP: &str = r#"
+OPTIMIZATION CTP
+TYPE
+  Stmt: Si, Sj, Sl;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos2): flow_dep(Sl, Sj) AND (Sl != Si)
+                   AND operand(Sj, pos2) == operand(Sj, pos);
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+END
+"#;
+
+    #[test]
+    fn roundtrip_ctp() {
+        let ast1 = parse_spec(CTP).unwrap();
+        let printed = super::pretty(&ast1);
+        let ast2 = parse_spec(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(ast1, ast2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_forall() {
+        let src = r#"
+OPTIMIZATION X MODE interactive
+TYPE Stmt: Si; Loop: L;
+PRECOND
+  Code_Pattern
+    any L;
+  Depend
+    all (Si, p): mem(Si, L), flow_dep(L.head, Si);
+ACTION
+  forall (S, q) in Si do
+    modify(operand(S, q), L.init);
+    copy(S, L.end, S2);
+  end;
+  add(L.head, [assign, L.lcv, L.init], S3);
+END
+"#;
+        let ast1 = parse_spec(src).unwrap();
+        let printed = super::pretty(&ast1);
+        let ast2 = parse_spec(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(ast1, ast2, "printed:\n{printed}");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use crate::ast::*;
+    use crate::{parse_spec, validate_spec};
+    use proptest::prelude::*;
+
+    fn dir_elem() -> impl Strategy<Value = DirElem> {
+        prop_oneof![
+            Just(DirElem::Lt),
+            Just(DirElem::Eq),
+            Just(DirElem::Gt),
+            Just(DirElem::Any),
+        ]
+    }
+
+    fn dep_kind() -> impl Strategy<Value = DepKind> {
+        prop_oneof![
+            Just(DepKind::Flow),
+            Just(DepKind::Anti),
+            Just(DepKind::Output),
+            Just(DepKind::Control),
+        ]
+    }
+
+    fn stmt_ref(base: String) -> impl Strategy<Value = ValExpr> {
+        prop_oneof![
+            Just(ValExpr::Name(base.clone())),
+            Just(ValExpr::Ref(ElemRef {
+                base,
+                path: vec![Attr::Nxt],
+            })),
+        ]
+    }
+
+    /// A format condition over one declared statement variable.
+    fn format_expr(var: String) -> impl Strategy<Value = BoolExpr> {
+        let opc = {
+            let var = var.clone();
+            prop_oneof![Just("assign"), Just("add"), Just("mul")].prop_map(move |o| {
+                BoolExpr::Cmp(
+                    ValExpr::Ref(ElemRef {
+                        base: var.clone(),
+                        path: vec![Attr::Opc],
+                    }),
+                    CmpOp::Eq,
+                    ValExpr::Name(o.to_string()),
+                )
+            })
+        };
+        let ty = {
+            let var = var.clone();
+            prop_oneof![
+                Just(OperandClass::Const),
+                Just(OperandClass::Var),
+                Just(OperandClass::Elem)
+            ]
+            .prop_map(move |c| {
+                BoolExpr::TypeIs(
+                    ValExpr::Ref(ElemRef {
+                        base: var.clone(),
+                        path: vec![Attr::Opr(2)],
+                    }),
+                    c,
+                    true,
+                )
+            })
+        };
+        prop_oneof![
+            opc.clone(),
+            ty.clone(),
+            (opc, ty).prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
+        ]
+    }
+
+    /// Whole-specification strategy: always well-formed (validates).
+    fn spec_strategy() -> impl Strategy<Value = Spec> {
+        (
+            2usize..4,                                      // statement vars
+            proptest::option::of(format_expr("S0".into())), // S0's format
+            dep_kind(),
+            proptest::option::of(proptest::collection::vec(dir_elem(), 1..3)),
+            prop_oneof![Just(Quant::Any), Just(Quant::No), Just(Quant::All)],
+            any::<bool>(), // with position var?
+            any::<bool>(), // delete vs modify action
+        )
+            .prop_map(|(nstmts, format, kind, dirs, quant, with_pos, del)| {
+                let stmt_names: Vec<String> = (0..nstmts).map(|i| format!("S{i}")).collect();
+                let decls = vec![TypeDecl {
+                    ty: ElemType::Stmt,
+                    groups: stmt_names.iter().map(|n| vec![n.clone()]).collect(),
+                }];
+                let patterns = vec![PatternClause {
+                    quant: Quant::Any,
+                    vars: vec!["S0".into()],
+                    format,
+                }];
+                let depends = vec![DependClause {
+                    quant,
+                    vars: vec!["S1".into()],
+                    pos_vars: vec![if with_pos { Some("p".into()) } else { None }],
+                    members: Vec::new(),
+                    cond: BoolExpr::Dep {
+                        kind,
+                        from: ValExpr::Name("S0".into()),
+                        to: ValExpr::Name("S1".into()),
+                        dirs,
+                    },
+                }];
+                // `no`-bound variables are not available to actions; act on
+                // the pattern-bound S0 instead.
+                let action_target = "S0".to_string();
+                let actions = vec![if del {
+                    Action::Delete(ValExpr::Name(action_target))
+                } else {
+                    Action::Modify(
+                        ValExpr::Ref(ElemRef {
+                            base: action_target,
+                            path: vec![Attr::Opr(2)],
+                        }),
+                        ValExpr::Int(7),
+                    )
+                }];
+                Spec {
+                    name: "GEN".into(),
+                    mode: Mode::Auto,
+                    decls,
+                    patterns,
+                    depends,
+                    actions,
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_specs_roundtrip_and_validate(spec in spec_strategy()) {
+            prop_assert!(validate_spec(&spec).is_ok(), "generated spec invalid");
+            let printed = super::pretty(&spec);
+            let reparsed = parse_spec(&printed);
+            prop_assert!(reparsed.is_ok(), "reprint failed: {:?}\n{}", reparsed.err(), printed);
+            prop_assert_eq!(reparsed.unwrap(), spec, "{}", printed);
+        }
+
+        #[test]
+        fn stmt_refs_print_parseably(r in stmt_ref("S0".into())) {
+            // Smoke property for the reference printer used above.
+            let spec = Spec {
+                name: "T".into(),
+                mode: Mode::Auto,
+                decls: vec![TypeDecl { ty: ElemType::Stmt, groups: vec![vec!["S0".into()]] }],
+                patterns: vec![PatternClause { quant: Quant::Any, vars: vec!["S0".into()], format: None }],
+                depends: vec![],
+                actions: vec![Action::Delete(r)],
+            };
+            let printed = super::pretty(&spec);
+            prop_assert_eq!(parse_spec(&printed).unwrap(), spec);
+        }
+    }
+}

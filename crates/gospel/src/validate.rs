@@ -1,0 +1,598 @@
+//! Semantic validation of parsed specifications.
+
+use crate::ast::*;
+use crate::parser::ParseError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a specification-level name denotes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarClass {
+    /// A statement variable (from `TYPE Stmt` or bound by `copy`/`add`).
+    Stmt,
+    /// A loop variable.
+    Loop,
+    /// A position variable bound by `(var, pos)` in a dependence clause.
+    Pos,
+    /// A set of statements bound by an `all` dependence clause.
+    StmtSet,
+}
+
+/// Value kinds during expression checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Stmt,
+    Loop,
+    Operand,
+    Opcode,
+    Pos,
+    Number,
+    /// A bare name that could be an opcode: resolved by comparison context.
+    NameLike,
+}
+
+/// Validation outcome: name classes plus advisory warnings (the paper's
+/// `no` pattern operator "returns null and warns the user").
+#[derive(Clone, Debug, Default)]
+pub struct SpecInfo {
+    /// Class of every specification variable.
+    pub classes: HashMap<String, VarClass>,
+    /// Non-fatal diagnostics.
+    pub warnings: Vec<String>,
+}
+
+/// A semantic (or syntactic) defect in a specification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// Syntax error from parsing.
+    Parse(ParseError),
+    /// Identifier declared twice in `TYPE`.
+    Redeclared(String),
+    /// A clause references a name that is not bound yet.
+    Unbound(String),
+    /// A pattern clause's variables don't match a declared group.
+    BadBinding(String),
+    /// Ill-typed attribute path or expression.
+    IllTyped(String),
+    /// A malformed action.
+    BadAction(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "syntax: {e}"),
+            SpecError::Redeclared(n) => write!(f, "`{n}` declared twice"),
+            SpecError::Unbound(n) => write!(f, "`{n}` used before being bound"),
+            SpecError::BadBinding(m) => write!(f, "bad binding: {m}"),
+            SpecError::IllTyped(m) => write!(f, "ill-typed: {m}"),
+            SpecError::BadAction(m) => write!(f, "bad action: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+struct Checker {
+    decls: HashMap<String, ElemType>,
+    /// Names bound so far (pattern → depend → action order).
+    bound: HashMap<String, VarClass>,
+    info: SpecInfo,
+}
+
+/// Validates a specification: declaration structure, binding order,
+/// attribute-path typing and action well-formedness.
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] found.
+pub fn validate_spec(spec: &Spec) -> Result<SpecInfo, SpecError> {
+    let mut ck = Checker {
+        decls: HashMap::new(),
+        bound: HashMap::new(),
+        info: SpecInfo::default(),
+    };
+
+    for d in &spec.decls {
+        for g in &d.groups {
+            for name in g {
+                match ck.decls.insert(name.clone(), d.ty) {
+                    // A loop may appear in several pair groups of the same
+                    // type (loop circulation chains pairs through a shared
+                    // middle loop); anything else is a redeclaration.
+                    Some(prev) if prev != d.ty || d.ty.arity() == 1 => {
+                        return Err(SpecError::Redeclared(name.clone()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    for p in &spec.patterns {
+        ck.pattern(spec, p)?;
+    }
+    for d in &spec.depends {
+        ck.depend(d)?;
+    }
+    for a in &spec.actions {
+        ck.action(a)?;
+    }
+
+    Ok(ck.info)
+}
+
+impl Checker {
+    fn class_of_decl(ty: ElemType) -> VarClass {
+        match ty {
+            ElemType::Stmt => VarClass::Stmt,
+            _ => VarClass::Loop,
+        }
+    }
+
+    fn bind(&mut self, name: &str, class: VarClass) {
+        self.bound.insert(name.to_owned(), class);
+        self.info.classes.insert(name.to_owned(), class);
+    }
+
+    fn pattern(&mut self, spec: &Spec, p: &PatternClause) -> Result<(), SpecError> {
+        // The variables must correspond to a declared group.
+        let group_ty = self.group_type(spec, &p.vars)?;
+        if p.quant == Quant::No {
+            self.info.warnings.push(format!(
+                "`no` in Code_Pattern binds nothing (variables {:?})",
+                p.vars
+            ));
+        }
+        for v in &p.vars {
+            self.bind(v, Self::class_of_decl(group_ty));
+        }
+        if let Some(f) = &p.format {
+            self.check_bool(f, false)?;
+        }
+        Ok(())
+    }
+
+    fn group_type(&self, spec: &Spec, vars: &[String]) -> Result<ElemType, SpecError> {
+        // A pattern clause binds either one Stmt/Loop variable or a declared
+        // loop pair.
+        match vars.len() {
+            1 => self
+                .decls
+                .get(&vars[0])
+                .copied()
+                .filter(|t| t.arity() == 1)
+                .ok_or_else(|| SpecError::BadBinding(format!("`{}` is not a Stmt/Loop", vars[0]))),
+            2 => {
+                for d in &spec.decls {
+                    if d.ty.arity() == 2 && d.groups.iter().any(|g| g == vars) {
+                        return Ok(d.ty);
+                    }
+                }
+                Err(SpecError::BadBinding(format!(
+                    "({}, {}) is not a declared loop pair",
+                    vars[0], vars[1]
+                )))
+            }
+            n => Err(SpecError::BadBinding(format!(
+                "a pattern clause binds 1 or 2 variables, got {n}"
+            ))),
+        }
+    }
+
+    fn depend(&mut self, d: &DependClause) -> Result<(), SpecError> {
+        // Bind the clause's variables: declared statements/loops, plus pos
+        // variables (which must be fresh).
+        for (v, pv) in d.vars.iter().zip(&d.pos_vars) {
+            let ty = self
+                .decls
+                .get(v)
+                .copied()
+                .ok_or_else(|| SpecError::Unbound(v.clone()))?;
+            // Inside the clause the variable denotes one candidate element;
+            // `all` rebinds it to the collected set *after* the clause.
+            let class = match ty {
+                ElemType::Stmt => VarClass::Stmt,
+                t if t.arity() == 1 => VarClass::Loop,
+                _ => {
+                    return Err(SpecError::BadBinding(format!(
+                        "dependence clauses bind statements or single loops, not `{v}`"
+                    )))
+                }
+            };
+            self.bind(v, class);
+            if let Some(p) = pv {
+                if self.decls.contains_key(p) {
+                    return Err(SpecError::BadBinding(format!(
+                        "position variable `{p}` shadows a declared element"
+                    )));
+                }
+                self.bind(p, VarClass::Pos);
+            }
+        }
+        for m in &d.members {
+            self.check_val(&m.elem)?;
+            self.check_set(&m.set)?;
+        }
+        self.check_bool(&d.cond, true)?;
+        if d.quant == Quant::All {
+            for (v, _) in d.vars.iter().zip(&d.pos_vars) {
+                if self.decls.get(v) == Some(&ElemType::Stmt) {
+                    self.bind(v, VarClass::StmtSet);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_set(&self, s: &SetExpr) -> Result<(), SpecError> {
+        match s {
+            SetExpr::Named(n) => {
+                match self.bound.get(n) {
+                    Some(VarClass::Loop) | Some(VarClass::StmtSet) => Ok(()),
+                    Some(_) => Err(SpecError::IllTyped(format!("`{n}` is not a set"))),
+                    None => Err(SpecError::Unbound(n.clone())),
+                }
+            }
+            SetExpr::Path(a, b) => {
+                let ka = self.kind_of(a)?;
+                let kb = self.kind_of(b)?;
+                if ka == Kind::Stmt && kb == Kind::Stmt {
+                    Ok(())
+                } else {
+                    Err(SpecError::IllTyped("path() takes two statements".into()))
+                }
+            }
+            SetExpr::Union(a, b) | SetExpr::Inter(a, b) => {
+                self.check_set(a)?;
+                self.check_set(b)
+            }
+        }
+    }
+
+    fn check_bool(&self, b: &BoolExpr, deps_allowed: bool) -> Result<(), SpecError> {
+        match b {
+            BoolExpr::And(l, r) | BoolExpr::Or(l, r) => {
+                self.check_bool(l, deps_allowed)?;
+                self.check_bool(r, deps_allowed)
+            }
+            BoolExpr::Not(i) => self.check_bool(i, deps_allowed),
+            BoolExpr::Cmp(l, _, r) => {
+                let kl = self.kind_of(l)?;
+                let kr = self.kind_of(r)?;
+                if compatible(kl, kr) {
+                    Ok(())
+                } else {
+                    Err(SpecError::IllTyped(format!(
+                        "cannot compare {kl:?} with {kr:?}"
+                    )))
+                }
+            }
+            BoolExpr::Dep { kind: _, from, to, dirs: _ } => {
+                if !deps_allowed {
+                    return Err(SpecError::IllTyped(
+                        "dependence tests belong in the Depend section".into(),
+                    ));
+                }
+                for side in [from, to] {
+                    let k = self.kind_of(side)?;
+                    if k != Kind::Stmt {
+                        return Err(SpecError::IllTyped(format!(
+                            "dependence endpoints must be statements, got {k:?}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            BoolExpr::TypeIs(v, _, _) => {
+                let k = self.kind_of(v)?;
+                if k == Kind::Operand {
+                    Ok(())
+                } else {
+                    Err(SpecError::IllTyped(format!(
+                        "type() inspects operands, got {k:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn check_val(&self, v: &ValExpr) -> Result<(), SpecError> {
+        self.kind_of(v).map(|_| ())
+    }
+
+    fn kind_of(&self, v: &ValExpr) -> Result<Kind, SpecError> {
+        match v {
+            ValExpr::Int(_) | ValExpr::Real(_) => Ok(Kind::Number),
+            ValExpr::Name(n) => match self.bound.get(n) {
+                Some(VarClass::Stmt) => Ok(Kind::Stmt),
+                Some(VarClass::Loop) => Ok(Kind::Loop),
+                Some(VarClass::Pos) => Ok(Kind::Pos),
+                Some(VarClass::StmtSet) => {
+                    Err(SpecError::IllTyped(format!("set `{n}` used as a value")))
+                }
+                // Unbound bare names are opcode spellings (`assign`) —
+                // legal only where an opcode/name is expected, which the
+                // comparison compatibility check enforces.
+                None => Ok(Kind::NameLike),
+            },
+            ValExpr::Ref(r) => self.kind_of_ref(r),
+            ValExpr::OperandFn(s, p) => {
+                let ks = self.kind_of(s)?;
+                let kp = self.kind_of(p)?;
+                if ks != Kind::Stmt {
+                    return Err(SpecError::IllTyped(
+                        "operand() takes a statement first".into(),
+                    ));
+                }
+                if kp != Kind::Pos && kp != Kind::Number {
+                    return Err(SpecError::IllTyped(
+                        "operand() takes a position second".into(),
+                    ));
+                }
+                Ok(Kind::Operand)
+            }
+            ValExpr::Eval(a, op, b) => {
+                for side in [a, b] {
+                    let k = self.kind_of(side)?;
+                    if k != Kind::Operand && k != Kind::Number {
+                        return Err(SpecError::IllTyped("eval() folds operands".into()));
+                    }
+                }
+                let ko = self.kind_of(op)?;
+                if ko != Kind::Opcode && ko != Kind::NameLike {
+                    return Err(SpecError::IllTyped(
+                        "eval() operation must be an opcode name or `.opc`".into(),
+                    ));
+                }
+                Ok(Kind::Operand)
+            }
+            ValExpr::Bump(x, var, k) => {
+                let kx = self.kind_of(x)?;
+                let kv = self.kind_of(var)?;
+                let kk = self.kind_of(k)?;
+                if kx != Kind::Operand || kv != Kind::Operand {
+                    return Err(SpecError::IllTyped(
+                        "bump() takes an operand and a variable operand".into(),
+                    ));
+                }
+                if kk != Kind::Number && kk != Kind::Operand {
+                    return Err(SpecError::IllTyped(
+                        "bump() amount must be a constant expression".into(),
+                    ));
+                }
+                Ok(Kind::Operand)
+            }
+        }
+    }
+
+    fn kind_of_ref(&self, r: &ElemRef) -> Result<Kind, SpecError> {
+        let mut kind = match self.bound.get(&r.base) {
+            Some(VarClass::Stmt) => Kind::Stmt,
+            Some(VarClass::Loop) => Kind::Loop,
+            Some(VarClass::Pos) => Kind::Pos,
+            Some(VarClass::StmtSet) => {
+                return Err(SpecError::IllTyped(format!(
+                    "set `{}` has no attributes",
+                    r.base
+                )))
+            }
+            None => return Err(SpecError::Unbound(r.base.clone())),
+        };
+        for attr in &r.path {
+            kind = match (kind, attr) {
+                (Kind::Stmt, Attr::Nxt | Attr::Prev) => Kind::Stmt,
+                (Kind::Stmt, Attr::Opr(_)) => Kind::Operand,
+                (Kind::Stmt, Attr::Opc) => Kind::Opcode,
+                (Kind::Loop, Attr::Head | Attr::End) => Kind::Stmt,
+                (Kind::Loop, Attr::Lcv | Attr::Init | Attr::Final) => Kind::Operand,
+                (Kind::Loop, Attr::Nxt | Attr::Prev) => Kind::Loop,
+                (Kind::Loop, Attr::Body) => {
+                    return Err(SpecError::IllTyped(
+                        "`.body` is a set; use it in mem()/forall".into(),
+                    ))
+                }
+                (k, a) => {
+                    return Err(SpecError::IllTyped(format!(
+                        "attribute `.{}` not defined on {k:?}",
+                        a.keyword()
+                    )))
+                }
+            };
+        }
+        Ok(kind)
+    }
+
+    fn action(&mut self, a: &Action) -> Result<(), SpecError> {
+        match a {
+            Action::Delete(x) => {
+                let k = self.kind_of(x)?;
+                if k != Kind::Stmt && k != Kind::Loop {
+                    return Err(SpecError::BadAction(format!(
+                        "delete() takes a statement or loop, got {k:?}"
+                    )));
+                }
+            }
+            Action::Move(x, after) => {
+                let kx = self.kind_of(x)?;
+                let ka = self.kind_of(after)?;
+                if !(matches!(kx, Kind::Stmt | Kind::Loop) && ka == Kind::Stmt) {
+                    return Err(SpecError::BadAction(
+                        "move() takes an element and a target statement".into(),
+                    ));
+                }
+            }
+            Action::Copy(x, after, name) => {
+                let kx = self.kind_of(x)?;
+                let ka = self.kind_of(after)?;
+                if !(matches!(kx, Kind::Stmt | Kind::Loop) && ka == Kind::Stmt) {
+                    return Err(SpecError::BadAction(
+                        "copy() takes an element and a target statement".into(),
+                    ));
+                }
+                self.bind(name, VarClass::Stmt);
+            }
+            Action::Add(after, desc, name) => {
+                let ka = self.kind_of(after)?;
+                if ka != Kind::Stmt {
+                    return Err(SpecError::BadAction(
+                        "add() places after a statement".into(),
+                    ));
+                }
+                for opr in [&desc.opr_1, &desc.opr_2, &desc.opr_3]
+                    .into_iter()
+                    .flatten()
+                {
+                    let k = self.kind_of(opr)?;
+                    if k != Kind::Operand && k != Kind::Number {
+                        return Err(SpecError::BadAction(format!(
+                            "template operands must be operands, got {k:?}"
+                        )));
+                    }
+                }
+                self.bind(name, VarClass::Stmt);
+            }
+            Action::Modify(place, new) => {
+                let kp = self.kind_of(place)?;
+                if kp != Kind::Operand {
+                    return Err(SpecError::BadAction(format!(
+                        "modify() needs an operand place, got {kp:?}"
+                    )));
+                }
+                let kn = self.kind_of(new)?;
+                if kn != Kind::Operand && kn != Kind::Number {
+                    return Err(SpecError::BadAction(format!(
+                        "modify() replacement must be an operand, got {kn:?}"
+                    )));
+                }
+            }
+            Action::ForAll {
+                var,
+                pos_var,
+                set,
+                body,
+            } => {
+                self.check_set(set)?;
+                self.bind(var, VarClass::Stmt);
+                if let Some(p) = pos_var {
+                    self.bind(p, VarClass::Pos);
+                }
+                for a in body {
+                    self.action(a)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn compatible(a: Kind, b: Kind) -> bool {
+    use Kind::*;
+    matches!(
+        (a, b),
+        (Stmt, Stmt)
+            | (Loop, Loop)
+            | (Operand, Operand)
+            | (Operand, Number)
+            | (Number, Operand)
+            | (Number, Number)
+            | (Opcode, NameLike)
+            | (NameLike, Opcode)
+            | (Pos, Pos)
+            | (Pos, Number)
+            | (Number, Pos)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_validated;
+
+    const CTP: &str = r#"
+OPTIMIZATION CTP
+TYPE
+  Stmt: Si, Sj, Sl;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos2): flow_dep(Sl, Sj) AND (Sl != Si)
+                   AND operand(Sj, pos2) == operand(Sj, pos);
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+END
+"#;
+
+    #[test]
+    fn ctp_validates() {
+        let (_, info) = parse_validated(CTP).unwrap();
+        use crate::VarClass;
+        assert_eq!(info.classes["Si"], VarClass::Stmt);
+        assert_eq!(info.classes["pos"], VarClass::Pos);
+    }
+
+    #[test]
+    fn unbound_reference_rejected() {
+        let src = "OPTIMIZATION X TYPE Stmt: S; PRECOND Code_Pattern any S: Sx.opc == assign; ACTION delete(S); END";
+        assert!(crate::parse_validated(src).is_err());
+    }
+
+    #[test]
+    fn pair_binding_must_match_declaration() {
+        let src = "OPTIMIZATION X TYPE Tight_Loops: (L1, L2); PRECOND Code_Pattern any (L2, L1); ACTION delete(L1.head); END";
+        assert!(crate::parse_validated(src).is_err());
+    }
+
+    #[test]
+    fn dep_in_pattern_section_rejected() {
+        let src = "OPTIMIZATION X TYPE Stmt: S, T; PRECOND Code_Pattern any S: flow_dep(S, T); ACTION delete(S); END";
+        assert!(crate::parse_validated(src).is_err());
+    }
+
+    #[test]
+    fn modify_needs_operand_place() {
+        let src = "OPTIMIZATION X TYPE Stmt: S; PRECOND Code_Pattern any S; ACTION modify(S, 3); END";
+        assert!(crate::parse_validated(src).is_err());
+    }
+
+    #[test]
+    fn body_attr_only_in_sets() {
+        let src = "OPTIMIZATION X TYPE Loop: L; PRECOND Code_Pattern any L: L.body == 3; ACTION delete(L.head); END";
+        assert!(crate::parse_validated(src).is_err());
+    }
+
+    #[test]
+    fn no_pattern_warns() {
+        let src = "OPTIMIZATION X TYPE Stmt: S; PRECOND Code_Pattern no S; ACTION delete(S); END";
+        let (_, info) = crate::parse_validated(src).unwrap();
+        assert!(!info.warnings.is_empty());
+    }
+
+    #[test]
+    fn redeclaration_rejected() {
+        let src = "OPTIMIZATION X TYPE Stmt: S; Loop: S; PRECOND Code_Pattern any S; ACTION delete(S); END";
+        assert!(crate::parse_validated(src).is_err());
+    }
+
+    #[test]
+    fn forall_over_all_set() {
+        let src = r#"
+OPTIMIZATION DCEish
+TYPE Stmt: Si, Su;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign;
+  Depend
+    all (Su, p): flow_dep(Si, Su);
+ACTION
+  forall (S, q) in Su do
+    modify(operand(S, q), Si.opr_2);
+  end;
+END
+"#;
+        let (_, info) = crate::parse_validated(src).unwrap();
+        assert_eq!(info.classes["Su"], crate::VarClass::StmtSet);
+        assert_eq!(info.classes["S"], crate::VarClass::Stmt);
+    }
+}

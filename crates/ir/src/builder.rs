@@ -1,0 +1,233 @@
+//! Convenience builder for constructing well-formed programs in tests and
+//! examples (the front end builds programs the same way from source text).
+
+use crate::{Opcode, Operand, Program, Quad, StmtId, Sym, VarKind, VarType};
+
+/// Token returned by [`ProgramBuilder::do_head`]; closing the loop with
+/// [`ProgramBuilder::end_do`] checks that loops are closed innermost-first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopToken {
+    head: StmtId,
+}
+
+/// Token returned by [`ProgramBuilder::if_head`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IfToken {
+    head: StmtId,
+}
+
+/// Incremental [`Program`] constructor with structural checking.
+///
+/// ```
+/// use gospel_ir::{ProgramBuilder, Operand};
+/// let mut b = ProgramBuilder::new("sum");
+/// let i = b.scalar_int("i");
+/// let s = b.scalar_int("s");
+/// b.assign(Operand::Var(s), Operand::int(0));
+/// let l = b.do_head(i, Operand::int(1), Operand::int(10));
+/// b.add(Operand::Var(s), Operand::Var(s), Operand::Var(i));
+/// b.end_do(l);
+/// let prog = b.finish();
+/// assert_eq!(prog.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+    open_loops: Vec<LoopToken>,
+    open_ifs: Vec<IfToken>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program called `name`.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            prog: Program::new(name),
+            open_loops: Vec::new(),
+            open_ifs: Vec::new(),
+        }
+    }
+
+    /// Declares an integer scalar.
+    pub fn scalar_int(&mut self, name: &str) -> Sym {
+        self.prog.declare(name, VarType::Int, VarKind::Scalar)
+    }
+
+    /// Declares a real scalar.
+    pub fn scalar_real(&mut self, name: &str) -> Sym {
+        self.prog.declare(name, VarType::Real, VarKind::Scalar)
+    }
+
+    /// Declares an integer array with the given extents.
+    pub fn array_int(&mut self, name: &str, dims: &[i64]) -> Sym {
+        self.prog
+            .declare(name, VarType::Int, VarKind::Array(dims.to_vec()))
+    }
+
+    /// Declares a real array with the given extents.
+    pub fn array_real(&mut self, name: &str, dims: &[i64]) -> Sym {
+        self.prog
+            .declare(name, VarType::Real, VarKind::Array(dims.to_vec()))
+    }
+
+    /// Appends an arbitrary quad.
+    pub fn stmt(&mut self, op: Opcode, dst: Operand, a: Operand, b: Operand) -> StmtId {
+        self.prog.push(Quad::new(op, dst, a, b))
+    }
+
+    /// Appends `dst := a`.
+    pub fn assign(&mut self, dst: Operand, a: Operand) -> StmtId {
+        self.stmt(Opcode::Assign, dst, a, Operand::None)
+    }
+
+    /// Appends `dst := a + b`.
+    pub fn add(&mut self, dst: Operand, a: Operand, b: Operand) -> StmtId {
+        self.stmt(Opcode::Add, dst, a, b)
+    }
+
+    /// Appends `dst := a - b`.
+    pub fn sub(&mut self, dst: Operand, a: Operand, b: Operand) -> StmtId {
+        self.stmt(Opcode::Sub, dst, a, b)
+    }
+
+    /// Appends `dst := a * b`.
+    pub fn mul(&mut self, dst: Operand, a: Operand, b: Operand) -> StmtId {
+        self.stmt(Opcode::Mul, dst, a, b)
+    }
+
+    /// Appends `dst := a / b`.
+    pub fn div(&mut self, dst: Operand, a: Operand, b: Operand) -> StmtId {
+        self.stmt(Opcode::Div, dst, a, b)
+    }
+
+    /// Appends `read dst`.
+    pub fn read(&mut self, dst: Operand) -> StmtId {
+        self.stmt(Opcode::Read, dst, Operand::None, Operand::None)
+    }
+
+    /// Appends `write a`.
+    pub fn write(&mut self, a: Operand) -> StmtId {
+        self.stmt(Opcode::Write, Operand::None, a, Operand::None)
+    }
+
+    /// Appends an intrinsic call `dst := f(a)`. The function name is
+    /// interned under a reserved `@fn:` spelling so it cannot collide with
+    /// program variables.
+    pub fn call1(&mut self, dst: Operand, f: &str, a: Operand) -> StmtId {
+        let fsym = self
+            .prog
+            .declare(&format!("@fn:{f}"), VarType::Real, VarKind::Scalar);
+        self.stmt(Opcode::Call(fsym), dst, a, Operand::None)
+    }
+
+    /// Opens a sequential loop `do lcv := init, fin`.
+    pub fn do_head(&mut self, lcv: Sym, init: Operand, fin: Operand) -> LoopToken {
+        let head = self.stmt(Opcode::DoHead, Operand::Var(lcv), init, fin);
+        let tok = LoopToken { head };
+        self.open_loops.push(tok);
+        tok
+    }
+
+    /// Closes the innermost open loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tok` is not the innermost open loop.
+    pub fn end_do(&mut self, tok: LoopToken) -> StmtId {
+        let top = self.open_loops.pop().expect("no open loop");
+        assert_eq!(top, tok, "loops must be closed innermost-first");
+        self.prog.push(Quad::marker(Opcode::EndDo))
+    }
+
+    /// Opens a structured conditional `if a RELOP b then`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not one of the `If*` opcodes.
+    pub fn if_head(&mut self, op: Opcode, a: Operand, b: Operand) -> IfToken {
+        assert!(op.is_if(), "if_head requires an If* opcode, got {op}");
+        let head = self.stmt(op, Operand::None, a, b);
+        let tok = IfToken { head };
+        self.open_ifs.push(tok);
+        tok
+    }
+
+    /// Appends the `else` marker of the innermost open conditional.
+    pub fn else_mark(&mut self, tok: IfToken) -> StmtId {
+        assert_eq!(self.open_ifs.last(), Some(&tok), "else outside its if");
+        self.prog.push(Quad::marker(Opcode::Else))
+    }
+
+    /// Closes the innermost open conditional.
+    pub fn end_if(&mut self, tok: IfToken) -> StmtId {
+        let top = self.open_ifs.pop().expect("no open if");
+        assert_eq!(top, tok, "ifs must be closed innermost-first");
+        self.prog.push(Quad::marker(Opcode::EndIf))
+    }
+
+    /// Read-only access to the program built so far.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Mutable access to the program built so far (for callers that need
+    /// to patch a just-emitted statement, e.g. rewriting a `do` header to
+    /// `pardo`). Structural edits through this handle are the caller's
+    /// responsibility; the builder's own balance checks still apply at
+    /// [`ProgramBuilder::finish`].
+    pub fn program_mut(&mut self) -> &mut Program {
+        &mut self.prog
+    }
+
+    /// Finishes building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any loop or conditional is still open.
+    pub fn finish(self) -> Program {
+        assert!(self.open_loops.is_empty(), "unclosed loop at finish");
+        assert!(self.open_ifs.is_empty(), "unclosed if at finish");
+        self.prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_structured_program() {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.scalar_int("i");
+        let x = b.scalar_real("x");
+        let l = b.do_head(i, Operand::int(1), Operand::int(3));
+        let t = b.if_head(Opcode::IfGt, Operand::Var(i), Operand::int(1));
+        b.assign(Operand::Var(x), Operand::real(1.0));
+        b.else_mark(t);
+        b.assign(Operand::Var(x), Operand::real(2.0));
+        b.end_if(t);
+        b.end_do(l);
+        let p = b.finish();
+        assert_eq!(p.len(), 7);
+        crate::validate(&p).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loop")]
+    fn unclosed_loop_panics() {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.scalar_int("i");
+        b.do_head(i, Operand::int(1), Operand::int(3));
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "innermost-first")]
+    fn wrong_close_order_panics() {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.scalar_int("i");
+        let j = b.scalar_int("j");
+        let l1 = b.do_head(i, Operand::int(1), Operand::int(3));
+        let _l2 = b.do_head(j, Operand::int(1), Operand::int(3));
+        b.end_do(l1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Statement-level control-flow graph derived from the structured markers.
+//!
+//! Programs in this IR are small and structured, so the dependence analyzer
+//! runs its bit-vector dataflow at statement granularity; nodes are
+//! statements and edges follow the `do`/`if` structure:
+//!
+//! * `do` header → first body statement, and → statement after `end do`
+//!   (the loop may execute zero times);
+//! * `end do` → its `do` header (back edge) and → following statement;
+//! * `if` header → first then-statement and → first else-statement (or the
+//!   `end if` when there is no `else`);
+//! * `else` → its `end if` (the then branch jumps over the else branch);
+//! * everything else → following statement.
+
+use crate::{Opcode, Program, StmtId};
+use std::collections::HashMap;
+
+/// The control-flow graph of a [`Program`] snapshot.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    nodes: Vec<StmtId>,
+    index: HashMap<StmtId, usize>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG for the current statement sequence of `prog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if structured markers are unbalanced; run
+    /// [`crate::validate`] first for a diagnosable error.
+    pub fn of(prog: &Program) -> Cfg {
+        let nodes: Vec<StmtId> = prog.iter().collect();
+        let index: HashMap<StmtId, usize> =
+            nodes.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let n = nodes.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        // Match up structured markers.
+        let mut do_stack: Vec<usize> = Vec::new();
+        let mut if_stack: Vec<usize> = Vec::new();
+        // For each `if` node: (else position, endif position)
+        let mut if_else: HashMap<usize, usize> = HashMap::new();
+        let mut if_end: HashMap<usize, usize> = HashMap::new();
+        let mut do_end: HashMap<usize, usize> = HashMap::new();
+        for (i, &s) in nodes.iter().enumerate() {
+            match prog.quad(s).op {
+                Opcode::DoHead | Opcode::ParDo => do_stack.push(i),
+                Opcode::EndDo => {
+                    let h = do_stack.pop().expect("unmatched end do");
+                    do_end.insert(h, i);
+                }
+                op if op.is_if() => if_stack.push(i),
+                Opcode::Else => {
+                    let h = *if_stack.last().expect("else outside if");
+                    if_else.insert(h, i);
+                }
+                Opcode::EndIf => {
+                    let h = if_stack.pop().expect("unmatched end if");
+                    if_end.insert(h, i);
+                }
+                _ => {}
+            }
+        }
+        assert!(do_stack.is_empty(), "unclosed loop");
+        assert!(if_stack.is_empty(), "unclosed if");
+
+        for (i, &s) in nodes.iter().enumerate() {
+            let op = prog.quad(s).op;
+            match op {
+                Opcode::DoHead | Opcode::ParDo => {
+                    let end = do_end[&i];
+                    if i + 1 < n {
+                        succs[i].push(i + 1); // into the body (or directly to end do)
+                    }
+                    if end + 1 < n {
+                        succs[i].push(end + 1); // zero-trip exit
+                    }
+                }
+                Opcode::EndDo => {
+                    // back edge to the header (re-test / next iteration)
+                    let head = *do_end
+                        .iter()
+                        .find(|&(_, &e)| e == i)
+                        .map(|(h, _)| h)
+                        .expect("end do without head");
+                    succs[i].push(head);
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    }
+                }
+                _ if op.is_if() => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1); // then branch
+                    }
+                    let target = if_else
+                        .get(&i)
+                        .map(|&e| e + 1)
+                        .unwrap_or_else(|| if_end[&i]);
+                    if target < n && target != i + 1 {
+                        succs[i].push(target);
+                    }
+                }
+                Opcode::Else => {
+                    // reached from the then branch: skip to end if
+                    let head = *if_else
+                        .iter()
+                        .find(|&(_, &e)| e == i)
+                        .map(|(h, _)| h)
+                        .expect("else without if");
+                    succs[i].push(if_end[&head]);
+                }
+                _ => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    }
+                }
+            }
+        }
+
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, ss) in succs.iter().enumerate() {
+            for &t in ss {
+                preds[t].push(i);
+            }
+        }
+        Cfg {
+            nodes,
+            index,
+            succs,
+            preds,
+        }
+    }
+
+    /// Number of nodes (statements).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Statements in program order (node `k` is `nodes()[k]`).
+    pub fn nodes(&self) -> &[StmtId] {
+        &self.nodes
+    }
+
+    /// The node index of a statement.
+    pub fn node_of(&self, s: StmtId) -> usize {
+        self.index[&s]
+    }
+
+    /// Successor node indices of node `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Predecessor node indices of node `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Operand, ProgramBuilder};
+
+    #[test]
+    fn straight_line_chain() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.scalar_int("x");
+        b.assign(Operand::Var(x), Operand::int(1));
+        b.assign(Operand::Var(x), Operand::int(2));
+        let p = b.finish();
+        let c = Cfg::of(&p);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.succs(0), &[1]);
+        assert!(c.succs(1).is_empty());
+        assert_eq!(c.preds(1), &[0]);
+    }
+
+    #[test]
+    fn loop_has_back_edge_and_exit() {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.scalar_int("i");
+        let x = b.scalar_int("x");
+        let l = b.do_head(i, Operand::int(1), Operand::int(3));
+        b.assign(Operand::Var(x), Operand::Var(i));
+        b.end_do(l);
+        b.assign(Operand::Var(x), Operand::int(0));
+        let p = b.finish();
+        let c = Cfg::of(&p);
+        // 0: do, 1: body, 2: end do, 3: after
+        assert_eq!(c.succs(0), &[1, 3]); // body + zero-trip exit
+        assert_eq!(c.succs(1), &[2]);
+        assert_eq!(c.succs(2), &[0, 3]); // back edge + exit
+        assert_eq!(c.preds(0), &[2]);
+    }
+
+    #[test]
+    fn if_with_else_branches() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.scalar_int("x");
+        let t = b.if_head(crate::Opcode::IfGt, Operand::Var(x), Operand::int(0));
+        b.assign(Operand::Var(x), Operand::int(1)); // then
+        b.else_mark(t);
+        b.assign(Operand::Var(x), Operand::int(2)); // else
+        b.end_if(t);
+        let p = b.finish();
+        let c = Cfg::of(&p);
+        // 0: if, 1: then, 2: else-mark, 3: else-stmt, 4: endif
+        assert_eq!(c.succs(0), &[1, 3]);
+        assert_eq!(c.succs(1), &[2]);
+        assert_eq!(c.succs(2), &[4]); // then branch skips else body
+        assert_eq!(c.succs(3), &[4]);
+        let mut preds4 = c.preds(4).to_vec();
+        preds4.sort_unstable();
+        assert_eq!(preds4, vec![2, 3]);
+    }
+
+    #[test]
+    fn if_without_else_falls_to_endif() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.scalar_int("x");
+        let t = b.if_head(crate::Opcode::IfEq, Operand::Var(x), Operand::int(0));
+        b.assign(Operand::Var(x), Operand::int(1));
+        b.end_if(t);
+        let p = b.finish();
+        let c = Cfg::of(&p);
+        // 0: if, 1: then, 2: endif
+        assert_eq!(c.succs(0), &[1, 2]);
+        assert_eq!(c.succs(1), &[2]);
+    }
+}

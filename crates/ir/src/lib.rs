@@ -1,0 +1,72 @@
+//! # gospel-ir — the intermediate representation assumed by GENesis
+//!
+//! The PLDI 1991 paper *Automatic Generation of Global Optimizers*
+//! (Whitfield & Soffa) assumes "a high level intermediate representation that
+//! retains the loop structures from the source program", with assignment
+//! statements in quad form
+//!
+//! ```text
+//! opr_1 := opr_2 opc opr_3
+//! ```
+//!
+//! This crate provides that representation:
+//!
+//! * [`Program`] — an arena of [`Quad`] statements threaded on a doubly
+//!   linked program order (the paper's `.NXT` / `.PREV` attributes), with the
+//!   five GOSpeL transformation primitives (`delete`, `copy`, `move`, `add`,
+//!   `modify`) as safe editing operations.
+//! * Structured control flow — `do`/`end do`, `if`/`else`/`end if` marker
+//!   statements instead of gotos, so loop structure survives optimization
+//!   exactly as the paper requires. Array accesses stay high-level
+//!   ([`Operand::Elem`]); there is no address arithmetic, which is why the
+//!   paper's ICM experiment finds no application points.
+//! * [`LoopTable`] — the loop attributes GOSpeL exposes (`HEAD`, `END`,
+//!   `BODY`, `LCV`, `INIT`, `FINAL`), plus nested / tightly-nested / adjacent
+//!   loop-pair queries.
+//! * [`Cfg`] — a basic-block control-flow graph derived from the structured
+//!   statements, used by the dependence analyzer.
+//!
+//! ## Example
+//!
+//! ```
+//! use gospel_ir::{ProgramBuilder, Opcode, Operand};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let n = b.scalar_int("n");
+//! let i = b.scalar_int("i");
+//! b.assign(Operand::Var(n), Operand::int(10));
+//! let l = b.do_head(i, Operand::int(1), Operand::Var(n));
+//! b.stmt(Opcode::Add, Operand::Var(n), Operand::Var(n), Operand::int(1));
+//! b.end_do(l);
+//! let prog = b.finish();
+//! assert_eq!(prog.iter().count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod affine;
+mod builder;
+mod cfg;
+mod loops;
+mod opcode;
+mod operand;
+mod pretty;
+mod program;
+mod quad;
+mod sym;
+mod validate;
+mod value;
+
+pub use affine::AffineExpr;
+pub use builder::{IfToken, LoopToken, ProgramBuilder};
+pub use cfg::Cfg;
+pub use loops::{LoopId, LoopInfo, LoopStructureError, LoopTable};
+pub use opcode::Opcode;
+pub use operand::Operand;
+pub use pretty::DisplayProgram;
+pub use program::{Program, StmtId, VarInfo, VarKind, VarType};
+pub use quad::{OperandPos, Quad};
+pub use sym::{Sym, SymbolTable};
+pub use validate::{validate, ValidateError};
+pub use value::{FoldOp, Value};

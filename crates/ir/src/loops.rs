@@ -1,0 +1,405 @@
+//! Loop structure recovery: the GOSpeL loop attributes (`HEAD`, `END`,
+//! `BODY`, `LCV`, `INIT`, `FINAL`) and the loop-pair classifications
+//! (`Nested Loops`, `Tight Loops`, `Adjacent Loops`).
+
+use crate::{Opcode, Operand, Program, StmtId, Sym};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a loop inside a [`LoopTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(u32);
+
+impl LoopId {
+    /// Raw index into the owning table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Everything GOSpeL can ask about one loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// This loop's id.
+    pub id: LoopId,
+    /// The `do` header statement (`.HEAD`).
+    pub head: StmtId,
+    /// The `end do` statement (`.END`).
+    pub end: StmtId,
+    /// The loop control variable (`.LCV`).
+    pub lcv: Sym,
+    /// Initial value (`.INIT`).
+    pub init: Operand,
+    /// Final value (`.FINAL`).
+    pub fin: Operand,
+    /// 0-based nesting depth (0 = outermost).
+    pub depth: usize,
+    /// Directly enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Directly nested loops, in program order.
+    pub children: Vec<LoopId>,
+    /// True if the header is a `pardo` (produced by the PAR optimization).
+    pub is_parallel: bool,
+}
+
+/// Error recovering loop structure from a malformed program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoopStructureError {
+    /// An `end do` with no open loop.
+    UnmatchedEnd(StmtId),
+    /// A loop header whose loop is never closed.
+    UnclosedLoop(StmtId),
+    /// A loop header without a scalar LCV destination.
+    BadHeader(StmtId),
+}
+
+impl fmt::Display for LoopStructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopStructureError::UnmatchedEnd(s) => write!(f, "unmatched end do at {s}"),
+            LoopStructureError::UnclosedLoop(s) => write!(f, "unclosed loop headed at {s}"),
+            LoopStructureError::BadHeader(s) => {
+                write!(f, "loop header at {s} lacks a scalar control variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoopStructureError {}
+
+/// The loop nest of a program at one point in time.
+///
+/// Recompute after transformations that add, remove or move loop markers
+/// (the analyses are snapshot-based, exactly like the paper's optimizer,
+/// which lets the user decide when dependences are recomputed).
+#[derive(Clone, Debug, Default)]
+pub struct LoopTable {
+    loops: Vec<LoopInfo>,
+    /// Innermost loop whose *body* contains each statement. A loop's own
+    /// head/end statements belong to the enclosing context, not to the loop.
+    enclosing: HashMap<StmtId, LoopId>,
+    head_of: HashMap<StmtId, LoopId>,
+    end_of: HashMap<StmtId, LoopId>,
+    roots: Vec<LoopId>,
+}
+
+impl LoopTable {
+    /// Recovers the loop structure of `prog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LoopStructureError`] if `do`/`end do` markers are not
+    /// properly nested or a header is malformed.
+    pub fn of(prog: &Program) -> Result<LoopTable, LoopStructureError> {
+        let mut table = LoopTable::default();
+        let mut stack: Vec<LoopId> = Vec::new();
+        for id in prog.iter() {
+            let quad = prog.quad(id);
+            match quad.op {
+                Opcode::DoHead | Opcode::ParDo => {
+                    if let Some(&top) = stack.last() {
+                        table.enclosing.insert(id, top);
+                    }
+                    let lcv = quad
+                        .dst
+                        .as_var()
+                        .ok_or(LoopStructureError::BadHeader(id))?;
+                    let lid = LoopId(table.loops.len() as u32);
+                    table.loops.push(LoopInfo {
+                        id: lid,
+                        head: id,
+                        end: id, // patched when the end is seen
+                        lcv,
+                        init: quad.a.clone(),
+                        fin: quad.b.clone(),
+                        depth: stack.len(),
+                        parent: stack.last().copied(),
+                        children: Vec::new(),
+                        is_parallel: quad.op == Opcode::ParDo,
+                    });
+                    if let Some(&parent) = stack.last() {
+                        table.loops[parent.index()].children.push(lid);
+                    } else {
+                        table.roots.push(lid);
+                    }
+                    table.head_of.insert(id, lid);
+                    stack.push(lid);
+                }
+                Opcode::EndDo => {
+                    let lid = stack.pop().ok_or(LoopStructureError::UnmatchedEnd(id))?;
+                    table.loops[lid.index()].end = id;
+                    table.end_of.insert(id, lid);
+                    if let Some(&top) = stack.last() {
+                        table.enclosing.insert(id, top);
+                    }
+                }
+                _ => {
+                    if let Some(&top) = stack.last() {
+                        table.enclosing.insert(id, top);
+                    }
+                }
+            }
+        }
+        if let Some(&open) = stack.last() {
+            return Err(LoopStructureError::UnclosedLoop(table.loops[open.index()].head));
+        }
+        Ok(table)
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// True if the program has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Info for one loop.
+    pub fn get(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.index()]
+    }
+
+    /// All loops in program order of their headers.
+    pub fn iter(&self) -> impl Iterator<Item = &LoopInfo> + '_ {
+        self.loops.iter()
+    }
+
+    /// Outermost loops in program order.
+    pub fn roots(&self) -> &[LoopId] {
+        &self.roots
+    }
+
+    /// The loop whose header is `stmt`, if any.
+    pub fn loop_of_head(&self, stmt: StmtId) -> Option<LoopId> {
+        self.head_of.get(&stmt).copied()
+    }
+
+    /// The loop whose `end do` is `stmt`, if any.
+    pub fn loop_of_end(&self, stmt: StmtId) -> Option<LoopId> {
+        self.end_of.get(&stmt).copied()
+    }
+
+    /// Innermost loop whose body contains `stmt` (a loop's own head/end
+    /// belong to the surrounding context).
+    pub fn innermost_at(&self, stmt: StmtId) -> Option<LoopId> {
+        self.enclosing.get(&stmt).copied()
+    }
+
+    /// GOSpeL `mem(S, L)`: true if `stmt` is inside the body of `l`
+    /// (at any nesting depth).
+    pub fn contains(&self, l: LoopId, stmt: StmtId) -> bool {
+        let mut cur = self.innermost_at(stmt);
+        while let Some(c) = cur {
+            if c == l {
+                return true;
+            }
+            cur = self.get(c).parent;
+        }
+        false
+    }
+
+    /// The chain of loops enclosing `stmt`, outermost first.
+    pub fn nest_of(&self, stmt: StmtId) -> Vec<LoopId> {
+        let mut chain = Vec::new();
+        let mut cur = self.innermost_at(stmt);
+        while let Some(c) = cur {
+            chain.push(c);
+            cur = self.get(c).parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Loops containing *both* statements, outermost first — the loops whose
+    /// direction-vector entries a dependence between the two statements has.
+    pub fn common_nest(&self, s1: StmtId, s2: StmtId) -> Vec<LoopId> {
+        let a = self.nest_of(s1);
+        let b = self.nest_of(s2);
+        a.into_iter()
+            .zip(b)
+            .take_while(|(x, y)| x == y)
+            .map(|(x, _)| x)
+            .collect()
+    }
+
+    /// Statements in the body of `l` (exclusive of its head and end),
+    /// including the markers of nested loops.
+    pub fn body<'p>(&self, prog: &'p Program, l: LoopId) -> impl Iterator<Item = StmtId> + 'p {
+        let info = self.get(l);
+        prog.iter_between(info.head, info.end)
+    }
+
+    /// Directly nested loop pairs `(outer, inner)`.
+    pub fn nested_pairs(&self) -> Vec<(LoopId, LoopId)> {
+        let mut out = Vec::new();
+        for info in &self.loops {
+            for &c in &info.children {
+                out.push((info.id, c));
+            }
+        }
+        out
+    }
+
+    /// Tightly nested pairs: directly nested with *no statements between
+    /// them* — `inner.head` immediately follows `outer.head` and `outer.end`
+    /// immediately follows `inner.end` (the paper's definition, citing
+    /// Wolfe).
+    pub fn tight_pairs(&self, prog: &Program) -> Vec<(LoopId, LoopId)> {
+        self.nested_pairs()
+            .into_iter()
+            .filter(|&(o, i)| self.is_tight_pair(prog, o, i))
+            .collect()
+    }
+
+    /// Whether `(outer, inner)` is a tightly nested pair.
+    pub fn is_tight_pair(&self, prog: &Program, outer: LoopId, inner: LoopId) -> bool {
+        let o = self.get(outer);
+        let i = self.get(inner);
+        i.parent == Some(outer)
+            && prog.next(o.head) == Some(i.head)
+            && prog.next(i.end) == Some(o.end)
+    }
+
+    /// Adjacent loop pairs at the same nesting level: `l2.head` immediately
+    /// follows `l1.end` (used by loop fusion).
+    pub fn adjacent_pairs(&self, prog: &Program) -> Vec<(LoopId, LoopId)> {
+        let mut out = Vec::new();
+        for info in &self.loops {
+            if let Some(next) = prog.next(info.end) {
+                if let Some(l2) = self.loop_of_head(next) {
+                    out.push((info.id, l2));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compile-time trip count, when both bounds are integer constants and
+    /// the (unit) step makes the count non-negative.
+    pub fn trip_count(&self, l: LoopId) -> Option<i64> {
+        let info = self.get(l);
+        let lo = info.init.as_const()?.as_int()?;
+        let hi = info.fin.as_const()?.as_int()?;
+        Some((hi - lo + 1).max(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Quad};
+
+    /// do i = 1,10 { do j = 1,20 { a ; } } ; do k = 1,5 { }
+    fn nest() -> (Program, LoopTable) {
+        let mut b = ProgramBuilder::new("nest");
+        let i = b.scalar_int("i");
+        let j = b.scalar_int("j");
+        let k = b.scalar_int("k");
+        let x = b.scalar_int("x");
+        let li = b.do_head(i, Operand::int(1), Operand::int(10));
+        let lj = b.do_head(j, Operand::int(1), Operand::int(20));
+        b.assign(Operand::Var(x), Operand::int(0));
+        b.end_do(lj);
+        b.end_do(li);
+        let lk = b.do_head(k, Operand::int(1), Operand::int(5));
+        b.end_do(lk);
+        let p = b.finish();
+        let t = LoopTable::of(&p).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn discovers_loops_and_nesting() {
+        let (_, t) = nest();
+        assert_eq!(t.len(), 3);
+        let outer = &t.loops[0];
+        let inner = &t.loops[1];
+        let third = &t.loops[2];
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.children, vec![inner.id]);
+        assert_eq!(third.depth, 0);
+        assert_eq!(t.roots().len(), 2);
+    }
+
+    #[test]
+    fn membership_and_nest_chains() {
+        let (p, t) = nest();
+        let outer = t.loops[0].id;
+        let inner = t.loops[1].id;
+        // the x := 0 statement
+        let body_stmt = t.body(&p, inner).next().unwrap();
+        assert!(t.contains(inner, body_stmt));
+        assert!(t.contains(outer, body_stmt));
+        assert_eq!(t.nest_of(body_stmt), vec![outer, inner]);
+        // inner head is a member of outer, not of inner
+        let ih = t.get(inner).head;
+        assert!(t.contains(outer, ih));
+        assert!(!t.contains(inner, ih));
+        assert_eq!(t.common_nest(body_stmt, ih), vec![outer]);
+    }
+
+    #[test]
+    fn pair_classification() {
+        let (p, t) = nest();
+        let outer = t.loops[0].id;
+        let inner = t.loops[1].id;
+        assert_eq!(t.nested_pairs(), vec![(outer, inner)]);
+        // inner loop body contains a statement, so the pair IS tight
+        // (tightness is about statements between the heads/ends).
+        assert!(t.is_tight_pair(&p, outer, inner));
+        assert_eq!(t.tight_pairs(&p), vec![(outer, inner)]);
+        // outer loop and the k loop are adjacent
+        let lk = t.loops[2].id;
+        assert_eq!(t.adjacent_pairs(&p), vec![(outer, lk)]);
+    }
+
+    #[test]
+    fn not_tight_when_statement_intervenes() {
+        let mut b = ProgramBuilder::new("loose");
+        let i = b.scalar_int("i");
+        let j = b.scalar_int("j");
+        let x = b.scalar_int("x");
+        let li = b.do_head(i, Operand::int(1), Operand::int(10));
+        b.assign(Operand::Var(x), Operand::int(0)); // intervening statement
+        let lj = b.do_head(j, Operand::int(1), Operand::int(10));
+        b.end_do(lj);
+        b.end_do(li);
+        let p = b.finish();
+        let t = LoopTable::of(&p).unwrap();
+        assert_eq!(t.nested_pairs().len(), 1);
+        assert!(t.tight_pairs(&p).is_empty());
+    }
+
+    #[test]
+    fn trip_counts() {
+        let (_, t) = nest();
+        assert_eq!(t.trip_count(t.loops[0].id), Some(10));
+        assert_eq!(t.trip_count(t.loops[1].id), Some(20));
+    }
+
+    #[test]
+    fn unbalanced_structure_is_an_error() {
+        let mut p = Program::new("bad");
+        p.push(Quad::marker(Opcode::EndDo));
+        assert!(matches!(
+            LoopTable::of(&p),
+            Err(LoopStructureError::UnmatchedEnd(_))
+        ));
+    }
+}

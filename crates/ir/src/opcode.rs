@@ -1,0 +1,194 @@
+//! Statement opcodes.
+
+use crate::Sym;
+use std::fmt;
+
+/// The operation of a quad `opr_1 := opr_2 opc opr_3`, plus the structured
+/// control-flow markers that let the IR retain source loop structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Plain copy/constant assignment: `dst := a`.
+    Assign,
+    /// `dst := a + b`.
+    Add,
+    /// `dst := a - b`.
+    Sub,
+    /// `dst := a * b`.
+    Mul,
+    /// `dst := a / b`.
+    Div,
+    /// `dst := a mod b`.
+    Mod,
+    /// `dst := -a`.
+    Neg,
+    /// `dst := f(a, b)` for an intrinsic function `f` (sin, sqrt, …).
+    Call(Sym),
+
+    /// Sequential loop header: `do dst := a, b` (`dst` is the loop control
+    /// variable, `a` the initial value, `b` the final value; the prototype
+    /// restricts the step to one, as the paper's did).
+    DoHead,
+    /// Parallel loop header produced by the PAR optimization. Same operand
+    /// layout as [`Opcode::DoHead`].
+    ParDo,
+    /// End of the innermost open loop.
+    EndDo,
+
+    /// Structured conditional `if a RELOP b then`; the relation is part of
+    /// the opcode so statements stay uniform quads.
+    IfLt,
+    /// `if a <= b then`.
+    IfLe,
+    /// `if a > b then`.
+    IfGt,
+    /// `if a >= b then`.
+    IfGe,
+    /// `if a == b then`.
+    IfEq,
+    /// `if a != b then`.
+    IfNe,
+    /// `else` marker of the innermost open conditional.
+    Else,
+    /// `end if` marker.
+    EndIf,
+
+    /// Input statement `read dst`.
+    Read,
+    /// Output statement `write a` (keeps its operand live — DCE roots).
+    Write,
+    /// No operation (left behind by deletions in some transformation
+    /// strategies; the canonical `delete` primitive removes statements).
+    Nop,
+}
+
+impl Opcode {
+    /// True for the arithmetic value-producing opcodes (those whose `dst` is
+    /// a definition).
+    pub fn defines(self) -> bool {
+        matches!(
+            self,
+            Opcode::Assign
+                | Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::Div
+                | Opcode::Mod
+                | Opcode::Neg
+                | Opcode::Call(_)
+                | Opcode::Read
+                | Opcode::DoHead
+                | Opcode::ParDo
+        )
+    }
+
+    /// True for the structured conditional headers.
+    pub fn is_if(self) -> bool {
+        matches!(
+            self,
+            Opcode::IfLt
+                | Opcode::IfLe
+                | Opcode::IfGt
+                | Opcode::IfGe
+                | Opcode::IfEq
+                | Opcode::IfNe
+        )
+    }
+
+    /// True for loop headers (sequential or parallel).
+    pub fn is_loop_head(self) -> bool {
+        matches!(self, Opcode::DoHead | Opcode::ParDo)
+    }
+
+    /// True for binary arithmetic opcodes (both `a` and `b` read).
+    pub fn is_binary_arith(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Div | Opcode::Mod
+        )
+    }
+
+    /// The GOSpeL spelling of the opcode (what `Si.opc == assign` matches).
+    pub fn gospel_name(self) -> &'static str {
+        match self {
+            Opcode::Assign => "assign",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Mod => "mod",
+            Opcode::Neg => "neg",
+            Opcode::Call(_) => "call",
+            Opcode::DoHead => "do",
+            Opcode::ParDo => "pardo",
+            Opcode::EndDo => "enddo",
+            Opcode::IfLt => "if_lt",
+            Opcode::IfLe => "if_le",
+            Opcode::IfGt => "if_gt",
+            Opcode::IfGe => "if_ge",
+            Opcode::IfEq => "if_eq",
+            Opcode::IfNe => "if_ne",
+            Opcode::Else => "else",
+            Opcode::EndIf => "endif",
+            Opcode::Read => "read",
+            Opcode::Write => "write",
+            Opcode::Nop => "nop",
+        }
+    }
+
+    /// The infix symbol for binary arithmetic, if any.
+    pub fn infix(self) -> Option<&'static str> {
+        Some(match self {
+            Opcode::Add => "+",
+            Opcode::Sub => "-",
+            Opcode::Mul => "*",
+            Opcode::Div => "/",
+            Opcode::Mod => "mod",
+            _ => return None,
+        })
+    }
+
+    /// The comparison symbol for conditional headers, if any.
+    pub fn relop(self) -> Option<&'static str> {
+        Some(match self {
+            Opcode::IfLt => "<",
+            Opcode::IfLe => "<=",
+            Opcode::IfGt => ">",
+            Opcode::IfGe => ">=",
+            Opcode::IfEq => "==",
+            Opcode::IfNe => "!=",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.gospel_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Opcode::Assign.defines());
+        assert!(Opcode::DoHead.defines()); // defines the LCV
+        assert!(!Opcode::Write.defines());
+        assert!(!Opcode::EndDo.defines());
+        assert!(Opcode::IfLt.is_if());
+        assert!(!Opcode::Else.is_if());
+        assert!(Opcode::ParDo.is_loop_head());
+        assert!(Opcode::Mul.is_binary_arith());
+    }
+
+    #[test]
+    fn spellings() {
+        assert_eq!(Opcode::Assign.gospel_name(), "assign");
+        assert_eq!(Opcode::Add.infix(), Some("+"));
+        assert_eq!(Opcode::IfGe.relop(), Some(">="));
+        assert_eq!(Opcode::Assign.infix(), None);
+        assert_eq!(format!("{}", Opcode::EndDo), "enddo");
+    }
+}

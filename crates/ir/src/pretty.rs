@@ -1,0 +1,152 @@
+//! Human-readable program listing.
+
+use crate::{Opcode, Operand, Program, StmtId};
+use std::fmt;
+
+/// Display adapter: `format!("{}", DisplayProgram(&prog))` prints an
+/// indented listing with
+/// statement ids, suitable for diffs in tests and experiment reports.
+///
+/// ```
+/// use gospel_ir::{DisplayProgram, ProgramBuilder, Operand};
+/// let mut b = ProgramBuilder::new("p");
+/// let x = b.scalar_int("x");
+/// b.assign(Operand::Var(x), Operand::int(1));
+/// let text = DisplayProgram(&b.finish()).to_string();
+/// assert!(text.contains("x := 1"));
+/// ```
+#[derive(Debug)]
+pub struct DisplayProgram<'a>(pub &'a Program);
+
+fn fmt_operand(prog: &Program, o: &Operand, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match o {
+        Operand::None => write!(f, "_"),
+        Operand::Const(v) => write!(f, "{v}"),
+        Operand::Var(s) => write!(f, "{}", prog.syms().name(*s)),
+        Operand::Elem { array, subs } => {
+            write!(f, "{}(", prog.syms().name(*array))?;
+            for (k, e) in subs.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", e.display(prog.syms()))?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+fn fmt_stmt(prog: &Program, id: StmtId, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let q = prog.quad(id);
+    write!(f, "{:>5}: {:width$}", id.to_string(), "", width = indent * 2)?;
+    match q.op {
+        Opcode::Assign => {
+            fmt_operand(prog, &q.dst, f)?;
+            write!(f, " := ")?;
+            fmt_operand(prog, &q.a, f)
+        }
+        Opcode::Neg => {
+            fmt_operand(prog, &q.dst, f)?;
+            write!(f, " := -")?;
+            fmt_operand(prog, &q.a, f)
+        }
+        op if op.infix().is_some() => {
+            fmt_operand(prog, &q.dst, f)?;
+            write!(f, " := ")?;
+            fmt_operand(prog, &q.a, f)?;
+            write!(f, " {} ", op.infix().unwrap())?;
+            fmt_operand(prog, &q.b, f)
+        }
+        Opcode::Call(fn_sym) => {
+            fmt_operand(prog, &q.dst, f)?;
+            write!(f, " := {}(", prog.syms().name(fn_sym))?;
+            fmt_operand(prog, &q.a, f)?;
+            if !q.b.is_none() {
+                write!(f, ", ")?;
+                fmt_operand(prog, &q.b, f)?;
+            }
+            write!(f, ")")
+        }
+        Opcode::DoHead | Opcode::ParDo => {
+            write!(
+                f,
+                "{} ",
+                if q.op == Opcode::ParDo { "pardo" } else { "do" }
+            )?;
+            fmt_operand(prog, &q.dst, f)?;
+            write!(f, " = ")?;
+            fmt_operand(prog, &q.a, f)?;
+            write!(f, ", ")?;
+            fmt_operand(prog, &q.b, f)
+        }
+        Opcode::EndDo => write!(f, "end do"),
+        op if op.is_if() => {
+            write!(f, "if ")?;
+            fmt_operand(prog, &q.a, f)?;
+            write!(f, " {} ", op.relop().unwrap())?;
+            fmt_operand(prog, &q.b, f)?;
+            write!(f, " then")
+        }
+        Opcode::Else => write!(f, "else"),
+        Opcode::EndIf => write!(f, "end if"),
+        Opcode::Read => {
+            write!(f, "read ")?;
+            fmt_operand(prog, &q.dst, f)
+        }
+        Opcode::Write => {
+            write!(f, "write ")?;
+            fmt_operand(prog, &q.a, f)
+        }
+        Opcode::Nop => write!(f, "nop"),
+        _ => unreachable!("all opcodes handled"),
+    }
+}
+
+impl fmt::Display for DisplayProgram<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prog = self.0;
+        writeln!(f, "program {}", prog.name())?;
+        let mut indent = 0usize;
+        for id in prog.iter() {
+            let op = prog.quad(id).op;
+            if matches!(op, Opcode::EndDo | Opcode::EndIf | Opcode::Else) {
+                indent = indent.saturating_sub(1);
+            }
+            fmt_stmt(prog, id, indent + 1, f)?;
+            writeln!(f)?;
+            if op.is_loop_head() || op.is_if() || op == Opcode::Else {
+                indent += 1;
+            }
+        }
+        writeln!(f, "end program")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AffineExpr, ProgramBuilder};
+
+    #[test]
+    fn listing_is_indented_and_complete() {
+        let mut b = ProgramBuilder::new("demo");
+        let i = b.scalar_int("i");
+        let a = b.array_real("a", &[10]);
+        let l = b.do_head(i, Operand::int(1), Operand::int(10));
+        b.assign(Operand::elem1(a, AffineExpr::var(i)), Operand::real(0.0));
+        b.end_do(l);
+        b.write(Operand::elem1(a, AffineExpr::constant_expr(1)));
+        let p = b.finish();
+        let s = DisplayProgram(&p).to_string();
+        assert!(s.contains("program demo"));
+        assert!(s.contains("do i = 1, 10"));
+        assert!(s.contains("a(i) := 0.0"));
+        assert!(s.contains("end do"));
+        assert!(s.contains("write a(1)"));
+        // body is indented deeper than the loop header
+        let head_line = s.lines().find(|l| l.contains("do i")).unwrap();
+        let body_line = s.lines().find(|l| l.contains("a(i) :=")).unwrap();
+        let indent = |l: &str| l.split(':').nth(1).unwrap().chars().take_while(|c| *c == ' ').count();
+        assert!(indent(body_line) > indent(head_line));
+    }
+}

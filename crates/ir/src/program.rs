@@ -1,0 +1,689 @@
+//! The program container: a statement arena threaded on program order.
+
+use crate::{Opcode, Operand, OperandPos, Quad, Sym, SymbolTable};
+use std::collections::HashMap;
+
+/// A stable handle to a statement inside a [`Program`].
+///
+/// Ids survive every transformation primitive except `delete` of the
+/// statement itself; copies get fresh ids. This mirrors the paper's
+/// generated code, which names statements by quad number and navigates with
+/// `.NXT`/`.PREV`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub(crate) u32);
+
+impl StmtId {
+    /// Raw index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from the number shown by its `Display` form
+    /// (`s7` → `from_raw(7)`). Intended for tools that accept ids typed
+    /// back by a user; an id that does not name a live statement simply
+    /// matches nothing.
+    pub fn from_raw(n: u32) -> StmtId {
+        StmtId(n)
+    }
+}
+
+impl std::fmt::Debug for StmtId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl std::fmt::Display for StmtId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Scalar element type of a variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarType {
+    /// Integer.
+    Int,
+    /// Real (floating point).
+    Real,
+}
+
+/// Shape of a variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A scalar.
+    Scalar,
+    /// An array with the given per-dimension extents (1-based, inclusive).
+    Array(Vec<i64>),
+}
+
+/// Declaration record for a program variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarInfo {
+    /// The interned name.
+    pub sym: Sym,
+    /// Element type.
+    pub ty: VarType,
+    /// Scalar or array shape.
+    pub kind: VarKind,
+    /// True for compiler-generated temporaries.
+    pub is_temp: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    quad: Quad,
+    prev: Option<StmtId>,
+    next: Option<StmtId>,
+    alive: bool,
+}
+
+/// A whole program: declarations plus an ordered list of [`Quad`]s.
+///
+/// Editing goes through the five GOSpeL transformation primitives
+/// ([`delete`](Program::delete), [`copy_after`](Program::copy_after),
+/// [`move_after`](Program::move_after), [`insert_after`](Program::insert_after)
+/// — the paper's `add` — and [`modify`](Program::modify)).
+///
+/// # Panics
+///
+/// All statement-id arguments must refer to live statements of this program;
+/// methods panic otherwise, since a stale id is a logic error in the caller.
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    slots: Vec<Slot>,
+    head: Option<StmtId>,
+    tail: Option<StmtId>,
+    syms: SymbolTable,
+    vars: HashMap<Sym, VarInfo>,
+    len: usize,
+    temp_counter: u32,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Program {
+        Program {
+            name: name.into(),
+            slots: Vec::new(),
+            head: None,
+            tail: None,
+            syms: SymbolTable::new(),
+            vars: HashMap::new(),
+            len: 0,
+            temp_counter: 0,
+        }
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symbol table.
+    pub fn syms(&self) -> &SymbolTable {
+        &self.syms
+    }
+
+    /// Number of live statements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no statements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Upper bound on `StmtId::index` values ever allocated (for dense side
+    /// tables).
+    pub fn id_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    /// Declares a variable, interning its name. Re-declaring an existing
+    /// name returns the existing symbol and leaves its info unchanged.
+    pub fn declare(&mut self, name: &str, ty: VarType, kind: VarKind) -> Sym {
+        let sym = self.syms.intern(name);
+        self.vars.entry(sym).or_insert(VarInfo {
+            sym,
+            ty,
+            kind,
+            is_temp: false,
+        });
+        sym
+    }
+
+    /// Declaration info for `sym`, if declared.
+    pub fn var_info(&self, sym: Sym) -> Option<&VarInfo> {
+        self.vars.get(&sym)
+    }
+
+    /// True if `sym` is declared as an array.
+    pub fn is_array(&self, sym: Sym) -> bool {
+        matches!(
+            self.vars.get(&sym),
+            Some(VarInfo {
+                kind: VarKind::Array(_),
+                ..
+            })
+        )
+    }
+
+    /// Allocates a fresh compiler temporary of type `ty`.
+    pub fn new_temp(&mut self, ty: VarType) -> Sym {
+        loop {
+            self.temp_counter += 1;
+            let name = format!("@t{}", self.temp_counter);
+            if self.syms.lookup(&name).is_none() {
+                let sym = self.syms.intern(&name);
+                self.vars.insert(
+                    sym,
+                    VarInfo {
+                        sym,
+                        ty,
+                        kind: VarKind::Scalar,
+                        is_temp: true,
+                    },
+                );
+                return sym;
+            }
+        }
+    }
+
+    /// All declared variables, in a deterministic (interning) order.
+    pub fn variables(&self) -> impl Iterator<Item = &VarInfo> + '_ {
+        self.syms.iter().filter_map(move |s| self.vars.get(&s))
+    }
+
+    // ---- access -----------------------------------------------------------
+
+    fn slot(&self, id: StmtId) -> &Slot {
+        let s = &self.slots[id.index()];
+        assert!(s.alive, "use of deleted statement {id}");
+        s
+    }
+
+    fn slot_mut(&mut self, id: StmtId) -> &mut Slot {
+        let s = &mut self.slots[id.index()];
+        assert!(s.alive, "use of deleted statement {id}");
+        s
+    }
+
+    /// The quad at `id`.
+    pub fn quad(&self, id: StmtId) -> &Quad {
+        &self.slot(id).quad
+    }
+
+    /// Whether `id` refers to a live statement.
+    pub fn is_live(&self, id: StmtId) -> bool {
+        self.slots
+            .get(id.index())
+            .map(|s| s.alive)
+            .unwrap_or(false)
+    }
+
+    /// First statement in program order.
+    pub fn first(&self) -> Option<StmtId> {
+        self.head
+    }
+
+    /// Last statement in program order.
+    pub fn last(&self) -> Option<StmtId> {
+        self.tail
+    }
+
+    /// Successor in program order (the paper's `.NXT`).
+    pub fn next(&self, id: StmtId) -> Option<StmtId> {
+        self.slot(id).next
+    }
+
+    /// Predecessor in program order (the paper's `.PREV`).
+    pub fn prev(&self, id: StmtId) -> Option<StmtId> {
+        self.slot(id).prev
+    }
+
+    /// Iterates over statement ids in program order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            prog: self,
+            cur: self.head,
+        }
+    }
+
+    /// Iterates over ids strictly between `from` and `to` (both exclusive),
+    /// in program order. Used for loop bodies (`head` … `end`).
+    pub fn iter_between(&self, from: StmtId, to: StmtId) -> impl Iterator<Item = StmtId> + '_ {
+        let mut cur = self.next(from);
+        std::iter::from_fn(move || {
+            let id = cur?;
+            if id == to {
+                return None;
+            }
+            cur = self.next(id);
+            Some(id)
+        })
+    }
+
+    /// Dense order index: maps each live statement to its 0-based position.
+    pub fn order_index(&self) -> HashMap<StmtId, usize> {
+        self.iter().enumerate().map(|(i, id)| (id, i)).collect()
+    }
+
+    // ---- the five transformation primitives --------------------------------
+
+    /// GOSpeL `add`: inserts `quad` after `after` (or at the very front when
+    /// `after` is `None`) and returns its id.
+    pub fn insert_after(&mut self, after: Option<StmtId>, quad: Quad) -> StmtId {
+        let id = StmtId(u32::try_from(self.slots.len()).expect("program too large"));
+        self.slots.push(Slot {
+            quad,
+            prev: None,
+            next: None,
+            alive: true,
+        });
+        self.len += 1;
+        self.link_after(id, after);
+        id
+    }
+
+    /// Appends a statement at the end.
+    pub fn push(&mut self, quad: Quad) -> StmtId {
+        self.insert_after(self.tail, quad)
+    }
+
+    /// Inserts `quad` immediately before `before`.
+    pub fn insert_before(&mut self, before: StmtId, quad: Quad) -> StmtId {
+        let prev = self.prev(before);
+        self.insert_after(prev, quad)
+    }
+
+    /// GOSpeL `delete`: removes the statement. Its id becomes invalid.
+    pub fn delete(&mut self, id: StmtId) {
+        self.unlink(id);
+        let s = &mut self.slots[id.index()];
+        s.alive = false;
+        self.len -= 1;
+    }
+
+    /// GOSpeL `move`: unlinks `id` and re-inserts it following `after`
+    /// (or at the front when `after` is `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after == Some(id)`.
+    pub fn move_after(&mut self, id: StmtId, after: Option<StmtId>) {
+        assert_ne!(after, Some(id), "cannot move a statement after itself");
+        self.unlink(id);
+        self.link_after(id, after);
+    }
+
+    /// GOSpeL `copy`: duplicates `id`, placing the copy after `after`, and
+    /// returns the copy's id.
+    pub fn copy_after(&mut self, id: StmtId, after: Option<StmtId>) -> StmtId {
+        let quad = self.quad(id).clone();
+        self.insert_after(after, quad)
+    }
+
+    /// GOSpeL `modify`: replaces the operand at `pos`.
+    pub fn modify(&mut self, id: StmtId, pos: OperandPos, operand: Operand) {
+        *self.slot_mut(id).quad.operand_mut(pos) = operand;
+    }
+
+    /// Replaces the whole quad (used by hand-coded optimizers; a GOSpeL
+    /// `modify` of every slot).
+    pub fn replace(&mut self, id: StmtId, quad: Quad) {
+        self.slot_mut(id).quad = quad;
+    }
+
+    // ---- linking helpers ----------------------------------------------------
+
+    fn link_after(&mut self, id: StmtId, after: Option<StmtId>) {
+        match after {
+            None => {
+                let old_head = self.head;
+                self.slots[id.index()].prev = None;
+                self.slots[id.index()].next = old_head;
+                if let Some(h) = old_head {
+                    self.slots[h.index()].prev = Some(id);
+                } else {
+                    self.tail = Some(id);
+                }
+                self.head = Some(id);
+            }
+            Some(a) => {
+                assert!(self.slots[a.index()].alive, "insert after dead statement");
+                let nxt = self.slots[a.index()].next;
+                self.slots[id.index()].prev = Some(a);
+                self.slots[id.index()].next = nxt;
+                self.slots[a.index()].next = Some(id);
+                match nxt {
+                    Some(n) => self.slots[n.index()].prev = Some(id),
+                    None => self.tail = Some(id),
+                }
+            }
+        }
+    }
+
+    fn unlink(&mut self, id: StmtId) {
+        let (prev, next) = {
+            let s = self.slot(id);
+            (s.prev, s.next)
+        };
+        match prev {
+            Some(p) => self.slots[p.index()].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.slots[n.index()].prev = prev,
+            None => self.tail = prev,
+        }
+        self.slots[id.index()].prev = None;
+        self.slots[id.index()].next = None;
+    }
+
+    // ---- structural comparison ---------------------------------------------
+
+    /// Compares two programs for structural equality: same statement
+    /// sequence with operands matched by *name* (so independently built
+    /// programs with different interning orders still compare equal).
+    pub fn structurally_eq(&self, other: &Program) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        self.iter().zip(other.iter()).all(|(a, b)| {
+            quads_eq_by_name(self, self.quad(a), other, other.quad(b))
+        })
+    }
+}
+
+fn operand_eq_by_name(pa: &Program, a: &Operand, pb: &Program, b: &Operand) -> bool {
+    use crate::AffineExpr;
+    fn affine_eq(pa: &Program, a: &AffineExpr, pb: &Program, b: &AffineExpr) -> bool {
+        if a.constant() != b.constant() {
+            return false;
+        }
+        let av: Vec<_> = a.vars().collect();
+        let bv: Vec<_> = b.vars().collect();
+        if av.len() != bv.len() {
+            return false;
+        }
+        // Compare term-by-term after sorting by name.
+        let mut an: Vec<_> = av
+            .iter()
+            .map(|&v| (pa.syms().name(v).to_owned(), a.coeff(v)))
+            .collect();
+        let mut bn: Vec<_> = bv
+            .iter()
+            .map(|&v| (pb.syms().name(v).to_owned(), b.coeff(v)))
+            .collect();
+        an.sort();
+        bn.sort();
+        an == bn
+    }
+    match (a, b) {
+        (Operand::None, Operand::None) => true,
+        (Operand::Const(x), Operand::Const(y)) => x == y,
+        (Operand::Var(x), Operand::Var(y)) => pa.syms().name(*x) == pb.syms().name(*y),
+        (
+            Operand::Elem { array: x, subs: xs },
+            Operand::Elem { array: y, subs: ys },
+        ) => {
+            pa.syms().name(*x) == pb.syms().name(*y)
+                && xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys.iter())
+                    .all(|(ea, eb)| affine_eq(pa, ea, pb, eb))
+        }
+        _ => false,
+    }
+}
+
+fn quads_eq_by_name(pa: &Program, a: &Quad, pb: &Program, b: &Quad) -> bool {
+    let ops_eq = match (a.op, b.op) {
+        (Opcode::Call(f), Opcode::Call(g)) => pa.syms().name(f) == pb.syms().name(g),
+        (x, y) => x == y,
+    };
+    ops_eq
+        && OperandPos::ALL
+            .iter()
+            .all(|&p| operand_eq_by_name(pa, a.operand(p), pb, b.operand(p)))
+}
+
+/// Program-order statement iterator. See [`Program::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    prog: &'a Program,
+    cur: Option<StmtId>,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = StmtId;
+
+    fn next(&mut self) -> Option<StmtId> {
+        let id = self.cur?;
+        self.cur = self.prog.slot(id).next;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog3() -> (Program, Vec<StmtId>) {
+        let mut p = Program::new("t");
+        let x = p.declare("x", VarType::Int, VarKind::Scalar);
+        let ids = vec![
+            p.push(Quad::assign(Operand::Var(x), Operand::int(1))),
+            p.push(Quad::assign(Operand::Var(x), Operand::int(2))),
+            p.push(Quad::assign(Operand::Var(x), Operand::int(3))),
+        ];
+        (p, ids)
+    }
+
+    #[test]
+    fn push_orders_statements() {
+        let (p, ids) = prog3();
+        assert_eq!(p.iter().collect::<Vec<_>>(), ids);
+        assert_eq!(p.first(), Some(ids[0]));
+        assert_eq!(p.last(), Some(ids[2]));
+        assert_eq!(p.next(ids[0]), Some(ids[1]));
+        assert_eq!(p.prev(ids[2]), Some(ids[1]));
+        assert_eq!(p.prev(ids[0]), None);
+    }
+
+    #[test]
+    fn delete_relinks() {
+        let (mut p, ids) = prog3();
+        p.delete(ids[1]);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![ids[0], ids[2]]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_live(ids[1]));
+        assert_eq!(p.next(ids[0]), Some(ids[2]));
+    }
+
+    #[test]
+    fn move_to_front_and_middle() {
+        let (mut p, ids) = prog3();
+        p.move_after(ids[2], None);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![ids[2], ids[0], ids[1]]);
+        p.move_after(ids[2], Some(ids[1]));
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![ids[0], ids[1], ids[2]]);
+        assert_eq!(p.last(), Some(ids[2]));
+    }
+
+    #[test]
+    fn copy_duplicates_content() {
+        let (mut p, ids) = prog3();
+        let c = p.copy_after(ids[0], Some(ids[2]));
+        assert_eq!(p.quad(c), p.quad(ids[0]));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.last(), Some(c));
+    }
+
+    #[test]
+    fn modify_changes_operand() {
+        let (mut p, ids) = prog3();
+        p.modify(ids[0], OperandPos::A, Operand::int(99));
+        assert_eq!(p.quad(ids[0]).a, Operand::int(99));
+    }
+
+    #[test]
+    fn iter_between_is_exclusive() {
+        let (p, ids) = prog3();
+        let mid: Vec<_> = p.iter_between(ids[0], ids[2]).collect();
+        assert_eq!(mid, vec![ids[1]]);
+        let none: Vec<_> = p.iter_between(ids[0], ids[1]).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn temps_are_fresh_and_flagged() {
+        let mut p = Program::new("t");
+        let t1 = p.new_temp(VarType::Real);
+        let t2 = p.new_temp(VarType::Real);
+        assert_ne!(t1, t2);
+        assert!(p.var_info(t1).unwrap().is_temp);
+    }
+
+    #[test]
+    fn structural_equality_by_name() {
+        let mk = |swap: bool| {
+            let mut p = Program::new("t");
+            // intern in different orders
+            let (x, y);
+            if swap {
+                y = p.declare("y", VarType::Int, VarKind::Scalar);
+                x = p.declare("x", VarType::Int, VarKind::Scalar);
+            } else {
+                x = p.declare("x", VarType::Int, VarKind::Scalar);
+                y = p.declare("y", VarType::Int, VarKind::Scalar);
+            }
+            p.push(Quad::assign(Operand::Var(x), Operand::Var(y)));
+            p
+        };
+        assert!(mk(false).structurally_eq(&mk(true)));
+        let mut other = mk(false);
+        let first = other.first().unwrap();
+        other.modify(first, OperandPos::A, Operand::int(3));
+        assert!(!mk(false).structurally_eq(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "deleted statement")]
+    fn stale_id_panics() {
+        let (mut p, ids) = prog3();
+        p.delete(ids[1]);
+        let _ = p.quad(ids[1]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random sequence of edit operations keeps the program-order list
+    /// self-consistent: `len` matches the iterator, forward order is the
+    /// reverse of backward order, and next/prev are inverses.
+    #[derive(Clone, Debug)]
+    enum Edit {
+        Push(i64),
+        InsertFront(i64),
+        InsertAfter(usize, i64),
+        Delete(usize),
+        MoveAfter(usize, usize),
+        CopyAfter(usize, usize),
+    }
+
+    fn edit_strategy() -> impl Strategy<Value = Edit> {
+        prop_oneof![
+            any::<i64>().prop_map(Edit::Push),
+            any::<i64>().prop_map(Edit::InsertFront),
+            (any::<usize>(), any::<i64>()).prop_map(|(i, v)| Edit::InsertAfter(i, v)),
+            any::<usize>().prop_map(Edit::Delete),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Edit::MoveAfter(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Edit::CopyAfter(a, b)),
+        ]
+    }
+
+    fn nth_live(p: &Program, i: usize) -> Option<StmtId> {
+        let n = p.len();
+        if n == 0 {
+            None
+        } else {
+            p.iter().nth(i % n)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn edit_sequences_preserve_list_invariants(
+            edits in proptest::collection::vec(edit_strategy(), 1..40),
+        ) {
+            let mut p = Program::new("prop");
+            let x = p.declare("x", VarType::Int, VarKind::Scalar);
+            let mk = |v: i64| Quad::assign(Operand::Var(x), Operand::int(v));
+
+            for e in edits {
+                match e {
+                    Edit::Push(v) => {
+                        p.push(mk(v));
+                    }
+                    Edit::InsertFront(v) => {
+                        p.insert_after(None, mk(v));
+                    }
+                    Edit::InsertAfter(i, v) => {
+                        if let Some(after) = nth_live(&p, i) {
+                            p.insert_after(Some(after), mk(v));
+                        }
+                    }
+                    Edit::Delete(i) => {
+                        if let Some(s) = nth_live(&p, i) {
+                            p.delete(s);
+                        }
+                    }
+                    Edit::MoveAfter(a, b) => {
+                        if let (Some(sa), Some(sb)) = (nth_live(&p, a), nth_live(&p, b)) {
+                            if sa != sb {
+                                p.move_after(sa, Some(sb));
+                            }
+                        }
+                    }
+                    Edit::CopyAfter(a, b) => {
+                        if let (Some(sa), Some(sb)) = (nth_live(&p, a), nth_live(&p, b)) {
+                            p.copy_after(sa, Some(sb));
+                        }
+                    }
+                }
+
+                // Invariants after every step:
+                let forward: Vec<StmtId> = p.iter().collect();
+                prop_assert_eq!(forward.len(), p.len());
+                prop_assert_eq!(forward.first().copied(), p.first());
+                prop_assert_eq!(forward.last().copied(), p.last());
+                // next/prev are mutual inverses along the whole list
+                for w in forward.windows(2) {
+                    prop_assert_eq!(p.next(w[0]), Some(w[1]));
+                    prop_assert_eq!(p.prev(w[1]), Some(w[0]));
+                }
+                if let Some(&h) = forward.first() {
+                    prop_assert_eq!(p.prev(h), None);
+                }
+                if let Some(&t) = forward.last() {
+                    prop_assert_eq!(p.next(t), None);
+                }
+                // ids are unique
+                let mut sorted = forward.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), forward.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Interned identifiers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier (variable, array or intrinsic-function name).
+///
+/// `Sym`s are cheap to copy and compare; the owning [`SymbolTable`] recovers
+/// the spelling.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Index of this symbol inside its [`SymbolTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// Bidirectional map between identifier spellings and [`Sym`] values.
+///
+/// ```
+/// use gospel_ir::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("alpha");
+/// assert_eq!(t.intern("alpha"), a);
+/// assert_eq!(t.name(a), "alpha");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Sym(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// The spelling of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` does not belong to this table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = Sym> + '_ {
+        (0..self.names.len()).map(|i| Sym(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        let b = t.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("x"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        assert_eq!(t.lookup("foo"), Some(a));
+        assert_eq!(t.lookup("bar"), None);
+        assert_eq!(t.name(a), "foo");
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<_> = t.iter().map(|s| t.name(s).to_owned()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

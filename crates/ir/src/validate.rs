@@ -1,0 +1,222 @@
+//! Structural validation of programs.
+
+use crate::{Opcode, Operand, OperandPos, Program, StmtId};
+use std::fmt;
+
+/// A structural defect found by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// `end do` with no open loop.
+    UnmatchedEndDo(StmtId),
+    /// `else`/`end if` with no open conditional.
+    UnmatchedEndIf(StmtId),
+    /// A loop or conditional left open at the end of the program.
+    Unclosed(StmtId),
+    /// `do`/`end do` and `if`/`end if` regions interleave improperly.
+    Interleaved(StmtId),
+    /// A defining statement with no destination, or a non-defining statement
+    /// with one.
+    BadDestination(StmtId),
+    /// An operand refers to an undeclared variable.
+    UndeclaredVar(StmtId, String),
+    /// An array is used with the wrong number of subscripts, or a scalar is
+    /// subscripted.
+    BadSubscript(StmtId, String),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnmatchedEndDo(s) => write!(f, "unmatched end do at {s}"),
+            ValidateError::UnmatchedEndIf(s) => write!(f, "unmatched else/end if at {s}"),
+            ValidateError::Unclosed(s) => write!(f, "unclosed region opened at {s}"),
+            ValidateError::Interleaved(s) => write!(f, "improperly interleaved regions at {s}"),
+            ValidateError::BadDestination(s) => write!(f, "bad destination at {s}"),
+            ValidateError::UndeclaredVar(s, v) => write!(f, "undeclared variable `{v}` at {s}"),
+            ValidateError::BadSubscript(s, v) => write!(f, "bad subscript usage of `{v}` at {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Region {
+    Loop(StmtId),
+    If(StmtId),
+}
+
+/// Checks a program's structural invariants: balanced `do`/`end do` and
+/// `if`/`else`/`end if` (properly nested with each other), sane
+/// destinations, declared variables, and subscript counts matching
+/// declarations.
+///
+/// # Errors
+///
+/// Returns the first defect found in program order.
+pub fn validate(prog: &Program) -> Result<(), ValidateError> {
+    let mut stack: Vec<Region> = Vec::new();
+    for id in prog.iter() {
+        let quad = prog.quad(id);
+        match quad.op {
+            Opcode::DoHead | Opcode::ParDo => {
+                if quad.dst.as_var().is_none() {
+                    return Err(ValidateError::BadDestination(id));
+                }
+                stack.push(Region::Loop(id));
+            }
+            Opcode::EndDo => match stack.pop() {
+                Some(Region::Loop(_)) => {}
+                Some(Region::If(_)) => return Err(ValidateError::Interleaved(id)),
+                None => return Err(ValidateError::UnmatchedEndDo(id)),
+            },
+            op if op.is_if() => stack.push(Region::If(id)),
+            Opcode::Else => match stack.last() {
+                Some(Region::If(_)) => {}
+                _ => return Err(ValidateError::UnmatchedEndIf(id)),
+            },
+            Opcode::EndIf => match stack.pop() {
+                Some(Region::If(_)) => {}
+                Some(Region::Loop(_)) => return Err(ValidateError::Interleaved(id)),
+                None => return Err(ValidateError::UnmatchedEndIf(id)),
+            },
+            _ => {
+                if quad.op.defines() && quad.dst.is_none() {
+                    return Err(ValidateError::BadDestination(id));
+                }
+            }
+        }
+        check_operands(prog, id)?;
+    }
+    if let Some(r) = stack.first() {
+        let at = match r {
+            Region::Loop(s) | Region::If(s) => *s,
+        };
+        return Err(ValidateError::Unclosed(at));
+    }
+    Ok(())
+}
+
+fn check_operands(prog: &Program, id: StmtId) -> Result<(), ValidateError> {
+    for pos in OperandPos::ALL {
+        match prog.quad(id).operand(pos) {
+            Operand::Var(s) => {
+                let info = prog
+                    .var_info(*s)
+                    .ok_or_else(|| ValidateError::UndeclaredVar(id, prog.syms().name(*s).into()))?;
+                if let crate::VarKind::Array(_) = info.kind {
+                    // A bare array name as an operand is not allowed.
+                    return Err(ValidateError::BadSubscript(
+                        id,
+                        prog.syms().name(*s).into(),
+                    ));
+                }
+            }
+            Operand::Elem { array, subs } => {
+                let info = prog.var_info(*array).ok_or_else(|| {
+                    ValidateError::UndeclaredVar(id, prog.syms().name(*array).into())
+                })?;
+                match &info.kind {
+                    crate::VarKind::Array(dims) if dims.len() == subs.len() => {}
+                    _ => {
+                        return Err(ValidateError::BadSubscript(
+                            id,
+                            prog.syms().name(*array).into(),
+                        ))
+                    }
+                }
+                for e in subs {
+                    for v in e.vars() {
+                        if prog.var_info(v).is_none() {
+                            return Err(ValidateError::UndeclaredVar(
+                                id,
+                                prog.syms().name(v).into(),
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AffineExpr, ProgramBuilder, Quad};
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new("ok");
+        let i = b.scalar_int("i");
+        let a = b.array_real("a", &[10]);
+        let l = b.do_head(i, Operand::int(1), Operand::int(10));
+        b.assign(Operand::elem1(a, AffineExpr::var(i)), Operand::real(0.0));
+        b.end_do(l);
+        assert_eq!(validate(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn interleaved_regions_rejected() {
+        // do ... if ... end do  — illegal
+        let mut p = Program::new("bad");
+        let i = p.declare("i", crate::VarType::Int, crate::VarKind::Scalar);
+        p.push(Quad::new(
+            Opcode::DoHead,
+            Operand::Var(i),
+            Operand::int(1),
+            Operand::int(2),
+        ));
+        p.push(Quad::new(
+            Opcode::IfGt,
+            Operand::None,
+            Operand::Var(i),
+            Operand::int(0),
+        ));
+        p.push(Quad::marker(Opcode::EndDo));
+        assert!(matches!(validate(&p), Err(ValidateError::Interleaved(_))));
+    }
+
+    #[test]
+    fn bare_array_operand_rejected() {
+        let mut p = Program::new("bad");
+        let x = p.declare("x", crate::VarType::Int, crate::VarKind::Scalar);
+        let a = p.declare("a", crate::VarType::Real, crate::VarKind::Array(vec![5]));
+        p.push(Quad::assign(Operand::Var(x), Operand::Var(a)));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::BadSubscript(_, _))
+        ));
+    }
+
+    #[test]
+    fn wrong_subscript_count_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let i = b.scalar_int("i");
+        let a = b.array_real("a", &[10, 10]);
+        let mut p = b.finish();
+        p.push(Quad::assign(
+            Operand::elem1(a, AffineExpr::var(i)), // 1 subscript for 2-D array
+            Operand::real(0.0),
+        ));
+        assert!(matches!(
+            validate(&p),
+            Err(ValidateError::BadSubscript(_, _))
+        ));
+    }
+
+    #[test]
+    fn unclosed_loop_detected() {
+        let mut p = Program::new("bad");
+        let i = p.declare("i", crate::VarType::Int, crate::VarKind::Scalar);
+        p.push(Quad::new(
+            Opcode::DoHead,
+            Operand::Var(i),
+            Operand::int(1),
+            Operand::int(2),
+        ));
+        assert!(matches!(validate(&p), Err(ValidateError::Unclosed(_))));
+    }
+}

@@ -1,0 +1,216 @@
+//! Constant values carried by [`crate::Operand::Const`].
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A compile-time constant: integer or real.
+///
+/// Reals compare by bit pattern so that [`Value`] can be `Eq`/`Hash` (needed
+/// for structural program equality); this matches constant-folding semantics
+/// where two textually identical literals are the same constant.
+#[derive(Clone, Copy, Debug)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A real (floating point) constant.
+    Real(f64),
+}
+
+impl Value {
+    /// True if the value is integral.
+    pub fn is_int(self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// The integer payload, if integral.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Real(_) => None,
+        }
+    }
+
+    /// Numeric value as an `f64` (exact for small integers).
+    pub fn to_f64(self) -> f64 {
+        match self {
+            Value::Int(i) => i as f64,
+            Value::Real(r) => r,
+        }
+    }
+
+    /// Constant-folds a binary arithmetic operation, promoting to real when
+    /// either side is real. Returns `None` for division by zero or untypable
+    /// combinations (e.g. `Mod` on reals).
+    pub fn fold(op: FoldOp, a: Value, b: Value) -> Option<Value> {
+        use FoldOp::*;
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Some(Value::Int(match op {
+                Add => x.checked_add(y)?,
+                Sub => x.checked_sub(y)?,
+                Mul => x.checked_mul(y)?,
+                Div => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.checked_div(y)?
+                }
+                Mod => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.checked_rem(y)?
+                }
+            })),
+            _ => {
+                let (x, y) = (a.to_f64(), b.to_f64());
+                Some(Value::Real(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if y == 0.0 {
+                            return None;
+                        }
+                        x / y
+                    }
+                    Mod => return None,
+                }))
+            }
+        }
+    }
+
+    /// Negates the value (named `negated` to avoid colliding with
+    /// `std::ops::Neg::neg`, which `Value` deliberately does not implement —
+    /// folding is explicit in this codebase).
+    pub fn negated(self) -> Value {
+        match self {
+            Value::Int(i) => Value::Int(i.wrapping_neg()),
+            Value::Real(r) => Value::Real(-r),
+        }
+    }
+}
+
+/// Binary operations understood by [`Value::fold`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division on two ints).
+    Div,
+    /// Remainder (ints only).
+    Mod,
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Real(a), Value::Real(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Value::Real(r) => {
+                1u8.hash(state);
+                r.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => {
+                if r.fract() == 0.0 && r.is_finite() {
+                    write!(f, "{r:.1}")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_int_arithmetic() {
+        assert_eq!(
+            Value::fold(FoldOp::Add, Value::Int(2), Value::Int(3)),
+            Some(Value::Int(5))
+        );
+        assert_eq!(
+            Value::fold(FoldOp::Div, Value::Int(7), Value::Int(2)),
+            Some(Value::Int(3))
+        );
+        assert_eq!(Value::fold(FoldOp::Div, Value::Int(1), Value::Int(0)), None);
+        assert_eq!(
+            Value::fold(FoldOp::Mod, Value::Int(7), Value::Int(4)),
+            Some(Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn folding_promotes_to_real() {
+        assert_eq!(
+            Value::fold(FoldOp::Mul, Value::Int(2), Value::Real(1.5)),
+            Some(Value::Real(3.0))
+        );
+        assert_eq!(
+            Value::fold(FoldOp::Mod, Value::Real(1.0), Value::Real(2.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn overflow_does_not_fold() {
+        assert_eq!(
+            Value::fold(FoldOp::Mul, Value::Int(i64::MAX), Value::Int(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn real_equality_is_bitwise() {
+        assert_eq!(Value::Real(1.0), Value::Real(1.0));
+        assert_ne!(Value::Real(0.0), Value::Real(-0.0));
+        assert_ne!(Value::Int(1), Value::Real(1.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Real(2.0).to_string(), "2.0");
+        assert_eq!(Value::Real(2.5).to_string(), "2.5");
+    }
+}

@@ -1,0 +1,266 @@
+//! Hand-coded loop restructurers: ICM, LUR (+ full unroller), BMP.
+
+use super::{fixpoint, HandError};
+use gospel_dep::{DepGraph, DepKind};
+use gospel_ir::{
+    AffineExpr, LoopId, LoopTable, Opcode, Operand, OperandPos, Program, Quad, StmtId, Sym,
+};
+
+/// Invariant code motion (hand-coded twin of ICM): moves a loop-invariant
+/// computation to just before its loop's header.
+///
+/// # Errors
+///
+/// Fails only on structurally invalid programs.
+pub fn icm(prog: &mut Program) -> Result<usize, HandError> {
+    fixpoint(prog, |prog, deps| Ok(icm_step(prog, deps)))
+}
+
+fn icm_step(prog: &mut Program, deps: &DepGraph) -> bool {
+    let eq = gospel_dep::DirPattern::loop_independent();
+    let loops = deps.loops().clone();
+    for l in loops.iter().map(|i| i.id).collect::<Vec<_>>() {
+        let lcv = Operand::Var(loops.get(l).lcv);
+        let body: Vec<StmtId> = loops.body(prog, l).collect();
+        for &si in &body {
+            let q = prog.quad(si);
+            if !matches!(
+                q.op,
+                Opcode::Assign | Opcode::Add | Opcode::Sub | Opcode::Mul | Opcode::Div
+            ) {
+                continue;
+            }
+            // Scalar target; operands neither array elements nor the LCV.
+            if q.dst.as_var().is_none()
+                || matches!(q.a, Operand::Elem { .. })
+                || matches!(q.b, Operand::Elem { .. })
+                || q.a == lcv
+                || q.b == lcv
+            {
+                continue;
+            }
+            let blocked = body.iter().any(|&sm| {
+                deps.from(sm)
+                    .any(|e| e.dst == si && e.kind == DepKind::Flow)
+                    || deps.from(si).any(|e| {
+                        e.dst == sm && e.kind == DepKind::Output && eq.matches(&e.dirvec)
+                    })
+                    || deps.from(sm).any(|e| {
+                        e.dst == si
+                            && matches!(e.kind, DepKind::Output | DepKind::Anti)
+                            && eq.matches(&e.dirvec)
+                    })
+                    || deps
+                        .from(sm)
+                        .any(|e| e.dst == si && e.kind == DepKind::Control)
+            });
+            if blocked {
+                continue;
+            }
+            let head = loops.get(l).head;
+            prog.move_after(si, prog.prev(head));
+            return true;
+        }
+    }
+    false
+}
+
+/// Loop unrolling (hand-coded twin of LUR): fully unrolls two-trip
+/// constant-bound loops.
+///
+/// # Errors
+///
+/// Fails if the loop control variable is used as a direct scalar operand
+/// (the same prototype restriction the generated optimizer's `bump` has).
+pub fn lur(prog: &mut Program) -> Result<usize, HandError> {
+    fixpoint(prog, |prog, deps| {
+        let loops = deps.loops().clone();
+        for info in loops.iter() {
+            if loops.trip_count(info.id) == Some(2) {
+                unroll(prog, &loops, info.id, 2)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    })
+}
+
+/// Extension beyond the specification: fully unrolls any constant-bound
+/// loop with trip count `2..=max_trip`.
+///
+/// # Errors
+///
+/// Same restriction as [`lur`].
+pub fn lur_full(prog: &mut Program, max_trip: i64) -> Result<usize, HandError> {
+    fixpoint(prog, move |prog, deps| {
+        let loops = deps.loops().clone();
+        for info in loops.iter() {
+            if let Some(t) = loops.trip_count(info.id) {
+                if (2..=max_trip).contains(&t) {
+                    unroll(prog, &loops, info.id, t)?;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    })
+}
+
+/// Replaces loop `l` (trip count `trips`, unit step) with `trips` copies
+/// of its body, control variable offset per copy, preceded by
+/// `lcv := init`.
+fn unroll(
+    prog: &mut Program,
+    loops: &LoopTable,
+    l: LoopId,
+    trips: i64,
+) -> Result<(), HandError> {
+    let info = loops.get(l);
+    let lcv = info.lcv;
+    let head = info.head;
+    let end = info.end;
+    let init = info.init.clone();
+    let body: Vec<StmtId> = prog.iter_between(head, end).collect();
+
+    // Copies for iterations 2..=trips, placed before the end marker in
+    // iteration order (mirrors the specification's forall+copy+bump).
+    let mut anchor = prog.prev(end).unwrap_or(head);
+    for k in 1..trips {
+        for &s in &body {
+            let c = prog.copy_after(s, Some(anchor));
+            bump_stmt(prog, c, lcv, k)?;
+            anchor = c;
+        }
+    }
+    // lcv := init, then drop the loop shell.
+    prog.insert_after(Some(head), Quad::assign(Operand::Var(lcv), init));
+    prog.delete(head);
+    prog.delete(end);
+    Ok(())
+}
+
+/// Substitutes `lcv := lcv + k` in all three operands of `s`.
+fn bump_stmt(prog: &mut Program, s: StmtId, lcv: Sym, k: i64) -> Result<(), HandError> {
+    let repl = AffineExpr::var(lcv).plus_const(k);
+    for pos in OperandPos::ALL {
+        let o = prog.quad(s).operand(pos).clone();
+        if k != 0 && o.as_var() == Some(lcv) {
+            return Err(HandError(
+                "control variable used as a direct scalar operand; \
+                 unrolling is not expressible (prototype restriction)"
+                    .into(),
+            ));
+        }
+        let bumped = o.substitute_affine(lcv, &repl);
+        prog.modify(s, pos, bumped);
+    }
+    Ok(())
+}
+
+/// Bumping (hand-coded twin of BMP): normalizes constant-bound loops to
+/// start at 1.
+///
+/// # Errors
+///
+/// Same scalar-LCV restriction as [`lur`].
+pub fn bmp(prog: &mut Program) -> Result<usize, HandError> {
+    fixpoint(prog, |prog, deps| {
+        let loops = deps.loops().clone();
+        for info in loops.iter() {
+            let (Some(init), Some(fin)) = (
+                info.init.as_const().and_then(|v| v.as_int()),
+                info.fin.as_const().and_then(|v| v.as_int()),
+            ) else {
+                continue;
+            };
+            if init == 1 {
+                continue;
+            }
+            let body: Vec<StmtId> = prog.iter_between(info.head, info.end).collect();
+            for &s in &body {
+                bump_stmt(prog, s, info.lcv, init - 1)?;
+            }
+            prog.modify(info.head, OperandPos::B, Operand::int(fin - init + 1));
+            prog.modify(info.head, OperandPos::A, Operand::int(1));
+            return Ok(true);
+        }
+        Ok(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gospel_frontend::compile;
+    use gospel_ir::DisplayProgram;
+
+    #[test]
+    fn icm_hoists_invariant_assignment() {
+        let mut p = compile(
+            "program p\ninteger i, k, n\nreal a(10)\nn = 10\ndo i = 1, n\nk = 7\na(i) = k\nend do\nwrite a(1)\nend",
+        )
+        .unwrap();
+        assert_eq!(icm(&mut p).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        // k = 7 now precedes the loop header
+        let k_line = listing.lines().position(|l| l.contains("k := 7")).unwrap();
+        let do_line = listing.lines().position(|l| l.contains("do i")).unwrap();
+        assert!(k_line < do_line, "{listing}");
+    }
+
+    #[test]
+    fn icm_skips_variant_and_guarded_code() {
+        let mut p = compile(
+            "program p\ninteger i, k, n\nreal a(10)\nn = 10\ndo i = 1, n\nif (i > 5) then\nk = 7\nend if\na(i) = k\nend do\nend",
+        )
+        .unwrap();
+        // k = 7 is control dependent on the if: not moved.
+        assert_eq!(icm(&mut p).unwrap(), 0);
+    }
+
+    #[test]
+    fn lur_unrolls_two_trip_loop() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(10)\ndo i = 1, 2\na(i) = 0.0\nend do\nwrite a(1)\nend",
+        )
+        .unwrap();
+        assert_eq!(lur(&mut p).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        assert!(listing.contains("i := 1"), "{listing}");
+        assert!(listing.contains("a(i) := 0.0"), "{listing}");
+        assert!(listing.contains("a(i+1) := 0.0"), "{listing}");
+        assert!(!listing.contains("do "), "{listing}");
+    }
+
+    #[test]
+    fn lur_full_unrolls_larger_loops() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(10)\ndo i = 1, 4\na(i) = 0.0\nend do\nwrite a(1)\nend",
+        )
+        .unwrap();
+        assert_eq!(lur_full(&mut p, 8).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        assert!(listing.contains("a(i+3) := 0.0"), "{listing}");
+    }
+
+    #[test]
+    fn lur_rejects_scalar_lcv_use() {
+        let mut p = compile(
+            "program p\ninteger i, x\ndo i = 1, 2\nx = i\nend do\nwrite x\nend",
+        )
+        .unwrap();
+        assert!(lur(&mut p).is_err());
+    }
+
+    #[test]
+    fn bmp_normalizes_bounds() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(20)\ndo i = 5, 14\na(i) = 0.0\nend do\nwrite a(5)\nend",
+        )
+        .unwrap();
+        assert_eq!(bmp(&mut p).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        assert!(listing.contains("do i = 1, 10"), "{listing}");
+        assert!(listing.contains("a(i+4) := 0.0"), "{listing}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Hand-coded parallelizing transformations: INX, CRC, PAR, FUS.
+
+use super::{fixpoint, HandError};
+use gospel_dep::{DepGraph, DepKind, DirElem, DirPattern};
+use gospel_ir::{LoopId, Opcode, Program, Quad, StmtId};
+
+/// Loop interchange (hand-coded twin of the paper's Figure 2 INX spec):
+/// swaps a tightly nested pair when the headers are invariant and no flow
+/// dependence in the inner body has a `(<,>)` direction vector.
+///
+/// Interchange is its own inverse, so — like the paper's interactive
+/// transformations — one call applies it at (at most) the first legal
+/// pair and returns 0 or 1.
+///
+/// # Errors
+///
+/// Fails only on structurally invalid programs.
+pub fn inx(prog: &mut Program) -> Result<usize, HandError> {
+    let deps = super::analyze(prog)?;
+    Ok(usize::from(inx_step(prog, &deps)))
+}
+
+fn inx_step(prog: &mut Program, deps: &DepGraph) -> bool {
+    let blocking = DirPattern::new(vec![DirElem::Lt, DirElem::Gt]);
+    let loops = deps.loops().clone();
+    for (l1, l2) in loops.tight_pairs(prog) {
+        if deps.exists(
+            DepKind::Flow,
+            loops.get(l1).head,
+            loops.get(l2).head,
+            &DirPattern::any(),
+        ) {
+            continue; // header depends on the outer LCV
+        }
+        let body: Vec<StmtId> = loops.body(prog, l2).collect();
+        let blocked = body.iter().any(|&sn| {
+            deps.from(sn).any(|e| {
+                e.kind == DepKind::Flow
+                    && body.contains(&e.dst)
+                    && blocking.matches(&e.dirvec)
+            })
+        });
+        if blocked {
+            continue;
+        }
+        // interchange heads and tails, exactly as the specification does
+        let (h1, h2) = (loops.get(l1).head, loops.get(l2).head);
+        let (e1, e2) = (loops.get(l1).end, loops.get(l2).end);
+        prog.move_after(h1, Some(h2));
+        let before_e2 = prog.prev(e2).expect("loop end has a predecessor");
+        prog.move_after(e1, Some(before_e2));
+        return true;
+    }
+    false
+}
+
+/// Loop circulation (hand-coded twin of CRC): left-rotates a tight triple
+/// nest, making the innermost loop outermost. Like [`inx`], one call
+/// applies at most one rotation (rotations cycle).
+///
+/// # Errors
+///
+/// Fails only on structurally invalid programs.
+pub fn crc(prog: &mut Program) -> Result<usize, HandError> {
+    let deps = super::analyze(prog)?;
+    Ok(usize::from(crc_step(prog, &deps)))
+}
+
+fn crc_step(prog: &mut Program, deps: &DepGraph) -> bool {
+    let backward_inner = DirPattern::new(vec![DirElem::Any, DirElem::Any, DirElem::Gt]);
+    let loops = deps.loops().clone();
+    let tights = loops.tight_pairs(prog);
+    for &(l1, l2) in &tights {
+        for &(m2, l3) in &tights {
+            if m2 != l2 {
+                continue;
+            }
+            let heads = [loops.get(l1).head, loops.get(l2).head, loops.get(l3).head];
+            let header_dep = deps.exists(DepKind::Flow, heads[0], heads[1], &DirPattern::any())
+                || deps.exists(DepKind::Flow, heads[0], heads[2], &DirPattern::any())
+                || deps.exists(DepKind::Flow, heads[1], heads[2], &DirPattern::any());
+            if header_dep {
+                continue;
+            }
+            let body: Vec<StmtId> = loops.body(prog, l3).collect();
+            let blocked = body.iter().any(|&sm| {
+                deps.from(sm).any(|e| {
+                    body.contains(&e.dst)
+                        && matches!(e.kind, DepKind::Flow | DepKind::Anti | DepKind::Output)
+                        && backward_inner.matches(&e.dirvec)
+                })
+            });
+            if blocked {
+                continue;
+            }
+            // rotate: (L1, L2, L3) -> (L3, L1, L2)
+            let (h1, h2, h3) = (heads[0], heads[1], heads[2]);
+            let _ = h2;
+            let (e1, e3) = (loops.get(l1).end, loops.get(l3).end);
+            prog.move_after(h1, Some(h3));
+            prog.move_after(loops.get(l2).head, Some(h1));
+            prog.move_after(e3, Some(e1));
+            return true;
+        }
+    }
+    false
+}
+
+const PAR_PATTERNS: [&[DirElem]; 3] = [
+    &[DirElem::Lt],
+    &[DirElem::Eq, DirElem::Lt],
+    &[DirElem::Eq, DirElem::Eq, DirElem::Lt],
+];
+
+/// Parallelization (hand-coded twin of PAR): turns a sequential loop with
+/// no loop-carried dependence into a `pardo`, using the specification's
+/// per-depth carried patterns (conservative for deeply nested loops).
+///
+/// # Errors
+///
+/// Fails only on structurally invalid programs.
+pub fn par(prog: &mut Program) -> Result<usize, HandError> {
+    fixpoint(prog, |prog, deps| Ok(par_step(prog, deps, false)))
+}
+
+/// Extension beyond the specification: parallelizes using the precise
+/// carried-at-this-loop test instead of the fixed-depth patterns.
+///
+/// # Errors
+///
+/// Fails only on structurally invalid programs.
+pub fn par_precise(prog: &mut Program) -> Result<usize, HandError> {
+    fixpoint(prog, |prog, deps| Ok(par_step(prog, deps, true)))
+}
+
+fn par_step(prog: &mut Program, deps: &DepGraph, precise: bool) -> bool {
+    let loops = deps.loops().clone();
+    for info in loops.iter() {
+        if prog.quad(info.head).op != Opcode::DoHead {
+            continue; // already parallel
+        }
+        let l = info.id;
+        let depth = info.depth;
+        let body: Vec<StmtId> = loops.body(prog, l).collect();
+        let blocked = body.iter().any(|&sm| {
+            deps.from(sm).any(|e| {
+                if !body.contains(&e.dst)
+                    || !matches!(e.kind, DepKind::Flow | DepKind::Anti | DepKind::Output)
+                {
+                    return false;
+                }
+                if precise {
+                    e.carried_at(depth)
+                } else {
+                    PAR_PATTERNS
+                        .iter()
+                        .any(|p| DirPattern::new(p.to_vec()).matches(&e.dirvec))
+                }
+            })
+        });
+        if blocked {
+            continue;
+        }
+        let q = prog.quad(info.head).clone();
+        prog.insert_after(
+            Some(info.head),
+            Quad::new(Opcode::ParDo, q.dst, q.a, q.b),
+        );
+        prog.delete(info.head);
+        return true;
+    }
+    false
+}
+
+/// Loop fusion (hand-coded twin of FUS): merges adjacent loops with the
+/// same control variable and bounds when no dependence would be reversed
+/// (the dependence analyzer's fusion-preview `(>)` vectors).
+///
+/// # Errors
+///
+/// Fails only on structurally invalid programs.
+pub fn fus(prog: &mut Program) -> Result<usize, HandError> {
+    fixpoint(prog, |prog, deps| Ok(fus_step(prog, deps)))
+}
+
+fn fus_step(prog: &mut Program, deps: &DepGraph) -> bool {
+    let preventing = DirPattern::new(vec![DirElem::Gt]);
+    let loops = deps.loops().clone();
+    for (l1, l2) in loops.adjacent_pairs(prog) {
+        let (i1, i2) = (loops.get(l1), loops.get(l2));
+        if i1.lcv != i2.lcv || i1.init != i2.init || i1.fin != i2.fin {
+            continue;
+        }
+        let body1: Vec<StmtId> = loops.body(prog, l1).collect();
+        let body2: Vec<StmtId> = loops.body(prog, l2).collect();
+        let blocked = body1.iter().any(|&sm| {
+            deps.from(sm).any(|e| {
+                body2.contains(&e.dst)
+                    && matches!(e.kind, DepKind::Flow | DepKind::Anti | DepKind::Output)
+                    && preventing.matches(&e.dirvec)
+            })
+        });
+        if blocked {
+            continue;
+        }
+        prog.delete(i1.end);
+        prog.delete(i2.head);
+        return true;
+    }
+    false
+}
+
+/// Which loop ids are currently parallel (`pardo`) — a helper for tests
+/// and the machine-model benefit estimator.
+pub fn parallel_loops(prog: &Program, deps: &DepGraph) -> Vec<LoopId> {
+    deps.loops()
+        .iter()
+        .filter(|l| prog.quad(l.head).op == Opcode::ParDo)
+        .map(|l| l.id)
+        .collect()
+}
+
+/// True if the operands of two loop headers make them bound-compatible
+/// (used by tests).
+pub fn same_bounds(prog: &Program, h1: StmtId, h2: StmtId) -> bool {
+    let (q1, q2) = (prog.quad(h1), prog.quad(h2));
+    q1.a == q2.a && q1.b == q2.b && q1.dst == q2.dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gospel_frontend::compile;
+    use gospel_ir::DisplayProgram;
+
+    #[test]
+    fn inx_swaps_clean_nest() {
+        let mut p = compile(
+            "program p\ninteger i, j\nreal a(20,20)\ndo i = 1, 10\ndo j = 1, 10\na(i,j) = 1.0\nend do\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(inx(&mut p).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        let ji = listing.lines().position(|l| l.contains("do j")).unwrap();
+        let ii = listing.lines().position(|l| l.contains("do i")).unwrap();
+        assert!(ji < ii, "j loop should now be outer:\n{listing}");
+    }
+
+    #[test]
+    fn inx_blocked_by_lt_gt_dependence() {
+        let mut p = compile(
+            "program p\ninteger i, j\nreal a(20,20)\ndo i = 2, 10\ndo j = 1, 9\na(i,j) = a(i-1,j+1)\nend do\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(inx(&mut p).unwrap(), 0);
+    }
+
+    #[test]
+    fn inx_blocked_by_variant_inner_bound() {
+        // inner bound uses outer LCV (triangular loop): header dependence
+        let mut p = compile(
+            "program p\ninteger i, j\nreal a(20,20)\ndo i = 1, 10\ndo j = 1, i\na(i,j) = 1.0\nend do\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(inx(&mut p).unwrap(), 0);
+    }
+
+    #[test]
+    fn crc_rotates_triple_nest() {
+        let mut p = compile(
+            "program p\ninteger i, j, k\nreal a(9,9,9)\ndo i = 1, 8\ndo j = 1, 8\ndo k = 1, 8\na(i,j,k) = 1.0\nend do\nend do\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(crc(&mut p).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        let ki = listing.lines().position(|l| l.contains("do k")).unwrap();
+        let ii = listing.lines().position(|l| l.contains("do i")).unwrap();
+        let ji = listing.lines().position(|l| l.contains("do j")).unwrap();
+        assert!(ki < ii && ii < ji, "want k,i,j order:\n{listing}");
+        gospel_ir::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn par_marks_independent_loop() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100)\ndo i = 1, 100\na(i) = 1.0\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(par(&mut p).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        assert!(listing.contains("pardo i"), "{listing}");
+    }
+
+    #[test]
+    fn par_blocked_by_recurrence() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100)\ndo i = 2, 100\na(i) = a(i-1)\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(par(&mut p).unwrap(), 0);
+    }
+
+    #[test]
+    fn par_blocked_by_scalar_accumulator() {
+        let mut p = compile(
+            "program p\ninteger i\nreal s, a(100)\ns = 0.0\ndo i = 1, 100\ns = s + a(i)\nend do\nwrite s\nend",
+        )
+        .unwrap();
+        assert_eq!(par(&mut p).unwrap(), 0);
+    }
+
+    #[test]
+    fn fus_merges_conformable_loops() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100), b(100)\ndo i = 1, 100\na(i) = 1.0\nend do\ndo i = 1, 100\nb(i) = a(i)\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(fus(&mut p).unwrap(), 1);
+        let listing = DisplayProgram(&p).to_string();
+        assert_eq!(listing.matches("do i").count(), 1, "{listing}");
+        gospel_ir::validate(&p).unwrap();
+    }
+
+    #[test]
+    fn fus_blocked_by_forward_reference() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(200), b(200)\ndo i = 1, 100\na(i) = 1.0\nend do\ndo i = 1, 100\nb(i) = a(i+1)\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(fus(&mut p).unwrap(), 0);
+    }
+
+    #[test]
+    fn fus_blocked_by_different_bounds() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100), b(100)\ndo i = 1, 100\na(i) = 1.0\nend do\ndo i = 1, 50\nb(i) = 2.0\nend do\nend",
+        )
+        .unwrap();
+        assert_eq!(fus(&mut p).unwrap(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Optimization-interaction measurements: the machinery behind the §4
+//! enablement and ordering experiments ("CTP was found to create
+//! opportunities to apply a number of other optimizations"; "applying FUS
+//! disabled INX and applying LUR disabled FUS").
+
+use genesis::{ApplyMode, CompiledOptimizer, Driver, RunError};
+use gospel_ir::Program;
+use gospel_lang::ast::Mode;
+use std::collections::BTreeMap;
+
+/// The natural application mode of an optimizer when the experiments
+/// drive it without a user: optimizations whose actions invalidate their
+/// own precondition run to a fixpoint at all points; pure-`move`
+/// restructurings (loop interchange, circulation) leave their pattern
+/// matchable — applying them repeatedly would just toggle the program —
+/// so they apply once, as the paper's interactive interface would.
+pub fn natural_mode(opt: &CompiledOptimizer) -> ApplyMode {
+    use gospel_lang::ast::Action;
+    let moves_only = !opt.actions.is_empty()
+        && opt.actions.iter().all(|a| matches!(a, Action::Move(_, _)));
+    if moves_only && opt.mode == Mode::Interactive {
+        ApplyMode::FirstPoint
+    } else {
+        ApplyMode::AllPoints
+    }
+}
+
+/// How many times `opt` applies to (a scratch copy of) `prog` when run to
+/// a fixpoint — the paper's "application points".
+///
+/// # Errors
+///
+/// Propagates driver failures.
+pub fn applications(prog: &Program, opt: &CompiledOptimizer) -> Result<usize, RunError> {
+    let mut scratch = prog.clone();
+    let mut d = Driver::new(opt);
+    Ok(d.apply(&mut scratch, natural_mode(opt))?.applications)
+}
+
+/// How many application points `opt` *matches* right now, without
+/// transforming (for applicability-style patterns such as
+/// [`crate::specs::LUR_APPLICABLE`]).
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn match_count(prog: &Program, opt: &CompiledOptimizer) -> Result<usize, RunError> {
+    Ok(Driver::new(opt).matches(prog)?.bindings.len())
+}
+
+/// The enablement relation between one optimization and another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Enablement {
+    /// Applications of the enabler itself.
+    pub first_applications: usize,
+    /// The enabled optimization's points before the enabler ran.
+    pub before: usize,
+    /// … and after.
+    pub after: usize,
+}
+
+impl Enablement {
+    /// Newly created opportunities (clamped at zero).
+    pub fn enabled(&self) -> usize {
+        self.after.saturating_sub(self.before)
+    }
+
+    /// Destroyed opportunities (clamped at zero).
+    pub fn disabled(&self) -> usize {
+        self.before.saturating_sub(self.after)
+    }
+}
+
+/// Measures whether applying `first` (to a fixpoint) creates or destroys
+/// application points of `then`. `count_by_match` counts `then`'s points
+/// with [`match_count`] instead of [`applications`] (needed for
+/// applicability-only patterns).
+///
+/// # Errors
+///
+/// Propagates driver failures.
+pub fn enablement(
+    prog: &Program,
+    first: &CompiledOptimizer,
+    then: &CompiledOptimizer,
+    count_by_match: bool,
+) -> Result<Enablement, RunError> {
+    let count = |p: &Program| -> Result<usize, RunError> {
+        if count_by_match {
+            match_count(p, then)
+        } else {
+            applications(p, then)
+        }
+    };
+    let before = count(prog)?;
+    let mut transformed = prog.clone();
+    let mut d = Driver::new(first);
+    let first_applications = d
+        .apply(&mut transformed, natural_mode(first))?
+        .applications;
+    let after = count(&transformed)?;
+    Ok(Enablement {
+        first_applications,
+        before,
+        after,
+    })
+}
+
+/// Applies a sequence of optimizers in order (each to its fixpoint) and
+/// returns the per-step application counts plus the final program — the
+/// §4 ordering experiment's primitive.
+///
+/// # Errors
+///
+/// Propagates driver failures.
+pub fn run_order(
+    prog: &Program,
+    order: &[&CompiledOptimizer],
+) -> Result<(Vec<usize>, Program), RunError> {
+    let mut p = prog.clone();
+    let mut counts = Vec::new();
+    for opt in order {
+        let mut d = Driver::new(opt);
+        counts.push(d.apply(&mut p, natural_mode(opt))?.applications);
+    }
+    Ok((counts, p))
+}
+
+/// Runs every permutation of the given optimizers and reports, per order,
+/// the application counts and whether the final programs differ — the
+/// "different orderings produced different optimized programs" result.
+///
+/// # Errors
+///
+/// Propagates driver failures.
+pub fn all_orders(
+    prog: &Program,
+    opts: &[&CompiledOptimizer],
+) -> Result<Vec<OrderOutcome>, RunError> {
+    let n = opts.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    permute(&mut idx, 0, &mut |perm| {
+        let order: Vec<&CompiledOptimizer> = perm.iter().map(|&i| opts[i]).collect();
+        let names: Vec<String> = order.iter().map(|o| o.name.clone()).collect();
+        match run_order(prog, &order) {
+            Ok((counts, program)) => {
+                out.push(Ok(OrderOutcome {
+                    names,
+                    counts,
+                    program,
+                }));
+            }
+            Err(e) => out.push(Err(e)),
+        }
+    });
+    out.into_iter().collect()
+}
+
+fn permute(idx: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == idx.len() {
+        f(idx);
+        return;
+    }
+    for i in k..idx.len() {
+        idx.swap(k, i);
+        permute(idx, k + 1, f);
+        idx.swap(k, i);
+    }
+}
+
+/// The outcome of one ordering.
+#[derive(Clone, Debug)]
+pub struct OrderOutcome {
+    /// Optimizer names in application order.
+    pub names: Vec<String>,
+    /// Applications per optimizer.
+    pub counts: Vec<usize>,
+    /// The final program.
+    pub program: Program,
+}
+
+/// Groups ordering outcomes into classes of structurally equal final
+/// programs; more than one class means order matters.
+pub fn distinct_results(outcomes: &[OrderOutcome]) -> Vec<Vec<&OrderOutcome>> {
+    let mut classes: Vec<Vec<&OrderOutcome>> = Vec::new();
+    for o in outcomes {
+        match classes
+            .iter_mut()
+            .find(|c| c[0].program.structurally_eq(&o.program))
+        {
+            Some(c) => c.push(o),
+            None => classes.push(vec![o]),
+        }
+    }
+    classes
+}
+
+/// Per-optimization application counts over a whole program suite.
+pub type CountTable = BTreeMap<String, usize>;
+
+/// Counts applications of every catalog optimizer on `prog`.
+///
+/// # Errors
+///
+/// Propagates driver failures.
+pub fn count_all(prog: &Program, opts: &[CompiledOptimizer]) -> Result<CountTable, RunError> {
+    let mut out = CountTable::new();
+    for o in opts {
+        out.insert(o.name.clone(), applications(prog, o)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+    use gospel_frontend::compile;
+
+    #[test]
+    fn ctp_enables_dce() {
+        // After propagating x into y = x, x's definition becomes dead.
+        let prog = compile(
+            "program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend",
+        )
+        .unwrap();
+        let e = enablement(&prog, &by_name("CTP"), &by_name("DCE"), false).unwrap();
+        assert_eq!(e.before, 0);
+        assert!(e.after > 0, "{e:?}");
+        assert!(e.enabled() > 0);
+    }
+
+    #[test]
+    fn ctp_enables_cfo() {
+        // x = 3 ; y = x + 4  — after CTP the add has two constant operands.
+        let prog = compile(
+            "program p\ninteger x, y\nx = 3\ny = x + 4\nwrite y\nend",
+        )
+        .unwrap();
+        let e = enablement(&prog, &by_name("CTP"), &by_name("CFO"), false).unwrap();
+        assert_eq!(e.before, 0);
+        assert!(e.enabled() > 0, "{e:?}");
+    }
+
+    #[test]
+    fn ordering_can_change_results() {
+        // LUR destroys the loop FUS would fuse: LUR-first and FUS-first
+        // final programs differ.
+        let prog = compile(
+            "program p\ninteger i\nreal a(10), b(10)\ndo i = 1, 2\na(i) = 1.0\nend do\ndo i = 1, 2\nb(i) = a(i)\nend do\nwrite b(1)\nend",
+        )
+        .unwrap();
+        let lur = by_name("LUR");
+        let fus = by_name("FUS");
+        let outcomes = all_orders(&prog, &[&lur, &fus]).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let classes = distinct_results(&outcomes);
+        assert_eq!(classes.len(), 2, "orders should differ");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::by_name;
+    use gospel_frontend::compile;
+
+    #[test]
+    fn all_orders_enumerates_every_permutation() {
+        let prog = compile("program p\ninteger x\nx = 1\nwrite x\nend").unwrap();
+        let a = by_name("CTP");
+        let b = by_name("DCE");
+        let c = by_name("CFO");
+        let outcomes = all_orders(&prog, &[&a, &b, &c]).unwrap();
+        assert_eq!(outcomes.len(), 6);
+        let mut names: Vec<String> = outcomes.iter().map(|o| o.names.join(",")).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6, "duplicate orders: {names:?}");
+    }
+
+    #[test]
+    fn distinct_results_groups_equal_programs() {
+        let prog = compile("program p\ninteger x\nx = 1\nwrite x\nend").unwrap();
+        // CTP and CFO both fixpoint to the same tiny program here; every
+        // order lands in one equivalence class.
+        let a = by_name("CTP");
+        let b = by_name("CFO");
+        let outcomes = all_orders(&prog, &[&a, &b]).unwrap();
+        let classes = distinct_results(&outcomes);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 2);
+    }
+
+    #[test]
+    fn enablement_counts_are_consistent() {
+        let prog = compile(
+            "program p\ninteger x, y\nx = 3\ny = x + 4\nwrite y\nend",
+        )
+        .unwrap();
+        let e = enablement(&prog, &by_name("CTP"), &by_name("CFO"), false).unwrap();
+        assert_eq!(e.before + e.enabled() - e.disabled(), e.after);
+        assert!(e.first_applications > 0);
+    }
+
+    #[test]
+    fn natural_mode_classification() {
+        use genesis::ApplyMode;
+        assert_eq!(natural_mode(&by_name("CTP")), ApplyMode::AllPoints);
+        assert_eq!(natural_mode(&by_name("PAR")), ApplyMode::AllPoints); // convergent
+        assert_eq!(natural_mode(&by_name("FUS")), ApplyMode::AllPoints);
+        assert_eq!(natural_mode(&by_name("INX")), ApplyMode::FirstPoint); // pure moves
+        assert_eq!(natural_mode(&by_name("CRC")), ApplyMode::FirstPoint);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gospel-workloads — the experiment programs
+//!
+//! The paper evaluates on "programs found in the HOMPACK test suite and in
+//! a numerical analysis test suite … a total of ten programs". This crate
+//! provides a ten-program MiniFor suite modelled on those sources —
+//! homotopy-method kernels plus classic numerical-analysis routines (FFT,
+//! Newton's method, Gaussian elimination, …) — shaped to reproduce the
+//! paper's qualitative findings: constants feed loop bounds (CTP points
+//! everywhere, enabling DCE/CFO/LUR), array accesses stay high-level (no
+//! ICM points in the suite), copies occur in exactly two programs, loop
+//! fusion applies in exactly one, and one program is the three-way
+//! FUS/INX/LUR interaction study of §4.
+//!
+//! A seeded random-program generator supports property tests and scaling
+//! benches.
+//!
+//! ```
+//! let suite = gospel_workloads::suite();
+//! assert_eq!(suite.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod programs;
+
+use gospel_ir::Program;
+
+/// Compiles the whole ten-program suite.
+///
+/// # Panics
+///
+/// Panics if a bundled source fails to compile — prevented by tests.
+pub fn suite() -> Vec<(&'static str, Program)> {
+    programs::SOURCES
+        .iter()
+        .map(|(name, src)| {
+            (
+                *name,
+                gospel_frontend::compile(src)
+                    .unwrap_or_else(|e| panic!("workload `{name}` failed to compile: {e}")),
+            )
+        })
+        .collect()
+}
+
+/// Compiles one suite program by name.
+///
+/// # Panics
+///
+/// Panics on unknown names.
+pub fn program(name: &str) -> Program {
+    let (_, src) = programs::SOURCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("no workload named `{name}`"));
+    gospel_frontend::compile(src).expect("bundled workloads compile")
+}

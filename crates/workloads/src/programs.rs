@@ -1,0 +1,320 @@
+//! The ten-program suite (MiniFor sources).
+//!
+//! Shaped after the paper's description of its workloads: HOMPACK-style
+//! homotopy-method kernels (`fixpnf`, `polsys`, `track`) and
+//! numerical-analysis routines (`fft`, `newton`, `bisect`, `gauss`,
+//! `matmul`, `trapz`), plus `interact`, the three-way FUS/INX/LUR
+//! interaction study of §4.
+
+/// Radix-2 FFT-like butterfly sweep (numerical-analysis suite).
+pub const FFT: &str = r#"
+program fft
+  integer i, k, n, half, step
+  real re(64), im(64), wr, wi, tr, ti
+  n = 64
+  half = n / 2
+  step = 2
+  do i = 1, n
+    re(i) = sin(i)
+    im(i) = 0.0
+  end do
+  wr = cos(step)
+  wi = sin(step)
+  do k = 1, half
+    tr = wr * re(k + half) - wi * im(k + half)
+    ti = wr * im(k + half) + wi * re(k + half)
+    re(k + half) = re(k) - tr
+    im(k + half) = im(k) - ti
+    re(k) = re(k) + tr
+    im(k) = im(k) + ti
+  end do
+  write re(1)
+  write im(1)
+end
+"#;
+
+/// Newton's method for sqrt(2) (contains propagatable copies — one of the
+/// two CPP programs).
+pub const NEWTON: &str = r#"
+program newton
+  integer it, maxit
+  real x, xold, fx, dfx, tol
+  maxit = 20
+  tol = 0.000001
+  x = 1.0
+  do it = 1, maxit
+    xold = x
+    fx = xold * xold - 2.0
+    dfx = 2.0 * xold
+    x = xold - fx / dfx
+    if (abs(x - xold) < tol) then
+      write x
+    end if
+  end do
+  write x
+end
+"#;
+
+/// Bisection on f(x) = x^3 - x - 2.
+pub const BISECT: &str = r#"
+program bisect
+  integer it, maxit
+  real lo, hi, mid, flo, fmid
+  maxit = 40
+  lo = 1.0
+  hi = 2.0
+  flo = lo * lo * lo - lo - 2.0
+  do it = 1, maxit
+    mid = (lo + hi) / 2.0
+    fmid = mid * mid * mid - mid - 2.0
+    if (fmid * flo > 0.0) then
+      lo = mid
+      flo = fmid
+    else
+      hi = mid
+    end if
+  end do
+  write mid
+end
+"#;
+
+/// Gaussian elimination (triangular nest: interchange blocked by variant
+/// inner bounds; forward elimination carries dependences).
+pub const GAUSS: &str = r#"
+program gauss
+  integer i, j, k, n
+  real a(16,17), factor
+  n = 16
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = 1.0 / (i + j)
+    end do
+    a(i, n + 1) = 1.0
+  end do
+  do k = 1, n
+    do i = k + 1, n
+      factor = a(i,k) / a(k,k)
+      do j = k, n
+        a(i,j) = a(i,j) - factor * a(k,j)
+      end do
+      a(i, n + 1) = a(i, n + 1) - factor * a(k, n + 1)
+    end do
+  end do
+  write a(1,17)
+end
+"#;
+
+/// Classic dense matrix multiply: the clean interchangeable/circulatable
+/// triple nest, plus a parallelizable initialization.
+pub const MATMUL: &str = r#"
+program matmul
+  integer i, j, k, n
+  real a(16,16), b(16,16), c(16,16)
+  n = 16
+  do i = 1, n
+    do j = 1, n
+      a(i,j) = i + j
+      b(i,j) = i - j
+      c(i,j) = 0.0
+    end do
+  end do
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        c(i,j) = c(i,j) + a(i,k) * b(k,j)
+      end do
+    end do
+  end do
+  write c(1,1)
+end
+"#;
+
+/// Trapezoidal integration of sin over [0, 1] (sequential accumulation —
+/// a PAR blocker by design).
+pub const TRAPZ: &str = r#"
+program trapz
+  integer i, n
+  real h, s, x, lo, hi
+  n = 128
+  lo = 0.0
+  hi = 1.0
+  h = (hi - lo) / n
+  s = (sin(lo) + sin(hi)) / 2.0
+  do i = 1, n - 1
+    x = lo + i * h
+    s = s + sin(x)
+  end do
+  s = s * h
+  write s
+end
+"#;
+
+/// HOMPACK-style fixed-point homotopy step (dense vector operations; the
+/// second CPP program).
+pub const FIXPNF: &str = r#"
+program fixpnf
+  integer i, n
+  real x(32), y(32), f(32), lambda, lamold, oneml, step
+  n = 32
+  lambda = 0.0
+  step = 0.125
+  do i = 1, n
+    x(i) = 0.0
+    y(i) = 1.0 / i
+  end do
+  lamold = lambda
+  lambda = lamold + step
+  oneml = 1.0 - lambda
+  do i = 1, n
+    f(i) = lambda * y(i) + oneml * x(i)
+  end do
+  write f(1)
+  do i = 1, n
+    x(i) = x(i) + 0.5 * (f(i) - x(i))
+  end do
+  write x(1)
+  write lambda
+end
+"#;
+
+/// HOMPACK-style polynomial-system evaluation (Horner sweeps).
+pub const POLSYS: &str = r#"
+program polsys
+  integer i, j, n, deg, degp
+  real coef(8,5), x(8), p(8)
+  n = 8
+  deg = 4
+  degp = deg + 1
+  do i = 1, n
+    x(i) = 1.0 / (i + 1)
+    do j = 1, degp
+      coef(i,j) = i + j
+    end do
+  end do
+  write x(1)
+  do i = 1, n
+    p(i) = coef(i, degp)
+    do j = 1, deg
+      p(i) = p(i) * x(i) + coef(i, degp - j)
+    end do
+  end do
+  write p(1)
+end
+"#;
+
+/// HOMPACK-style curve-tracking predictor step (tangent + Euler predictor,
+/// norm computation).
+pub const TRACK: &str = r#"
+program track
+  integer i, n
+  real z(24), tz(24), znew(24), h, nrm
+  n = 24
+  do i = 1, n
+    z(i) = 1.0 / i
+    tz(i) = z(i) * 0.5
+  end do
+  h = 0.0625
+  do i = 1, n
+    znew(i) = z(i) + h * tz(i)
+  end do
+  nrm = 0.0
+  do i = 1, n
+    nrm = nrm + znew(i) * znew(i)
+  end do
+  nrm = sqrt(nrm)
+  write nrm
+end
+"#;
+
+/// The §4 interaction study: FUS, INX and LUR are all applicable and
+/// enable/disable one another differently in different segments.
+///
+/// * segment 1 — two adjacent two-trip loops: fusable **and** unrollable;
+///   applying LUR first destroys the FUS opportunity;
+/// * segment 2 — two adjacent identical (i,j) nests, the second reading
+///   the first's array: fusable, and both nests interchangeable; applying
+///   FUS first destroys the two INX opportunities, applying INX first
+///   destroys the FUS opportunity (the outer control variables diverge);
+/// * segment 3 — an (i,j) nest followed by a j-loop: **not** fusable as
+///   written, but interchanging the nest makes the two adjacent loops
+///   conformable — INX *enables* FUS here.
+pub const INTERACT: &str = r#"
+program interact
+  integer i, j
+  real c(2), d(2), a(16,16), b(16,16), e(16,16), f(16)
+  do i = 1, 2
+    c(i) = 1.0
+  end do
+  do i = 1, 2
+    d(i) = c(i)
+  end do
+  do i = 1, 16
+    do j = 1, 16
+      a(i,j) = 1.0
+    end do
+  end do
+  do i = 1, 16
+    do j = 1, 16
+      b(i,j) = a(i,j)
+    end do
+  end do
+  write b(1,1)
+  do i = 1, 16
+    do j = 1, 16
+      e(i,j) = 2.0
+    end do
+  end do
+  do j = 1, 16
+    f(j) = 3.0
+  end do
+  write d(1)
+  write e(1,1)
+  write f(1)
+end
+"#;
+
+/// The suite, in a fixed order: (name, MiniFor source).
+pub const SOURCES: &[(&str, &str)] = &[
+    ("fft", FFT),
+    ("newton", NEWTON),
+    ("bisect", BISECT),
+    ("gauss", GAUSS),
+    ("matmul", MATMUL),
+    ("trapz", TRAPZ),
+    ("fixpnf", FIXPNF),
+    ("polsys", POLSYS),
+    ("track", TRACK),
+    ("interact", INTERACT),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_compile_and_validate() {
+        for (name, src) in SOURCES {
+            let p = gospel_frontend::compile(src)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            gospel_ir::validate(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(p.len() > 5, "{name} is too small");
+        }
+    }
+
+    #[test]
+    fn all_programs_analyze() {
+        for (name, p) in crate::suite() {
+            let deps = gospel_dep::DepGraph::analyze(&p)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!deps.is_empty(), "{name} should have dependences");
+        }
+    }
+
+    #[test]
+    fn suite_has_loops_everywhere() {
+        for (name, p) in crate::suite() {
+            let loops = gospel_ir::LoopTable::of(&p).unwrap();
+            assert!(!loops.is_empty(), "{name} has no loops");
+        }
+    }
+}

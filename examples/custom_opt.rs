@@ -1,0 +1,47 @@
+//! Authoring a *novel* optimization — the capability the paper closes on:
+//! "such a system enables a user to create and easily implement novel
+//! optimizations which may be of particular benefit to the system in
+//! hand." Here: strength reduction of multiplication by two into an
+//! addition, written in GOSpeL, generated, and applied.
+//!
+//! Run with `cargo run --example custom_opt`.
+
+use genesis::{generate, ApplyMode, Driver};
+use gospel_ir::DisplayProgram;
+
+const STRENGTH_REDUCE_X2: &str = r#"
+OPTIMIZATION SRX2
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    /* x := y * 2  (either operand the constant) */
+    any Si: Si.opc == mul AND type(Si.opr_2) == var AND Si.opr_3 == 2;
+ACTION
+  /* x := y + y */
+  add(Si, [add, Si.opr_1, Si.opr_2, Si.opr_2], Snew);
+  delete(Si);
+END
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (spec, info) = gospel_lang::parse_validated(STRENGTH_REDUCE_X2)?;
+    let srx2 = generate(spec, info)?;
+
+    let mut prog = gospel_frontend::compile(
+        "
+program demo
+  integer x, y, z
+  y = 21
+  x = y * 2
+  z = x * 2
+  write z
+end
+",
+    )?;
+    println!("--- before ---\n{}", DisplayProgram(&prog));
+    let report = Driver::new(&srx2).apply(&mut prog, ApplyMode::AllPoints)?;
+    println!("--- after {} applications of SRX2 ---", report.applications);
+    println!("{}", DisplayProgram(&prog));
+    Ok(())
+}

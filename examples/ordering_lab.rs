@@ -1,0 +1,44 @@
+//! The ordering laboratory: run every ordering of {FUS, INX, LUR} on the
+//! §4 interaction program and watch them enable and disable one another —
+//! "there is not a right order of application; the context of the
+//! application point is needed".
+//!
+//! Run with `cargo run --example ordering_lab`.
+
+use gospel_opts::interaction::{all_orders, distinct_results, enablement};
+use gospel_opts::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = gospel_workloads::program("interact");
+    let fus = by_name("FUS");
+    let inx = by_name("INX");
+    let lur = by_name("LUR");
+
+    println!("{:<16} applications", "order");
+    let outcomes = all_orders(&prog, &[&fus, &inx, &lur])?;
+    for o in &outcomes {
+        println!("{:<16} {:?}", o.names.join(","), o.counts);
+    }
+    let classes = distinct_results(&outcomes);
+    println!(
+        "\n{} orderings produce {} distinct final programs\n",
+        outcomes.len(),
+        classes.len()
+    );
+
+    for (first, then, by_match, label) in [
+        (&fus, &inx, true, "FUS then INX"),
+        (&lur, &fus, true, "LUR then FUS"),
+        (&lur, &inx, true, "LUR then INX"),
+    ] {
+        let e = enablement(&prog, first, then, by_match)?;
+        println!(
+            "{label}: {} points -> {} points ({} enabled, {} disabled)",
+            e.before,
+            e.after,
+            e.enabled(),
+            e.disabled()
+        );
+    }
+    Ok(())
+}

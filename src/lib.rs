@@ -1,0 +1,13 @@
+//! Umbrella crate for the GENesis reproduction workspace.
+//!
+//! Re-exports every member crate so the top-level `examples/` and `tests/`
+//! can address the whole system through one dependency. Library users should
+//! depend on the individual crates ([`genesis`], [`gospel_lang`], …) instead.
+
+pub use genesis;
+pub use gospel_dep;
+pub use gospel_frontend;
+pub use gospel_ir;
+pub use gospel_lang;
+pub use gospel_opts;
+pub use gospel_workloads;

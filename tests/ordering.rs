@@ -1,0 +1,71 @@
+//! Integration: the §4 interaction results as regression tests.
+
+use genesis_bench::{e2_enablement, e3_ordering, e5_spec_variants, e6_strategies};
+
+#[test]
+fn interaction_claims_hold() {
+    let r = e3_ordering().expect("E3 runs");
+    assert!(r.distinct_finals > 1, "orderings must differ");
+    for (claim, held) in &r.claims {
+        assert!(held, "claim failed: {claim}");
+    }
+}
+
+#[test]
+fn enablement_shape_matches_the_paper() {
+    let r = e2_enablement().expect("E2 runs");
+    // CTP is the most frequently applicable optimization.
+    let ctp = r.totals["CTP"];
+    for (name, count) in &r.totals {
+        if name != "CTP" {
+            assert!(ctp >= *count, "CTP ({ctp}) should dominate {name} ({count})");
+        }
+    }
+    // CTP enables DCE, CFO and LUR.
+    assert!(r.ctp_enabled["DCE"] > 0);
+    assert!(r.ctp_enabled["CFO"] > 0);
+    assert!(r.ctp_enabled["LUR"] > 0);
+    // ICM finds no application points (high-level array accesses).
+    assert_eq!(r.totals["ICM"], 0);
+    // CPP occurs in few programs and FUS in exactly one.
+    assert!(r.cpp_programs.len() <= 2);
+    let fus_programs = r
+        .per_program
+        .iter()
+        .filter(|(_, c)| c.get("FUS").copied().unwrap_or(0) > 0)
+        .count();
+    assert!(fus_programs >= 1, "FUS must apply somewhere");
+}
+
+#[test]
+fn upper_bound_first_lur_is_cheaper() {
+    let r = e5_spec_variants().expect("E5 runs");
+    let upper: u64 = r.per_program.iter().map(|(_, a, _)| a).sum();
+    let lower: u64 = r.per_program.iter().map(|(_, _, b)| b).sum();
+    assert!(
+        upper < lower,
+        "upper-bound-first should be cheaper: {upper} vs {lower}"
+    );
+}
+
+#[test]
+fn strategy_heuristic_picks_the_cheaper_implementation() {
+    let rows = e6_strategies().expect("E6 runs");
+    // The two strategies must actually differ somewhere …
+    assert!(
+        rows.iter().any(|r| r.members_first != r.deps_first),
+        "strategies never differed"
+    );
+    // … and neither dominates globally (the paper: "not consistently
+    // better for one method over the other").
+    assert!(rows.iter().any(|r| r.members_first < r.deps_first));
+    assert!(rows.iter().any(|r| r.deps_first < r.members_first));
+    // The heuristic matches the better strategy in (almost) all cases;
+    // the paper found it correct in all tests.
+    let optimal = rows.iter().filter(|r| r.heuristic_optimal()).count();
+    assert!(
+        optimal * 10 >= rows.len() * 9,
+        "heuristic optimal only {optimal}/{}",
+        rows.len()
+    );
+}

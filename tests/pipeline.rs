@@ -1,0 +1,102 @@
+//! Integration: the full pipeline — MiniFor source → IR → dependence
+//! analysis → generated optimizers → validated IR — across the whole
+//! workload suite.
+
+use genesis::{ApplyMode, Driver};
+use gospel_dep::DepGraph;
+use gospel_ir::validate;
+use gospel_opts::interaction::natural_mode;
+use gospel_opts::catalog;
+
+#[test]
+fn every_optimizer_preserves_structural_validity_on_every_workload() {
+    let opts = catalog().expect("catalog generates");
+    for (name, prog) in gospel_workloads::suite() {
+        for opt in &opts {
+            let mut work = prog.clone();
+            Driver::new(opt)
+                .apply(&mut work, natural_mode(opt))
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", opt.name));
+            validate(&work).unwrap_or_else(|e| panic!("{name}/{} produced invalid IR: {e}", opt.name));
+            DepGraph::analyze(&work)
+                .unwrap_or_else(|e| panic!("{name}/{} broke analyzability: {e}", opt.name));
+        }
+    }
+}
+
+#[test]
+fn chained_optimization_pipeline_stays_valid() {
+    // The conventional-compiler pipeline: propagate, fold, clean up,
+    // then parallelize.
+    for (name, prog) in gospel_workloads::suite() {
+        let mut work = prog.clone();
+        for opt_name in ["CTP", "CFO", "CPP", "DCE", "PAR"] {
+            let opt = gospel_opts::by_name(opt_name);
+            Driver::new(&opt)
+                .apply(&mut work, ApplyMode::AllPoints)
+                .unwrap_or_else(|e| panic!("{name}/{opt_name}: {e}"));
+        }
+        validate(&work).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // the pipeline must keep observable outputs (writes)
+        let writes = |p: &gospel_ir::Program| {
+            p.iter()
+                .filter(|&s| p.quad(s).op == gospel_ir::Opcode::Write)
+                .count()
+        };
+        assert_eq!(writes(&prog), writes(&work), "{name} lost writes");
+    }
+}
+
+#[test]
+fn optimizers_converge_and_are_idempotent() {
+    // A second AllPoints run right after the first must find nothing.
+    for (name, prog) in gospel_workloads::suite() {
+        for opt_name in ["CTP", "CPP", "CFO", "DCE", "ICM", "LUR", "FUS", "BMP", "PAR"] {
+            let opt = gospel_opts::by_name(opt_name);
+            let mut work = prog.clone();
+            Driver::new(&opt)
+                .apply(&mut work, ApplyMode::AllPoints)
+                .unwrap_or_else(|e| panic!("{name}/{opt_name}: {e}"));
+            let again = Driver::new(&opt)
+                .apply(&mut work, ApplyMode::AllPoints)
+                .unwrap_or_else(|e| panic!("{name}/{opt_name}: {e}"));
+            assert_eq!(again.applications, 0, "{name}/{opt_name} is not idempotent");
+        }
+    }
+}
+
+#[test]
+fn dependence_graphs_are_deterministic() {
+    for (name, prog) in gospel_workloads::suite() {
+        let a = DepGraph::analyze(&prog).unwrap();
+        let b = DepGraph::analyze(&prog).unwrap();
+        assert_eq!(a.edges(), b.edges(), "{name}");
+    }
+}
+
+/// Heavy smoke test over large random programs (run with `--ignored`).
+#[test]
+#[ignore = "stress test: ~1 minute"]
+fn full_catalog_over_large_random_programs() {
+    use gospel_workloads::generator::{generate, GenConfig};
+    let opts = catalog().expect("catalog generates");
+    for seed in 0..5u64 {
+        let prog = generate(
+            1000 + seed,
+            GenConfig {
+                statements: 300,
+                ..GenConfig::default()
+            },
+        );
+        for opt in &opts {
+            let mut work = prog.clone();
+            if Driver::new(opt)
+                .apply(&mut work, gospel_opts::interaction::natural_mode(opt))
+                .is_err()
+            {
+                continue; // documented restrictions on random shapes
+            }
+            validate(&work).unwrap_or_else(|e| panic!("seed {seed}/{}: {e}", opt.name));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests over randomly generated programs: the analyses never
+//! panic, the optimizers preserve structural validity and observable
+//! outputs, and core invariants of the dependence graph hold.
+
+use genesis::{ApplyMode, Driver};
+use gospel_dep::{DepGraph, DepKind, Direction};
+use gospel_ir::{validate, Opcode, Program};
+use gospel_workloads::generator::{generate, GenConfig};
+use proptest::prelude::*;
+
+fn gen_program(seed: u64, statements: usize, const_pct: u32) -> Program {
+    generate(
+        seed,
+        GenConfig {
+            statements,
+            const_pct,
+            ..GenConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analysis_never_panics_and_is_well_formed(seed in 0u64..5000, n in 20usize..120) {
+        let prog = gen_program(seed, n, 40);
+        let deps = DepGraph::analyze(&prog).unwrap();
+        let loops = deps.loops();
+        for e in deps.edges() {
+            // endpoints are live statements
+            prop_assert!(prog.is_live(e.src));
+            prop_assert!(prog.is_live(e.dst));
+            // vector length never exceeds the common nesting depth
+            let depth = loops.common_nest(e.src, e.dst).len();
+            prop_assert!(
+                e.dirvec.len() <= depth.max(1) + 1,
+                "vector {:?} too long for depth {depth}",
+                e.dirvec
+            );
+            // control dependences are never loop-carried
+            if e.kind == DepKind::Control {
+                prop_assert!(e.dirvec.iter().all(|d| *d == Direction::Eq));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_optimizers_preserve_validity_and_writes(
+        seed in 0u64..3000,
+        n in 20usize..100,
+        pct in 10u32..90,
+    ) {
+        let prog = gen_program(seed, n, pct);
+        let writes = |p: &Program| p.iter().filter(|&s| p.quad(s).op == Opcode::Write).count();
+        let w0 = writes(&prog);
+        for name in ["CTP", "CPP", "CFO", "DCE"] {
+            let opt = gospel_opts::by_name(name);
+            let mut work = prog.clone();
+            Driver::new(&opt).apply(&mut work, ApplyMode::AllPoints).unwrap();
+            validate(&work).unwrap();
+            prop_assert_eq!(writes(&work), w0, "{} removed a write", name);
+        }
+    }
+
+    #[test]
+    fn generated_and_hand_ctp_agree_on_random_programs(seed in 0u64..2000, n in 20usize..80) {
+        let prog = gen_program(seed, n, 50);
+        let opt = gospel_opts::by_name("CTP");
+        let mut generated = prog.clone();
+        let report = Driver::new(&opt).apply(&mut generated, ApplyMode::AllPoints).unwrap();
+        let mut hand = prog.clone();
+        let hand_apps = gospel_opts::hand::ctp(&mut hand).unwrap();
+        prop_assert_eq!(report.applications, hand_apps);
+        prop_assert!(generated.structurally_eq(&hand));
+    }
+
+    #[test]
+    fn dce_only_removes_dead_definitions(seed in 0u64..2000, n in 20usize..80) {
+        let prog = gen_program(seed, n, 30);
+        let deps = DepGraph::analyze(&prog).unwrap();
+        // every statement DCE removes had no outgoing flow dependence
+        let mut work = prog.clone();
+        let opt = gospel_opts::by_name("DCE");
+        let report = Driver::new(&opt).apply(&mut work, ApplyMode::FirstPoint).unwrap();
+        if let Some(bind) = report.points.first() {
+            if let Some(genesis::RtVal::Stmt(s)) = bind.get("Si") {
+                prop_assert!(deps.from(*s).all(|e| e.kind != DepKind::Flow));
+            }
+        }
+    }
+
+    #[test]
+    fn direction_vectors_are_lexicographically_oriented(seed in 0u64..3000, n in 20usize..100) {
+        let prog = gen_program(seed, n, 40);
+        let deps = DepGraph::analyze(&prog).unwrap();
+        let order = prog.order_index();
+        for e in deps.edges() {
+            let first = e.dirvec.iter().find(|d| **d != Direction::Eq);
+            match first {
+                // Loop-independent data dependences respect program order.
+                None if e.kind != DepKind::Control => {
+                    prop_assert!(order[&e.src] <= order[&e.dst]);
+                }
+                // A leading `>` never survives orientation — except in the
+                // fusion-preview edges, which are deliberately textual.
+                Some(Direction::Gt) => {
+                    let cross_loop = deps.loops().common_nest(e.src, e.dst).len()
+                        < e.dirvec.len();
+                    prop_assert!(cross_loop, "non-preview edge with leading >: {e:?}");
+                }
+                _ => {}
+            }
+        }
+    }
+}

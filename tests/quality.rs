@@ -1,0 +1,34 @@
+//! Integration: the paper's first experiment as a regression test — every
+//! generated optimizer finds the same application points and produces the
+//! same code as its hand-coded twin, on every suite program.
+
+#[test]
+fn generated_optimizers_match_hand_coded_ones() {
+    let rows = genesis_bench::e1_quality().expect("E1 runs");
+    assert_eq!(rows.len(), 11 * 10, "11 optimizations x 10 programs");
+    for r in &rows {
+        assert_eq!(
+            r.generated, r.hand,
+            "{}/{}: generated found {} points, hand found {}",
+            r.program, r.opt, r.generated, r.hand
+        );
+        assert!(
+            r.same_result,
+            "{}/{}: transformed programs differ",
+            r.program, r.opt
+        );
+    }
+}
+
+#[test]
+fn generated_code_statistics_are_in_the_papers_ballpark() {
+    let rows = genesis_bench::e7_loc_stats().expect("E7 runs");
+    assert_eq!(rows.len(), 11);
+    let avg_total: usize =
+        rows.iter().map(|r| r.interface + r.procedures).sum::<usize>() / rows.len();
+    // The paper reports ≈99 generated lines per optimization.
+    assert!(
+        (30..=200).contains(&avg_total),
+        "average generated lines {avg_total} far from the paper's ~99"
+    );
+}
