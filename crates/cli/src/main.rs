@@ -5,7 +5,8 @@
 //! interface (select optimizations, select application points, override
 //! dependence restrictions, control dependence recomputation).
 
-use genesis::{emit, ApplyMode, Session, SessionOptions};
+use genesis::{emit, ApplyMode, FaultPlan, Session, SessionOptions};
+use genesis_guard::{GuardConfig, GuardOutcome, GuardedSession};
 use gospel_dep::DepGraph;
 use gospel_ir::{DisplayProgram, Program, StmtId};
 use std::io::BufRead;
@@ -23,11 +24,20 @@ USAGE:
     genesis-opt points <prog.mf> <OPT>             list application points
     genesis-opt apply <prog.mf> <OPT>[,<OPT>…]     apply optimizers in order
         [--first] [--at sN] [--force] [--no-recompute] [--source] [--spec FILE]…
+    genesis-opt run <prog.mf> <OPT>                apply one optimizer, guarded
+    genesis-opt seq <prog.mf> <OPT>[,<OPT>…]       apply a sequence, guarded
+        run/seq options: [--validate] [--timeout-ms N] [--fuel N]
+        [--max-growth K] [--inject KIND[@OPT][:N]] plus the apply options
     genesis-opt emit <OPT> [--lang c|rust]         print the generated source
     genesis-opt interactive <prog.mf> [--spec FILE]…   the §3 interface
 
 Catalog: CPP CTP DCE ICM INX CRC BMP PAR LUR FUS CFO.
 --spec FILE adds a user-written GOSpeL specification to the session.
+--validate checks every application by structural validation and by
+executing the program before/after on seeded inputs; a divergent
+optimizer is rolled back and quarantined, and the exit code is nonzero.
+--inject arms a scripted fault (analysis|action|corrupt|panic) to
+exercise those recovery paths.
 ";
 
 fn main() -> ExitCode {
@@ -102,14 +112,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "apply" => {
             let prog = load_program(args.get(1))?;
             let list = args.get(2).ok_or("missing optimization list")?;
-            let mut session = build_session_with_options(
-                prog,
-                args,
-                SessionOptions {
-                    recompute_deps: !flag(args, "--no-recompute"),
-                    max_applications: 10_000,
-                },
-            )?;
+            let mut session =
+                build_session_with_options(prog, args, parse_session_options(args)?)?;
             let mode = parse_mode(args)?;
             for name in list.split(',') {
                 let report = session.apply(name, mode).map_err(|e| e.to_string())?;
@@ -124,6 +128,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 print!("{}", DisplayProgram(session.program()));
             }
             Ok(())
+        }
+        "run" | "seq" => {
+            let prog = load_program(args.get(1))?;
+            let list = args.get(2).ok_or("missing optimization list")?;
+            let names: Vec<&str> = list.split(',').collect();
+            if cmd == "run" && names.len() != 1 {
+                return Err("run takes exactly one optimization (use seq for lists)".into());
+            }
+            run_optimizers(prog, &names, args)
         }
         "emit" => {
             let name = args.get(1).ok_or("missing optimization name")?;
@@ -201,6 +214,130 @@ fn parse_stmt(text: &str) -> Result<StmtId, String> {
         .parse()
         .map_err(|_| format!("`{text}` is not a statement id (expected sN)"))?;
     Ok(StmtId::from_raw(n))
+}
+
+/// Parses `--name N` into a number, with the flag name in the error.
+fn num_option<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match option(args, name) {
+        None => {
+            if flag(args, name) {
+                Err(format!("{name} requires a value"))
+            } else {
+                Ok(None)
+            }
+        }
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name}: `{v}` is not a valid number")),
+    }
+}
+
+fn parse_session_options(args: &[String]) -> Result<SessionOptions, String> {
+    Ok(SessionOptions {
+        recompute_deps: !flag(args, "--no-recompute"),
+        timeout_ms: num_option(args, "--timeout-ms")?,
+        fuel: num_option(args, "--fuel")?,
+        max_growth: num_option(args, "--max-growth")?,
+        ..SessionOptions::default()
+    })
+}
+
+fn parse_inject(args: &[String]) -> Result<Option<FaultPlan>, String> {
+    match option(args, "--inject") {
+        None if flag(args, "--inject") => Err("--inject requires a fault plan".into()),
+        None => Ok(None),
+        Some(text) => FaultPlan::parse(&text).map(Some),
+    }
+}
+
+/// The `run`/`seq` commands: apply optimizers with resource budgets and
+/// optional fault injection; with `--validate`, under the full
+/// [`GuardedSession`] gate (rollback + quarantine on any rejection).
+fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), String> {
+    let mode = parse_mode(args)?;
+    let fault = parse_inject(args)?;
+    let opts = parse_session_options(args)?;
+
+    if !flag(args, "--validate") {
+        let mut session = build_session_with_options(prog, args, opts)?;
+        session.set_fault(fault);
+        for name in names {
+            let report = session.apply(name, mode).map_err(|e| e.to_string())?;
+            println!(
+                "{name}: {} application(s), cost {}",
+                report.applications, report.cost
+            );
+        }
+        print_program(session.program(), args);
+        return Ok(());
+    }
+
+    let config = GuardConfig {
+        timeout_ms: opts.timeout_ms.or(GuardConfig::default().timeout_ms),
+        fuel: opts.fuel,
+        max_growth: opts.max_growth.or(GuardConfig::default().max_growth),
+        ..GuardConfig::default()
+    };
+    let mut guarded = GuardedSession::new(prog, config);
+    for opt in gospel_opts::catalog().map_err(|e| e.to_string())? {
+        guarded.register(opt);
+    }
+    for path in options(args, "--spec") {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let opt = gospel_opts::compile_spec(&src).map_err(|e| format!("{path}: {e}"))?;
+        println!("registered user optimization {}", opt.name);
+        guarded.register(opt);
+    }
+    guarded.set_fault(fault);
+
+    // The guard contains panics from generated optimizers, but the
+    // default hook would still print a backtrace for each contained one;
+    // keep stderr to the structured reports while the guard runs.
+    // (Safe to swap globally: this binary is single-threaded.)
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut rejections = 0usize;
+    let mut failure = None;
+    for name in names {
+        match guarded.apply(name, mode) {
+            Ok(GuardOutcome::Applied(report)) => println!(
+                "{name}: {} application(s), cost {}",
+                report.applications, report.cost
+            ),
+            Ok(GuardOutcome::Rejected(report)) => {
+                rejections += 1;
+                eprintln!("validation: {report}");
+            }
+            Ok(GuardOutcome::Skipped { optimizer, reason }) => {
+                eprintln!("skipped {optimizer}: quarantined ({reason})");
+            }
+            Err(e) => {
+                failure = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    std::panic::set_hook(default_hook);
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    print_program(guarded.program(), args);
+    if rejections > 0 {
+        Err(format!(
+            "{rejections} optimization(s) rejected and rolled back (program output above is the validated state)"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn print_program(prog: &Program, args: &[String]) {
+    if flag(args, "--source") {
+        print!("{}", gospel_frontend::unparse(prog));
+    } else {
+        print!("{}", DisplayProgram(prog));
+    }
 }
 
 fn build_session(prog: Program, args: &[String]) -> Result<Session, String> {

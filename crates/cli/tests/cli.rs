@@ -149,6 +149,158 @@ fn user_spec_file_registers() {
     assert!(out.contains("0 application point(s)"), "{out}");
 }
 
+/// Runs the binary expecting failure; returns stderr.
+fn run_err(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "{args:?} unexpectedly succeeded:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Every failure must produce a single-line `error:` diagnostic on stderr
+/// (plus, for validation failures, one report line per rejection).
+fn last_error_line(stderr: &str) -> &str {
+    let line = stderr
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .unwrap_or("");
+    assert!(line.starts_with("error:"), "no error line in: {stderr}");
+    line
+}
+
+#[test]
+fn missing_program_file_fails_with_one_line() {
+    let err = run_err(&["show", "/no/such/file.mf"]);
+    let line = last_error_line(&err);
+    assert!(line.contains("/no/such/file.mf"), "{line}");
+}
+
+#[test]
+fn unreadable_program_file_fails_with_one_line() {
+    // A directory is unreadable as a program file on every platform.
+    let dir = std::env::temp_dir();
+    let err = run_err(&["show", dir.to_str().unwrap()]);
+    last_error_line(&err);
+}
+
+#[test]
+fn malformed_spec_file_fails_with_one_line() {
+    let prog = write_prog();
+    let spec = tempfile_path::write("OPTIMIZATION oops THIS IS NOT GOSPEL");
+    let err = run_err(&[
+        "apply",
+        prog.0.to_str().unwrap(),
+        "CTP",
+        "--spec",
+        spec.0.to_str().unwrap(),
+    ]);
+    let line = last_error_line(&err);
+    assert!(line.contains(spec.0.to_str().unwrap()), "{line}");
+}
+
+#[test]
+fn bad_numeric_flag_fails_with_context() {
+    let prog = write_prog();
+    let err = run_err(&["run", prog.0.to_str().unwrap(), "CTP", "--fuel", "lots"]);
+    let line = last_error_line(&err);
+    assert!(line.contains("--fuel"), "{line}");
+}
+
+#[test]
+fn bad_inject_plan_fails_with_context() {
+    let prog = write_prog();
+    let err = run_err(&["run", prog.0.to_str().unwrap(), "CTP", "--inject", "gremlins"]);
+    last_error_line(&err);
+}
+
+#[test]
+fn run_and_seq_apply_with_budgets() {
+    let prog = write_prog();
+    let path = prog.0.to_str().unwrap();
+    let out = run_ok(&["run", path, "CTP", "--timeout-ms", "60000", "--max-growth", "8"]);
+    assert!(out.contains("application(s)"), "{out}");
+    let out = run_ok(&["seq", path, "CTP,PAR", "--validate"]);
+    assert!(out.contains("pardo i = 1, 50"), "{out}");
+}
+
+const BROKEN_CTP_SPEC: &str = "\
+OPTIMIZATION CTP
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=))
+                   AND operand(Sj, pos) == Si.opr_1;
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+END
+";
+
+const TWO_DEFS_PROG: &str = "\
+program t
+  integer c, x, y
+  read c
+  x = 3
+  if (c > 0) then
+    x = 4
+  end if
+  y = x
+  write y
+end
+";
+
+#[test]
+fn validate_quarantines_a_wrong_spec_end_to_end() {
+    let prog = tempfile_path::write(TWO_DEFS_PROG);
+    let spec = tempfile_path::write(BROKEN_CTP_SPEC);
+    // Without validation the wrong spec silently miscompiles (exit 0).
+    let out = run_ok(&[
+        "run",
+        prog.0.to_str().unwrap(),
+        "CTP",
+        "--spec",
+        spec.0.to_str().unwrap(),
+    ]);
+    assert!(out.contains("application(s)"), "{out}");
+    // With --validate it is caught, rolled back, quarantined, nonzero.
+    let stderr = run_err(&[
+        "seq",
+        prog.0.to_str().unwrap(),
+        "CTP,DCE,CTP",
+        "--validate",
+        "--spec",
+        spec.0.to_str().unwrap(),
+    ]);
+    assert!(stderr.contains("[translation]"), "{stderr}");
+    assert!(stderr.contains("rolled back"), "{stderr}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+    // The third entry (CTP again) was skipped, not re-run.
+    assert!(stderr.contains("skipped CTP"), "{stderr}");
+    last_error_line(&stderr);
+}
+
+#[test]
+fn validate_contains_injected_panic() {
+    let prog = write_prog();
+    let stderr = run_err(&[
+        "run",
+        prog.0.to_str().unwrap(),
+        "CTP",
+        "--validate",
+        "--inject",
+        "panic",
+    ]);
+    assert!(stderr.contains("[internal]"), "{stderr}");
+    assert!(stderr.contains("rolled back"), "{stderr}");
+    last_error_line(&stderr);
+}
+
 #[test]
 fn deps_dot_output_is_wellformed() {
     let prog = write_prog();

@@ -102,7 +102,10 @@ fn run_action(
                         first_copy.get_or_insert(c);
                         anchor = c;
                     }
-                    env.set(name, RtVal::Stmt(first_copy.expect("non-empty region")));
+                    let first = first_copy.ok_or_else(|| {
+                        RunError::Action("copy(): loop region is empty".into())
+                    })?;
+                    env.set(name, RtVal::Stmt(first));
                 }
                 other => return Err(RunError::Action(format!("cannot copy {other:?}"))),
             }

@@ -5,10 +5,12 @@ use crate::actions::run_actions;
 use crate::compile::{CompiledOptimizer, Strategy};
 use crate::cost::Cost;
 use crate::error::RunError;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::rt::Bindings;
 use crate::solve::Searcher;
 use gospel_dep::DepGraph;
-use gospel_ir::{Program, StmtId};
+use gospel_ir::{Opcode, Program, Quad, StmtId};
+use std::time::Instant;
 
 /// How the driver should apply the optimizer (the §3 interface options).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,17 +60,40 @@ pub struct Driver<'o> {
     /// Recompute the dependence graph between applications (the paper lets
     /// the user decide; correctness of chained applications needs it).
     pub recompute_deps: bool,
+    /// Wall-clock budget for one [`Driver::apply`] call, checked between
+    /// applications (a single search is never interrupted mid-flight).
+    pub timeout_ms: Option<u64>,
+    /// Search-cost budget: abort once the accumulated [`Cost::total`]
+    /// passes this.
+    pub fuel: Option<u64>,
+    /// Absolute statement-count cap, checked after each commit; the
+    /// caller usually derives it as k× the original program size.
+    pub max_stmts: Option<usize>,
+    /// Scripted fault to inject at the matching probe point (tests the
+    /// recovery machinery around the driver).
+    pub fault: Option<FaultPlan>,
 }
 
 impl<'o> Driver<'o> {
     /// A driver with the defaults the paper's interface uses: recompute
-    /// dependences, generous application budget.
+    /// dependences, generous application budget, no resource limits.
     pub fn new(opt: &'o CompiledOptimizer) -> Driver<'o> {
         Driver {
             opt,
             max_applications: 10_000,
             recompute_deps: true,
+            timeout_ms: None,
+            fuel: None,
+            max_stmts: None,
+            fault: None,
         }
+    }
+
+    /// True when the configured fault plan fires at this probe.
+    fn fault_fires(&self, kind: FaultKind, application: usize) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|p| p.fires(kind, &self.opt.name, application))
     }
 
     /// The optimizer this driver runs.
@@ -98,13 +123,30 @@ impl<'o> Driver<'o> {
     /// # Errors
     ///
     /// [`RunError::Analyze`] for malformed programs, [`RunError::Action`]
-    /// for action failures, and [`RunError::Diverged`] when `AllPoints`
-    /// exceeds the application budget.
+    /// for action failures, [`RunError::Diverged`] when `AllPoints`
+    /// exceeds the application budget, and [`RunError::Timeout`] /
+    /// [`RunError::FuelExhausted`] / [`RunError::GrowthLimit`] when a
+    /// configured resource budget runs out (the program is left at the
+    /// last committed application — callers wanting atomicity snapshot
+    /// first, as `GuardedSession` does).
     pub fn apply(&mut self, prog: &mut Program, mode: ApplyMode) -> Result<ApplyReport, RunError> {
         let mut report = ApplyReport::default();
+        let started = Instant::now();
+        if self.fault_fires(FaultKind::Analysis, 0) {
+            return Err(RunError::Analyze("injected fault: analysis failure".into()));
+        }
         let mut deps = analyze(prog)?;
 
         loop {
+            if let Some(ms) = self.timeout_ms {
+                if started.elapsed().as_millis() as u64 > ms {
+                    return Err(RunError::Timeout { ms });
+                }
+            }
+            if self.fault_fires(FaultKind::Panic, report.applications) {
+                panic!("injected fault: panic mid-search");
+            }
+
             let found = {
                 let mut s = Searcher::new(prog, &deps, self.opt);
                 match mode {
@@ -120,19 +162,49 @@ impl<'o> Driver<'o> {
                 report.strategies_used.append(&mut s.strategies_used);
                 found
             };
+            if let Some(fuel) = self.fuel {
+                if report.cost.total() > fuel {
+                    return Err(RunError::FuelExhausted { limit: fuel });
+                }
+            }
 
             let Some(mut env) = found else {
                 break;
             };
 
+            if self.fault_fires(FaultKind::Action, report.applications) {
+                return Err(RunError::Action("injected fault: action failure".into()));
+            }
+
             // Actions run on a scratch copy and commit only on success, so a
             // mid-action failure can never leave a half-transformed program.
             let mut scratch = prog.clone();
             let ops = run_actions(&mut scratch, deps.loops(), &mut env, &self.opt.actions)?;
+            let corrupted = self.fault_fires(FaultKind::CorruptCommit, report.applications);
+            if corrupted {
+                // An unmatched marker makes the commit structurally
+                // invalid — exactly what a validation gate must catch.
+                scratch.push(Quad::marker(Opcode::EndDo));
+            }
             *prog = scratch;
             report.cost.transform_ops += ops;
             report.applications += 1;
             report.points.push(env);
+            if corrupted {
+                // Return "success" with the bad commit in place: the fault
+                // models corruption the driver itself does not notice, so
+                // it must escape this loop for an outer gate to catch.
+                return Ok(report);
+            }
+
+            if let Some(cap) = self.max_stmts {
+                if prog.len() > cap {
+                    return Err(RunError::GrowthLimit {
+                        statements: prog.len(),
+                        limit: cap,
+                    });
+                }
+            }
 
             if !matches!(mode, ApplyMode::AllPoints) {
                 break;

@@ -45,6 +45,34 @@ pub enum RunError {
         /// The budget that was exhausted.
         limit: usize,
     },
+    /// No optimizer with the requested name is registered.
+    UnknownOptimizer {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A panic escaped search or action code and was contained at the
+    /// session boundary (see `GuardedSession` in the guard crate).
+    Internal(String),
+    /// The wall-clock budget for one `apply` call ran out.
+    Timeout {
+        /// The configured budget, in milliseconds.
+        ms: u64,
+    },
+    /// The search-cost budget (pattern checks + dependence checks +
+    /// transformation operations) ran out.
+    FuelExhausted {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// The transformed program grew past the configured multiple of its
+    /// original statement count — a runaway expansion (e.g. an unrolling
+    /// spec with a broken guard).
+    GrowthLimit {
+        /// Statement count when the driver aborted.
+        statements: usize,
+        /// The configured cap.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -55,6 +83,18 @@ impl fmt::Display for RunError {
             RunError::Diverged { limit } => {
                 write!(f, "optimizer did not converge within {limit} applications")
             }
+            RunError::UnknownOptimizer { name } => {
+                write!(f, "no optimizer named `{name}` registered")
+            }
+            RunError::Internal(m) => write!(f, "internal error (contained panic): {m}"),
+            RunError::Timeout { ms } => write!(f, "optimizer exceeded its {ms} ms time budget"),
+            RunError::FuelExhausted { limit } => {
+                write!(f, "optimizer exhausted its search-cost budget of {limit}")
+            }
+            RunError::GrowthLimit { statements, limit } => write!(
+                f,
+                "program grew to {statements} statements, past the growth cap of {limit}"
+            ),
         }
     }
 }

@@ -1,0 +1,174 @@
+//! Deterministic fault injection for the driver's recovery paths.
+//!
+//! A [`FaultPlan`] names one fault to inject at one probe point inside
+//! [`crate::Driver::apply`]: a failing dependence analysis, a failing
+//! action, a corrupted scratch commit (the committed program is made
+//! structurally invalid), or a panic mid-search. Plans are matched by
+//! optimizer name and application index, so a test — or the CLI's
+//! `--inject` flag — can script *exactly* one failure and then assert
+//! that the surrounding machinery (rollback, quarantine, diagnostics)
+//! contains it. Nothing here is random: the same plan against the same
+//! program fails identically every run.
+
+use std::fmt;
+
+/// Which probe point fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Dependence analysis returns an error.
+    Analysis,
+    /// The action interpreter returns an error before running.
+    Action,
+    /// Actions succeed but the committed program is corrupted (an
+    /// unmatched `end do` marker is appended), making it structurally
+    /// invalid — the fault a validation gate must catch.
+    CorruptCommit,
+    /// The search panics (as buggy generated code might); only a
+    /// `catch_unwind` boundary can contain it.
+    Panic,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Analysis => "analysis",
+            FaultKind::Action => "action",
+            FaultKind::CorruptCommit => "corrupt",
+            FaultKind::Panic => "panic",
+        }
+    }
+}
+
+/// One scripted fault: *kind*, optionally restricted to one optimizer,
+/// firing at one application index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Only fire while running this optimizer (case-insensitive); `None`
+    /// fires for any optimizer.
+    pub optimizer: Option<String>,
+    /// Fire when the driver is about to perform this application
+    /// (0-based; `0` = the first application of a matching `apply` call).
+    pub at_application: usize,
+}
+
+impl FaultPlan {
+    /// A plan injecting `kind` on the first application of any optimizer.
+    pub fn new(kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            kind,
+            optimizer: None,
+            at_application: 0,
+        }
+    }
+
+    /// Restricts the plan to one optimizer name.
+    pub fn for_optimizer(mut self, name: impl Into<String>) -> FaultPlan {
+        self.optimizer = Some(name.into());
+        self
+    }
+
+    /// Fires at the given application index instead of the first.
+    pub fn at(mut self, application: usize) -> FaultPlan {
+        self.at_application = application;
+        self
+    }
+
+    /// Parses the CLI plan syntax `kind[@OPT][:n]`, where *kind* is one
+    /// of `analysis`, `action`, `corrupt`, `panic`; `@OPT` restricts to
+    /// one optimizer; `:n` selects the nth application (0-based).
+    ///
+    /// Examples: `panic`, `action@CTP`, `corrupt@LUR:2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the syntax error.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let (head, index) = match text.rsplit_once(':') {
+            Some((h, n)) => {
+                let idx: usize = n
+                    .parse()
+                    .map_err(|_| format!("`{n}` is not an application index"))?;
+                (h, idx)
+            }
+            None => (text, 0),
+        };
+        let (kind_text, opt) = match head.split_once('@') {
+            Some((k, o)) if !o.is_empty() => (k, Some(o.to_string())),
+            Some((_, _)) => return Err("empty optimizer name after `@`".into()),
+            None => (head, None),
+        };
+        let kind = match kind_text {
+            "analysis" => FaultKind::Analysis,
+            "action" => FaultKind::Action,
+            "corrupt" => FaultKind::CorruptCommit,
+            "panic" => FaultKind::Panic,
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (expected analysis|action|corrupt|panic)"
+                ))
+            }
+        };
+        Ok(FaultPlan {
+            kind,
+            optimizer: opt,
+            at_application: index,
+        })
+    }
+
+    /// True when a probe of `kind` in optimizer `optimizer` at
+    /// application index `application` should fire.
+    pub fn fires(&self, kind: FaultKind, optimizer: &str, application: usize) -> bool {
+        self.kind == kind
+            && self.at_application == application
+            && self
+                .optimizer
+                .as_deref()
+                .is_none_or(|o| o.eq_ignore_ascii_case(optimizer))
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.name())?;
+        if let Some(o) = &self.optimizer {
+            write!(f, "@{o}")?;
+        }
+        if self.at_application != 0 {
+            write!(f, ":{}", self.at_application)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for text in ["panic", "action@CTP", "corrupt@LUR:2", "analysis:1"] {
+            let plan = FaultPlan::parse(text).unwrap();
+            assert_eq!(plan.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("frobnicate").is_err());
+        assert!(FaultPlan::parse("panic@").is_err());
+        assert!(FaultPlan::parse("panic:x").is_err());
+    }
+
+    #[test]
+    fn matching_respects_name_and_index() {
+        let plan = FaultPlan::new(FaultKind::Action).for_optimizer("CTP").at(1);
+        assert!(plan.fires(FaultKind::Action, "ctp", 1));
+        assert!(!plan.fires(FaultKind::Action, "ctp", 0));
+        assert!(!plan.fires(FaultKind::Action, "DCE", 1));
+        assert!(!plan.fires(FaultKind::Panic, "ctp", 1));
+        let any = FaultPlan::new(FaultKind::Panic);
+        assert!(any.fires(FaultKind::Panic, "whatever", 0));
+    }
+}

@@ -51,6 +51,7 @@ mod cost;
 mod driver;
 pub mod emit;
 mod error;
+pub mod fault;
 mod rt;
 mod session;
 mod solve;
@@ -59,6 +60,7 @@ pub use compile::{generate, CompiledClause, CompiledOptimizer, Strategy};
 pub use cost::Cost;
 pub use driver::{ApplyMode, ApplyReport, Driver, MatchSet};
 pub use error::{GenerateError, RunError};
+pub use fault::{FaultKind, FaultPlan};
 pub use rt::{Bindings, RtVal};
 pub use session::{Session, SessionOptions};
 

@@ -7,6 +7,7 @@ use crate::compile::CompiledOptimizer;
 use crate::cost::Cost;
 use crate::driver::{ApplyMode, ApplyReport, Driver, MatchSet};
 use crate::error::RunError;
+use crate::fault::FaultPlan;
 use gospel_ir::Program;
 
 /// Session configuration.
@@ -18,6 +19,13 @@ pub struct SessionOptions {
     pub recompute_deps: bool,
     /// Per-optimizer application budget.
     pub max_applications: usize,
+    /// Wall-clock budget per `apply` call, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Search-cost budget per `apply` call (see [`Cost::total`]).
+    pub fuel: Option<u64>,
+    /// Growth cap: abort an `apply` once the program exceeds this
+    /// multiple of its statement count at the start of the call.
+    pub max_growth: Option<u32>,
 }
 
 impl Default for SessionOptions {
@@ -25,6 +33,9 @@ impl Default for SessionOptions {
         SessionOptions {
             recompute_deps: true,
             max_applications: 10_000,
+            timeout_ms: None,
+            fuel: None,
+            max_growth: None,
         }
     }
 }
@@ -48,6 +59,7 @@ pub struct Session {
     optimizers: Vec<CompiledOptimizer>,
     options: SessionOptions,
     log: Vec<SessionEvent>,
+    fault: Option<FaultPlan>,
 }
 
 impl Session {
@@ -58,6 +70,7 @@ impl Session {
             optimizers: Vec::new(),
             options: SessionOptions::default(),
             log: Vec::new(),
+            fault: None,
         }
     }
 
@@ -102,11 +115,31 @@ impl Session {
             .fold(Cost::zero(), |acc, e| acc + e.report.cost)
     }
 
-    fn find(&self, name: &str) -> Result<&CompiledOptimizer, RunError> {
+    /// Arms (or clears) a scripted fault for subsequent `apply` calls —
+    /// the probe points live in the driver; see [`FaultPlan`].
+    pub fn set_fault(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The session options (mutable, so budgets can be tuned mid-session).
+    pub fn options_mut(&mut self) -> &mut SessionOptions {
+        &mut self.options
+    }
+
+    /// Replaces the session's program, e.g. to restore a checkpoint.
+    pub fn restore_program(&mut self, prog: Program) {
+        self.prog = prog;
+    }
+
+    fn find_index(&self, name: &str) -> Result<usize, RunError> {
         self.optimizers
             .iter()
-            .find(|o| o.name.eq_ignore_ascii_case(name))
-            .ok_or_else(|| RunError::Action(format!("no optimizer named `{name}` registered")))
+            .position(|o| o.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| RunError::UnknownOptimizer { name: name.into() })
+    }
+
+    fn find(&self, name: &str) -> Result<&CompiledOptimizer, RunError> {
+        self.find_index(name).map(|i| &self.optimizers[i])
     }
 
     /// Lists the application points of `name` in the current program.
@@ -124,19 +157,38 @@ impl Session {
     /// # Errors
     ///
     /// Returns [`RunError`] if the optimizer is unknown, analysis fails,
-    /// an action fails, or the application budget is exceeded.
+    /// an action fails, or an application/resource budget is exceeded.
     pub fn apply(&mut self, name: &str, mode: ApplyMode) -> Result<&ApplyReport, RunError> {
-        let opt = self.find(name)?.clone();
-        let mut driver = Driver::new(&opt);
-        driver.recompute_deps = self.options.recompute_deps;
-        driver.max_applications = self.options.max_applications;
-        let report = driver.apply(&mut self.prog, mode)?;
-        self.log.push(SessionEvent {
+        let idx = self.find_index(name)?;
+        // Destructure so the optimizer borrow (from `optimizers`) and the
+        // program borrow are disjoint — no clone of the compiled plan.
+        let Session {
+            prog,
+            optimizers,
+            options,
+            log,
+            fault,
+        } = self;
+        let opt = &optimizers[idx];
+        let mut driver = Driver::new(opt);
+        driver.recompute_deps = options.recompute_deps;
+        driver.max_applications = options.max_applications;
+        driver.timeout_ms = options.timeout_ms;
+        driver.fuel = options.fuel;
+        driver.max_stmts = options
+            .max_growth
+            .map(|k| (k as usize).saturating_mul(prog.len().max(1)));
+        driver.fault = fault.clone();
+        let report = driver.apply(prog, mode)?;
+        log.push(SessionEvent {
             optimizer: opt.name.clone(),
             mode,
             report,
         });
-        Ok(&self.log.last().expect("just pushed").report)
+        match log.last() {
+            Some(event) => Ok(&event.report),
+            None => Err(RunError::Internal("session log lost its last event".into())),
+        }
     }
 
     /// Applies a sequence of optimizers, each at all points — the workflow

@@ -133,21 +133,17 @@ fn step_attr(
         (RtVal::Loop(l), Attr::Lcv) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).dst.clone())),
         (RtVal::Loop(l), Attr::Init) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).a.clone())),
         (RtVal::Loop(l), Attr::Final) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).b.clone())),
-        (RtVal::Loop(l), Attr::Nxt) => {
-            let next = l.index() + 1;
-            if next < loops.len() {
-                Ok(RtVal::Loop(loops.iter().nth(next).unwrap().id))
-            } else {
-                Err(nav_err())
-            }
-        }
-        (RtVal::Loop(l), Attr::Prev) => {
-            if l.index() > 0 {
-                Ok(RtVal::Loop(loops.iter().nth(l.index() - 1).unwrap().id))
-            } else {
-                Err(nav_err())
-            }
-        }
+        (RtVal::Loop(l), Attr::Nxt) => loops
+            .iter()
+            .nth(l.index() + 1)
+            .map(|info| RtVal::Loop(info.id))
+            .ok_or_else(nav_err),
+        (RtVal::Loop(l), Attr::Prev) => l
+            .index()
+            .checked_sub(1)
+            .and_then(|i| loops.iter().nth(i))
+            .map(|info| RtVal::Loop(info.id))
+            .ok_or_else(nav_err),
         (other, a) => Err(RunError::Action(format!(
             "attribute `.{}` not defined on {other:?}",
             a.keyword()

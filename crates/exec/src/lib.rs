@@ -99,6 +99,22 @@ impl Trace {
                 .zip(&other.outputs)
                 .all(|(a, b)| a.bit_eq(*b))
     }
+
+    /// The index of the first output where the traces diverge (a value
+    /// mismatch, or the point where one trace ends early); `None` when
+    /// the outputs agree bit for bit. Differential-testing harnesses use
+    /// this to point a diagnostic at the exact divergent `write`.
+    pub fn first_mismatch(&self, other: &Trace) -> Option<usize> {
+        for (i, (a, b)) in self.outputs.iter().zip(&other.outputs).enumerate() {
+            if !a.bit_eq(*b) {
+                return Some(i);
+            }
+        }
+        if self.outputs.len() != other.outputs.len() {
+            return Some(self.outputs.len().min(other.outputs.len()));
+        }
+        None
+    }
 }
 
 /// Execution failure.

@@ -60,6 +60,27 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Program {
     b.finish()
 }
 
+/// Deterministic input-vector set for differential (translation)
+/// validation: `vectors` vectors of `len` integers each, derived from
+/// `seed` the same way the program generator derives programs.
+///
+/// The first two vectors are the all-zeros and all-ones edge cases (so a
+/// program whose `read` feeds a branch or loop bound always sees both a
+/// falsy and a truthy value); the rest are uniform in `[-4, 12)`, biased
+/// positive so loop bounds read from input mostly produce a few trips.
+pub fn input_vectors(seed: u64, vectors: usize, len: usize) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1997_0D1F_F0CC_AFE5);
+    let mut out = Vec::with_capacity(vectors);
+    for v in 0..vectors {
+        out.push(match v {
+            0 => vec![0; len],
+            1 => vec![1; len],
+            _ => (0..len).map(|_| rng.gen_range(-4i64..12)).collect(),
+        });
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn emit_block(
     b: &mut ProgramBuilder,
@@ -145,6 +166,21 @@ mod tests {
         let a = generate(7, GenConfig::default());
         let b = generate(7, GenConfig::default());
         assert!(a.structurally_eq(&b));
+    }
+
+    #[test]
+    fn input_vectors_are_deterministic_and_cover_edges() {
+        let a = input_vectors(9, 5, 4);
+        let b = input_vectors(9, 5, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|v| v.len() == 4));
+        assert_eq!(a[0], vec![0, 0, 0, 0]);
+        assert_eq!(a[1], vec![1, 1, 1, 1]);
+        assert_ne!(input_vectors(10, 5, 4)[2], a[2]);
+        for v in &a[2..] {
+            assert!(v.iter().all(|x| (-4..12).contains(x)));
+        }
     }
 
     #[test]

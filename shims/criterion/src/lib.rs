@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace ships
+//! the slice of criterion's API its benches use. There is no statistics
+//! engine: timing uses one warm-up run plus a small fixed number of
+//! measured iterations and prints a single min/mean line per benchmark.
+//! Under `cargo test` (which builds and runs `harness = false` bench
+//! targets) each benchmark body therefore executes at least once — a
+//! useful smoke check — without the multi-second sampling of upstream.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A label from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u32) -> Self {
+        Bencher {
+            iters,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+        }
+    }
+
+    /// Runs `routine` once unmeasured, then `iters` measured times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iters: u32,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream API surface; the shim derives its fixed iteration count
+    /// from this (capped to keep `cargo test` fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).clamp(1, 10);
+        self
+    }
+
+    /// Accepted and ignored (no warm-up phase beyond the first run).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (fixed iteration count instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, R>(&mut self, id: BenchmarkId, input: &I, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.iters);
+        routine(&mut b, input);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Benchmarks a no-input `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.iters);
+        routine(&mut b);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    if b.iters > 0 && b.total > Duration::ZERO {
+        let mean = b.total / b.iters;
+        eprintln!("bench {group}/{id}: min {:?}, mean {:?} ({} iters)", b.min, mean, b.iters);
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: 3,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a no-input `routine` outside any group.
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher::new(3);
+        routine(&mut b);
+        report("bench", &id.to_string(), &b);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// The bench target's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` passes harness flags like `--test`; `cargo
+            // bench` passes `--bench`. The shim behaves identically —
+            // run everything once, quickly — so flags are ignored.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,500 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace ships
+//! the subset of proptest's API its tests use: the [`Strategy`] trait
+//! with `prop_map`, [`Just`], integer-range and tuple strategies,
+//! `prop_oneof!`, `collection::vec`, `option::of`, `any::<T>()`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! - **No shrinking.** A failing case reports its formatted assertion
+//!   message and the case index; inputs are deterministic per test, so a
+//!   failure reproduces by rerunning the test.
+//! - **Deterministic generation.** Every test function derives its RNG
+//!   seed from its own name, so runs are stable across machines and
+//!   invocations and independent of test execution order.
+//! - `.proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A failed test case (what `prop_assert!` returns).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic RNG used to drive strategies (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded from a test-identifying string, so every test gets its own
+    /// stable stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` below `n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Something that can produce random values of one type.
+///
+/// Unlike upstream there is no `ValueTree`: strategies generate final
+/// values directly and nothing shrinks.
+pub trait Strategy: Clone + 'static {
+    /// The generated type.
+    type Value: fmt::Debug + Clone + 'static;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Strat<O>
+    where
+        O: fmt::Debug + Clone + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+        Self: Sized,
+    {
+        Strat::from_fn(move |rng| f(self.generate(rng)))
+    }
+
+    /// Chains generation: the drawn value picks the next strategy.
+    fn prop_flat_map<O, S, F>(self, f: F) -> Strat<O>
+    where
+        O: fmt::Debug + Clone + 'static,
+        S: Strategy<Value = O>,
+        F: Fn(Self::Value) -> S + 'static,
+        Self: Sized,
+    {
+        Strat::from_fn(move |rng| f(self.generate(rng)).generate(rng))
+    }
+
+    /// Type-erases into [`Strat`] (the shim's `BoxedStrategy`).
+    fn into_strat(self) -> Strat<Self::Value>
+    where
+        Self: Sized,
+    {
+        Strat::from_fn(move |rng| self.generate(rng))
+    }
+
+    /// Upstream-compatible alias for [`Strategy::into_strat`].
+    fn boxed(self) -> Strat<Self::Value>
+    where
+        Self: Sized,
+    {
+        self.into_strat()
+    }
+}
+
+/// A type-erased strategy (the only concrete strategy type the shim
+/// needs; everything converts into it).
+pub struct Strat<V> {
+    gen: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for Strat<V> {
+    fn clone(&self) -> Self {
+        Strat {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<V> fmt::Debug for Strat<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Strat")
+    }
+}
+
+impl<V> Strat<V> {
+    /// A strategy from a generation closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> V + 'static) -> Self {
+        Strat { gen: Rc::new(f) }
+    }
+}
+
+impl<V: fmt::Debug + Clone + 'static> Strategy for Strat<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+/// Upstream's `BoxedStrategy` name, for signature compatibility.
+pub type BoxedStrategy<V> = Strat<V>;
+
+/// A strategy producing exactly `value`.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: fmt::Debug + Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Uniform choice between the given strategies (what `prop_oneof!`
+/// builds).
+pub fn union<V: fmt::Debug + Clone + 'static>(options: Vec<Strat<V>>) -> Strat<V> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    Strat::from_fn(move |rng| {
+        let i = rng.below(options.len());
+        options[i].generate(rng)
+    })
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: fmt::Debug + Clone + Sized + 'static {
+    /// The canonical full-range strategy for the type.
+    fn arbitrary() -> Strat<Self>;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> Strat<$t> {
+                Strat::from_fn(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> Strat<bool> {
+        Strat::from_fn(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Strat<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strat, Strategy, TestRng};
+    use std::fmt;
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> Strat<Vec<S::Value>>
+    where
+        S::Value: fmt::Debug + Clone + 'static,
+    {
+        assert!(len.start < len.end, "empty length range");
+        Strat::from_fn(move |rng: &mut TestRng| {
+            let n = len.start + rng.below(len.end - len.start);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strat, Strategy, TestRng};
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise (upstream's
+    /// default weighting).
+    pub fn of<S: Strategy>(inner: S) -> Strat<Option<S::Value>> {
+        Strat::from_fn(move |rng: &mut TestRng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+/// Runner configuration (`proptest::test_runner`).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; the shim trades a little coverage
+            // for suite latency. Failures reproduce deterministically.
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Everything a test module needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::into_strat($s)),+])
+    };
+}
+
+/// Declares property tests: each `pat in strategy` parameter is drawn
+/// fresh per case, and the body may `return Ok(())` to skip a case or
+/// fail via `prop_assert!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each test function inside `proptest!`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( ($cfg:expr) ) => {};
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa == *__pb,
+            "assertion failed: `{:?}` == `{:?}`", __pa, __pb
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if !(*__pa == *__pb) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __pa, __pb, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa != *__pb,
+            "assertion failed: `{:?}` != `{:?}`", __pa, __pb
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Kind {
+        A,
+        B(i64),
+    }
+
+    fn kind() -> impl Strategy<Value = Kind> {
+        prop_oneof![
+            Just(Kind::A),
+            any::<i64>().prop_map(Kind::B),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 5usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((5..9).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0i32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| (0..5).contains(e)));
+        }
+
+        #[test]
+        fn tuples_and_oneof_compose((a, b) in (0i64..4, kind())) {
+            prop_assert!(a < 4);
+            match b {
+                Kind::A => {}
+                Kind::B(_) => {}
+            }
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn option_of_produces_both(o in crate::option::of(1i32..2)) {
+            if let Some(v) = o {
+                prop_assert_eq!(v, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::from_name("y");
+        assert_ne!(crate::TestRng::from_name("x").next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the workspace ships the small, deterministic subset of `rand` it
+//! actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`Rng`] helpers `gen_range`/`gen_bool`/`gen`.
+//!
+//! The generator is splitmix64 (public domain, Sebastiano Vigna): fast,
+//! full-period, and — crucially for the workspace's seeded workload
+//! generator and fault-injection plans — stable across platforms and
+//! releases. Streams differ from upstream `rand`'s StdRng, which is fine:
+//! every consumer in this workspace treats the seed as an opaque handle to
+//! *a* deterministic stream, never to a particular one.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Minimal core trait: a source of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types with a uniform sampler (mirrors rand's trait of the same name;
+/// the single generic [`SampleRange`] impl below keeps type inference
+/// behaving exactly like upstream's `gen_range`).
+pub trait SampleUniform: Copy {
+    /// Uniform value in `[start, end)`.
+    fn sample_in(start: Self, end: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Types [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value in the range.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+/// The user-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value in `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, the same construction rand uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng {
+                // Avoid the all-zero fixed point and decorrelate small seeds.
+                state: state.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<i64> = (0..10).map(|_| StdRng::seed_from_u64(7).gen_range(0..100)).collect();
+        let other: Vec<i64> = (0..10).map(|_| c.gen_range(0..100)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(2..32);
+            assert!((2..32).contains(&v));
+            let u: usize = r.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_hits_both_sides() {
+        let mut r = StdRng::seed_from_u64(2);
+        let trues = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((300..700).contains(&trues), "{trues}");
+    }
+}

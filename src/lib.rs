@@ -5,7 +5,9 @@
 //! depend on the individual crates ([`genesis`], [`gospel_lang`], …) instead.
 
 pub use genesis;
+pub use genesis_guard;
 pub use gospel_dep;
+pub use gospel_exec;
 pub use gospel_frontend;
 pub use gospel_ir;
 pub use gospel_lang;

@@ -1,0 +1,206 @@
+//! Integration: validated sessions end to end — the full catalog over the
+//! whole workload suite under [`GuardedSession`], the fault-injection
+//! matrix, and the quarantine of a deliberately wrong specification.
+
+use genesis::{ApplyMode, FaultKind, FaultPlan};
+use genesis_guard::{GuardConfig, GuardOutcome, GuardStage, GuardedSession};
+use gospel_exec::ExecValue;
+use gospel_opts::interaction::natural_mode;
+
+/// The paper's CTP with the reaching-definition guard (the `no` clause)
+/// removed: it happily propagates a constant past a second definition, so
+/// it is *wrong* on any program where two defs reach the use. Translation
+/// validation must catch it. Named CTP deliberately so registering it
+/// replaces the correct catalog entry.
+const BROKEN_CTP: &str = r#"
+OPTIMIZATION CTP
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=))
+                   AND operand(Sj, pos) == Si.opr_1;
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+END
+"#;
+
+/// A program where exactly one of the two reaching definitions is picked
+/// by the broken CTP: `write y` prints 3 or 4 depending on the input, but
+/// the broken propagation makes it print 3 unconditionally.
+const TWO_DEFS: &str = "\
+program t
+  integer c, x, y
+  read c
+  x = 3
+  if (c > 0) then
+    x = 4
+  end if
+  y = x
+  write y
+end
+";
+
+fn exec_on_guard_vectors(prog: &gospel_ir::Program) -> Vec<Option<Vec<ExecValue>>> {
+    let cfg = GuardConfig::default();
+    gospel_workloads::generator::input_vectors(cfg.seed, cfg.vectors, cfg.vector_len)
+        .into_iter()
+        .map(|v| {
+            let inputs: Vec<ExecValue> = v.into_iter().map(ExecValue::Int).collect();
+            gospel_exec::run_limited(prog, &inputs, cfg.step_limit)
+                .ok()
+                .map(|t| t.outputs)
+        })
+        .collect()
+}
+
+#[test]
+fn catalog_over_full_suite_preserves_traces_or_rolls_back() {
+    let opts = gospel_opts::catalog().expect("catalog generates");
+    let modes: Vec<(String, ApplyMode)> = opts
+        .iter()
+        .map(|o| (o.name.clone(), natural_mode(o)))
+        .collect();
+    for (wname, prog) in gospel_workloads::suite() {
+        let before = exec_on_guard_vectors(&prog);
+        let mut gs = GuardedSession::new(prog, GuardConfig::default());
+        for opt in gospel_opts::catalog().expect("catalog generates") {
+            gs.register(opt);
+        }
+        for (name, mode) in &modes {
+            let outcome = gs
+                .apply(name, *mode)
+                .unwrap_or_else(|e| panic!("{wname}/{name}: {e}"));
+            // Every rejection must come with a structured report; nothing
+            // may abort the session.
+            if let GuardOutcome::Rejected(report) = &outcome {
+                assert_eq!(report.optimizer, *name, "{wname}");
+                assert!(report.rolled_back, "{wname}/{name}: {report}");
+            }
+        }
+        // Rollback on every failure means the surviving program's traces
+        // must equal the original's on every vector.
+        let after = exec_on_guard_vectors(gs.program());
+        assert_eq!(before, after, "{wname}: guarded pipeline changed semantics");
+        // And the catalog, being correct, should actually get through.
+        assert!(
+            gs.reports().is_empty(),
+            "{wname}: catalog optimizer rejected: {:?}",
+            gs.reports()
+        );
+    }
+}
+
+#[test]
+fn injection_matrix_is_contained_for_every_fault_kind() {
+    let kinds = [
+        (FaultKind::Analysis, GuardStage::Run, false),
+        (FaultKind::Action, GuardStage::Run, false),
+        (FaultKind::CorruptCommit, GuardStage::Structural, true),
+        (FaultKind::Panic, GuardStage::Internal, true),
+    ];
+    for (kind, expected_stage, quarantines) in kinds {
+        let prog = gospel_frontend::compile(
+            "program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend",
+        )
+        .unwrap();
+        let original = prog.clone();
+        let mut gs = GuardedSession::new(prog, GuardConfig::default());
+        gs.register(gospel_opts::by_name("CTP"));
+        gs.register(gospel_opts::by_name("DCE"));
+        gs.set_fault(Some(FaultPlan::new(kind)));
+
+        let outcome = gs
+            .apply("CTP", ApplyMode::AllPoints)
+            .unwrap_or_else(|e| panic!("{kind:?} escaped containment: {e}"));
+        let GuardOutcome::Rejected(report) = outcome else {
+            panic!("{kind:?}: expected a rejection, got {outcome:?}");
+        };
+        assert_eq!(report.stage, expected_stage, "{kind:?}: {report}");
+        assert!(report.rolled_back, "{kind:?}");
+        assert_eq!(report.quarantined, quarantines, "{kind:?}: {report}");
+        assert!(
+            gs.program().structurally_eq(&original),
+            "{kind:?}: program not restored"
+        );
+        assert_eq!(gs.reports().len(), 1, "{kind:?}: diagnostic not recorded");
+
+        // The session must keep working: the un-faulted optimizer runs.
+        gs.set_fault(None);
+        let next = gs.apply("DCE", ApplyMode::AllPoints).unwrap();
+        assert!(
+            matches!(next, GuardOutcome::Applied(_)),
+            "{kind:?}: session did not continue: {next:?}"
+        );
+    }
+}
+
+#[test]
+fn fault_plans_scope_to_optimizer_and_application() {
+    let prog = gospel_frontend::compile(
+        "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+    )
+    .unwrap();
+    let mut gs = GuardedSession::new(prog, GuardConfig::default());
+    gs.register(gospel_opts::by_name("CTP"));
+    gs.register(gospel_opts::by_name("DCE"));
+    // A fault aimed at DCE must not perturb CTP.
+    gs.set_fault(Some(FaultPlan::new(FaultKind::Panic).for_optimizer("DCE")));
+    let outcome = gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    assert!(outcome.is_applied(), "{outcome:?}");
+    // …and must fire (contained) when DCE itself runs.
+    let outcome = gs.apply("DCE", ApplyMode::AllPoints).unwrap();
+    assert!(matches!(outcome, GuardOutcome::Rejected(_)), "{outcome:?}");
+}
+
+#[test]
+fn broken_ctp_is_caught_rolled_back_and_quarantined() {
+    let prog = gospel_frontend::compile(TWO_DEFS).unwrap();
+    let original = prog.clone();
+    let mut gs = GuardedSession::new(prog, GuardConfig::default());
+    gs.register(gospel_opts::compile_spec(BROKEN_CTP).expect("broken CTP still compiles"));
+
+    let outcome = gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    let GuardOutcome::Rejected(report) = outcome else {
+        panic!("broken CTP was not rejected: {outcome:?}");
+    };
+    assert_eq!(report.stage, GuardStage::Translation, "{report}");
+    assert!(report.vector.is_some(), "{report}");
+    assert_eq!(report.mismatch_at, Some(0), "{report}");
+    assert!(report.quarantined, "{report}");
+    assert!(gs.program().structurally_eq(&original), "not rolled back");
+
+    // Quarantine holds: subsequent sequences skip it and continue.
+    let outcomes = gs.run_sequence(&["CTP"]).unwrap();
+    assert!(
+        matches!(outcomes[0].1, GuardOutcome::Skipped { .. }),
+        "{:?}",
+        outcomes[0]
+    );
+
+    // The *correct* CTP is innocent: re-registering lifts the quarantine
+    // and it passes validation on the same program.
+    gs.register(gospel_opts::by_name("CTP"));
+    let outcome = gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    assert!(outcome.is_applied(), "{outcome:?}");
+}
+
+#[test]
+fn user_rollback_walks_the_checkpoint_ring() {
+    let prog = gospel_frontend::compile(
+        "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+    )
+    .unwrap();
+    let original = prog.clone();
+    let mut gs = GuardedSession::new(prog, GuardConfig::default());
+    gs.register(gospel_opts::by_name("CTP"));
+    gs.register(gospel_opts::by_name("DCE"));
+    gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    gs.apply("DCE", ApplyMode::AllPoints).unwrap();
+    assert_eq!(gs.checkpoints(), 2);
+    gs.rollback(2).unwrap();
+    assert!(gs.program().structurally_eq(&original));
+    assert_eq!(gs.checkpoints(), 0);
+}

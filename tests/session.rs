@@ -85,6 +85,7 @@ fn stale_dependences_when_recomputation_disabled() {
         SessionOptions {
             recompute_deps: false,
             max_applications: 50,
+            ..SessionOptions::default()
         },
     );
     stale.register(by_name("CTP"));

@@ -1,0 +1,53 @@
+//! Smoke profile: the differential (translation-validation) suite over a
+//! three-workload subset, fast enough for every CI run. The full-suite
+//! version lives in `tests/guard.rs` and `tests/semantics.rs`; this one
+//! exists so `cargo test --test smoke` gives a sub-second end-to-end
+//! confidence check.
+
+use genesis::ApplyMode;
+use genesis_guard::{GuardConfig, GuardedSession};
+use gospel_exec::ExecValue;
+
+const SMOKE_WORKLOADS: usize = 3;
+
+#[test]
+fn differential_suite_over_three_workloads() {
+    let suite = gospel_workloads::suite();
+    assert!(suite.len() >= SMOKE_WORKLOADS, "workload suite shrank");
+    for (wname, prog) in suite.into_iter().take(SMOKE_WORKLOADS) {
+        let cfg = GuardConfig::default();
+        let vectors: Vec<Vec<ExecValue>> =
+            gospel_workloads::generator::input_vectors(cfg.seed, cfg.vectors, cfg.vector_len)
+                .into_iter()
+                .map(|v| v.into_iter().map(ExecValue::Int).collect())
+                .collect();
+        let before: Vec<_> = vectors
+            .iter()
+            .map(|v| gospel_exec::run_limited(&prog, v, cfg.step_limit).ok())
+            .collect();
+
+        let mut gs = GuardedSession::new(prog, cfg.clone());
+        for opt in gospel_opts::catalog().expect("catalog generates") {
+            gs.register(opt);
+        }
+        for name in ["CTP", "CFO", "CPP", "DCE", "PAR"] {
+            let outcome = gs
+                .apply(name, ApplyMode::AllPoints)
+                .unwrap_or_else(|e| panic!("{wname}/{name}: {e}"));
+            assert!(outcome.is_applied(), "{wname}/{name}: {outcome:?}");
+        }
+
+        for (i, (v, b)) in vectors.iter().zip(&before).enumerate() {
+            let after = gospel_exec::run_limited(gs.program(), v, cfg.step_limit).ok();
+            match (b, &after) {
+                (Some(b), Some(a)) => assert!(
+                    b.same_outputs(a),
+                    "{wname}: vector {i} diverged at {:?}",
+                    b.first_mismatch(a)
+                ),
+                (None, None) => {}
+                _ => panic!("{wname}: vector {i} changed fault behaviour"),
+            }
+        }
+    }
+}
