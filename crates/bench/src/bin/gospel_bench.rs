@@ -1,0 +1,242 @@
+//! `gospel-bench` — full-vs-incremental dependence maintenance benchmark.
+//!
+//! Runs a chain-heavy optimizer sequence (CTP → CPP → DCE) over the ten
+//! workload programs twice: once with the driver re-running the full
+//! `DepGraph::analyze` after every application (the seed behaviour), and
+//! once with the incremental `DepGraph::update` + resumed search. Reports
+//! per-workload wall-clock (minimum over `--repeats` runs), the geometric
+//! mean speedup over the multi-application workloads, and a cross-check
+//! pass (`verify_deps`) asserting the incrementally-maintained graph
+//! agrees with a fresh analysis after every application and that both
+//! modes produce the same final program.
+//!
+//! Emits `BENCH_incremental.json` (override with `--out PATH`); `--smoke`
+//! drops the repeat count for CI.
+
+use genesis::{ApplyMode, ApplyReport, Driver, RunError};
+use gospel_ir::{DisplayProgram, Program};
+use std::time::Instant;
+
+/// The optimizer chain: constant propagation cascades, copy propagation
+/// follows, invariant code motion and loop fusion restructure, dead-code
+/// elimination and control-flow cleanup finish — the enablement sequence
+/// of the §4 ordering experiments, sized like a real constructor session
+/// (each optimizer in the chain forces the seed driver to re-analyze,
+/// while the incremental driver carries one graph across the whole
+/// session).
+const SEQUENCE: [&str; 6] = ["CTP", "CPP", "ICM", "FUS", "DCE", "CFO"];
+
+struct ModeRun {
+    prog: Program,
+    applications: usize,
+    incremental_updates: usize,
+    full_recomputes: usize,
+}
+
+/// Runs the whole sequence over one program in the given mode.
+fn run_sequence(
+    base: &Program,
+    opts: &[genesis::CompiledOptimizer],
+    incremental: bool,
+    verify: bool,
+) -> Result<ModeRun, RunError> {
+    let mut prog = base.clone();
+    let mut total = ModeRun {
+        prog: base.clone(),
+        applications: 0,
+        incremental_updates: 0,
+        full_recomputes: 0,
+    };
+    // Incremental mode also carries the graph across the chain (the
+    // session cache); full mode re-analyzes per optimizer, as the seed
+    // driver did.
+    let mut cache = None;
+    for opt in opts {
+        let mut d = Driver::new(opt);
+        d.incremental_deps = incremental;
+        d.verify_deps = verify;
+        let report: ApplyReport = if incremental {
+            d.apply_cached(&mut prog, ApplyMode::AllPoints, &mut cache)?
+        } else {
+            d.apply(&mut prog, ApplyMode::AllPoints)?
+        };
+        total.applications += report.applications;
+        total.incremental_updates += report.incremental_updates;
+        total.full_recomputes += report.full_recomputes;
+    }
+    total.prog = prog;
+    Ok(total)
+}
+
+/// Minimum wall time over `repeats` runs, in nanoseconds.
+fn time_mode(
+    base: &Program,
+    opts: &[genesis::CompiledOptimizer],
+    incremental: bool,
+    repeats: usize,
+) -> Result<u128, RunError> {
+    let mut best = u128::MAX;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        run_sequence(base, opts, incremental, false)?;
+        best = best.min(started.elapsed().as_nanos());
+    }
+    Ok(best)
+}
+
+struct Row {
+    name: &'static str,
+    applications: usize,
+    incremental_updates: usize,
+    full_recomputes: usize,
+    full_ns: u128,
+    incr_ns: u128,
+    speedup: f64,
+    verified: bool,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(rows: &[Row], repeats: usize, geomean: f64, multi: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"incremental\",\n");
+    out.push_str(&format!(
+        "  \"sequence\": [{}],\n",
+        SEQUENCE
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"applications\": {}, \"incremental_updates\": {}, \
+             \"full_recomputes\": {}, \"full_ns\": {}, \"incremental_ns\": {}, \
+             \"speedup\": {:.3}, \"verified\": {}}}{}\n",
+            json_escape(r.name),
+            r.applications,
+            r.incremental_updates,
+            r.full_recomputes,
+            r.full_ns,
+            r.incr_ns,
+            r.speedup,
+            r.verified,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"multi_application_workloads\": {multi},\n  \"geomean_speedup_multi\": {geomean:.3}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_path = String::from("BENCH_incremental.json");
+    let mut repeats = if smoke { 3 } else { 30 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--repeats" => {
+                repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--repeats needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--smoke" => {}
+            other => {
+                eprintln!("unknown flag `{other}` (expected --out PATH | --repeats N | --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let opts: Vec<_> = SEQUENCE.iter().map(|n| gospel_opts::by_name(n)).collect();
+    let suite = gospel_workloads::suite();
+    let mut rows = Vec::new();
+
+    for (name, base) in &suite {
+        // Cross-check pass (untimed): incremental with per-application
+        // graph verification, compared against the full-recompute result.
+        let full = run_sequence(base, &opts, false, false)
+            .unwrap_or_else(|e| panic!("{name}: full-mode run failed: {e}"));
+        let incr = run_sequence(base, &opts, true, true)
+            .unwrap_or_else(|e| panic!("{name}: incremental graph diverged: {e}"));
+        let same_prog = DisplayProgram(&full.prog).to_string()
+            == DisplayProgram(&incr.prog).to_string();
+        assert!(
+            same_prog && full.applications == incr.applications,
+            "{name}: modes disagree (full {} apps, incremental {} apps, programs equal: {})",
+            full.applications,
+            incr.applications,
+            same_prog
+        );
+
+        let full_ns = time_mode(base, &opts, false, repeats)
+            .unwrap_or_else(|e| panic!("{name}: timing full mode failed: {e}"));
+        let incr_ns = time_mode(base, &opts, true, repeats)
+            .unwrap_or_else(|e| panic!("{name}: timing incremental mode failed: {e}"));
+        rows.push(Row {
+            name,
+            applications: incr.applications,
+            incremental_updates: incr.incremental_updates,
+            full_recomputes: incr.full_recomputes,
+            full_ns,
+            incr_ns,
+            speedup: full_ns as f64 / incr_ns.max(1) as f64,
+            verified: true,
+        });
+    }
+
+    let multi: Vec<&Row> = rows.iter().filter(|r| r.applications >= 2).collect();
+    let geomean = if multi.is_empty() {
+        1.0
+    } else {
+        (multi.iter().map(|r| r.speedup.ln()).sum::<f64>() / multi.len() as f64).exp()
+    };
+
+    println!(
+        "{:<12} {:>5} {:>6} {:>5} {:>12} {:>12} {:>8}",
+        "workload", "apps", "incr", "full", "full (ns)", "incr (ns)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>5} {:>6} {:>5} {:>12} {:>12} {:>7.2}x",
+            r.name,
+            r.applications,
+            r.incremental_updates,
+            r.full_recomputes,
+            r.full_ns,
+            r.incr_ns,
+            r.speedup
+        );
+    }
+    println!(
+        "geomean speedup over {} multi-application workloads: {:.2}x",
+        multi.len(),
+        geomean
+    );
+
+    let json = emit_json(&rows, repeats, geomean, multi.len());
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -277,6 +277,9 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
         timeout_ms: opts.timeout_ms.or(GuardConfig::default().timeout_ms),
         fuel: opts.fuel,
         max_growth: opts.max_growth.or(GuardConfig::default().max_growth),
+        // `--validate` is the belt-and-braces mode: also audit the
+        // incrementally-maintained dependence graph every application.
+        verify_deps: true,
         ..GuardConfig::default()
     };
     let mut guarded = GuardedSession::new(prog, config);

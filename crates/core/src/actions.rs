@@ -5,20 +5,24 @@
 use crate::error::RunError;
 use crate::rt::{Bindings, RtVal};
 use crate::solve::{eval_place, eval_val};
-use gospel_ir::{LoopTable, Opcode, Operand, Program, Quad, StmtId};
+use gospel_ir::{EditDelta, LoopTable, Opcode, Operand, Program, Quad, StmtId};
 use gospel_lang::ast::{Action, ElemDesc, SetExpr, ValExpr};
 
 /// Executes an action list; returns the number of primitive operations
-/// performed (the paper's transformation-cost component).
+/// performed (the paper's transformation-cost component). Every program
+/// mutation is journaled into `delta`, which doubles as the change
+/// summary for incremental dependence maintenance and as the undo log
+/// that rolls the program back if a later action in the list fails.
 pub(crate) fn run_actions(
     prog: &mut Program,
     loops: &LoopTable,
     env: &mut Bindings,
     actions: &[Action],
+    delta: &mut EditDelta,
 ) -> Result<u64, RunError> {
     let mut ops = 0u64;
     for a in actions {
-        ops += run_action(prog, loops, env, a)?;
+        ops += run_action(prog, loops, env, a, delta)?;
     }
     Ok(ops)
 }
@@ -28,6 +32,7 @@ fn run_action(
     loops: &LoopTable,
     env: &mut Bindings,
     action: &Action,
+    delta: &mut EditDelta,
 ) -> Result<u64, RunError> {
     match action {
         Action::Delete(x) => {
@@ -35,7 +40,7 @@ fn run_action(
             match val {
                 RtVal::Stmt(s) => {
                     ensure_live(prog, s)?;
-                    prog.delete(s);
+                    delta.delete(prog, s);
                 }
                 // Deleting a loop removes its header and end markers and
                 // splices the body into the surrounding code — exactly what
@@ -44,8 +49,8 @@ fn run_action(
                     let info = loops.get(l);
                     ensure_live(prog, info.head)?;
                     ensure_live(prog, info.end)?;
-                    prog.delete(info.head);
-                    prog.delete(info.end);
+                    delta.delete(prog, info.head);
+                    delta.delete(prog, info.end);
                 }
                 other => return Err(RunError::Action(format!("cannot delete {other:?}"))),
             }
@@ -59,7 +64,7 @@ fn run_action(
             match eval_val(prog, loops, env, x)? {
                 RtVal::Stmt(s) => {
                     ensure_live(prog, s)?;
-                    prog.move_after(s, Some(target));
+                    delta.move_after(prog, s, Some(target));
                 }
                 RtVal::Loop(l) => {
                     // Move the whole region head..end, preserving order.
@@ -70,7 +75,7 @@ fn run_action(
                         .collect();
                     let mut anchor = target;
                     for s in region {
-                        prog.move_after(s, Some(anchor));
+                        delta.move_after(prog, s, Some(anchor));
                         anchor = s;
                     }
                 }
@@ -86,7 +91,7 @@ fn run_action(
             match eval_val(prog, loops, env, x)? {
                 RtVal::Stmt(s) => {
                     ensure_live(prog, s)?;
-                    let c = prog.copy_after(s, Some(target));
+                    let c = delta.copy_after(prog, s, Some(target));
                     env.set(name, RtVal::Stmt(c));
                 }
                 RtVal::Loop(l) => {
@@ -98,7 +103,7 @@ fn run_action(
                     let mut anchor = target;
                     let mut first_copy = None;
                     for s in region {
-                        let c = prog.copy_after(s, Some(anchor));
+                        let c = delta.copy_after(prog, s, Some(anchor));
                         first_copy.get_or_insert(c);
                         anchor = c;
                     }
@@ -117,7 +122,7 @@ fn run_action(
                 .ok_or_else(|| RunError::Action("add(): target is not a statement".into()))?;
             ensure_live(prog, target)?;
             let quad = build_quad(prog, loops, env, desc)?;
-            let s = prog.insert_after(Some(target), quad);
+            let s = delta.insert_after(prog, Some(target), quad);
             env.set(name, RtVal::Stmt(s));
             Ok(1)
         }
@@ -127,7 +132,7 @@ fn run_action(
             let val = eval_val(prog, loops, env, new)?
                 .as_operand()
                 .ok_or_else(|| RunError::Action("modify(): replacement is not an operand".into()))?;
-            prog.modify(stmt, pos, val);
+            delta.modify(prog, stmt, pos, val);
             Ok(1)
         }
         Action::ForAll {
@@ -173,7 +178,7 @@ fn run_action(
                         }
                     }
                 }
-                ops += run_actions(prog, loops, &mut inner, body)?;
+                ops += run_actions(prog, loops, &mut inner, body, delta)?;
             }
             Ok(ops)
         }
@@ -253,6 +258,16 @@ mod tests {
         (p, loops)
     }
 
+    /// Test shorthand: run with a throwaway journal.
+    fn run(
+        prog: &mut Program,
+        loops: &gospel_ir::LoopTable,
+        env: &mut Bindings,
+        actions: &[Action],
+    ) -> Result<u64, RunError> {
+        run_actions(prog, loops, env, actions, &mut gospel_ir::EditDelta::new())
+    }
+
     const NEST: &str = "program p\ninteger i, x\nreal a(10)\nx = 5\ndo i = 1, 3\na(i) = 1.0\nend do\nwrite a(1)\nend";
 
     fn loop_binding(loops: &gospel_ir::LoopTable) -> Bindings {
@@ -277,7 +292,7 @@ mod tests {
         let (mut p, loops) = world(NEST);
         let mut env = loop_binding(&loops);
         let before = p.len();
-        let ops = run_actions(&mut p, &loops, &mut env, &[Action::Delete(name("L"))]).unwrap();
+        let ops = run(&mut p, &loops, &mut env, &[Action::Delete(name("L"))]).unwrap();
         assert_eq!(ops, 1);
         assert_eq!(p.len(), before - 2); // head and end only
         let listing = DisplayProgram(&p).to_string();
@@ -291,7 +306,7 @@ mod tests {
         let mut env = loop_binding(&loops);
         let last = p.last().unwrap(); // the write
         env.set("W", RtVal::Stmt(last));
-        run_actions(
+        run(
             &mut p,
             &loops,
             &mut env,
@@ -313,7 +328,7 @@ mod tests {
         let mut env = loop_binding(&loops);
         let last = p.last().unwrap();
         env.set("W", RtVal::Stmt(last));
-        run_actions(
+        run(
             &mut p,
             &loops,
             &mut env,
@@ -336,7 +351,7 @@ mod tests {
         let mut env = loop_binding(&loops);
         let first = p.first().unwrap();
         env.set("S", RtVal::Stmt(first));
-        run_actions(
+        run(
             &mut p,
             &loops,
             &mut env,
@@ -382,7 +397,7 @@ mod tests {
                 body: vec![Action::Delete(name("S"))],
             },
         ];
-        let ops = run_actions(&mut p, &loops, &mut env, &acts);
+        let ops = run(&mut p, &loops, &mut env, &acts);
         // the loop body set reads through live statements only
         assert!(ops.is_ok(), "{ops:?}");
         let listing = DisplayProgram(&p).to_string();
@@ -393,7 +408,7 @@ mod tests {
     fn modify_via_loop_bound_place() {
         let (mut p, loops) = world(NEST);
         let mut env = loop_binding(&loops);
-        run_actions(
+        run(
             &mut p,
             &loops,
             &mut env,
@@ -414,7 +429,7 @@ mod tests {
         let first = p.first().unwrap();
         env.set("S", RtVal::Stmt(first));
         p.delete(first);
-        let r = run_actions(&mut p, &loops, &mut env, &[Action::Delete(name("S"))]);
+        let r = run(&mut p, &loops, &mut env, &[Action::Delete(name("S"))]);
         assert!(r.is_err());
     }
 

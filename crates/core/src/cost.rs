@@ -17,6 +17,10 @@ pub struct Cost {
     pub dep_checks: u64,
     /// Transformation primitives executed.
     pub transform_ops: u64,
+    /// First-clause anchor candidates actually visited by the searcher.
+    /// Not part of [`Cost::checks`] / [`Cost::total`] (the paper's metric);
+    /// it instruments how much of the program a resumed search rescans.
+    pub anchor_visits: u64,
 }
 
 impl Cost {
@@ -44,6 +48,7 @@ impl Add for Cost {
             pattern_checks: self.pattern_checks + rhs.pattern_checks,
             dep_checks: self.dep_checks + rhs.dep_checks,
             transform_ops: self.transform_ops + rhs.transform_ops,
+            anchor_visits: self.anchor_visits + rhs.anchor_visits,
         }
     }
 }
@@ -78,10 +83,12 @@ mod tests {
             pattern_checks: 1,
             dep_checks: 2,
             transform_ops: 3,
+            anchor_visits: 4,
         };
         let b = a + a;
         assert_eq!(b.checks(), 6);
-        assert_eq!(b.total(), 12);
+        assert_eq!(b.total(), 12, "anchor visits stay out of the metric");
+        assert_eq!(b.anchor_visits, 8);
         let mut c = Cost::zero();
         c += a;
         assert_eq!(c, a);

@@ -8,8 +8,8 @@ use crate::error::RunError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::rt::Bindings;
 use crate::solve::Searcher;
-use gospel_dep::DepGraph;
-use gospel_ir::{Opcode, Program, Quad, StmtId};
+use gospel_dep::{DepGraph, UpdateKind};
+use gospel_ir::{EditDelta, Opcode, Program, Quad, StmtId};
 use std::time::Instant;
 
 /// How the driver should apply the optimizer (the §3 interface options).
@@ -39,6 +39,11 @@ pub struct ApplyReport {
     pub points: Vec<Bindings>,
     /// Which membership strategy each dependence-clause evaluation used.
     pub strategies_used: Vec<Strategy>,
+    /// Dependence-graph refreshes served by the incremental updater.
+    pub incremental_updates: usize,
+    /// Dependence-graph refreshes that ran a full `analyze` (structural
+    /// edits, or `incremental_deps` disabled).
+    pub full_recomputes: usize,
 }
 
 /// All application points found by [`Driver::matches`], without applying.
@@ -60,6 +65,14 @@ pub struct Driver<'o> {
     /// Recompute the dependence graph between applications (the paper lets
     /// the user decide; correctness of chained applications needs it).
     pub recompute_deps: bool,
+    /// Refresh the graph with [`DepGraph::update`] from the application's
+    /// edit delta instead of a full re-`analyze` (falls back automatically
+    /// on structural edits). Also lets the next search resume from the
+    /// delta's dirty frontier instead of rescanning from the top.
+    pub incremental_deps: bool,
+    /// After every incremental refresh, cross-check the maintained graph
+    /// against a fresh full analysis and fail loudly on any disagreement.
+    pub verify_deps: bool,
     /// Wall-clock budget for one [`Driver::apply`] call, checked between
     /// applications (a single search is never interrupted mid-flight).
     pub timeout_ms: Option<u64>,
@@ -82,6 +95,8 @@ impl<'o> Driver<'o> {
             opt,
             max_applications: 10_000,
             recompute_deps: true,
+            incremental_deps: true,
+            verify_deps: false,
             timeout_ms: None,
             fuel: None,
             max_stmts: None,
@@ -110,7 +125,19 @@ impl<'o> Driver<'o> {
     /// analysis.
     pub fn matches(&self, prog: &Program) -> Result<MatchSet, RunError> {
         let deps = analyze(prog)?;
-        let mut s = Searcher::new(prog, &deps, self.opt);
+        self.matches_with(prog, &deps)
+    }
+
+    /// Like [`Driver::matches`] but reusing an already-computed dependence
+    /// graph — callers that maintain one incrementally (or know the program
+    /// has not changed since the last analysis) skip the re-`analyze`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the search fails (e.g. a malformed
+    /// dependence atom).
+    pub fn matches_with(&self, prog: &Program, deps: &DepGraph) -> Result<MatchSet, RunError> {
+        let mut s = Searcher::new(prog, deps, self.opt);
         let bindings = s.find_all(usize::MAX)?;
         Ok(MatchSet {
             bindings,
@@ -130,12 +157,44 @@ impl<'o> Driver<'o> {
     /// last committed application — callers wanting atomicity snapshot
     /// first, as `GuardedSession` does).
     pub fn apply(&mut self, prog: &mut Program, mode: ApplyMode) -> Result<ApplyReport, RunError> {
+        let mut cache = None;
+        self.apply_cached(prog, mode, &mut cache)
+    }
+
+    /// Like [`Driver::apply`] but reusing (and refreshing) a dependence
+    /// graph carried across calls — a session chaining several optimizers
+    /// over one program skips every per-optimizer initial analysis.
+    ///
+    /// On entry a `Some` cache must describe `prog` exactly as a fresh
+    /// [`DepGraph::analyze`] would. On success the cache holds the final
+    /// program's graph whenever the driver kept it current; it is left
+    /// `None` after a run with `recompute_deps` off, after a one-shot
+    /// mode without incremental maintenance, and on any error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Driver::apply`].
+    pub fn apply_cached(
+        &mut self,
+        prog: &mut Program,
+        mode: ApplyMode,
+        cache: &mut Option<DepGraph>,
+    ) -> Result<ApplyReport, RunError> {
         let mut report = ApplyReport::default();
         let started = Instant::now();
         if self.fault_fires(FaultKind::Analysis, 0) {
             return Err(RunError::Analyze("injected fault: analysis failure".into()));
         }
-        let mut deps = analyze(prog)?;
+        let mut deps = match cache.take() {
+            Some(g) => g,
+            None => analyze(prog)?,
+        };
+        // Whether `deps` still describes `prog` when the loop exits.
+        let mut current = true;
+        // Earliest statement the next search must reconsider; `None` means
+        // scan from the top. Set from the incremental updater's dirty
+        // frontier after each committed application.
+        let mut resume_pt: Option<StmtId> = None;
 
         loop {
             if let Some(ms) = self.timeout_ms {
@@ -157,9 +216,23 @@ impl<'o> Driver<'o> {
                     }
                     _ => {}
                 }
-                let found = s.find_first()?;
+                s.resume_from = resume_pt;
+                let mut found = s.find_first()?;
                 report.cost += s.cost;
                 report.strategies_used.append(&mut s.strategies_used);
+                if found.is_none() && resume_pt.is_some() {
+                    // Safety net: the frontier filter only rescans anchors
+                    // at or after the dirty frontier, but a pattern with
+                    // dependence-free later elements can gain a match at
+                    // an earlier anchor. Before declaring a fixpoint,
+                    // sweep the complement — the two passes together
+                    // cover every anchor exactly once.
+                    let mut s = Searcher::new(prog, &deps, self.opt);
+                    s.stop_before = resume_pt;
+                    found = s.find_first()?;
+                    report.cost += s.cost;
+                    report.strategies_used.append(&mut s.strategies_used);
+                }
                 found
             };
             if let Some(fuel) = self.fuel {
@@ -176,17 +249,24 @@ impl<'o> Driver<'o> {
                 return Err(RunError::Action("injected fault: action failure".into()));
             }
 
-            // Actions run on a scratch copy and commit only on success, so a
-            // mid-action failure can never leave a half-transformed program.
-            let mut scratch = prog.clone();
-            let ops = run_actions(&mut scratch, deps.loops(), &mut env, &self.opt.actions)?;
+            // Actions run in place, journaled into an edit delta; a
+            // mid-action failure unwinds the journal, so a failed
+            // application can never leave a half-transformed program.
+            let mut delta = EditDelta::new();
+            let ops = match run_actions(prog, deps.loops(), &mut env, &self.opt.actions, &mut delta)
+            {
+                Ok(ops) => ops,
+                Err(e) => {
+                    delta.undo(prog);
+                    return Err(e);
+                }
+            };
             let corrupted = self.fault_fires(FaultKind::CorruptCommit, report.applications);
             if corrupted {
                 // An unmatched marker makes the commit structurally
                 // invalid — exactly what a validation gate must catch.
-                scratch.push(Quad::marker(Opcode::EndDo));
+                prog.push(Quad::marker(Opcode::EndDo));
             }
-            *prog = scratch;
             report.cost.transform_ops += ops;
             report.applications += 1;
             report.points.push(env);
@@ -206,17 +286,76 @@ impl<'o> Driver<'o> {
                 }
             }
 
-            if !matches!(mode, ApplyMode::AllPoints) {
-                break;
-            }
-            if report.applications >= self.max_applications {
+            let one_shot = !matches!(mode, ApplyMode::AllPoints);
+            if !one_shot && report.applications >= self.max_applications {
                 return Err(RunError::Diverged {
                     limit: self.max_applications,
                 });
             }
-            if self.recompute_deps {
-                deps = analyze(prog)?;
+            if !self.recompute_deps {
+                // Stale-graph mode: positions in the old graph no longer
+                // track the program, so never filter the next search.
+                current = false;
+                resume_pt = None;
+            } else {
+                if delta.is_empty() {
+                    // Zero-edit application: the program is untouched, so
+                    // the graph is still exact — skip the refresh entirely.
+                    resume_pt = None;
+                } else if self.incremental_deps {
+                    let up = deps
+                        .update(prog, &delta)
+                        .map_err(|e| RunError::Analyze(e.to_string()))?;
+                    match up.kind {
+                        UpdateKind::Full => report.full_recomputes += 1,
+                        UpdateKind::Incremental | UpdateKind::Noop => {
+                            report.incremental_updates += 1;
+                        }
+                    }
+                    resume_pt = up.frontier;
+                    if self.verify_deps {
+                        let fresh = analyze(prog)?;
+                        if !deps.agrees_with(&fresh) {
+                            if std::env::var("GENESIS_DEBUG_DEPS").is_ok() {
+                                eprintln!("delta: {delta:?}");
+                                eprintln!("program:\n{}", gospel_ir::DisplayProgram(prog));
+                                for s in prog.iter() {
+                                    eprintln!("  {s}: {:?}", prog.quad(s));
+                                }
+                                for e in deps.edges() {
+                                    if !fresh.edges().contains(e) {
+                                        eprintln!("incr-only: {e:?}");
+                                    }
+                                }
+                                for e in fresh.edges() {
+                                    if !deps.edges().contains(e) {
+                                        eprintln!("fresh-only: {e:?}");
+                                    }
+                                }
+                            }
+                            return Err(RunError::Analyze(format!(
+                                "incremental dependence graph diverged from full \
+                                 analysis after application {} of {}",
+                                report.applications, self.opt.name
+                            )));
+                        }
+                    }
+                } else if one_shot {
+                    // Full-recompute one-shot: the refreshed graph would
+                    // never be searched again; skip the wasted analysis.
+                    current = false;
+                } else {
+                    deps = analyze(prog)?;
+                    report.full_recomputes += 1;
+                    resume_pt = None;
+                }
             }
+            if one_shot {
+                break;
+            }
+        }
+        if current {
+            *cache = Some(deps);
         }
         Ok(report)
     }
@@ -331,6 +470,41 @@ mod tests {
         assert_eq!(ms.bindings.len(), 1);
         let listing = DisplayProgram(&prog).to_string();
         assert!(listing.contains("y := x"), "unchanged: {listing}");
+    }
+
+    #[test]
+    fn incremental_resume_visits_fewer_anchors_than_restart() {
+        // A cascade with work spread across the program: after each commit
+        // the incremental driver resumes from the dirty frontier instead of
+        // restarting at the top, so it must reach the same fixpoint (same
+        // program, same application count) with strictly fewer first-clause
+        // anchor visits than the full-restart driver.
+        let src = "program p\ninteger x, y, z, w\nx = 3\ny = x\nz = y\nw = z\nwrite w\nend";
+        let opt = ctp();
+
+        let mut full_prog = minifor(src).unwrap();
+        let mut d = Driver::new(&opt);
+        d.incremental_deps = false;
+        let full = d.apply(&mut full_prog, ApplyMode::AllPoints).unwrap();
+
+        let mut incr_prog = minifor(src).unwrap();
+        let mut d = Driver::new(&opt);
+        d.incremental_deps = true;
+        let incr = d.apply(&mut incr_prog, ApplyMode::AllPoints).unwrap();
+
+        assert_eq!(full.applications, incr.applications);
+        assert_eq!(
+            DisplayProgram(&full_prog).to_string(),
+            DisplayProgram(&incr_prog).to_string()
+        );
+        assert_eq!(full.incremental_updates, 0);
+        assert!(incr.incremental_updates > 0);
+        assert!(
+            incr.cost.anchor_visits < full.cost.anchor_visits,
+            "resume should revisit fewer anchors: incremental {} vs full {}",
+            incr.cost.anchor_visits,
+            full.cost.anchor_visits
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::cost::Cost;
 use crate::driver::{ApplyMode, ApplyReport, Driver, MatchSet};
 use crate::error::RunError;
 use crate::fault::FaultPlan;
+use gospel_dep::DepGraph;
 use gospel_ir::Program;
 
 /// Session configuration.
@@ -17,6 +18,13 @@ pub struct SessionOptions {
     /// optimizer (Figure 5 note: "the data flow analyzer may have to be
     /// called after each application").
     pub recompute_deps: bool,
+    /// Maintain the dependence graph incrementally from each application's
+    /// edit delta instead of re-running the full analysis (the driver
+    /// falls back to a full `analyze` on structural edits).
+    pub incremental_deps: bool,
+    /// Cross-check every incremental graph refresh against a fresh full
+    /// analysis; a disagreement fails the `apply` call loudly.
+    pub verify_deps: bool,
     /// Per-optimizer application budget.
     pub max_applications: usize,
     /// Wall-clock budget per `apply` call, in milliseconds.
@@ -32,6 +40,8 @@ impl Default for SessionOptions {
     fn default() -> Self {
         SessionOptions {
             recompute_deps: true,
+            incremental_deps: true,
+            verify_deps: false,
             max_applications: 10_000,
             timeout_ms: None,
             fuel: None,
@@ -60,6 +70,9 @@ pub struct Session {
     options: SessionOptions,
     log: Vec<SessionEvent>,
     fault: Option<FaultPlan>,
+    /// Dependence graph carried across applies when the driver kept it
+    /// current — the next apply or match skips its initial full analysis.
+    deps_cache: Option<DepGraph>,
 }
 
 impl Session {
@@ -71,6 +84,7 @@ impl Session {
             options: SessionOptions::default(),
             log: Vec::new(),
             fault: None,
+            deps_cache: None,
         }
     }
 
@@ -129,6 +143,7 @@ impl Session {
     /// Replaces the session's program, e.g. to restore a checkpoint.
     pub fn restore_program(&mut self, prog: Program) {
         self.prog = prog;
+        self.deps_cache = None;
     }
 
     fn find_index(&self, name: &str) -> Result<usize, RunError> {
@@ -149,7 +164,12 @@ impl Session {
     /// Returns [`RunError`] if the optimizer is unknown or analysis fails.
     pub fn matches(&self, name: &str) -> Result<MatchSet, RunError> {
         let opt = self.find(name)?;
-        Driver::new(opt).matches(&self.prog)
+        let d = Driver::new(opt);
+        match &self.deps_cache {
+            // The carried graph already describes the current program.
+            Some(g) => d.matches_with(&self.prog, g),
+            None => d.matches(&self.prog),
+        }
     }
 
     /// Applies optimizer `name` with the given mode and logs the result.
@@ -168,10 +188,13 @@ impl Session {
             options,
             log,
             fault,
+            deps_cache,
         } = self;
         let opt = &optimizers[idx];
         let mut driver = Driver::new(opt);
         driver.recompute_deps = options.recompute_deps;
+        driver.incremental_deps = options.incremental_deps;
+        driver.verify_deps = options.verify_deps;
         driver.max_applications = options.max_applications;
         driver.timeout_ms = options.timeout_ms;
         driver.fuel = options.fuel;
@@ -179,7 +202,9 @@ impl Session {
             .max_growth
             .map(|k| (k as usize).saturating_mul(prog.len().max(1)));
         driver.fault = fault.clone();
-        let report = driver.apply(prog, mode)?;
+        // `apply_cached` takes the cache on entry, so an early error below
+        // leaves it empty — never stale.
+        let report = driver.apply_cached(prog, mode, deps_cache)?;
         log.push(SessionEvent {
             optimizer: opt.name.clone(),
             mode,

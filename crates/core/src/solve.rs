@@ -276,6 +276,16 @@ pub(crate) struct Searcher<'a> {
     /// Restrict the first pattern clause's anchor to this statement
     /// ("select application points", §3 interface option).
     pub at_point: Option<StmtId>,
+    /// Resume filter: skip first-clause anchors strictly before this
+    /// statement in program order. Set by the driver to the dependence
+    /// update's dirty frontier — anchors before it saw no change since
+    /// they last failed to match. Ignored when `at_point` is set.
+    pub resume_from: Option<StmtId>,
+    /// Complement filter: keep only first-clause anchors strictly
+    /// *before* this statement. The driver's fixpoint safety net pairs it
+    /// with a missed `resume_from` search so together the two passes
+    /// cover every anchor exactly once. Ignored when `at_point` is set.
+    pub stop_before: Option<StmtId>,
     /// Skip the Depend section ("override dependence restrictions").
     pub ignore_depends: bool,
     /// Which strategy each Depend clause actually used, in evaluation
@@ -291,6 +301,8 @@ impl<'a> Searcher<'a> {
             opt,
             cost: Cost::zero(),
             at_point: None,
+            resume_from: None,
+            stop_before: None,
             ignore_depends: false,
             strategies_used: Vec::new(),
         }
@@ -356,6 +368,9 @@ impl<'a> Searcher<'a> {
         match clause.quant {
             Quant::Any => {
                 'cands: for cand in candidates {
+                    if idx == 0 {
+                        self.cost.anchor_visits += 1;
+                    }
                     let mut env2 = env.clone();
                     for (v, val) in clause.vars.iter().zip(&cand) {
                         // A variable bound by an earlier clause (loop pairs
@@ -375,6 +390,9 @@ impl<'a> Searcher<'a> {
             }
             Quant::No => {
                 for cand in candidates {
+                    if idx == 0 {
+                        self.cost.anchor_visits += 1;
+                    }
                     let mut env2 = env.clone();
                     for (v, val) in clause.vars.iter().zip(&cand) {
                         env2.set(v, val.clone());
@@ -405,8 +423,30 @@ impl<'a> Searcher<'a> {
 
     fn pattern_candidates(&self, ty: ElemType, first: bool) -> Vec<Vec<RtVal>> {
         let loops = self.loops();
+        let resume_bar = self
+            .resume_from
+            .and_then(|r| self.deps.order_of(r));
+        let stop_bar = self
+            .stop_before
+            .and_then(|r| self.deps.order_of(r));
         let anchor_ok = |head: StmtId| -> bool {
-            !first || self.at_point.map(|p| p == head).unwrap_or(true)
+            if !first {
+                return true;
+            }
+            if let Some(p) = self.at_point {
+                return p == head;
+            }
+            match (resume_bar, self.deps.order_of(head)) {
+                // Anchors strictly before the dirty frontier saw no change
+                // since they last failed to match.
+                (Some(bar), Some(h)) if h < bar => return false,
+                _ => {}
+            }
+            match (stop_bar, self.deps.order_of(head)) {
+                (Some(bar), Some(h)) => h < bar,
+                // Unknown order (stale snapshot): stay conservative.
+                _ => true,
+            }
         };
         match ty {
             ElemType::Stmt => self
@@ -1265,6 +1305,48 @@ END
             sb,
             &DirPattern::any()
         ));
+    }
+
+    #[test]
+    fn resume_skips_anchors_before_the_frontier() {
+        // One first-clause Stmt pattern: every live statement is an anchor
+        // candidate, and each candidate visit bumps `anchor_visits`.
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: S;
+PRECOND
+  Code_Pattern
+    any S: S.opc == assign;
+ACTION
+  delete(S);
+END
+"#;
+        let opt = opt_of(spec);
+        let (p, d) = world("program p\ninteger a, b, c, e\na = 1\nb = 2\nc = 3\ne = 4\nend");
+        let n = p.iter().count() as u64;
+
+        let mut s = Searcher::new(&p, &d, &opt);
+        s.find_all(usize::MAX).unwrap();
+        assert_eq!(s.cost.anchor_visits, n, "baseline visits every statement");
+
+        // Resuming from the statement at program order k must visit exactly
+        // the anchors at or after k — none before the frontier.
+        let frontier = p.iter().nth(2).unwrap();
+        assert_eq!(d.order_of(frontier), Some(2));
+        let mut s = Searcher::new(&p, &d, &opt);
+        s.resume_from = Some(frontier);
+        let found = s.find_all(usize::MAX).unwrap();
+        assert_eq!(s.cost.anchor_visits, n - 2);
+        assert!(found
+            .iter()
+            .all(|b| d.order_of(b.get("S").unwrap().as_stmt().unwrap()) >= Some(2)));
+
+        // The complement pass (`stop_before`) covers exactly the skipped
+        // prefix, so the two searches partition the anchor space.
+        let mut s = Searcher::new(&p, &d, &opt);
+        s.stop_before = Some(frontier);
+        s.find_all(usize::MAX).unwrap();
+        assert_eq!(s.cost.anchor_visits, 2);
     }
 
     #[test]

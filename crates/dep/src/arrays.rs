@@ -32,9 +32,26 @@ struct ArrayRef {
 }
 
 /// Computes all array data dependence edges.
+#[cfg(test)]
 pub(crate) fn array_deps(prog: &Program, loops: &LoopTable) -> Vec<DepEdge> {
-    let refs = collect_refs(prog);
-    let order = prog.order_index();
+    array_deps_filtered(prog, loops, &crate::build::dense_order(prog), None)
+}
+
+/// Array dependence edges restricted to arrays in `only` (all arrays when
+/// `None`). Every array edge joins two references to the *same* array —
+/// including the fusion-preview edges — so dropping the references of
+/// other arrays cannot change the edges of a kept array. `order` is the
+/// caller's dense order table, shared across the passes of one update.
+pub(crate) fn array_deps_filtered(
+    prog: &Program,
+    loops: &LoopTable,
+    order: &[u32],
+    only: Option<&HashSet<Sym>>,
+) -> Vec<DepEdge> {
+    let mut refs = collect_refs(prog);
+    if let Some(arrays) = only {
+        refs.retain(|r| arrays.contains(&r.array));
+    }
 
     // Every variable that is the LCV of some loop is "varying" when it is
     // not one of the pair's common LCVs.
@@ -56,14 +73,14 @@ pub(crate) fn array_deps(prog: &Program, loops: &LoopTable) -> Vec<DepEdge> {
                 if i == j {
                     // A single reference can only depend on itself across
                     // iterations; the pair test below covers it.
-                    test_pair(prog, loops, &order, &all_lcvs, a, b, &mut edges);
+                    test_pair(prog, loops, order, &all_lcvs, a, b, &mut edges);
                     continue;
                 }
                 // Orient the pair so `a` is textually first.
-                if order[&a.stmt] <= order[&b.stmt] {
-                    test_pair(prog, loops, &order, &all_lcvs, a, b, &mut edges);
+                if order[a.stmt.index()] <= order[b.stmt.index()] {
+                    test_pair(prog, loops, order, &all_lcvs, a, b, &mut edges);
                 } else {
-                    test_pair(prog, loops, &order, &all_lcvs, b, a, &mut edges);
+                    test_pair(prog, loops, order, &all_lcvs, b, a, &mut edges);
                 }
             }
         }
@@ -259,7 +276,7 @@ enum DimResult {
 fn test_pair(
     prog: &Program,
     loops: &LoopTable,
-    order: &HashMap<StmtId, usize>,
+    order: &[u32],
     all_lcvs: &HashSet<Sym>,
     a: &ArrayRef,
     b: &ArrayRef,
@@ -295,7 +312,7 @@ fn test_pair(
 #[allow(clippy::too_many_arguments)]
 fn enumerate(
     prog: &Program,
-    order: &HashMap<StmtId, usize>,
+    order: &[u32],
     a: &ArrayRef,
     b: &ArrayRef,
     constraint: &[DirSet],
@@ -315,7 +332,7 @@ fn enumerate(
 
 fn emit_oriented(
     prog: &Program,
-    order: &HashMap<StmtId, usize>,
+    order: &[u32],
     a: &ArrayRef,
     b: &ArrayRef,
     vector: Vec<Direction>,
@@ -339,7 +356,7 @@ fn emit_oriented(
             if a.stmt == b.stmt {
                 return;
             }
-            debug_assert!(order[&a.stmt] <= order[&b.stmt]);
+            debug_assert!(order[a.stmt.index()] <= order[b.stmt.index()]);
             (a, b, vector)
         }
     };

@@ -1,10 +1,12 @@
 //! Top-level analysis driver assembling the dependence graph.
 
-use crate::arrays::array_deps;
+use crate::arrays::array_deps_filtered;
 use crate::control::{assert_no_directions, control_deps};
+use crate::edge::DepEdge;
 use crate::query::DepGraph;
-use crate::scalars::scalar_deps;
+use crate::scalars::scalar_deps_filtered;
 use gospel_ir::{Cfg, LoopStructureError, LoopTable, Program, ValidateError};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Error analyzing a program.
@@ -43,30 +45,82 @@ pub(crate) fn analyze(prog: &Program) -> Result<DepGraph, AnalyzeError> {
     gospel_ir::validate(prog)?;
     let cfg = Cfg::of(prog);
     let loops = LoopTable::of(prog)?;
+    let order = dense_order(prog);
 
-    let mut edges = scalar_deps(prog, &cfg, &loops);
-    edges.extend(array_deps(prog, &loops));
+    let mut edges = scalar_deps_filtered(prog, &cfg, &loops, &order, None);
+    edges.extend(array_deps_filtered(prog, &loops, &order, None));
     let ctrl = control_deps(prog);
     assert_no_directions(&ctrl);
     edges.extend(ctrl);
 
-    // Deterministic order and deduplication.
-    let order = prog.order_index();
-    edges.sort_by_key(|e| {
-        (
-            order[&e.src],
-            order[&e.dst],
-            e.kind as u8,
-            e.var,
-            e.src_pos,
-            e.dst_pos,
-            e.dirvec
-                .iter()
-                .map(|d| d.symbol())
-                .collect::<String>(),
-        )
-    });
-    edges.dedup();
+    sort_and_dedup(&order, &mut edges);
 
     Ok(DepGraph::from_edges(prog, loops, edges))
+}
+
+/// Program order as a dense table indexed by [`StmtId::index`]
+/// (`u32::MAX` = not live). Cheaper than a `HashMap` on the sort hot
+/// path: the comparator extracts keys by plain indexing, no hashing.
+///
+/// [`StmtId::index`]: gospel_ir::StmtId::index
+pub(crate) fn dense_order(prog: &Program) -> Vec<u32> {
+    let mut order = vec![u32::MAX; prog.id_bound()];
+    for (pos, s) in prog.iter().enumerate() {
+        order[s.index()] = u32::try_from(pos).expect("program fits in u32");
+    }
+    order
+}
+
+/// The canonical edge order: program position of the endpoints, then
+/// kind, variable and operand slots, then the direction vector by its
+/// display symbols (so ties match the documented `<`/`=`/`>`/`*`
+/// lexicographic convention). Allocation-free — this runs on the
+/// incremental hot path.
+fn edge_cmp(order: &[u32], a: &DepEdge, b: &DepEdge) -> Ordering {
+    (order[a.src.index()], order[a.dst.index()], a.kind as u8, a.var, a.src_pos, a.dst_pos)
+        .cmp(&(order[b.src.index()], order[b.dst.index()], b.kind as u8, b.var, b.src_pos, b.dst_pos))
+        .then_with(|| {
+            a.dirvec
+                .iter()
+                .map(|d| d.symbol())
+                .cmp(b.dirvec.iter().map(|d| d.symbol()))
+        })
+}
+
+/// Deterministic order and deduplication — shared by the full analysis and
+/// the incremental update so the two paths produce bit-identical edge
+/// lists.
+pub(crate) fn sort_and_dedup(order: &[u32], edges: &mut Vec<DepEdge>) {
+    edges.sort_by(|a, b| edge_cmp(order, a, b));
+    edges.dedup();
+}
+
+/// Merges freshly derived edges into an already-sorted retained list.
+///
+/// The incremental update drops dirty-symbol edges with a `retain` (which
+/// preserves the canonical order: non-structural edits shift program
+/// positions monotonically, so surviving pairs keep their relative
+/// order), then re-derives only the dirty symbols. Sorting just the small
+/// fresh batch and merging beats re-sorting the whole edge list.
+pub(crate) fn merge_sorted(order: &[u32], edges: &mut Vec<DepEdge>, mut fresh: Vec<DepEdge>) {
+    sort_and_dedup(order, &mut fresh);
+    let mut out = Vec::with_capacity(edges.len() + fresh.len());
+    let mut a = std::mem::take(edges).into_iter().peekable();
+    let mut b = fresh.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if edge_cmp(order, x, y) != Ordering::Greater {
+                    out.push(a.next().expect("peeked"));
+                } else {
+                    out.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out.dedup();
+    *edges = out;
 }

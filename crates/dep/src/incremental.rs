@@ -1,0 +1,555 @@
+//! Incremental dependence maintenance: update a [`DepGraph`] from an
+//! [`EditDelta`] instead of re-analyzing the whole program.
+//!
+//! The update is *exact*, not approximate. The argument, per layer:
+//!
+//! * **Scalar edges.** The reaching-defs/uses transfer functions are
+//!   per-variable: a definition of `v` generates and kills only bits of
+//!   `v`'s accesses. Restricting the access tables to a set of variables
+//!   therefore reproduces exactly the full analysis's dataflow facts for
+//!   those variables ([`Accesses::collect_where`]). The *dirty set* —
+//!   every symbol mentioned by a statement the edit batch touched
+//!   (including pre-edit operands of `modify` and the snapshots of
+//!   deleted quads) — is collected program-wide, and all edges of dirty
+//!   symbols are dropped and re-derived. Edges of clean symbols cannot
+//!   have changed: their endpoints were not edited (an edge incident to
+//!   a touched statement carries one of that statement's own symbols,
+//!   which is dirty by construction), their relative textual order is
+//!   preserved by non-structural edits, and a moved statement that
+//!   neither defines nor uses a clean variable is an identity transfer
+//!   node the may-dataflow for that variable ignores.
+//! * **Array edges.** Every array edge — including the fusion-preview
+//!   edges — joins two references to the *same* array, so re-running the
+//!   subscript tests over only the dirty arrays' references re-derives
+//!   exactly the dropped edges.
+//! * **Control edges.** Recomputed wholesale; the header-stack walk is
+//!   linear and cheap.
+//!
+//! Edits that change the loop or branch *structure* (markers inserted,
+//! deleted or relocated, or a loop header's control variable rewritten)
+//! invalidate direction vectors and common nests for pairs that were
+//! never touched, so [`EditDelta::requires_full`] forces a fresh
+//! [`DepGraph::analyze`]. Two milder cases are detected here rather than
+//! in the journal and handled by dirtying every array referenced in the
+//! affected *focus loops* (re-deriving their slice of the array layer,
+//! previews included), while the scalar layer stays restricted to the
+//! edit's symbols:
+//!
+//! * a plain statement inserted between or removed from between an
+//!   `end do`/`do` pair changes whether those two loops are adjacent,
+//!   and loop adjacency gates the fusion-preview pass — whose edges
+//!   involve arrays the edited statement never mentions (focus: the two
+//!   loops of the pair); and
+//! * a loop header's *bound* operand rewritten changes trip counts,
+//!   which only the array subscript tests consume — the loop table and
+//!   control edges are rebuilt fresh on every update, and the scalar
+//!   layer never reads bounds (focus: the modified loop, which encloses
+//!   every pair whose common nest the bound governs, plus its adjacent
+//!   loops, whose fusion previews test bound equality).
+//!
+//! [`Accesses::collect_where`]: crate::reach::Accesses::collect_where
+
+use crate::arrays::array_deps_filtered;
+use crate::build::{self, AnalyzeError};
+use crate::control::{assert_no_directions, control_deps};
+use crate::edge::DepKind;
+use crate::query::DepGraph;
+use crate::scalars::scalar_deps_filtered;
+use gospel_ir::{
+    Cfg, EditDelta, EditOp, LoopTable, Opcode, Operand, OperandPos, Program, Quad, StmtId, Sym,
+};
+use std::collections::HashSet;
+
+/// How an update was carried out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// The delta was empty; nothing changed.
+    Noop,
+    /// Only the dirty symbols' edges were re-derived.
+    Incremental,
+    /// A structural edit forced a full re-analysis.
+    Full,
+}
+
+/// Result of [`DepGraph::update`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepUpdate {
+    /// How the graph was brought up to date.
+    pub kind: UpdateKind,
+    /// Earliest statement (in program order) whose pattern-matching
+    /// neighborhood the edit batch may have changed — the point a
+    /// searcher can resume from instead of rescanning the whole program.
+    /// `None` means no restriction is justified (full fallback, or an
+    /// edit at the very front of the program).
+    pub frontier: Option<StmtId>,
+}
+
+/// Symbols mentioned by one operand: the scalar itself, or an array plus
+/// its subscript scalars.
+fn operand_syms(op: &Operand, out: &mut HashSet<Sym>) {
+    match op {
+        Operand::Var(v) => {
+            out.insert(*v);
+        }
+        e @ Operand::Elem { array, .. } => {
+            out.insert(*array);
+            for v in e.subscript_vars() {
+                out.insert(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Symbols mentioned anywhere in one quad.
+fn quad_syms(q: &Quad, out: &mut HashSet<Sym>) {
+    for pos in OperandPos::ALL {
+        operand_syms(q.operand(pos), out);
+    }
+}
+
+/// The `(end do, do)` marker pair a live statement at `id` currently
+/// splits: `id` sits directly between a loop end and a loop head, so its
+/// placement broke the adjacency of those two loops, killing
+/// fusion-preview edges of arrays the edit never mentions. A statement
+/// with only one loopish neighbor changes nothing — the pair was not
+/// adjacent before the edit either.
+fn split_pair(prog: &Program, id: StmtId) -> Option<(StmtId, StmtId)> {
+    let p = prog.prev(id)?;
+    let n = prog.next(id)?;
+    (prog.quad(p).op == Opcode::EndDo && prog.quad(n).op.is_loop_head()).then_some((p, n))
+}
+
+/// The `(end do, do)` marker pair left touching after a statement
+/// anchored at `prev` was removed: the removal made the two loops
+/// adjacent, creating fusion-preview edges of untouched arrays.
+fn bridged_pair(prog: &Program, prev: Option<StmtId>) -> Option<(StmtId, StmtId)> {
+    let p = prev?;
+    if !prog.is_live(p) || prog.quad(p).op != Opcode::EndDo {
+        return None;
+    }
+    let n = prog.next(p)?;
+    prog.quad(n).op.is_loop_head().then_some((p, n))
+}
+
+pub(crate) fn update(
+    g: &mut DepGraph,
+    prog: &Program,
+    delta: &EditDelta,
+) -> Result<DepUpdate, AnalyzeError> {
+    if delta.is_empty() {
+        return Ok(DepUpdate {
+            kind: UpdateKind::Noop,
+            frontier: None,
+        });
+    }
+    if delta.requires_full() {
+        *g = build::analyze(prog)?;
+        return Ok(DepUpdate {
+            kind: UpdateKind::Full,
+            frontier: None,
+        });
+    }
+
+    // Dirty symbols and the statements whose neighborhood changed. A
+    // statement touched by the batch may since have been deleted by a
+    // later op in the same batch; its symbols are covered by that
+    // delete's quad snapshot.
+    let mut dirty: HashSet<Sym> = HashSet::new();
+    let mut touched: Vec<StmtId> = Vec::new();
+    let mut from_start = false;
+    // Loop heads whose bound operands were rewritten, and the loop
+    // markers of `end do`/`do` pairs whose adjacency an edit changed —
+    // both invalidate array edges of those loops beyond the edit's own
+    // symbols (trip counts and fusion previews, respectively).
+    let mut bound_heads: Vec<StmtId> = Vec::new();
+    let mut pair_markers: Vec<StmtId> = Vec::new();
+    let note_pair = |pair: Option<(StmtId, StmtId)>, out: &mut Vec<StmtId>| {
+        if let Some((e, h)) = pair {
+            out.push(e);
+            out.push(h);
+        }
+    };
+    for op in delta.ops() {
+        match op {
+            EditOp::Insert { id } => {
+                if prog.is_live(*id) {
+                    quad_syms(prog.quad(*id), &mut dirty);
+                    touched.push(*id);
+                    note_pair(split_pair(prog, *id), &mut pair_markers);
+                    match prog.prev(*id) {
+                        Some(p) => touched.push(p),
+                        None => from_start = true,
+                    }
+                }
+            }
+            EditOp::Delete { prev, quad, .. } => {
+                quad_syms(quad, &mut dirty);
+                note_pair(bridged_pair(prog, *prev), &mut pair_markers);
+                match prev {
+                    Some(p) if prog.is_live(*p) => touched.push(*p),
+                    // The recorded anchor is gone too (or the statement
+                    // was first); resume from the top.
+                    _ => from_start = true,
+                }
+            }
+            EditOp::Move { id, old_prev } => {
+                if prog.is_live(*id) {
+                    quad_syms(prog.quad(*id), &mut dirty);
+                    touched.push(*id);
+                    note_pair(split_pair(prog, *id), &mut pair_markers);
+                    match prog.prev(*id) {
+                        Some(p) => touched.push(p),
+                        None => from_start = true,
+                    }
+                }
+                note_pair(bridged_pair(prog, *old_prev), &mut pair_markers);
+                match old_prev {
+                    Some(p) if prog.is_live(*p) => touched.push(*p),
+                    _ => from_start = true,
+                }
+            }
+            EditOp::Modify { id, pos, old } => {
+                // Only the rewritten slot's accesses changed: the other
+                // operands keep identical program-wide access sets, so
+                // their edges cannot have moved. Dirty the old and new
+                // operand symbols, not the whole quad.
+                operand_syms(old, &mut dirty);
+                if prog.is_live(*id) {
+                    operand_syms(prog.quad(*id).operand(*pos), &mut dirty);
+                    touched.push(*id);
+                    // A loop-bound rewrite changes trip counts, which the
+                    // array subscript tests bake into edges of arrays the
+                    // edit never mentions (a control-variable rewrite is
+                    // journal-structural and never reaches here).
+                    if prog.quad(*id).op.is_loop_head() {
+                        bound_heads.push(*id);
+                    }
+                }
+            }
+        }
+    }
+
+    // Structure of the post-edit program, needed both to scope the array
+    // invalidation below and to re-derive the dirty edges. A
+    // non-structural batch cannot unbalance the markers (none were
+    // added, removed or relocated), so instead of the whole-program
+    // validation only the touched statements are rechecked; the loop
+    // table recovery below still errors on any structure defect.
+    for &s in &touched {
+        if prog.is_live(s) {
+            gospel_ir::validate_stmt(prog, s)?;
+        }
+    }
+    let cfg = Cfg::of(prog);
+    let loops = LoopTable::of(prog)?;
+
+    if !bound_heads.is_empty() || !pair_markers.is_empty() {
+        // Trip counts feed the subscript tests of every pair nested in
+        // the modified loop, and adjacency (or bound equality) gates the
+        // fusion previews between a loop and its neighbors — both affect
+        // edges of arrays no edited statement mentions. Dirty every array
+        // referenced in the *focus* loops: the bound-modified loops, their
+        // adjacent preview partners, and the loops whose adjacency
+        // changed. The scalar layer never reads bounds or adjacency, so
+        // it stays restricted to the edit's own symbols.
+        let mut focus: Vec<gospel_ir::LoopId> = Vec::new();
+        let note = |l: gospel_ir::LoopId, focus: &mut Vec<gospel_ir::LoopId>| {
+            if !focus.contains(&l) {
+                focus.push(l);
+            }
+        };
+        let adjacent = loops.adjacent_pairs(prog);
+        for &h in &bound_heads {
+            if let Some(l) = loops.loop_of_head(h) {
+                note(l, &mut focus);
+                for &(a, b) in &adjacent {
+                    if a == l {
+                        note(b, &mut focus);
+                    }
+                    if b == l {
+                        note(a, &mut focus);
+                    }
+                }
+            }
+        }
+        for &m in &pair_markers {
+            if let Some(l) = loops.loop_of_end(m).or_else(|| loops.loop_of_head(m)) {
+                note(l, &mut focus);
+            }
+        }
+        for s in prog.iter() {
+            if focus.iter().any(|&l| loops.contains(l, s)) {
+                for pos in OperandPos::ALL {
+                    if let Operand::Elem { array, .. } = prog.quad(s).operand(pos) {
+                        dirty.insert(*array);
+                    }
+                }
+            }
+        }
+    }
+
+    // Drop stale edges. Control edges are recomputed wholesale; a data
+    // edge is stale iff its variable is dirty (an edge incident to a
+    // removed or edited statement necessarily carries one of that
+    // statement's symbols). The survivors stay in canonical order, so
+    // the fresh batch below merges instead of forcing a full re-sort.
+    let mut edges = g.take_edges();
+    edges.retain(|e| e.kind != DepKind::Control && !dirty.contains(&e.var));
+
+    // Re-derive the dirty symbols' edges against the post-edit program.
+    // One dense order table serves the derivation passes, the merge and
+    // the frontier scan below.
+    let order = build::dense_order(prog);
+    let mut fresh = scalar_deps_filtered(prog, &cfg, &loops, &order, Some(&dirty));
+    fresh.extend(array_deps_filtered(prog, &loops, &order, Some(&dirty)));
+    let ctrl = control_deps(prog);
+    assert_no_directions(&ctrl);
+    fresh.extend(ctrl);
+
+    build::merge_sorted(&order, &mut edges, fresh);
+
+    // The search frontier: the earliest live statement that mentions a
+    // dirty symbol, was itself touched, or anchors (precedes) an edit
+    // site. Anything strictly before it matches exactly as it did
+    // before the batch.
+    let frontier = if from_start {
+        prog.first()
+    } else {
+        let mut best: Option<(u32, StmtId)> = None;
+        let consider = |s: StmtId, best: &mut Option<(u32, StmtId)>| {
+            match order.get(s.index()) {
+                Some(&p) if p != u32::MAX && best.map(|(bp, _)| p < bp).unwrap_or(true) => {
+                    *best = Some((p, s));
+                }
+                _ => {}
+            }
+        };
+        for &s in &touched {
+            consider(s, &mut best);
+        }
+        let mut syms = HashSet::new();
+        for s in prog.iter() {
+            syms.clear();
+            quad_syms(prog.quad(s), &mut syms);
+            if !syms.is_disjoint(&dirty) {
+                consider(s, &mut best);
+                break; // program order: the first hit is the earliest
+            }
+        }
+        best.map(|(_, s)| s).or_else(|| prog.first())
+    };
+
+    *g = DepGraph::from_edges(prog, loops, edges);
+    Ok(DepUpdate {
+        kind: UpdateKind::Incremental,
+        frontier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gospel_frontend::compile;
+
+    fn nth(p: &Program, n: usize) -> StmtId {
+        p.iter().nth(n).unwrap()
+    }
+
+    fn assert_matches_fresh(prog: &Program, g: &DepGraph) {
+        let fresh = DepGraph::analyze(prog).unwrap();
+        assert!(
+            g.agrees_with(&fresh),
+            "incremental graph diverged from fresh analysis:\n inc: {:#?}\n new: {:#?}",
+            g.edges(),
+            fresh.edges()
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_noop() {
+        let p = compile("program p\ninteger x\nx = 1\nend").unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let up = g.update(&p, &EditDelta::new()).unwrap();
+        assert_eq!(up.kind, UpdateKind::Noop);
+        assert_eq!(up.frontier, None);
+    }
+
+    #[test]
+    fn modify_updates_incrementally() {
+        let mut p =
+            compile("program p\ninteger x, y, z\nx = 1\ny = x\nz = y\nend").unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let s2 = nth(&p, 2);
+        // z = y  becomes  z = x : y's flow edge dies, x gains one.
+        let x = p.syms().lookup("x").unwrap();
+        let mut d = EditDelta::new();
+        d.modify(&mut p, s2, OperandPos::A, Operand::Var(x));
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Incremental);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn delete_updates_incrementally() {
+        let mut p =
+            compile("program p\ninteger x, y\nx = 1\nx = 2\ny = x\nend").unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let s1 = nth(&p, 1);
+        let mut d = EditDelta::new();
+        d.delete(&mut p, s1); // now x = 1 reaches y = x
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Incremental);
+        assert_matches_fresh(&p, &g);
+        // the dead statement has no adjacency anymore
+        assert_eq!(g.from(s1).count(), 0);
+        assert_eq!(g.to(s1).count(), 0);
+    }
+
+    #[test]
+    fn move_and_copy_update_incrementally() {
+        let mut p = compile(
+            "program p\ninteger x, y, z\nx = 1\ny = x\nz = y\nwrite z\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let s0 = nth(&p, 0);
+        let s2 = nth(&p, 2);
+        let mut d = EditDelta::new();
+        d.move_after(&mut p, s0, Some(s2));
+        d.copy_after(&mut p, s2, None);
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Incremental);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn edits_inside_loops_stay_exact() {
+        let mut p = compile(
+            "program p\ninteger i, s, t\ns = 0\nt = 0\ndo i = 1, 10\ns = s + 1\nt = t + 2\nend do\nwrite s\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        // delete the accumulator bump of t inside the loop
+        let t_bump = nth(&p, 4);
+        let mut d = EditDelta::new();
+        d.delete(&mut p, t_bump);
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Incremental);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn structural_edit_falls_back_to_full() {
+        // Deleting the loop markers (head + end) dissolves the loop: a
+        // structural edit the journal flags for full re-analysis.
+        let mut p = compile(
+            "program p\ninteger i, s\ns = 0\ndo i = 1, 10\ns = s + 1\nend do\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let head = nth(&p, 1);
+        let end = nth(&p, 3);
+        let mut d = EditDelta::new();
+        d.delete(&mut p, head);
+        d.delete(&mut p, end);
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Full);
+        assert_eq!(up.frontier, None);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn loop_bound_modify_rebuilds_the_array_layer() {
+        // Shrinking a loop's bound changes trip counts, which the
+        // subscript tests bake into edges of arrays the edit never
+        // mentions — every array referenced in the modified loop is
+        // dirtied (here the loop is also the first statement).
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100), x\ndo i = 1, 100\na(i) = x\nx = a(i-50)\nend do\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let head = nth(&p, 0);
+        let mut d = EditDelta::new();
+        d.modify(&mut p, head, OperandPos::B, Operand::int(20));
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Incremental);
+        assert_eq!(up.frontier, p.first());
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn frontier_points_at_earliest_affected_statement() {
+        let mut p = compile(
+            "program p\ninteger a, b, x, y\na = 1\nb = 2\nx = 3\ny = x\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let s2 = nth(&p, 2); // x = 3
+        let mut d = EditDelta::new();
+        d.modify(&mut p, s2, OperandPos::A, Operand::int(9));
+        let up = g.update(&p, &d).unwrap();
+        // a and b are untouched; the frontier is the edited statement.
+        assert_eq!(up.frontier, Some(s2));
+        // deleting the first statement pins the frontier to the start
+        let mut d2 = EditDelta::new();
+        let s0 = nth(&p, 0);
+        d2.delete(&mut p, s0);
+        let up2 = g.update(&p, &d2).unwrap();
+        assert_eq!(up2.frontier, p.first());
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn boundary_edits_rebuild_the_array_layer() {
+        // Two equal-bound loops over `a` separated by one plain
+        // statement: deleting it makes the loops adjacent, which must
+        // create fusion-preview edges for `a` — an array the deleted
+        // statement never mentions, repaired by dirtying every array.
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100), x, t\ndo i = 1, 100\na(i) = x\nend do\nt = 0.5\ndo i = 1, 100\nx = a(i)\nend do\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let sep = nth(&p, 3); // t = 0.5
+        let mut d = EditDelta::new();
+        d.delete(&mut p, sep);
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Incremental);
+        // the frontier lands on the first reference of the dirtied array,
+        // not the top of the program: resumption survives the preview fix
+        assert_eq!(up.frontier, Some(nth(&p, 1)));
+        assert_matches_fresh(&p, &g);
+
+        // And the reverse: re-inserting a statement at the boundary
+        // breaks the adjacency, so the preview edges must disappear.
+        let end1 = nth(&p, 2);
+        let mut d2 = EditDelta::new();
+        let t = p.syms().lookup("t").unwrap();
+        d2.insert_after(
+            &mut p,
+            Some(end1),
+            Quad::assign(Operand::Var(t), Operand::real(0.5)),
+        );
+        let up2 = g.update(&p, &d2).unwrap();
+        assert_eq!(up2.kind, UpdateKind::Incremental);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn array_edits_update_incrementally() {
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100), b(100), x\ndo i = 2, 100\na(i) = x\nx = a(i-1)\nb(i) = x\nend do\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        // delete the b(i) write: b's edges must go, a's must survive
+        let b_write = nth(&p, 3);
+        let mut d = EditDelta::new();
+        d.delete(&mut p, b_write);
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Incremental);
+        assert_matches_fresh(&p, &g);
+    }
+}

@@ -48,10 +48,12 @@ mod arrays;
 mod build;
 mod control;
 mod edge;
+mod incremental;
 mod query;
 mod reach;
 mod scalars;
 
 pub use build::AnalyzeError;
 pub use edge::{DepEdge, DepKind, DirElem, DirPattern, Direction};
+pub use incremental::{DepUpdate, UpdateKind};
 pub use query::DepGraph;

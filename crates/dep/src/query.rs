@@ -2,8 +2,8 @@
 
 use crate::build::{analyze, AnalyzeError};
 use crate::edge::{DepEdge, DepKind, DirPattern};
-use gospel_ir::{LoopTable, Program, StmtId};
-use std::collections::HashMap;
+use crate::incremental::{self, DepUpdate};
+use gospel_ir::{EditDelta, LoopTable, Program, StmtId};
 
 /// A queryable snapshot of a program's dependences.
 ///
@@ -15,9 +15,52 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct DepGraph {
     edges: Vec<DepEdge>,
-    from: HashMap<StmtId, Vec<usize>>,
-    to: HashMap<StmtId, Vec<usize>>,
+    /// Dense adjacency: edge indices emanating from each statement,
+    /// indexed by `StmtId::index()` (sized by `Program::id_bound`).
+    from: Csr,
+    /// Dense adjacency: edge indices terminating at each statement.
+    to: Csr,
+    /// Program-order position per statement index (`u32::MAX` = dead).
+    order: Vec<u32>,
     loops: LoopTable,
+}
+
+/// Compressed sparse row adjacency: `idx[offsets[s]..offsets[s+1]]` are
+/// the edge indices of statement index `s`, in edge-list (program)
+/// order. Built with two counting passes — the graph is rebuilt after
+/// every incremental update, and a flat layout costs three allocations
+/// where per-statement `Vec`s cost one per statement.
+#[derive(Clone, Debug)]
+struct Csr {
+    offsets: Vec<u32>,
+    idx: Vec<u32>,
+}
+
+impl Csr {
+    fn build(n: usize, edges: &[DepEdge], key: impl Fn(&DepEdge) -> usize) -> Csr {
+        let mut offsets = vec![0u32; n + 1];
+        for e in edges {
+            offsets[key(e) + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut next: Vec<u32> = offsets[..n].to_vec();
+        let mut idx = vec![0u32; edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let k = key(e);
+            idx[next[k] as usize] = u32::try_from(i).expect("edge count fits in u32");
+            next[k] += 1;
+        }
+        Csr { offsets, idx }
+    }
+
+    fn row(&self, s: usize) -> &[u32] {
+        match self.offsets.get(s..=s + 1) {
+            Some(&[lo, hi]) => &self.idx[lo as usize..hi as usize],
+            _ => &[],
+        }
+    }
 }
 
 impl DepGraph {
@@ -30,18 +73,71 @@ impl DepGraph {
         analyze(prog)
     }
 
-    pub(crate) fn from_edges(
-        _prog: &Program,
-        loops: LoopTable,
-        edges: Vec<DepEdge>,
-    ) -> DepGraph {
-        let mut from: HashMap<StmtId, Vec<usize>> = HashMap::new();
-        let mut to: HashMap<StmtId, Vec<usize>> = HashMap::new();
-        for (i, e) in edges.iter().enumerate() {
-            from.entry(e.src).or_default().push(i);
-            to.entry(e.dst).or_default().push(i);
+    /// Updates this graph in place to reflect the edits recorded in
+    /// `delta`, applied to `prog` (the post-edit program).
+    ///
+    /// Non-structural edits are handled incrementally: only the edges
+    /// whose variable was touched by the edit are dropped and re-derived
+    /// (the per-variable dataflow facts of untouched variables cannot
+    /// change), which is exact — the result is identical to a fresh
+    /// [`DepGraph::analyze`]. Structural edits (loop/branch markers
+    /// added, removed or relocated) fall back to a full re-analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError`] when the post-edit program is invalid
+    /// (only reachable on the full-analysis fallback path).
+    pub fn update(&mut self, prog: &Program, delta: &EditDelta) -> Result<DepUpdate, AnalyzeError> {
+        incremental::update(self, prog, delta)
+    }
+
+    /// Structural equality with another snapshot: identical edge lists
+    /// (both are kept sorted and deduplicated) and identical loop tables.
+    /// This is the guard's incremental-vs-full cross-check.
+    pub fn agrees_with(&self, other: &DepGraph) -> bool {
+        self.edges == other.edges
+            && self.loops.len() == other.loops.len()
+            && self
+                .loops
+                .iter()
+                .zip(other.loops.iter())
+                .all(|(a, b)| {
+                    a.head == b.head
+                        && a.end == b.end
+                        && a.lcv == b.lcv
+                        && a.depth == b.depth
+                        && a.parent == b.parent
+                })
+    }
+
+    pub(crate) fn from_edges(prog: &Program, loops: LoopTable, edges: Vec<DepEdge>) -> DepGraph {
+        let n = prog.id_bound();
+        let from = Csr::build(n, &edges, |e| e.src.index());
+        let to = Csr::build(n, &edges, |e| e.dst.index());
+        let mut order = vec![u32::MAX; n];
+        for (pos, s) in prog.iter().enumerate() {
+            order[s.index()] = u32::try_from(pos).expect("program fits in u32");
         }
-        DepGraph { edges, from, to, loops }
+        DepGraph {
+            edges,
+            from,
+            to,
+            order,
+            loops,
+        }
+    }
+
+    /// Program-order position of `s` in the snapshot this graph was
+    /// computed against, if `s` was live then.
+    pub fn order_of(&self, s: StmtId) -> Option<usize> {
+        match self.order.get(s.index()) {
+            Some(&p) if p != u32::MAX => Some(p as usize),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn take_edges(&mut self) -> Vec<DepEdge> {
+        std::mem::take(&mut self.edges)
     }
 
     /// All edges, in program order of (src, dst).
@@ -68,19 +164,17 @@ impl DepGraph {
     /// Edges emanating from `s`.
     pub fn from(&self, s: StmtId) -> impl Iterator<Item = &DepEdge> + '_ {
         self.from
-            .get(&s)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.edges[i])
+            .row(s.index())
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Edges terminating at `s`.
     pub fn to(&self, s: StmtId) -> impl Iterator<Item = &DepEdge> + '_ {
         self.to
-            .get(&s)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.edges[i])
+            .row(s.index())
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Figure 7, `TYPE == IF`: is there a `kind` dependence from `src` to

@@ -30,6 +30,7 @@ impl BitSet {
     }
 
     /// Tests bit `i`.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn contains(&self, i: usize) -> bool {
         self.words
             .get(i / 64)
@@ -37,6 +38,7 @@ impl BitSet {
     }
 
     /// `self |= other`; returns true if anything changed.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn union_with(&mut self, other: &BitSet) -> bool {
         let mut changed = false;
         for (a, b) in self.words.iter_mut().zip(&other.words) {
@@ -48,13 +50,20 @@ impl BitSet {
     }
 
     /// `self &= !other`.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn subtract(&mut self, other: &BitSet) {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= !*b;
         }
     }
 
+    /// The backing words.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates set bits.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
             (0..64).filter_map(move |b| {
@@ -101,19 +110,31 @@ impl Accesses {
     /// are handled by the subscript tests, but their *subscript variables*
     /// count as scalar uses here.
     pub fn collect(prog: &Program) -> Accesses {
+        Accesses::collect_where(prog, |_| true)
+    }
+
+    /// Like [`Accesses::collect`], restricted to variables accepted by
+    /// `keep`. The reaching-defs/uses transfer functions are per-variable
+    /// (a definition of `v` generates/kills only `v`'s bits), so the
+    /// dataflow facts computed from a restricted table are *identical* to
+    /// the corresponding facts of the full table — which is what makes
+    /// the incremental dependence update exact.
+    pub fn collect_where(prog: &Program, keep: impl Fn(Sym) -> bool) -> Accesses {
         let mut out = Accesses::default();
         for stmt in prog.iter() {
             let quad = prog.quad(stmt);
             // Definition: scalar destination only.
             if let Some(Operand::Var(v)) = quad.def_operand() {
-                let idx = out.defs.len();
-                out.defs.push(Access {
-                    stmt,
-                    var: *v,
-                    pos: OperandPos::Dst,
-                });
-                out.defs_of_var.entry(*v).or_default().push(idx);
-                out.defs_at.entry(stmt).or_default().push(idx);
+                if keep(*v) {
+                    let idx = out.defs.len();
+                    out.defs.push(Access {
+                        stmt,
+                        var: *v,
+                        pos: OperandPos::Dst,
+                    });
+                    out.defs_of_var.entry(*v).or_default().push(idx);
+                    out.defs_at.entry(stmt).or_default().push(idx);
+                }
             }
             // Uses: scalar operands in used positions, plus subscript
             // variables of element operands in *any* position.
@@ -125,10 +146,12 @@ impl Accesses {
             };
             for pos in quad.used_positions() {
                 match quad.operand(pos) {
-                    Operand::Var(v) => push_use(*v, pos, &mut out),
+                    Operand::Var(v) if keep(*v) => push_use(*v, pos, &mut out),
                     e @ Operand::Elem { .. } => {
                         for v in e.subscript_vars() {
-                            push_use(v, pos, &mut out);
+                            if keep(v) {
+                                push_use(v, pos, &mut out);
+                            }
                         }
                     }
                     _ => {}
@@ -136,7 +159,9 @@ impl Accesses {
             }
             if let Some(Operand::Elem { .. }) = quad.def_operand() {
                 for v in quad.dst.subscript_vars() {
-                    push_use(v, OperandPos::Dst, &mut out);
+                    if keep(v) {
+                        push_use(v, OperandPos::Dst, &mut out);
+                    }
                 }
             }
         }
@@ -144,36 +169,72 @@ impl Accesses {
     }
 }
 
-/// Result of a forward may-dataflow: one `IN` set per CFG node.
+/// Per-node bit sets stored flat: one allocation for the whole CFG
+/// (node `i`'s set is `words[i*stride..(i+1)*stride]`), not one per
+/// node. This runs twice per incremental update, so the allocation
+/// count matters.
+#[derive(Clone, Debug)]
+pub struct FlowSets {
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl FlowSets {
+    fn new(n: usize, nbits: usize) -> FlowSets {
+        let stride = nbits.div_ceil(64);
+        FlowSets {
+            stride,
+            words: vec![0; n * stride],
+        }
+    }
+
+    fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Tests `bit` in node `i`'s set.
+    pub fn contains(&self, i: usize, bit: usize) -> bool {
+        self.row(i)
+            .get(bit / 64)
+            .is_some_and(|w| w & (1 << (bit % 64)) != 0)
+    }
+
+    /// Iterates the set bits of node `i`'s set.
+    pub fn iter(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(i).iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * 64 + b))
+        })
+    }
+}
+
+/// Result of a forward may-dataflow: `IN`/`OUT` sets per CFG node.
 #[derive(Clone, Debug)]
 pub struct FlowResult {
     /// `IN[node]` sets.
-    pub ins: Vec<BitSet>,
+    pub ins: FlowSets,
     /// `OUT[node]` sets.
-    pub outs: Vec<BitSet>,
+    pub outs: FlowSets,
 }
 
 /// Reaching definitions: which scalar definitions may reach each node.
 /// A definition of `v` kills all other definitions of `v`.
 pub fn reaching_defs(cfg: &Cfg, acc: &Accesses) -> FlowResult {
     let nd = acc.defs.len();
-    let gen_kill = |node: usize| -> (BitSet, BitSet) {
-        let stmt = cfg.nodes()[node];
+    let mut facts = Vec::with_capacity(acc.defs_at.len());
+    for (&stmt, dixs) in &acc.defs_at {
         let mut gen = BitSet::new(nd);
         let mut kill = BitSet::new(nd);
-        if let Some(dixs) = acc.defs_at.get(&stmt) {
-            for &d in dixs {
-                gen.insert(d);
-                for &other in &acc.defs_of_var[&acc.defs[d].var] {
-                    if other != d {
-                        kill.insert(other);
-                    }
+        for &d in dixs {
+            gen.insert(d);
+            for &other in &acc.defs_of_var[&acc.defs[d].var] {
+                if other != d {
+                    kill.insert(other);
                 }
             }
         }
-        (gen, kill)
-    };
-    forward_may(cfg, nd, gen_kill)
+        facts.push((cfg.node_of(stmt), gen, kill));
+    }
+    forward_may(cfg, nd, facts)
 }
 
 /// Reaching uses: which scalar uses may reach each node without the used
@@ -181,61 +242,88 @@ pub fn reaching_defs(cfg: &Cfg, acc: &Accesses) -> FlowResult {
 /// dependences). A definition of `v` kills all uses of `v`.
 pub fn reaching_uses(cfg: &Cfg, acc: &Accesses) -> FlowResult {
     let nu = acc.uses.len();
-    let gen_kill = |node: usize| -> (BitSet, BitSet) {
-        let stmt = cfg.nodes()[node];
-        let mut gen = BitSet::new(nu);
-        let mut kill = BitSet::new(nu);
-        if let Some(dixs) = acc.defs_at.get(&stmt) {
-            for &d in dixs {
-                if let Some(us) = acc.uses_of_var.get(&acc.defs[d].var) {
-                    for &u in us {
-                        kill.insert(u);
-                    }
+    let mut by_node: HashMap<usize, (BitSet, BitSet)> = HashMap::new();
+    for (&stmt, dixs) in &acc.defs_at {
+        let entry = by_node
+            .entry(cfg.node_of(stmt))
+            .or_insert_with(|| (BitSet::new(nu), BitSet::new(nu)));
+        for &d in dixs {
+            if let Some(us) = acc.uses_of_var.get(&acc.defs[d].var) {
+                for &u in us {
+                    entry.1.insert(u);
                 }
             }
         }
-        if let Some(uixs) = acc.uses_at.get(&stmt) {
-            for &u in uixs {
-                gen.insert(u);
-            }
+    }
+    for (&stmt, uixs) in &acc.uses_at {
+        let entry = by_node
+            .entry(cfg.node_of(stmt))
+            .or_insert_with(|| (BitSet::new(nu), BitSet::new(nu)));
+        for &u in uixs {
+            entry.0.insert(u);
         }
-        (gen, kill)
-    };
-    forward_may(cfg, nu, gen_kill)
+    }
+    let facts = by_node.into_iter().map(|(n, (g, k))| (n, g, k)).collect();
+    forward_may(cfg, nu, facts)
 }
 
-fn forward_may(
-    cfg: &Cfg,
-    nbits: usize,
-    gen_kill: impl Fn(usize) -> (BitSet, BitSet),
-) -> FlowResult {
+/// Worklist fixpoint over the sparse transfer facts `(node, gen, kill)`
+/// (every unlisted node passes its input through unchanged). Seeded from
+/// the fact nodes' successors, so when the incremental update restricts
+/// the access tables to a few dirty variables only the propagation cone
+/// of those accesses is visited — not every node per round as with the
+/// round-robin schedule. The fixpoint reached is the same.
+fn forward_may(cfg: &Cfg, nbits: usize, facts: Vec<(usize, BitSet, BitSet)>) -> FlowResult {
     let n = cfg.len();
-    let mut gens = Vec::with_capacity(n);
-    let mut kills = Vec::with_capacity(n);
-    for i in 0..n {
-        let (g, k) = gen_kill(i);
-        gens.push(g);
-        kills.push(k);
+    let mut ins = FlowSets::new(n, nbits);
+    let mut outs = FlowSets::new(n, nbits);
+    let stride = ins.stride;
+    if n == 0 || stride == 0 || facts.is_empty() {
+        return FlowResult { ins, outs };
     }
-    let mut ins = vec![BitSet::new(nbits); n];
-    let mut outs = vec![BitSet::new(nbits); n];
-    // Round-robin to a fixpoint; programs are small.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in 0..n {
-            let mut inset = BitSet::new(nbits);
-            for &p in cfg.preds(i) {
-                inset.union_with(&outs[p]);
+    let mut fact_of = vec![u32::MAX; n];
+    for (fi, (node, gen, _)) in facts.iter().enumerate() {
+        fact_of[*node] = u32::try_from(fi).expect("fact count fits in u32");
+        // IN starts empty, so OUT starts at gen.
+        outs.words[node * stride..(node + 1) * stride].copy_from_slice(gen.words());
+    }
+    let mut on_list = vec![false; n];
+    let mut work: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for (node, _, _) in &facts {
+        for &s in cfg.succs(*node) {
+            if !on_list[s] {
+                on_list[s] = true;
+                work.push_back(s);
             }
-            let mut outset = inset.clone();
-            outset.subtract(&kills[i]);
-            outset.union_with(&gens[i]);
-            if outset != outs[i] {
-                outs[i] = outset;
-                changed = true;
+        }
+    }
+    let mut scratch = vec![0u64; stride];
+    while let Some(i) = work.pop_front() {
+        on_list[i] = false;
+        scratch.fill(0);
+        for &p in cfg.preds(i) {
+            for (a, b) in scratch.iter_mut().zip(outs.row(p)) {
+                *a |= *b;
             }
-            ins[i] = inset;
+        }
+        if scratch == ins.row(i) {
+            continue; // IN unchanged, so OUT is already consistent
+        }
+        ins.words[i * stride..(i + 1) * stride].copy_from_slice(&scratch);
+        if fact_of[i] != u32::MAX {
+            let (_, gen, kill) = &facts[fact_of[i] as usize];
+            for ((w, k), g) in scratch.iter_mut().zip(kill.words()).zip(gen.words()) {
+                *w = (*w & !k) | g;
+            }
+        }
+        if scratch != outs.row(i) {
+            outs.words[i * stride..(i + 1) * stride].copy_from_slice(&scratch);
+            for &s in cfg.succs(i) {
+                if !on_list[s] {
+                    on_list[s] = true;
+                    work.push_back(s);
+                }
+            }
         }
     }
     FlowResult { ins, outs }
@@ -330,7 +418,7 @@ mod tests {
         let acc = Accesses::collect(&p);
         let rd = reaching_defs(&cfg, &acc);
         // At node 2 (y = x) only the def from node 1 reaches.
-        let in2: Vec<usize> = rd.ins[2].iter().collect();
+        let in2: Vec<usize> = rd.ins.iter(2).collect();
         assert_eq!(in2.len(), 1);
         assert_eq!(acc.defs[in2[0]].stmt, cfg.nodes()[1]);
     }
@@ -346,7 +434,7 @@ mod tests {
         let rd = reaching_defs(&cfg, &acc);
         // At the body statement (node 2), both the init def (node 0) and the
         // in-loop def (node 2 itself, around the back edge) reach.
-        let in2: Vec<StmtId> = rd.ins[2].iter().map(|d| acc.defs[d].stmt).collect();
+        let in2: Vec<StmtId> = rd.ins.iter(2).map(|d| acc.defs[d].stmt).collect();
         assert!(in2.contains(&cfg.nodes()[0]));
         assert!(in2.contains(&cfg.nodes()[2]));
     }
@@ -358,9 +446,9 @@ mod tests {
         let acc = Accesses::collect(&p);
         let ru = reaching_uses(&cfg, &acc);
         // The use of x at node 0 reaches node 1 (x = 1) …
-        assert!(ru.ins[1].iter().any(|u| acc.uses[u].stmt == cfg.nodes()[0]));
+        assert!(ru.ins.iter(1).any(|u| acc.uses[u].stmt == cfg.nodes()[0]));
         // … but is killed before node 2 (x = 2).
-        assert!(!ru.ins[2].iter().any(|u| acc.uses[u].stmt == cfg.nodes()[0]
+        assert!(!ru.ins.iter(2).any(|u| acc.uses[u].stmt == cfg.nodes()[0]
             && p.syms().name(acc.uses[u].var) == "x"));
     }
 

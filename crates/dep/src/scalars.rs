@@ -17,24 +17,46 @@
 use crate::edge::{DepEdge, DepKind, Direction};
 use crate::reach::{exposed_from_head, reaching_defs, reaching_uses, Accesses, FlowResult};
 use gospel_ir::{Cfg, LoopTable, Program, StmtId, Sym};
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 pub(crate) struct ScalarCtx<'p> {
     pub prog: &'p Program,
     pub cfg: &'p Cfg,
     pub loops: &'p LoopTable,
     pub acc: Accesses,
-    pub order: HashMap<StmtId, usize>,
+    /// Dense program order (see [`crate::build::dense_order`]).
+    pub order: &'p [u32],
 }
 
 /// Computes all scalar data dependence edges.
+#[cfg(test)]
 pub(crate) fn scalar_deps(prog: &Program, cfg: &Cfg, loops: &LoopTable) -> Vec<DepEdge> {
+    scalar_deps_filtered(prog, cfg, loops, &crate::build::dense_order(prog), None)
+}
+
+/// Scalar dependence edges restricted to variables in `only` (all
+/// variables when `None`). The restriction is exact per variable — see
+/// [`Accesses::collect_where`] — so the edges produced for a variable in
+/// `only` are identical to the ones the unrestricted analysis produces.
+/// `order` is the caller's dense order table (shared across the
+/// analysis passes of one update — see [`crate::build::dense_order`]).
+pub(crate) fn scalar_deps_filtered(
+    prog: &Program,
+    cfg: &Cfg,
+    loops: &LoopTable,
+    order: &[u32],
+    only: Option<&HashSet<Sym>>,
+) -> Vec<DepEdge> {
+    let acc = match only {
+        None => Accesses::collect(prog),
+        Some(vars) => Accesses::collect_where(prog, |v| vars.contains(&v)),
+    };
     let ctx = ScalarCtx {
         prog,
         cfg,
         loops,
-        acc: Accesses::collect(prog),
-        order: prog.order_index(),
+        acc,
+        order,
     };
     let rd = reaching_defs(cfg, &ctx.acc);
     let ru = reaching_uses(cfg, &ctx.acc);
@@ -49,7 +71,7 @@ pub(crate) fn scalar_deps(prog: &Program, cfg: &Cfg, loops: &LoopTable) -> Vec<D
 fn flow_edges(ctx: &ScalarCtx<'_>, rd: &FlowResult, edges: &mut Vec<DepEdge>) {
     for (u_idx, use_acc) in ctx.acc.uses.iter().enumerate() {
         let node = ctx.cfg.node_of(use_acc.stmt);
-        for d_idx in rd.ins[node].iter() {
+        for d_idx in rd.ins.iter(node) {
             let def = ctx.acc.defs[d_idx];
             if def.var != use_acc.var {
                 continue;
@@ -65,7 +87,7 @@ fn flow_edges(ctx: &ScalarCtx<'_>, rd: &FlowResult, edges: &mut Vec<DepEdge>) {
                 def.var,
                 // source side of carried check: does the def reach the
                 // bottom of loop `l`?
-                |l_end_node| rd.outs[l_end_node].contains(d_idx),
+                |l_end_node| rd.outs.contains(l_end_node, d_idx),
                 // sink side: is the use exposed to the header?
                 |head, end, target| {
                     let var = def.var;
@@ -84,7 +106,7 @@ fn anti_edges(ctx: &ScalarCtx<'_>, ru: &FlowResult, edges: &mut Vec<DepEdge>) {
     for (d_idx, def) in ctx.acc.defs.iter().enumerate() {
         let _ = d_idx;
         let node = ctx.cfg.node_of(def.stmt);
-        for u_idx in ru.ins[node].iter() {
+        for u_idx in ru.ins.iter(node) {
             let use_acc = ctx.acc.uses[u_idx];
             if use_acc.var != def.var {
                 continue;
@@ -102,7 +124,7 @@ fn anti_edges(ctx: &ScalarCtx<'_>, ru: &FlowResult, edges: &mut Vec<DepEdge>) {
                 def.stmt,
                 def.pos,
                 def.var,
-                |l_end_node| ru.outs[l_end_node].contains(u_idx),
+                |l_end_node| ru.outs.contains(l_end_node, u_idx),
                 |head, end, target| {
                     let var = def.var;
                     exposed_from_head(ctx.cfg, head, end, target, |n| {
@@ -119,7 +141,7 @@ fn anti_edges(ctx: &ScalarCtx<'_>, ru: &FlowResult, edges: &mut Vec<DepEdge>) {
 fn output_edges(ctx: &ScalarCtx<'_>, rd: &FlowResult, edges: &mut Vec<DepEdge>) {
     for def2 in &ctx.acc.defs {
         let node = ctx.cfg.node_of(def2.stmt);
-        for d_idx in rd.ins[node].iter() {
+        for d_idx in rd.ins.iter(node) {
             let def1 = ctx.acc.defs[d_idx];
             if def1.var != def2.var {
                 continue;
@@ -132,7 +154,7 @@ fn output_edges(ctx: &ScalarCtx<'_>, rd: &FlowResult, edges: &mut Vec<DepEdge>) 
                 def2.stmt,
                 def2.pos,
                 def1.var,
-                |l_end_node| rd.outs[l_end_node].contains(d_idx),
+                |l_end_node| rd.outs.contains(l_end_node, d_idx),
                 |head, end, target| {
                     let var = def1.var;
                     exposed_from_head(ctx.cfg, head, end, target, |n| {
@@ -163,7 +185,7 @@ fn emit(
     edges: &mut Vec<DepEdge>,
 ) {
     let common = ctx.loops.common_nest(src, dst);
-    let before = ctx.order[&src] < ctx.order[&dst];
+    let before = ctx.order[src.index()] < ctx.order[dst.index()];
     let same = src == dst;
 
     if before {

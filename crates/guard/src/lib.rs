@@ -69,6 +69,10 @@ pub struct GuardConfig {
     pub max_growth: Option<u32>,
     /// Snapshot-ring capacity (older checkpoints fall off the end).
     pub checkpoints: usize,
+    /// Cross-check the driver's incrementally-maintained dependence graph
+    /// against a fresh full analysis after every application (the
+    /// `--validate` belt-and-braces mode; slow but airtight).
+    pub verify_deps: bool,
 }
 
 impl Default for GuardConfig {
@@ -82,6 +86,7 @@ impl Default for GuardConfig {
             fuel: None,
             max_growth: Some(16),
             checkpoints: 8,
+            verify_deps: false,
         }
     }
 }
@@ -219,6 +224,7 @@ impl GuardedSession {
         opts.timeout_ms = config.timeout_ms;
         opts.fuel = config.fuel;
         opts.max_growth = config.max_growth;
+        opts.verify_deps = config.verify_deps;
         GuardedSession {
             session,
             config,

@@ -13,15 +13,27 @@
 //! * everything else → following statement.
 
 use crate::{Opcode, Program, StmtId};
-use std::collections::HashMap;
+
+const NONE: usize = usize::MAX;
 
 /// The control-flow graph of a [`Program`] snapshot.
+///
+/// Stored densely: every node has at most two successors (structured
+/// control flow), so successors live in a fixed-stride array, and
+/// predecessors in a compressed-sparse-row layout. The graph is rebuilt
+/// after every incremental dependence update, so construction avoids
+/// hashing and per-node allocations.
 #[derive(Clone, Debug)]
 pub struct Cfg {
     nodes: Vec<StmtId>,
-    index: HashMap<StmtId, usize>,
-    succs: Vec<Vec<usize>>,
-    preds: Vec<Vec<usize>>,
+    /// Node index per `StmtId::index()` (`usize::MAX` = not live).
+    index: Vec<usize>,
+    /// Two successor slots per node; `succ_cnt[i]` of them are valid.
+    succ_flat: Vec<usize>,
+    succ_cnt: Vec<u8>,
+    /// CSR predecessors: `pred_idx[pred_off[i]..pred_off[i+1]]`.
+    pred_off: Vec<usize>,
+    pred_idx: Vec<usize>,
 }
 
 impl Cfg {
@@ -33,33 +45,37 @@ impl Cfg {
     /// [`crate::validate`] first for a diagnosable error.
     pub fn of(prog: &Program) -> Cfg {
         let nodes: Vec<StmtId> = prog.iter().collect();
-        let index: HashMap<StmtId, usize> =
-            nodes.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         let n = nodes.len();
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut index = vec![NONE; prog.id_bound()];
+        for (i, &s) in nodes.iter().enumerate() {
+            index[s.index()] = i;
+        }
 
-        // Match up structured markers.
+        // Match up structured markers (position-indexed tables).
         let mut do_stack: Vec<usize> = Vec::new();
         let mut if_stack: Vec<usize> = Vec::new();
-        // For each `if` node: (else position, endif position)
-        let mut if_else: HashMap<usize, usize> = HashMap::new();
-        let mut if_end: HashMap<usize, usize> = HashMap::new();
-        let mut do_end: HashMap<usize, usize> = HashMap::new();
+        let mut do_end = vec![NONE; n]; // do head pos -> end do pos
+        let mut end_do = vec![NONE; n]; // end do pos -> do head pos
+        let mut if_else = vec![NONE; n]; // if pos -> else pos
+        let mut if_end = vec![NONE; n]; // if pos -> end if pos
+        let mut else_if = vec![NONE; n]; // else pos -> if pos
         for (i, &s) in nodes.iter().enumerate() {
             match prog.quad(s).op {
                 Opcode::DoHead | Opcode::ParDo => do_stack.push(i),
                 Opcode::EndDo => {
                     let h = do_stack.pop().expect("unmatched end do");
-                    do_end.insert(h, i);
+                    do_end[h] = i;
+                    end_do[i] = h;
                 }
                 op if op.is_if() => if_stack.push(i),
                 Opcode::Else => {
                     let h = *if_stack.last().expect("else outside if");
-                    if_else.insert(h, i);
+                    if_else[h] = i;
+                    else_if[i] = h;
                 }
                 Opcode::EndIf => {
                     let h = if_stack.pop().expect("unmatched end if");
-                    if_end.insert(h, i);
+                    if_end[h] = i;
                 }
                 _ => {}
             }
@@ -67,70 +83,81 @@ impl Cfg {
         assert!(do_stack.is_empty(), "unclosed loop");
         assert!(if_stack.is_empty(), "unclosed if");
 
+        let mut succ_flat = vec![NONE; 2 * n];
+        let mut succ_cnt = vec![0u8; n];
+        let push = |succ_flat: &mut [usize], succ_cnt: &mut [u8], i: usize, t: usize| {
+            succ_flat[2 * i + succ_cnt[i] as usize] = t;
+            succ_cnt[i] += 1;
+        };
         for (i, &s) in nodes.iter().enumerate() {
             let op = prog.quad(s).op;
             match op {
                 Opcode::DoHead | Opcode::ParDo => {
-                    let end = do_end[&i];
+                    let end = do_end[i];
                     if i + 1 < n {
-                        succs[i].push(i + 1); // into the body (or directly to end do)
+                        push(&mut succ_flat, &mut succ_cnt, i, i + 1); // into the body
                     }
                     if end + 1 < n {
-                        succs[i].push(end + 1); // zero-trip exit
+                        push(&mut succ_flat, &mut succ_cnt, i, end + 1); // zero-trip exit
                     }
                 }
                 Opcode::EndDo => {
                     // back edge to the header (re-test / next iteration)
-                    let head = *do_end
-                        .iter()
-                        .find(|&(_, &e)| e == i)
-                        .map(|(h, _)| h)
-                        .expect("end do without head");
-                    succs[i].push(head);
+                    push(&mut succ_flat, &mut succ_cnt, i, end_do[i]);
                     if i + 1 < n {
-                        succs[i].push(i + 1);
+                        push(&mut succ_flat, &mut succ_cnt, i, i + 1);
                     }
                 }
                 _ if op.is_if() => {
                     if i + 1 < n {
-                        succs[i].push(i + 1); // then branch
+                        push(&mut succ_flat, &mut succ_cnt, i, i + 1); // then branch
                     }
-                    let target = if_else
-                        .get(&i)
-                        .map(|&e| e + 1)
-                        .unwrap_or_else(|| if_end[&i]);
+                    let target = match if_else[i] {
+                        NONE => if_end[i],
+                        e => e + 1,
+                    };
                     if target < n && target != i + 1 {
-                        succs[i].push(target);
+                        push(&mut succ_flat, &mut succ_cnt, i, target);
                     }
                 }
                 Opcode::Else => {
                     // reached from the then branch: skip to end if
-                    let head = *if_else
-                        .iter()
-                        .find(|&(_, &e)| e == i)
-                        .map(|(h, _)| h)
-                        .expect("else without if");
-                    succs[i].push(if_end[&head]);
+                    push(&mut succ_flat, &mut succ_cnt, i, if_end[else_if[i]]);
                 }
                 _ => {
                     if i + 1 < n {
-                        succs[i].push(i + 1);
+                        push(&mut succ_flat, &mut succ_cnt, i, i + 1);
                     }
                 }
             }
         }
 
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, ss) in succs.iter().enumerate() {
-            for &t in ss {
-                preds[t].push(i);
+        // Predecessors as CSR: count, prefix-sum, fill.
+        let mut pred_off = vec![0usize; n + 1];
+        for i in 0..n {
+            for k in 0..succ_cnt[i] as usize {
+                pred_off[succ_flat[2 * i + k] + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut next = pred_off[..n].to_vec();
+        let mut pred_idx = vec![0usize; pred_off[n]];
+        for i in 0..n {
+            for k in 0..succ_cnt[i] as usize {
+                let t = succ_flat[2 * i + k];
+                pred_idx[next[t]] = i;
+                next[t] += 1;
             }
         }
         Cfg {
             nodes,
             index,
-            succs,
-            preds,
+            succ_flat,
+            succ_cnt,
+            pred_off,
+            pred_idx,
         }
     }
 
@@ -150,18 +177,24 @@ impl Cfg {
     }
 
     /// The node index of a statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not live in the snapshot this CFG was built from.
     pub fn node_of(&self, s: StmtId) -> usize {
-        self.index[&s]
+        let i = self.index[s.index()];
+        assert!(i != NONE, "statement not live in this CFG");
+        i
     }
 
     /// Successor node indices of node `i`.
     pub fn succs(&self, i: usize) -> &[usize] {
-        &self.succs[i]
+        &self.succ_flat[2 * i..2 * i + self.succ_cnt[i] as usize]
     }
 
     /// Predecessor node indices of node `i`.
     pub fn preds(&self, i: usize) -> &[usize] {
-        &self.preds[i]
+        &self.pred_idx[self.pred_off[i]..self.pred_off[i + 1]]
     }
 }
 

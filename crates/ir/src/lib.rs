@@ -48,6 +48,7 @@
 mod affine;
 mod builder;
 mod cfg;
+mod delta;
 mod loops;
 mod opcode;
 mod operand;
@@ -61,6 +62,7 @@ mod value;
 pub use affine::AffineExpr;
 pub use builder::{IfToken, LoopToken, ProgramBuilder};
 pub use cfg::Cfg;
+pub use delta::{EditDelta, EditOp};
 pub use loops::{LoopId, LoopInfo, LoopStructureError, LoopTable};
 pub use opcode::Opcode;
 pub use operand::Operand;
@@ -68,5 +70,5 @@ pub use pretty::DisplayProgram;
 pub use program::{Program, StmtId, VarInfo, VarKind, VarType};
 pub use quad::{OperandPos, Quad};
 pub use sym::{Sym, SymbolTable};
-pub use validate::{validate, ValidateError};
+pub use validate::{validate, validate_stmt, ValidateError};
 pub use value::{FoldOp, Value};

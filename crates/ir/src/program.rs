@@ -309,6 +309,18 @@ impl Program {
         self.len -= 1;
     }
 
+    /// Undoes a [`delete`](Program::delete): relinks the dead slot (whose
+    /// quad is still intact) following `after`. Only meaningful from an
+    /// [`EditDelta`](crate::EditDelta) undo replay, where `after` is the
+    /// recorded pre-delete predecessor.
+    pub(crate) fn restore(&mut self, id: StmtId, after: Option<StmtId>) {
+        let s = &mut self.slots[id.index()];
+        assert!(!s.alive, "restore of a live statement {id}");
+        s.alive = true;
+        self.len += 1;
+        self.link_after(id, after);
+    }
+
     /// GOSpeL `move`: unlinks `id` and re-inserts it following `after`
     /// (or at the front when `after` is `None`).
     ///

@@ -97,6 +97,37 @@ pub fn validate(prog: &Program) -> Result<(), ValidateError> {
     Ok(())
 }
 
+/// Per-statement validity: destination shape and operand references,
+/// without the whole-program marker-nesting scan.
+///
+/// A batch of non-structural journaled edits cannot change nesting (no
+/// markers were added, removed or relocated), so incremental dependence
+/// maintenance revalidates only the statements the batch touched —
+/// `O(|delta|)` instead of `O(program)`. Running this on every statement
+/// of a program whose nesting is known-good is equivalent to [`validate`].
+///
+/// # Errors
+///
+/// Returns the statement's first defect.
+pub fn validate_stmt(prog: &Program, id: StmtId) -> Result<(), ValidateError> {
+    let quad = prog.quad(id);
+    match quad.op {
+        Opcode::DoHead | Opcode::ParDo => {
+            if quad.dst.as_var().is_none() {
+                return Err(ValidateError::BadDestination(id));
+            }
+        }
+        Opcode::EndDo | Opcode::Else | Opcode::EndIf => {}
+        op if op.is_if() => {}
+        _ => {
+            if quad.op.defines() && quad.dst.is_none() {
+                return Err(ValidateError::BadDestination(id));
+            }
+        }
+    }
+    check_operands(prog, id)
+}
+
 fn check_operands(prog: &Program, id: StmtId) -> Result<(), ValidateError> {
     for pos in OperandPos::ALL {
         match prog.quad(id).operand(pos) {
