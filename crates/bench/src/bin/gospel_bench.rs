@@ -15,6 +15,8 @@
 
 use genesis::{ApplyMode, ApplyReport, Driver, RunError};
 use gospel_ir::{DisplayProgram, Program};
+use gospel_trace::Recorder;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The optimizer chain: constant propagation cascades, copy propagation
@@ -31,14 +33,20 @@ struct ModeRun {
     applications: usize,
     incremental_updates: usize,
     full_recomputes: usize,
+    dep_dirty_syms: usize,
+    dep_edges_dropped: usize,
+    dep_edges_added: usize,
 }
 
-/// Runs the whole sequence over one program in the given mode.
+/// Runs the whole sequence over one program in the given mode. With a
+/// recorder attached every driver emits the full structured-event stream
+/// (the `--trace-gate` overhead measurement exercises exactly that path).
 fn run_sequence(
     base: &Program,
     opts: &[genesis::CompiledOptimizer],
     incremental: bool,
     verify: bool,
+    recorder: Option<&Arc<Recorder>>,
 ) -> Result<ModeRun, RunError> {
     let mut prog = base.clone();
     let mut total = ModeRun {
@@ -46,6 +54,9 @@ fn run_sequence(
         applications: 0,
         incremental_updates: 0,
         full_recomputes: 0,
+        dep_dirty_syms: 0,
+        dep_edges_dropped: 0,
+        dep_edges_added: 0,
     };
     // Incremental mode also carries the graph across the chain (the
     // session cache); full mode re-analyzes per optimizer, as the seed
@@ -55,6 +66,7 @@ fn run_sequence(
         let mut d = Driver::new(opt);
         d.incremental_deps = incremental;
         d.verify_deps = verify;
+        d.recorder = recorder.cloned();
         let report: ApplyReport = if incremental {
             d.apply_cached(&mut prog, ApplyMode::AllPoints, &mut cache)?
         } else {
@@ -63,6 +75,9 @@ fn run_sequence(
         total.applications += report.applications;
         total.incremental_updates += report.incremental_updates;
         total.full_recomputes += report.full_recomputes;
+        total.dep_dirty_syms += report.dep_dirty_syms;
+        total.dep_edges_dropped += report.dep_edges_dropped;
+        total.dep_edges_added += report.dep_edges_added;
     }
     total.prog = prog;
     Ok(total)
@@ -74,12 +89,18 @@ fn time_mode(
     opts: &[genesis::CompiledOptimizer],
     incremental: bool,
     repeats: usize,
+    recorder: Option<&Arc<Recorder>>,
 ) -> Result<u128, RunError> {
     let mut best = u128::MAX;
     for _ in 0..repeats {
         let started = Instant::now();
-        run_sequence(base, opts, incremental, false)?;
+        run_sequence(base, opts, incremental, false, recorder)?;
         best = best.min(started.elapsed().as_nanos());
+        // Keep the event buffer bounded across repeats; draining happens
+        // outside the timed region, like a real consumer streaming events.
+        if let Some(r) = recorder {
+            r.drain_events();
+        }
     }
     Ok(best)
 }
@@ -89,6 +110,9 @@ struct Row {
     applications: usize,
     incremental_updates: usize,
     full_recomputes: usize,
+    dep_dirty_syms: usize,
+    dep_edges_dropped: usize,
+    dep_edges_added: usize,
     full_ns: u128,
     incr_ns: u128,
     speedup: f64,
@@ -99,7 +123,13 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn emit_json(rows: &[Row], repeats: usize, geomean: f64, multi: usize) -> String {
+fn emit_json(
+    rows: &[Row],
+    repeats: usize,
+    geomean: f64,
+    multi: usize,
+    overhead: Option<(u128, u128, f64)>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"incremental\",\n");
     out.push_str(&format!(
@@ -115,12 +145,16 @@ fn emit_json(rows: &[Row], repeats: usize, geomean: f64, multi: usize) -> String
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"applications\": {}, \"incremental_updates\": {}, \
-             \"full_recomputes\": {}, \"full_ns\": {}, \"incremental_ns\": {}, \
+             \"full_recomputes\": {}, \"dep_dirty_syms\": {}, \"dep_edges_dropped\": {}, \
+             \"dep_edges_added\": {}, \"full_ns\": {}, \"incremental_ns\": {}, \
              \"speedup\": {:.3}, \"verified\": {}}}{}\n",
             json_escape(r.name),
             r.applications,
             r.incremental_updates,
             r.full_recomputes,
+            r.dep_dirty_syms,
+            r.dep_edges_dropped,
+            r.dep_edges_added,
             r.full_ns,
             r.incr_ns,
             r.speedup,
@@ -130,10 +164,87 @@ fn emit_json(rows: &[Row], repeats: usize, geomean: f64, multi: usize) -> String
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"multi_application_workloads\": {multi},\n  \"geomean_speedup_multi\": {geomean:.3}\n"
+        "  \"multi_application_workloads\": {multi},\n  \"geomean_speedup_multi\": {geomean:.3}"
     ));
-    out.push_str("}\n");
+    if let Some((bare_ns, traced_ns, pct)) = overhead {
+        out.push_str(&format!(
+            ",\n  \"trace_overhead\": {{\"bare_ns\": {bare_ns}, \"traced_ns\": {traced_ns}, \
+             \"overhead_pct\": {pct:.3}}}"
+        ));
+    }
+    out.push_str("\n}\n");
     out
+}
+
+/// Measures tracing overhead over the same work the benchmark times —
+/// both full-recompute and incremental modes across all workloads, with
+/// and without a live recorder streaming every event. Returns
+/// (bare_ns, traced_ns, overhead_pct).
+///
+/// Statistic: per (workload, mode) cell, the bare/traced arms run
+/// back-to-back inside each repeat, so the per-repeat *ratio* is immune
+/// to the slow clock-frequency drift that makes two independently
+/// minimized arms incomparable on a busy machine; the per-cell ratio is
+/// the median over repeats, and the overall percentage time-weights the
+/// cell ratios by the cell's bare minimum.
+fn measure_trace_overhead(
+    suite: &[(&'static str, Program)],
+    opts: &[genesis::CompiledOptimizer],
+    repeats: usize,
+) -> (u128, u128, f64) {
+    let rec = Arc::new(Recorder::new());
+    // More repeats than the timing table uses: the gate compares two
+    // nearly-equal quantities, so its median needs a wide sample.
+    let repeats = repeats.max(50);
+    let mut bare_total: u128 = 0;
+    let mut traced_est: f64 = 0.0;
+    for (name, base) in suite {
+        for incremental in [false, true] {
+            // Untimed warmup so neither arm pays first-touch costs.
+            run_sequence(base, opts, incremental, false, None)
+                .unwrap_or_else(|e| panic!("{name}: overhead warmup run failed: {e}"));
+            let mut bare_min = u128::MAX;
+            let mut ratios = Vec::with_capacity(repeats);
+            for rep in 0..repeats {
+                // Alternate which arm goes first: the second slot of a
+                // back-to-back pair runs warmer, and always giving it to
+                // the same arm would bias the ratio.
+                let traced_first = rep % 2 == 1;
+                let time_arm = |traced: bool| -> u128 {
+                    let r = if traced { Some(&rec) } else { None };
+                    let t = Instant::now();
+                    run_sequence(base, opts, incremental, false, r)
+                        .unwrap_or_else(|e| panic!("{name}: overhead run failed: {e}"));
+                    let ns = t.elapsed().as_nanos();
+                    if traced {
+                        rec.drain_events();
+                    }
+                    ns
+                };
+                let (bare, traced) = if traced_first {
+                    let t = time_arm(true);
+                    (time_arm(false), t)
+                } else {
+                    let b = time_arm(false);
+                    (b, time_arm(true))
+                };
+                bare_min = bare_min.min(bare);
+                if bare > 0 {
+                    ratios.push(traced as f64 / bare as f64);
+                }
+            }
+            ratios.sort_by(|a, b| a.total_cmp(b));
+            let median = ratios.get(ratios.len() / 2).copied().unwrap_or(1.0);
+            bare_total += bare_min;
+            traced_est += bare_min as f64 * median;
+        }
+    }
+    let pct = if bare_total == 0 {
+        0.0
+    } else {
+        (traced_est / bare_total as f64 - 1.0) * 100.0
+    };
+    (bare_total, traced_est as u128, pct)
 }
 
 fn main() {
@@ -141,6 +252,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut out_path = String::from("BENCH_incremental.json");
     let mut repeats = if smoke { 3 } else { 30 };
+    let mut trace_gate: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -159,9 +271,17 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--trace-gate" => {
+                trace_gate = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--trace-gate needs a percentage (e.g. 5)");
+                    std::process::exit(2);
+                }));
+            }
             "--smoke" => {}
             other => {
-                eprintln!("unknown flag `{other}` (expected --out PATH | --repeats N | --smoke)");
+                eprintln!(
+                    "unknown flag `{other}` (expected --out PATH | --repeats N | --smoke | --trace-gate PCT)"
+                );
                 std::process::exit(2);
             }
         }
@@ -174,9 +294,9 @@ fn main() {
     for (name, base) in &suite {
         // Cross-check pass (untimed): incremental with per-application
         // graph verification, compared against the full-recompute result.
-        let full = run_sequence(base, &opts, false, false)
+        let full = run_sequence(base, &opts, false, false, None)
             .unwrap_or_else(|e| panic!("{name}: full-mode run failed: {e}"));
-        let incr = run_sequence(base, &opts, true, true)
+        let incr = run_sequence(base, &opts, true, true, None)
             .unwrap_or_else(|e| panic!("{name}: incremental graph diverged: {e}"));
         let same_prog = DisplayProgram(&full.prog).to_string()
             == DisplayProgram(&incr.prog).to_string();
@@ -188,15 +308,18 @@ fn main() {
             same_prog
         );
 
-        let full_ns = time_mode(base, &opts, false, repeats)
+        let full_ns = time_mode(base, &opts, false, repeats, None)
             .unwrap_or_else(|e| panic!("{name}: timing full mode failed: {e}"));
-        let incr_ns = time_mode(base, &opts, true, repeats)
+        let incr_ns = time_mode(base, &opts, true, repeats, None)
             .unwrap_or_else(|e| panic!("{name}: timing incremental mode failed: {e}"));
         rows.push(Row {
             name,
             applications: incr.applications,
             incremental_updates: incr.incremental_updates,
             full_recomputes: incr.full_recomputes,
+            dep_dirty_syms: incr.dep_dirty_syms,
+            dep_edges_dropped: incr.dep_edges_dropped,
+            dep_edges_added: incr.dep_edges_added,
             full_ns,
             incr_ns,
             speedup: full_ns as f64 / incr_ns.max(1) as f64,
@@ -233,10 +356,25 @@ fn main() {
         geomean
     );
 
-    let json = emit_json(&rows, repeats, geomean, multi.len());
+    let overhead = trace_gate.map(|limit| {
+        let (bare_ns, traced_ns, pct) = measure_trace_overhead(&suite, &opts, repeats);
+        println!(
+            "trace overhead: {pct:.2}% (bare {bare_ns} ns, traced {traced_ns} ns, limit {limit}%)"
+        );
+        (bare_ns, traced_ns, pct)
+    });
+
+    let json = emit_json(&rows, repeats, geomean, multi.len(), overhead);
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     });
     println!("wrote {out_path}");
+
+    if let (Some(limit), Some((_, _, pct))) = (trace_gate, overhead) {
+        if pct > limit {
+            eprintln!("error: tracing overhead {pct:.2}% exceeds the {limit}% gate");
+            std::process::exit(1);
+        }
+    }
 }

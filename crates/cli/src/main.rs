@@ -9,8 +9,10 @@ use genesis::{emit, ApplyMode, FaultPlan, Session, SessionOptions};
 use genesis_guard::{GuardConfig, GuardOutcome, GuardedSession};
 use gospel_dep::DepGraph;
 use gospel_ir::{DisplayProgram, Program, StmtId};
+use gospel_trace::Recorder;
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 mod repl;
 
@@ -27,7 +29,8 @@ USAGE:
     genesis-opt run <prog.mf> <OPT>                apply one optimizer, guarded
     genesis-opt seq <prog.mf> <OPT>[,<OPT>…]       apply a sequence, guarded
         run/seq options: [--validate] [--timeout-ms N] [--fuel N]
-        [--max-growth K] [--inject KIND[@OPT][:N]] plus the apply options
+        [--max-growth K] [--inject KIND[@OPT][:N]]
+        [--trace FILE] [--metrics] plus the apply options
     genesis-opt emit <OPT> [--lang c|rust]         print the generated source
     genesis-opt interactive <prog.mf> [--spec FILE]…   the §3 interface
 
@@ -36,8 +39,11 @@ Catalog: CPP CTP DCE ICM INX CRC BMP PAR LUR FUS CFO.
 --validate checks every application by structural validation and by
 executing the program before/after on seeded inputs; a divergent
 optimizer is rolled back and quarantined, and the exit code is nonzero.
---inject arms a scripted fault (analysis|action|corrupt|panic) to
-exercise those recovery paths.
+--inject arms a scripted fault (analysis|action|corrupt|panic|
+panic-action) to exercise those recovery paths.
+--trace FILE streams one JSON object per structured event (attempt
+spans, match outcomes, dependence-update counters, guard events) to
+FILE; --metrics prints an end-of-run counter/latency summary table.
 ";
 
 fn main() -> ExitCode {
@@ -258,19 +264,27 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
     let mode = parse_mode(args)?;
     let fault = parse_inject(args)?;
     let opts = parse_session_options(args)?;
+    let (recorder, trace_path, metrics) = parse_trace(args)?;
 
     if !flag(args, "--validate") {
         let mut session = build_session_with_options(prog, args, opts)?;
         session.set_fault(fault);
+        session.set_recorder(recorder.clone());
         for name in names {
-            let report = session.apply(name, mode).map_err(|e| e.to_string())?;
+            let report = match session.apply(name, mode) {
+                Ok(r) => r,
+                Err(e) => {
+                    finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics)?;
+                    return Err(e.to_string());
+                }
+            };
             println!(
                 "{name}: {} application(s), cost {}",
                 report.applications, report.cost
             );
         }
         print_program(session.program(), args);
-        return Ok(());
+        return finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics);
     }
 
     let config = GuardConfig {
@@ -283,6 +297,7 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
         ..GuardConfig::default()
     };
     let mut guarded = GuardedSession::new(prog, config);
+    guarded.set_recorder(recorder.clone());
     for opt in gospel_opts::catalog().map_err(|e| e.to_string())? {
         guarded.register(opt);
     }
@@ -323,9 +338,11 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
     }
     std::panic::set_hook(default_hook);
     if let Some(e) = failure {
+        finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics)?;
         return Err(e);
     }
     print_program(guarded.program(), args);
+    finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics)?;
     if rejections > 0 {
         Err(format!(
             "{rejections} optimization(s) rejected and rolled back (program output above is the validated state)"
@@ -333,6 +350,40 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
     } else {
         Ok(())
     }
+}
+
+/// Parsed `--trace FILE` / `--metrics` options: the recorder (created
+/// when either flag is present), the trace path, and the metrics flag.
+type TraceOpts = (Option<Arc<Recorder>>, Option<String>, bool);
+
+/// Parses `--trace FILE` / `--metrics`; a recorder is created when either
+/// is present.
+fn parse_trace(args: &[String]) -> Result<TraceOpts, String> {
+    let trace_path = match option(args, "--trace") {
+        None if flag(args, "--trace") => return Err("--trace requires a file path".into()),
+        other => other,
+    };
+    let metrics = flag(args, "--metrics");
+    let recorder = (trace_path.is_some() || metrics).then(|| Arc::new(Recorder::new()));
+    Ok((recorder, trace_path, metrics))
+}
+
+/// Flushes the recorder at end of run: the JSONL event stream to the
+/// `--trace` file, the `--metrics` summary table to stdout.
+fn finish_trace(rec: Option<&Recorder>, path: Option<&str>, metrics: bool) -> Result<(), String> {
+    let Some(rec) = rec else { return Ok(()) };
+    if let Some(path) = path {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for event in rec.drain_events() {
+            let _ = writeln!(out, "{}", event.to_jsonl());
+        }
+        std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if metrics {
+        print!("{}", rec.metrics_table());
+    }
+    Ok(())
 }
 
 fn print_program(prog: &Program, args: &[String]) {

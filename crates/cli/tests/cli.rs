@@ -227,6 +227,71 @@ fn run_and_seq_apply_with_budgets() {
     assert!(out.contains("pardo i = 1, 50"), "{out}");
 }
 
+#[test]
+fn trace_streams_jsonl_and_metrics_prints_table() {
+    let prog = write_prog();
+    let path = prog.0.to_str().unwrap();
+    let trace = tempfile_path::write("");
+    let out = run_ok(&[
+        "run",
+        path,
+        "CTP",
+        "--trace",
+        trace.0.to_str().unwrap(),
+        "--metrics",
+    ]);
+    assert!(out.contains("driver.applications"), "{out}");
+    let text = std::fs::read_to_string(&trace.0).unwrap();
+    assert!(!text.is_empty(), "trace file must not be empty");
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    for needle in [
+        "\"name\":\"driver.attempt\"",
+        "\"name\":\"search.match\"",
+        "\"name\":\"dep.update\"",
+        "\"name\":\"driver.applications\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn trace_without_path_fails_with_context() {
+    let prog = write_prog();
+    let err = run_err(&["run", prog.0.to_str().unwrap(), "CTP", "--trace"]);
+    assert!(last_error_line(&err).contains("--trace"), "{err}");
+}
+
+#[test]
+fn validate_trace_includes_guard_events() {
+    let prog = write_prog();
+    let trace = tempfile_path::write("");
+    let stderr = run_err(&[
+        "run",
+        prog.0.to_str().unwrap(),
+        "CTP",
+        "--validate",
+        "--inject",
+        "corrupt",
+        "--trace",
+        trace.0.to_str().unwrap(),
+    ]);
+    assert!(stderr.contains("[structural]"), "{stderr}");
+    let text = std::fs::read_to_string(&trace.0).unwrap();
+    for needle in [
+        "\"name\":\"guard.apply\"",
+        "\"name\":\"guard.validate\"",
+        "\"name\":\"guard.rollback\"",
+        "\"name\":\"guard.quarantine\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
 const BROKEN_CTP_SPEC: &str = "\
 OPTIMIZATION CTP
 TYPE

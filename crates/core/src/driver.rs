@@ -10,6 +10,9 @@ use crate::rt::Bindings;
 use crate::solve::Searcher;
 use gospel_dep::{DepGraph, UpdateKind};
 use gospel_ir::{EditDelta, Opcode, Program, Quad, StmtId};
+use gospel_trace::{Name, Recorder, Span, Value};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the driver should apply the optimizer (the §3 interface options).
@@ -44,6 +47,18 @@ pub struct ApplyReport {
     /// Dependence-graph refreshes that ran a full `analyze` (structural
     /// edits, or `incremental_deps` disabled).
     pub full_recomputes: usize,
+    /// Dirty symbols considered across all incremental refreshes.
+    pub dep_dirty_syms: usize,
+    /// Edges dropped across all incremental refreshes.
+    pub dep_edges_dropped: usize,
+    /// Edges re-derived (or rebuilt, for full refreshes) across all
+    /// dependence-graph refreshes.
+    pub dep_edges_added: usize,
+    /// How many candidate bindings each PRECOND dependence clause killed,
+    /// indexed by clause position in the Depend section. A clause kills a
+    /// candidate when an `any` clause finds no solution or a `no` clause
+    /// finds one.
+    pub dep_clause_rejects: Vec<u64>,
 }
 
 /// All application points found by [`Driver::matches`], without applying.
@@ -85,6 +100,11 @@ pub struct Driver<'o> {
     /// Scripted fault to inject at the matching probe point (tests the
     /// recovery machinery around the driver).
     pub fault: Option<FaultPlan>,
+    /// Structured-event sink: when set, the driver emits per-attempt
+    /// spans, match outcomes, dependence-refresh counters and cost
+    /// counters into it. `None` (the default) records nothing; with the
+    /// `trace` feature off every call below compiles to a no-op anyway.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl<'o> Driver<'o> {
@@ -101,6 +121,7 @@ impl<'o> Driver<'o> {
             fuel: None,
             max_stmts: None,
             fault: None,
+            recorder: None,
         }
     }
 
@@ -181,13 +202,23 @@ impl<'o> Driver<'o> {
         cache: &mut Option<DepGraph>,
     ) -> Result<ApplyReport, RunError> {
         let mut report = ApplyReport::default();
+        let rec = self.recorder.clone();
+        let mut totals = RunTotals::new(rec.clone(), &self.opt.name);
         let started = Instant::now();
         if self.fault_fires(FaultKind::Analysis, 0) {
             return Err(RunError::Analyze("injected fault: analysis failure".into()));
         }
         let mut deps = match cache.take() {
             Some(g) => g,
-            None => analyze(prog)?,
+            None => {
+                let t = Instant::now();
+                let g = analyze(prog)?;
+                totals.analyze_full += 1;
+                if let Some(r) = rec.as_ref() {
+                    r.observe("dep.analyze_ns", ns_since(t));
+                }
+                g
+            }
         };
         // Whether `deps` still describes `prog` when the loop exits.
         let mut current = true;
@@ -206,6 +237,20 @@ impl<'o> Driver<'o> {
                 panic!("injected fault: panic mid-search");
             }
 
+            // The span closes on every exit from this iteration: explicitly
+            // on the applied/fixpoint paths, via its drop guard on the
+            // error returns below.
+            let attempt_span = Span::open(
+                rec.as_ref(),
+                "driver.attempt",
+                &[
+                    ("optimizer", Value::str(self.opt.name.clone())),
+                    ("application", Value::us(report.applications)),
+                ],
+            );
+            totals.attempts += 1;
+
+            let search_started = Instant::now();
             let found = {
                 let mut s = Searcher::new(prog, &deps, self.opt);
                 match mode {
@@ -219,7 +264,10 @@ impl<'o> Driver<'o> {
                 s.resume_from = resume_pt;
                 let mut found = s.find_first()?;
                 report.cost += s.cost;
+                totals.cost += s.cost;
                 report.strategies_used.append(&mut s.strategies_used);
+                merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
+                merge_rejects(&mut totals.rejects, &s.dep_rejects);
                 if found.is_none() && resume_pt.is_some() {
                     // Safety net: the frontier filter only rescans anchors
                     // at or after the dirty frontier, but a pattern with
@@ -231,10 +279,31 @@ impl<'o> Driver<'o> {
                     s.stop_before = resume_pt;
                     found = s.find_first()?;
                     report.cost += s.cost;
+                    totals.cost += s.cost;
                     report.strategies_used.append(&mut s.strategies_used);
+                    merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
+                    merge_rejects(&mut totals.rejects, &s.dep_rejects);
                 }
                 found
             };
+            // `search.match` is emitted only for successful matches — a
+            // failed search is already explicit in the attempt span's
+            // `fixpoint` close, and the extra event would double the
+            // per-attempt stream for no information.
+            if let Some(r) = rec.as_ref() {
+                r.observe("driver.search_ns", ns_since(search_started));
+                if let Some(env) = found.as_ref() {
+                    let mut fields = vec![
+                        ("optimizer", Value::str(self.opt.name.clone())),
+                        ("outcome", Value::str("found")),
+                        ("resumed", Value::b(resume_pt.is_some())),
+                    ];
+                    if let Some(a) = anchor_of(self.opt, env) {
+                        fields.push(("anchor", Value::str(a)));
+                    }
+                    r.event("search.match", &fields);
+                }
+            }
             if let Some(fuel) = self.fuel {
                 if report.cost.total() > fuel {
                     return Err(RunError::FuelExhausted { limit: fuel });
@@ -242,6 +311,7 @@ impl<'o> Driver<'o> {
             }
 
             let Some(mut env) = found else {
+                attempt_span.close(&[("outcome", Value::str("fixpoint"))]);
                 break;
             };
 
@@ -252,15 +322,56 @@ impl<'o> Driver<'o> {
             // Actions run in place, journaled into an edit delta; a
             // mid-action failure unwinds the journal, so a failed
             // application can never leave a half-transformed program.
+            // Panics get the same treatment: without the catch_unwind the
+            // in-flight journal would be dropped un-replayed and a panic
+            // caught further out (GuardedSession) would observe a
+            // half-transformed program.
+            let actions_started = Instant::now();
             let mut delta = EditDelta::new();
-            let ops = match run_actions(prog, deps.loops(), &mut env, &self.opt.actions, &mut delta)
-            {
-                Ok(ops) => ops,
-                Err(e) => {
+            let panic_after_actions =
+                self.fault_fires(FaultKind::PanicInAction, report.applications);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let r = run_actions(prog, deps.loops(), &mut env, &self.opt.actions, &mut delta);
+                if r.is_ok() && panic_after_actions {
+                    panic!("injected fault: panic mid-action");
+                }
+                r
+            }));
+            let ops = match attempt {
+                Ok(Ok(ops)) => ops,
+                Ok(Err(e)) => {
                     delta.undo(prog);
+                    totals.action_rollbacks += 1;
+                    if let Some(r) = rec.as_ref() {
+                        r.event(
+                            "driver.action_rollback",
+                            &[
+                                ("optimizer", Value::str(self.opt.name.clone())),
+                                ("error", Value::str(e.to_string())),
+                            ],
+                        );
+                    }
                     return Err(e);
                 }
+                Err(payload) => {
+                    delta.undo(prog);
+                    totals.action_rollbacks += 1;
+                    if let Some(r) = rec.as_ref() {
+                        r.event(
+                            "driver.action_rollback",
+                            &[
+                                ("optimizer", Value::str(self.opt.name.clone())),
+                                ("error", Value::str("panic")),
+                            ],
+                        );
+                    }
+                    drop(attempt_span);
+                    resume_unwind(payload);
+                }
             };
+            if let Some(r) = rec.as_ref() {
+                r.observe("driver.actions_ns", ns_since(actions_started));
+            }
             let corrupted = self.fault_fires(FaultKind::CorruptCommit, report.applications);
             if corrupted {
                 // An unmatched marker makes the commit structurally
@@ -270,6 +381,13 @@ impl<'o> Driver<'o> {
             report.cost.transform_ops += ops;
             report.applications += 1;
             report.points.push(env);
+            totals.applications += 1;
+            totals.transform_ops += ops;
+            attempt_span.close(&[
+                ("outcome", Value::str("applied")),
+                ("ops", Value::u(ops)),
+                ("stmts", Value::us(prog.len())),
+            ]);
             if corrupted {
                 // Return "success" with the bad commit in place: the fault
                 // models corruption the driver itself does not notice, so
@@ -303,6 +421,7 @@ impl<'o> Driver<'o> {
                     // the graph is still exact — skip the refresh entirely.
                     resume_pt = None;
                 } else if self.incremental_deps {
+                    let update_started = Instant::now();
                     let up = deps
                         .update(prog, &delta)
                         .map_err(|e| RunError::Analyze(e.to_string()))?;
@@ -312,10 +431,43 @@ impl<'o> Driver<'o> {
                             report.incremental_updates += 1;
                         }
                     }
+                    report.dep_dirty_syms += up.stats.dirty_syms;
+                    report.dep_edges_dropped += up.stats.edges_dropped;
+                    report.dep_edges_added += up.stats.edges_added;
+                    match up.kind {
+                        UpdateKind::Full => totals.update_full += 1,
+                        UpdateKind::Incremental => totals.update_incremental += 1,
+                        UpdateKind::Noop => totals.update_noop += 1,
+                    }
+                    totals.edges_dropped += up.stats.edges_dropped as u64;
+                    totals.edges_added += up.stats.edges_added as u64;
+                    if let Some(r) = rec.as_ref() {
+                        r.observe("dep.update_ns", ns_since(update_started));
+                        let kind = match up.kind {
+                            UpdateKind::Full => "full",
+                            UpdateKind::Incremental => "incremental",
+                            UpdateKind::Noop => "noop",
+                        };
+                        let frontier = up.frontier.map(|f| f.to_string());
+                        let mut fields = vec![
+                            ("kind", Value::str(kind)),
+                            ("dirty_syms", Value::us(up.stats.dirty_syms)),
+                            ("edges_dropped", Value::us(up.stats.edges_dropped)),
+                            ("edges_added", Value::us(up.stats.edges_added)),
+                        ];
+                        if let Some(fr) = frontier {
+                            fields.push(("frontier", Value::str(fr)));
+                        }
+                        r.event("dep.update", &fields);
+                    }
                     resume_pt = up.frontier;
                     if self.verify_deps {
                         let fresh = analyze(prog)?;
-                        if !deps.agrees_with(&fresh) {
+                        let ok = deps.agrees_with(&fresh);
+                        if let Some(r) = rec.as_ref() {
+                            r.event("dep.verify", &[("ok", Value::b(ok))]);
+                        }
+                        if !ok {
                             if std::env::var("GENESIS_DEBUG_DEPS").is_ok() {
                                 eprintln!("delta: {delta:?}");
                                 eprintln!("program:\n{}", gospel_ir::DisplayProgram(prog));
@@ -345,8 +497,13 @@ impl<'o> Driver<'o> {
                     // never be searched again; skip the wasted analysis.
                     current = false;
                 } else {
+                    let t = Instant::now();
                     deps = analyze(prog)?;
                     report.full_recomputes += 1;
+                    totals.analyze_full += 1;
+                    if let Some(r) = rec.as_ref() {
+                        r.observe("dep.analyze_ns", ns_since(t));
+                    }
                     resume_pt = None;
                 }
             }
@@ -363,6 +520,113 @@ impl<'o> Driver<'o> {
 
 fn analyze(prog: &Program) -> Result<DepGraph, RunError> {
     DepGraph::analyze(prog).map_err(|e| RunError::Analyze(e.to_string()))
+}
+
+fn ns_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn merge_rejects(into: &mut Vec<u64>, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (acc, n) in into.iter_mut().zip(from) {
+        *acc += n;
+    }
+}
+
+/// The anchor of a found binding: the value bound to the first pattern
+/// clause's first variable, rendered for the trace.
+fn anchor_of(opt: &CompiledOptimizer, env: &Bindings) -> Option<String> {
+    let (clause, _) = opt.patterns.first()?;
+    let var = clause.vars.first()?;
+    let val = env.get(var)?;
+    Some(match val {
+        crate::rt::RtVal::Stmt(s) => s.to_string(),
+        other => format!("{other:?}"),
+    })
+}
+
+/// Counters accumulated locally across one `apply` run and flushed to
+/// the recorder in a single batch when the run ends — on *every* exit
+/// path, including `?` returns and panics, because the flush lives in
+/// `Drop`. Keeping the hot loop out of the recorder lock bounds tracing
+/// overhead to the spans and structured events that genuinely need
+/// per-attempt timestamps.
+struct RunTotals {
+    rec: Option<Arc<Recorder>>,
+    opt_name: String,
+    attempts: u64,
+    applications: u64,
+    action_rollbacks: u64,
+    transform_ops: u64,
+    analyze_full: u64,
+    update_full: u64,
+    update_incremental: u64,
+    update_noop: u64,
+    edges_dropped: u64,
+    edges_added: u64,
+    cost: Cost,
+    /// Per-dependence-clause rejection counts (clause counters are
+    /// emitted as `search.dep_reject.<OPT>.clause<i>`).
+    rejects: Vec<u64>,
+}
+
+impl RunTotals {
+    fn new(rec: Option<Arc<Recorder>>, opt_name: &str) -> RunTotals {
+        RunTotals {
+            rec,
+            opt_name: opt_name.to_string(),
+            attempts: 0,
+            applications: 0,
+            action_rollbacks: 0,
+            transform_ops: 0,
+            analyze_full: 0,
+            update_full: 0,
+            update_incremental: 0,
+            update_noop: 0,
+            edges_dropped: 0,
+            edges_added: 0,
+            cost: Cost::default(),
+            rejects: Vec::new(),
+        }
+    }
+}
+
+impl Drop for RunTotals {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else { return };
+        let mut items: Vec<(Name, u64)> = Vec::with_capacity(16);
+        for (name, n) in [
+            ("driver.attempts", self.attempts),
+            ("driver.applications", self.applications),
+            ("driver.action_rollbacks", self.action_rollbacks),
+            ("cost.pattern_checks", self.cost.pattern_checks),
+            ("cost.dep_checks", self.cost.dep_checks),
+            ("cost.anchor_visits", self.cost.anchor_visits),
+            ("cost.transform_ops", self.transform_ops),
+            ("dep.analyze.full", self.analyze_full),
+            ("dep.update.full", self.update_full),
+            ("dep.update.incremental", self.update_incremental),
+            ("dep.update.noop", self.update_noop),
+            ("dep.update.edges_dropped", self.edges_dropped),
+            ("dep.update.edges_added", self.edges_added),
+            ("search.dep_reject", self.rejects.iter().sum()),
+        ] {
+            if n > 0 {
+                items.push((Name::Borrowed(name), n));
+            }
+        }
+        for (i, &n) in self.rejects.iter().enumerate() {
+            if n > 0 {
+                items.push((
+                    Name::Owned(format!("search.dep_reject.{}.clause{i}", self.opt_name)),
+                    n,
+                ));
+            }
+        }
+        rec.add_many(items);
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +769,59 @@ mod tests {
             incr.cost.anchor_visits,
             full.cost.anchor_visits
         );
+    }
+
+    #[test]
+    fn panic_mid_action_unwinds_the_journal() {
+        // A panic after the actions have journaled edits must not leak the
+        // half-transformed program: the driver replays the undo log before
+        // letting the panic propagate.
+        let src = "program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend";
+        let mut prog = minifor(src).unwrap();
+        let before = DisplayProgram(&prog).to_string();
+        let opt = ctp();
+        let mut d = Driver::new(&opt);
+        d.fault = Some(
+            crate::fault::FaultPlan::new(crate::fault::FaultKind::PanicInAction),
+        );
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = d.apply(&mut prog, ApplyMode::AllPoints);
+        }));
+        std::panic::set_hook(hook);
+        assert!(outcome.is_err(), "the injected panic must propagate");
+        assert_eq!(
+            DisplayProgram(&prog).to_string(),
+            before,
+            "the in-flight journal must be replayed before the panic escapes"
+        );
+    }
+
+    #[test]
+    fn recorder_sees_attempts_and_balanced_spans() {
+        let mut prog = minifor(
+            "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+        )
+        .unwrap();
+        let opt = ctp();
+        let mut d = Driver::new(&opt);
+        let rec = std::sync::Arc::new(gospel_trace::Recorder::new());
+        d.recorder = Some(rec.clone());
+        let report = d.apply(&mut prog, ApplyMode::AllPoints).unwrap();
+        assert_eq!(rec.open_spans(), 0, "every attempt span must close");
+        assert_eq!(
+            rec.counter("driver.applications"),
+            report.applications as u64
+        );
+        // attempts = applications + the final fixpoint probe
+        assert_eq!(
+            rec.counter("driver.attempts"),
+            report.applications as u64 + 1
+        );
+        let events = rec.drain_events();
+        assert!(events.iter().any(|e| e.name == "search.match"));
+        assert!(events.iter().any(|e| e.name == "dep.update"));
     }
 
     #[test]

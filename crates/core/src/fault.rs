@@ -26,6 +26,10 @@ pub enum FaultKind {
     /// The search panics (as buggy generated code might); only a
     /// `catch_unwind` boundary can contain it.
     Panic,
+    /// The action interpreter panics *after* journaling its edits — the
+    /// worst case for rollback, since the in-flight journal must still be
+    /// replayed before the panic propagates.
+    PanicInAction,
 }
 
 impl FaultKind {
@@ -35,6 +39,7 @@ impl FaultKind {
             FaultKind::Action => "action",
             FaultKind::CorruptCommit => "corrupt",
             FaultKind::Panic => "panic",
+            FaultKind::PanicInAction => "panic-action",
         }
     }
 }
@@ -104,9 +109,11 @@ impl FaultPlan {
             "action" => FaultKind::Action,
             "corrupt" => FaultKind::CorruptCommit,
             "panic" => FaultKind::Panic,
+            "panic-action" => FaultKind::PanicInAction,
             other => {
                 return Err(format!(
-                    "unknown fault kind `{other}` (expected analysis|action|corrupt|panic)"
+                    "unknown fault kind `{other}` \
+                     (expected analysis|action|corrupt|panic|panic-action)"
                 ))
             }
         };
@@ -148,7 +155,13 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for text in ["panic", "action@CTP", "corrupt@LUR:2", "analysis:1"] {
+        for text in [
+            "panic",
+            "action@CTP",
+            "corrupt@LUR:2",
+            "analysis:1",
+            "panic-action@FUS:1",
+        ] {
             let plan = FaultPlan::parse(text).unwrap();
             assert_eq!(plan.to_string(), text);
         }

@@ -10,6 +10,8 @@ use crate::error::RunError;
 use crate::fault::FaultPlan;
 use gospel_dep::DepGraph;
 use gospel_ir::Program;
+use gospel_trace::Recorder;
+use std::sync::Arc;
 
 /// Session configuration.
 #[derive(Clone, Copy, Debug)]
@@ -73,6 +75,8 @@ pub struct Session {
     /// Dependence graph carried across applies when the driver kept it
     /// current — the next apply or match skips its initial full analysis.
     deps_cache: Option<DepGraph>,
+    /// Structured-event sink handed to every driver this session runs.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Session {
@@ -85,6 +89,7 @@ impl Session {
             log: Vec::new(),
             fault: None,
             deps_cache: None,
+            recorder: None,
         }
     }
 
@@ -133,6 +138,18 @@ impl Session {
     /// the probe points live in the driver; see [`FaultPlan`].
     pub fn set_fault(&mut self, plan: Option<FaultPlan>) {
         self.fault = plan;
+    }
+
+    /// Attaches (or detaches) a structured-event recorder; every driver
+    /// run by subsequent `apply` calls emits its spans and counters there.
+    pub fn set_recorder(&mut self, rec: Option<Arc<Recorder>>) {
+        self.recorder = rec;
+    }
+
+    /// The attached recorder, if any (shared, so callers can drain events
+    /// while the session holds on to it).
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The session options (mutable, so budgets can be tuned mid-session).
@@ -189,6 +206,7 @@ impl Session {
             log,
             fault,
             deps_cache,
+            recorder,
         } = self;
         let opt = &optimizers[idx];
         let mut driver = Driver::new(opt);
@@ -202,6 +220,7 @@ impl Session {
             .max_growth
             .map(|k| (k as usize).saturating_mul(prog.len().max(1)));
         driver.fault = fault.clone();
+        driver.recorder = recorder.clone();
         // `apply_cached` takes the cache on entry, so an early error below
         // leaves it empty — never stale.
         let report = driver.apply_cached(prog, mode, deps_cache)?;

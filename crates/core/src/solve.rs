@@ -291,6 +291,10 @@ pub(crate) struct Searcher<'a> {
     /// Which strategy each Depend clause actually used, in evaluation
     /// order (introspection for the strategy experiments).
     pub strategies_used: Vec<Strategy>,
+    /// Per-Depend-clause candidate kills, indexed by clause position: how
+    /// often an `any` clause found no solution or a `no` clause found one,
+    /// failing the candidate binding reached from the pattern section.
+    pub dep_rejects: Vec<u64>,
 }
 
 impl<'a> Searcher<'a> {
@@ -305,6 +309,7 @@ impl<'a> Searcher<'a> {
             stop_before: None,
             ignore_depends: false,
             strategies_used: Vec::new(),
+            dep_rejects: vec![0; opt.depends.len()],
         }
     }
 
@@ -489,9 +494,14 @@ impl<'a> Searcher<'a> {
         out: &mut Vec<Bindings>,
         limit: usize,
     ) -> Result<bool, RunError> {
+        let di = idx - self.opt.patterns.len();
         match cc.clause.quant {
             Quant::Any => {
                 let solutions = self.solve_clause(cc, &env, false)?;
+                if solutions.is_empty() {
+                    self.dep_rejects[di] += 1;
+                    return Ok(false);
+                }
                 for sol in solutions {
                     if self.rec(idx + 1, sol, out, limit)? {
                         return Ok(true);
@@ -504,6 +514,7 @@ impl<'a> Searcher<'a> {
                 if solutions.is_empty() {
                     self.rec(idx + 1, env, out, limit)
                 } else {
+                    self.dep_rejects[di] += 1;
                     Ok(false)
                 }
             }

@@ -82,6 +82,24 @@ pub struct DepUpdate {
     /// `None` means no restriction is justified (full fallback, or an
     /// edit at the very front of the program).
     pub frontier: Option<StmtId>,
+    /// What the update actually did — the per-refresh accounting the
+    /// observability layer reports.
+    pub stats: UpdateStats,
+}
+
+/// Work accounting for one [`DepGraph::update`] call. All zero for a
+/// no-op; for a full fallback only `edges_added` is populated (the size
+/// of the freshly analyzed graph).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Symbols whose edges were invalidated (the dirty set).
+    pub dirty_syms: usize,
+    /// Stale data edges dropped before re-derivation.
+    pub edges_dropped: usize,
+    /// Edges re-derived against the post-edit program (data edges of the
+    /// dirty symbols plus the rebuilt control layer; for a full fallback,
+    /// every edge of the fresh graph).
+    pub edges_added: usize,
 }
 
 /// Symbols mentioned by one operand: the scalar itself, or an array plus
@@ -141,6 +159,7 @@ pub(crate) fn update(
         return Ok(DepUpdate {
             kind: UpdateKind::Noop,
             frontier: None,
+            stats: UpdateStats::default(),
         });
     }
     if delta.requires_full() {
@@ -148,6 +167,11 @@ pub(crate) fn update(
         return Ok(DepUpdate {
             kind: UpdateKind::Full,
             frontier: None,
+            stats: UpdateStats {
+                dirty_syms: 0,
+                edges_dropped: 0,
+                edges_added: g.len(),
+            },
         });
     }
 
@@ -295,7 +319,9 @@ pub(crate) fn update(
     // statement's symbols). The survivors stay in canonical order, so
     // the fresh batch below merges instead of forcing a full re-sort.
     let mut edges = g.take_edges();
+    let before_retain = edges.len();
     edges.retain(|e| e.kind != DepKind::Control && !dirty.contains(&e.var));
+    let edges_dropped = before_retain - edges.len();
 
     // Re-derive the dirty symbols' edges against the post-edit program.
     // One dense order table serves the derivation passes, the merge and
@@ -306,6 +332,11 @@ pub(crate) fn update(
     let ctrl = control_deps(prog);
     assert_no_directions(&ctrl);
     fresh.extend(ctrl);
+    let stats = UpdateStats {
+        dirty_syms: dirty.len(),
+        edges_dropped,
+        edges_added: fresh.len(),
+    };
 
     build::merge_sorted(&order, &mut edges, fresh);
 
@@ -344,6 +375,7 @@ pub(crate) fn update(
     Ok(DepUpdate {
         kind: UpdateKind::Incremental,
         frontier,
+        stats,
     })
 }
 

@@ -55,5 +55,5 @@ mod scalars;
 
 pub use build::AnalyzeError;
 pub use edge::{DepEdge, DepKind, DirElem, DirPattern, Direction};
-pub use incremental::{DepUpdate, UpdateKind};
+pub use incremental::{DepUpdate, UpdateKind, UpdateStats};
 pub use query::DepGraph;

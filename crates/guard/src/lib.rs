@@ -43,9 +43,11 @@
 use genesis::{ApplyMode, ApplyReport, CompiledOptimizer, FaultPlan, RunError, Session};
 use gospel_exec::{ExecError, ExecValue, Trace};
 use gospel_ir::Program;
+use gospel_trace::{Recorder, Span, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Guard configuration: how thoroughly to validate and how much head
 /// room to give each optimizer.
@@ -206,6 +208,7 @@ pub struct GuardedSession {
     ring: VecDeque<Program>,
     quarantine: BTreeMap<String, String>,
     reports: Vec<ValidationReport>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl GuardedSession {
@@ -232,7 +235,17 @@ impl GuardedSession {
             ring: VecDeque::new(),
             quarantine: BTreeMap::new(),
             reports: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches (or detaches) a structured-event recorder. The wrapped
+    /// session's driver shares it, so one trace interleaves the driver's
+    /// attempt spans with the guard's validation/rollback/quarantine
+    /// events in causal order.
+    pub fn set_recorder(&mut self, rec: Option<Arc<Recorder>>) {
+        self.session.set_recorder(rec.clone());
+        self.recorder = rec;
     }
 
     /// Registers an optimizer (it also leaves quarantine if re-registered
@@ -277,6 +290,11 @@ impl GuardedSession {
         self.session.set_fault(plan);
     }
 
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
     /// Restores the program as it was `n` successful-or-attempted applies
     /// ago (`rollback(1)` = just before the most recent apply). Discards
     /// the checkpoints in between.
@@ -304,6 +322,13 @@ impl GuardedSession {
             return Err("checkpoint ring unexpectedly empty".into());
         };
         self.session.restore_program(snap);
+        // Deliberately not `guard.rollback`: that event is reserved for
+        // validation-caused restores (the trace contract pairs each one
+        // with a preceding validation failure).
+        if let Some(r) = self.recorder.as_ref() {
+            r.add("guard.user_rollbacks", 1);
+            r.event("guard.user_rollback", &[("depth", Value::us(n))]);
+        }
         Ok(())
     }
 
@@ -319,11 +344,29 @@ impl GuardedSession {
     /// Only caller errors propagate: an unknown optimizer name.
     pub fn apply(&mut self, name: &str, mode: ApplyMode) -> Result<GuardOutcome, RunError> {
         if let Some(reason) = self.quarantine.get(&normalize(name)) {
+            if let Some(r) = self.recorder.as_ref() {
+                r.add("guard.skips", 1);
+                r.event(
+                    "guard.skip",
+                    &[
+                        ("optimizer", Value::str(name.to_string())),
+                        ("reason", Value::str(reason.to_string())),
+                    ],
+                );
+            }
             return Ok(GuardOutcome::Skipped {
                 optimizer: name.to_string(),
                 reason: reason.clone(),
             });
         }
+        let guard_span = Span::open(
+            self.recorder.as_ref(),
+            "guard.apply",
+            &[
+                ("optimizer", Value::str(name.to_string())),
+                ("mode", Value::str(format!("{mode:?}"))),
+            ],
+        );
 
         // Snapshot before touching anything; also the rollback target.
         let checkpoint = self.program().clone();
@@ -359,6 +402,7 @@ impl GuardedSession {
             Ok(Err(RunError::UnknownOptimizer { name })) => {
                 // Caller error: nothing ran, drop the useless checkpoint.
                 self.ring.pop_back();
+                guard_span.close(&[("outcome", Value::str("unknown-optimizer"))]);
                 return Err(RunError::UnknownOptimizer { name });
             }
             Ok(Err(e)) => {
@@ -373,11 +417,25 @@ impl GuardedSession {
             }
             Ok(Ok(apply_report)) => {
                 match self.validate(&canonical, &checkpoint, &baselines) {
-                    None => return Ok(GuardOutcome::Applied(apply_report)),
+                    None => {
+                        if let Some(r) = self.recorder.as_ref() {
+                            r.add("guard.validations", 1);
+                            r.event(
+                                "guard.validate",
+                                &[
+                                    ("optimizer", Value::str(canonical.clone())),
+                                    ("outcome", Value::str("pass")),
+                                ],
+                            );
+                        }
+                        guard_span.close(&[("outcome", Value::str("applied"))]);
+                        return Ok(GuardOutcome::Applied(apply_report));
+                    }
                     Some(report) => report,
                 }
             }
         };
+        guard_span.close(&[("outcome", Value::str("rejected"))]);
         Ok(GuardOutcome::Rejected(report))
     }
 
@@ -471,10 +529,37 @@ impl GuardedSession {
         vector: Option<usize>,
         mismatch_at: Option<usize>,
     ) -> ValidationReport {
+        // Trace contract: the validation-failure event always precedes the
+        // rollback (and quarantine) events it causes.
+        if let Some(r) = self.recorder.as_ref() {
+            r.add("guard.validations", 1);
+            r.add("guard.rejections", 1);
+            let stage_name = stage.to_string();
+            let mut fields = vec![
+                ("optimizer", Value::str(name.to_string())),
+                ("outcome", Value::str("fail")),
+                ("stage", Value::str(stage_name.clone())),
+                ("detail", Value::str(detail.clone())),
+            ];
+            if let Some(v) = vector {
+                fields.push(("vector", Value::us(v)));
+            }
+            r.event("guard.validate", &fields);
+        }
         self.session.restore_program(checkpoint);
         // The checkpoint equals the restored state; keeping it would make
         // rollback(1) a no-op, so drop it.
         self.ring.pop_back();
+        if let Some(r) = self.recorder.as_ref() {
+            r.add("guard.rollbacks", 1);
+            r.event(
+                "guard.rollback",
+                &[
+                    ("optimizer", Value::str(name.to_string())),
+                    ("stage", Value::str(stage.to_string())),
+                ],
+            );
+        }
         let quarantined = matches!(
             stage,
             GuardStage::Structural | GuardStage::Translation | GuardStage::Internal
@@ -482,6 +567,16 @@ impl GuardedSession {
         if quarantined {
             self.quarantine
                 .insert(normalize(name), format!("[{stage}] {detail}"));
+            if let Some(r) = self.recorder.as_ref() {
+                r.add("guard.quarantines", 1);
+                r.event(
+                    "guard.quarantine",
+                    &[
+                        ("optimizer", Value::str(name.to_string())),
+                        ("stage", Value::str(stage.to_string())),
+                    ],
+                );
+            }
         }
         let report = ValidationReport {
             optimizer: name.to_string(),

@@ -1,0 +1,861 @@
+//! # gospel-trace — structured tracing and metrics for GENesis
+//!
+//! A zero-dependency observability substrate: a thread-safe [`Recorder`]
+//! collects **spans** (paired open/close events with elapsed time),
+//! **instant events**, monotone **counters**, and log₂-bucketed
+//! **histograms**. Everything is in memory; the consumer decides what to
+//! do with it — stream events as JSONL ([`Event::to_jsonl`]), print an
+//! end-of-run summary ([`Recorder::metrics_table`]), or fold counters
+//! into a benchmark report.
+//!
+//! The event vocabulary used across the GENesis stack is documented in
+//! DESIGN.md ("Observability"); nothing here hard-codes it — names are
+//! plain strings, so new subsystems can add events without touching this
+//! crate.
+//!
+//! With the `record` feature disabled (it is on by default) the whole API
+//! compiles to inline no-ops: spans are inert, counters vanish, and
+//! [`Recorder::drain_events`] returns nothing, so untraced builds pay
+//! zero cost. With the feature *enabled* but no recorder installed in a
+//! driver or session, the cost is one `Option` check per probe.
+//!
+//! ```
+//! use gospel_trace::{Recorder, Span, Value};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(Recorder::new());
+//! let span = Span::open(Some(&rec), "demo.work", &[("input", Value::u(3))]);
+//! rec.add("demo.widgets", 2);
+//! span.close(&[("outcome", Value::str("ok"))]);
+//! for event in rec.drain_events() {
+//!     let line = event.to_jsonl();
+//!     gospel_trace::json::validate(&line).unwrap();
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An event or counter name: borrowed for the (overwhelmingly common)
+/// `&'static str` literals, owned for dynamically-built names such as
+/// per-clause counters. Keeping literals borrowed means recording an
+/// event allocates only for genuinely dynamic strings.
+pub type Name = Cow<'static, str>;
+
+// ---------------------------------------------------------------------------
+// shared data model (compiled regardless of the `record` feature)
+// ---------------------------------------------------------------------------
+
+/// A structured field value attached to an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A string — borrowed for `&'static str` literals (no allocation),
+    /// owned for dynamic strings.
+    Str(Cow<'static, str>),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Shorthand for [`Value::Str`]. Literals stay borrowed; pass an
+    /// owned `String` (cloning if needed) for dynamic values.
+    pub fn str(s: impl Into<Cow<'static, str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Shorthand for [`Value::UInt`].
+    pub fn u(n: u64) -> Value {
+        Value::UInt(n)
+    }
+
+    /// Shorthand for a `usize` counter value.
+    pub fn us(n: usize) -> Value {
+        Value::UInt(n as u64)
+    }
+
+    /// Shorthand for [`Value::Int`].
+    pub fn i(n: impl Into<i64>) -> Value {
+        Value::Int(n.into())
+    }
+
+    /// Shorthand for [`Value::Bool`].
+    pub fn b(v: bool) -> Value {
+        Value::Bool(v)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(s, out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::UInt(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (paired with a later [`EventKind::SpanClose`] carrying
+    /// the same `span` id).
+    SpanOpen,
+    /// A span closed; its fields include `elapsed_ns`.
+    SpanClose,
+    /// A point-in-time structured event.
+    Instant,
+    /// A counter increment; `value` holds the post-increment running
+    /// total (monotone within a run) and `delta` the increment.
+    Counter,
+}
+
+impl EventKind {
+    /// The `type` string used in the JSONL encoding.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            EventKind::SpanOpen => "span_open",
+            EventKind::SpanClose => "span_close",
+            EventKind::Instant => "event",
+            EventKind::Counter => "counter",
+        }
+    }
+}
+
+/// One recorded event. `seq` is unique and strictly increasing per
+/// recorder; `ts_ns` is nanoseconds since the recorder was created.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Strictly increasing sequence number.
+    pub seq: u64,
+    /// Nanoseconds since [`Recorder::new`].
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Event name (dot-separated, e.g. `driver.attempt`).
+    pub name: Name,
+    /// Span id for [`EventKind::SpanOpen`] / [`EventKind::SpanClose`].
+    pub span: Option<u64>,
+    /// Post-increment running total for [`EventKind::Counter`].
+    pub value: Option<u64>,
+    /// Increment for [`EventKind::Counter`].
+    pub delta: Option<u64>,
+    /// Structured fields, in recording order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline) — the
+    /// line format of `--trace out.jsonl`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        out.push_str("\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"ts_ns\":");
+        out.push_str(&self.ts_ns.to_string());
+        out.push_str(",\"type\":\"");
+        out.push_str(self.kind.type_name());
+        out.push_str("\",\"name\":");
+        write_json_string(&self.name, &mut out);
+        if let Some(id) = self.span {
+            out.push_str(",\"span\":");
+            out.push_str(&id.to_string());
+        }
+        if let Some(v) = self.value {
+            out.push_str(",\"value\":");
+            out.push_str(&v.to_string());
+        }
+        if let Some(d) = self.delta {
+            out.push_str(",\"delta\":");
+            out.push_str(&d.to_string());
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, &mut out);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// The field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A point-in-time snapshot of one histogram.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// log₂ buckets: `buckets[i]` counts observations in `[2^(i-1), 2^i)`
+    /// (bucket 0 counts zeros and ones).
+    pub buckets: [u64; 64],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in 0..=100),
+    /// an upper estimate good to a factor of two — enough for a summary
+    /// table without storing every observation.
+    pub fn quantile_upper(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = self.count.saturating_mul(q.min(100)).div_ceil(100);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// recording implementation
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "record")]
+mod imp {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    #[derive(Debug, Default)]
+    struct Inner {
+        seq: u64,
+        next_span: u64,
+        open_spans: u64,
+        events: Vec<Event>,
+        counters: BTreeMap<String, u64>,
+        histograms: BTreeMap<String, HistogramSnapshot>,
+    }
+
+    /// Thread-safe event/metric collector. See the crate docs.
+    #[derive(Debug)]
+    pub struct Recorder {
+        created: Instant,
+        inner: Mutex<Inner>,
+    }
+
+    impl Default for Recorder {
+        fn default() -> Self {
+            Recorder::new()
+        }
+    }
+
+    impl Recorder {
+        /// A fresh recorder with an empty buffer.
+        pub fn new() -> Recorder {
+            Recorder {
+                created: Instant::now(),
+                inner: Mutex::new(Inner::default()),
+            }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+            // A panic while holding this mutex cannot corrupt it (only
+            // Vec/BTreeMap pushes happen inside); recover the data.
+            self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        }
+
+        fn ts_ns(&self) -> u64 {
+            u64::try_from(self.created.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+
+        fn push(&self, inner: &mut Inner, mut event: Event) {
+            event.seq = inner.seq;
+            inner.seq += 1;
+            if inner.events.capacity() == inner.events.len() {
+                // Grow in large steps: Event is a wide struct, and a hot
+                // driver loop pushes hundreds per run.
+                inner.events.reserve(256);
+            }
+            inner.events.push(event);
+        }
+
+        /// Records an instant event.
+        pub fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+            let ts_ns = self.ts_ns();
+            let mut inner = self.lock();
+            let event = Event {
+                seq: 0,
+                ts_ns,
+                kind: EventKind::Instant,
+                name: Name::Borrowed(name),
+                span: None,
+                value: None,
+                delta: None,
+                fields: fields.to_vec(),
+            };
+            self.push(&mut inner, event);
+        }
+
+        /// Adds `delta` to counter `name` and records a counter event
+        /// carrying the new running total. Counters only ever increase, so
+        /// the emitted `value` sequence is monotone per name.
+        pub fn add(&self, name: impl Into<Name>, delta: u64) {
+            let ts_ns = self.ts_ns();
+            let mut inner = self.lock();
+            self.bump(&mut inner, ts_ns, name.into(), delta);
+        }
+
+        /// Adds every `(name, delta)` pair under one lock acquisition —
+        /// the cheap way to flush a batch of counters accumulated locally
+        /// by a hot loop. Each pair still emits its own counter event.
+        pub fn add_many(&self, items: Vec<(Name, u64)>) {
+            if items.is_empty() {
+                return;
+            }
+            let ts_ns = self.ts_ns();
+            let mut inner = self.lock();
+            for (name, delta) in items {
+                self.bump(&mut inner, ts_ns, name, delta);
+            }
+        }
+
+        fn bump(&self, inner: &mut Inner, ts_ns: u64, name: Name, delta: u64) {
+            let total = match inner.counters.get_mut(name.as_ref()) {
+                Some(t) => {
+                    *t = t.saturating_add(delta);
+                    *t
+                }
+                None => {
+                    inner.counters.insert(name.to_string(), delta);
+                    delta
+                }
+            };
+            let event = Event {
+                seq: 0,
+                ts_ns,
+                kind: EventKind::Counter,
+                name,
+                span: None,
+                value: Some(total),
+                delta: Some(delta),
+                fields: Vec::new(),
+            };
+            self.push(inner, event);
+        }
+
+        /// Records one observation (typically nanoseconds) into histogram
+        /// `name`. Histograms feed the metrics table only; they do not
+        /// emit per-observation events.
+        pub fn observe(&self, name: &str, value: u64) {
+            let mut inner = self.lock();
+            if !inner.histograms.contains_key(name) {
+                inner
+                    .histograms
+                    .insert(name.to_string(), HistogramSnapshot::default());
+            }
+            let h = inner.histograms.get_mut(name).expect("just inserted");
+            h.count += 1;
+            h.sum = h.sum.saturating_add(value);
+            h.max = h.max.max(value);
+            h.min = if h.count == 1 { value } else { h.min.min(value) };
+            let bucket = (64 - u64::leading_zeros(value.max(1))).saturating_sub(1) as usize;
+            h.buckets[bucket.min(63)] += 1;
+        }
+
+        /// Opens a span; returns `(id, open_ts_ns)` so the close can
+        /// derive the elapsed time from one clock read.
+        pub(super) fn span_open(
+            &self,
+            name: &'static str,
+            fields: &[(&'static str, Value)],
+        ) -> (u64, u64) {
+            let ts_ns = self.ts_ns();
+            let mut inner = self.lock();
+            inner.next_span += 1;
+            inner.open_spans += 1;
+            let id = inner.next_span;
+            let event = Event {
+                seq: 0,
+                ts_ns,
+                kind: EventKind::SpanOpen,
+                name: Name::Borrowed(name),
+                span: Some(id),
+                value: None,
+                delta: None,
+                fields: fields.to_vec(),
+            };
+            self.push(&mut inner, event);
+            (id, ts_ns)
+        }
+
+        pub(super) fn span_close(
+            &self,
+            id: u64,
+            name: &'static str,
+            open_ts_ns: u64,
+            fields: &[(&'static str, Value)],
+        ) {
+            let ts_ns = self.ts_ns();
+            let mut inner = self.lock();
+            inner.open_spans = inner.open_spans.saturating_sub(1);
+            let mut all = Vec::with_capacity(fields.len() + 1);
+            all.extend_from_slice(fields);
+            all.push((
+                "elapsed_ns",
+                Value::UInt(ts_ns.saturating_sub(open_ts_ns)),
+            ));
+            let event = Event {
+                seq: 0,
+                ts_ns,
+                kind: EventKind::SpanClose,
+                name: Name::Borrowed(name),
+                span: Some(id),
+                value: None,
+                delta: None,
+                fields: all,
+            };
+            self.push(&mut inner, event);
+        }
+
+        /// Takes every buffered event, leaving the buffer empty (counters
+        /// and histograms keep their totals).
+        pub fn drain_events(&self) -> Vec<Event> {
+            std::mem::take(&mut self.lock().events)
+        }
+
+        /// Number of spans currently open (opened but not yet closed).
+        pub fn open_spans(&self) -> u64 {
+            self.lock().open_spans
+        }
+
+        /// Counter totals, sorted by name.
+        pub fn counters(&self) -> Vec<(String, u64)> {
+            self.lock()
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        }
+
+        /// The total of one counter (zero when never incremented).
+        pub fn counter(&self, name: &str) -> u64 {
+            self.lock().counters.get(name).copied().unwrap_or(0)
+        }
+
+        /// Histogram snapshots, sorted by name.
+        pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+            self.lock()
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        }
+
+        /// Renders counters and histograms as an aligned end-of-run
+        /// summary (the `--metrics` table).
+        pub fn metrics_table(&self) -> String {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            let counters = self.counters();
+            if !counters.is_empty() {
+                let width = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(7);
+                let _ = writeln!(out, "{:<width$} {:>12}", "counter", "total");
+                for (name, total) in &counters {
+                    let _ = writeln!(out, "{name:<width$} {total:>12}");
+                }
+            }
+            let hists = self.histograms();
+            if !hists.is_empty() {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                let width = hists.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(9);
+                let _ = writeln!(
+                    out,
+                    "{:<width$} {:>8} {:>12} {:>12} {:>12}",
+                    "histogram", "count", "mean", "p90<=", "max"
+                );
+                for (name, h) in &hists {
+                    let _ = writeln!(
+                        out,
+                        "{name:<width$} {:>8} {:>12} {:>12} {:>12}",
+                        h.count,
+                        h.mean(),
+                        h.quantile_upper(90),
+                        h.max
+                    );
+                }
+            }
+            out
+        }
+    }
+
+    /// An open span. Dropping it closes the span (so error paths cannot
+    /// leak an unbalanced open); [`Span::close`] attaches outcome fields.
+    #[derive(Debug)]
+    pub struct Span {
+        rec: Option<Arc<Recorder>>,
+        id: u64,
+        name: &'static str,
+        open_ts_ns: u64,
+    }
+
+    impl Span {
+        /// Opens a span on `rec`; with `None` the span is inert.
+        pub fn open(
+            rec: Option<&Arc<Recorder>>,
+            name: &'static str,
+            fields: &[(&'static str, Value)],
+        ) -> Span {
+            match rec {
+                Some(r) => {
+                    let (id, open_ts_ns) = r.span_open(name, fields);
+                    Span {
+                        rec: Some(Arc::clone(r)),
+                        id,
+                        name,
+                        open_ts_ns,
+                    }
+                }
+                None => Span {
+                    rec: None,
+                    id: 0,
+                    name: "",
+                    open_ts_ns: 0,
+                },
+            }
+        }
+
+        /// An inert span (records nothing).
+        pub fn none() -> Span {
+            Span::open(None, "", &[])
+        }
+
+        /// Nanoseconds since the span opened (zero for an inert span).
+        pub fn elapsed_ns(&self) -> u64 {
+            match &self.rec {
+                Some(r) => r.ts_ns().saturating_sub(self.open_ts_ns),
+                None => 0,
+            }
+        }
+
+        /// Closes the span, attaching `fields` to the close event.
+        pub fn close(mut self, fields: &[(&'static str, Value)]) {
+            if let Some(rec) = self.rec.take() {
+                rec.span_close(self.id, self.name, self.open_ts_ns, fields);
+            }
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            if let Some(rec) = self.rec.take() {
+                rec.span_close(self.id, self.name, self.open_ts_ns, &[]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-op implementation (feature `record` disabled)
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "record"))]
+mod imp {
+    use super::*;
+    use std::sync::Arc;
+
+    /// No-op recorder: every method is an empty inline function.
+    #[derive(Debug, Default)]
+    pub struct Recorder;
+
+    impl Recorder {
+        /// A recorder that records nothing.
+        #[inline]
+        pub fn new() -> Recorder {
+            Recorder
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn event(&self, _name: &'static str, _fields: &[(&'static str, Value)]) {}
+
+        /// No-op.
+        #[inline]
+        pub fn add(&self, _name: impl Into<Name>, _delta: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn add_many(&self, _items: Vec<(Name, u64)>) {}
+
+        /// No-op.
+        #[inline]
+        pub fn observe(&self, _name: &str, _value: u64) {}
+
+        /// Always empty.
+        #[inline]
+        pub fn drain_events(&self) -> Vec<Event> {
+            Vec::new()
+        }
+
+        /// Always zero.
+        #[inline]
+        pub fn open_spans(&self) -> u64 {
+            0
+        }
+
+        /// Always empty.
+        #[inline]
+        pub fn counters(&self) -> Vec<(String, u64)> {
+            Vec::new()
+        }
+
+        /// Always zero.
+        #[inline]
+        pub fn counter(&self, _name: &str) -> u64 {
+            0
+        }
+
+        /// Always empty.
+        #[inline]
+        pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+            Vec::new()
+        }
+
+        /// Always empty.
+        #[inline]
+        pub fn metrics_table(&self) -> String {
+            String::new()
+        }
+    }
+
+    /// Inert span.
+    #[derive(Debug)]
+    pub struct Span;
+
+    impl Span {
+        /// Inert: records nothing.
+        #[inline]
+        pub fn open(
+            _rec: Option<&Arc<Recorder>>,
+            _name: &'static str,
+            _fields: &[(&'static str, Value)],
+        ) -> Span {
+            Span
+        }
+
+        /// Inert span.
+        #[inline]
+        pub fn none() -> Span {
+            Span
+        }
+
+        /// Always zero.
+        #[inline]
+        pub fn elapsed_ns(&self) -> u64 {
+            0
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn close(self, _fields: &[(&'static str, Value)]) {}
+    }
+}
+
+pub use imp::{Recorder, Span};
+
+#[cfg(all(test, feature = "record"))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_are_monotone_and_sequenced() {
+        let rec = Recorder::new();
+        rec.add("a", 3);
+        rec.add("a", 0);
+        rec.add("a", 5);
+        assert_eq!(rec.counter("a"), 8);
+        let events = rec.drain_events();
+        assert_eq!(events.len(), 3);
+        let mut last = 0;
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.kind, EventKind::Counter);
+            let v = e.value.unwrap();
+            assert!(v >= last, "counter went backwards");
+            last = v;
+        }
+        // draining empties the buffer but keeps totals
+        assert!(rec.drain_events().is_empty());
+        assert_eq!(rec.counter("a"), 8);
+    }
+
+    #[test]
+    fn spans_balance_even_when_dropped_early() {
+        let rec = Arc::new(Recorder::new());
+        let s1 = Span::open(Some(&rec), "outer", &[("k", Value::u(1))]);
+        assert_eq!(rec.open_spans(), 1);
+        {
+            let _s2 = Span::open(Some(&rec), "inner", &[]);
+            assert_eq!(rec.open_spans(), 2);
+            // dropped here without an explicit close
+        }
+        assert_eq!(rec.open_spans(), 1);
+        s1.close(&[("outcome", Value::str("ok"))]);
+        assert_eq!(rec.open_spans(), 0);
+        let events = rec.drain_events();
+        let opens: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanOpen)
+            .map(|e| e.span.unwrap())
+            .collect();
+        let closes: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanClose)
+            .map(|e| e.span.unwrap())
+            .collect();
+        assert_eq!(opens.len(), 2);
+        for id in opens {
+            assert!(closes.contains(&id), "span {id} never closed");
+        }
+        // every close carries elapsed_ns
+        for e in events.iter().filter(|e| e.kind == EventKind::SpanClose) {
+            assert!(e.field("elapsed_ns").is_some());
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_escaping() {
+        let rec = Recorder::new();
+        rec.event(
+            "weird",
+            &[
+                ("quote", Value::str("a\"b")),
+                ("slash", Value::str("a\\b")),
+                ("newline", Value::str("a\nb")),
+                ("neg", Value::i(-3)),
+                ("flag", Value::b(true)),
+            ],
+        );
+        for e in rec.drain_events() {
+            let line = e.to_jsonl();
+            assert!(!line.contains('\n'), "JSONL lines must be single-line");
+            json::validate(&line).unwrap_or_else(|err| panic!("{err}: {line}"));
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let rec = Recorder::new();
+        for v in [1u64, 2, 4, 1000, 100_000] {
+            rec.observe("ns", v);
+        }
+        let hists = rec.histograms();
+        assert_eq!(hists.len(), 1);
+        let (name, h) = &hists[0];
+        assert_eq!(name, "ns");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 101_007);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100_000);
+        assert!(h.quantile_upper(50) >= 4);
+        assert!(h.quantile_upper(100) >= 100_000 / 2);
+        let table = rec.metrics_table();
+        assert!(table.contains("histogram"), "{table}");
+        assert!(table.contains("ns"), "{table}");
+    }
+
+    #[test]
+    fn recorder_is_thread_safe() {
+        let rec = Arc::new(Recorder::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    rec.add("shared", 1);
+                    let s = Span::open(Some(&rec), "t", &[]);
+                    s.close(&[]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.counter("shared"), 400);
+        assert_eq!(rec.open_spans(), 0);
+        let events = rec.drain_events();
+        // seq is unique and strictly increasing after the internal sort
+        // order (events were pushed under one lock).
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Differential harness: full-recompute vs incremental dependence
+//! maintenance must be observationally identical.
+//!
+//! For every generated optimizer in the catalog and every workload in the
+//! ten-program suite, the driver is run twice — once with
+//! `incremental_deps` off (every refresh is a fresh [`DepGraph::analyze`])
+//! and once with it on (the `DepGraph::update` frontier path). The two
+//! runs must produce the same program text, the same application count,
+//! dependence graphs that agree with a from-scratch analysis, and the
+//! same execution outputs on a deterministic battery of input vectors.
+
+use genesis::{ApplyMode, CompiledOptimizer, Driver};
+use gospel_dep::DepGraph;
+use gospel_exec::{run_limited, ExecValue, Trace};
+use gospel_ir::{DisplayProgram, Program};
+use gospel_opts::interaction::natural_mode;
+use gospel_workloads::generator::input_vectors;
+
+const SEED: u64 = 0xD1FF;
+const VECTORS: usize = 6;
+const VECTOR_LEN: usize = 24;
+const STEP_LIMIT: u64 = 2_000_000;
+
+/// Runs `opt` to fixpoint on a copy of `prog`, returning the optimized
+/// program, how many times the actions fired, and the cached dependence
+/// graph if the driver kept it current.
+fn run_mode(
+    prog: &Program,
+    opt: &CompiledOptimizer,
+    mode: ApplyMode,
+    incremental: bool,
+) -> (Program, usize, Option<DepGraph>) {
+    let mut work = prog.clone();
+    let mut cache = None;
+    let mut d = Driver::new(opt);
+    d.incremental_deps = incremental;
+    let report = d
+        .apply_cached(&mut work, mode, &mut cache)
+        .unwrap_or_else(|e| panic!("{}: {e}", opt.name));
+    (work, report.applications, cache)
+}
+
+/// Executes `prog` on the deterministic vector battery, plus the empty
+/// input (programs that read nothing must still agree there).
+fn exec_battery(prog: &Program) -> Vec<Result<Trace, String>> {
+    let mut runs = Vec::new();
+    let mut batteries: Vec<Vec<ExecValue>> = input_vectors(SEED, VECTORS, VECTOR_LEN)
+        .into_iter()
+        .map(|v| v.into_iter().map(ExecValue::Int).collect())
+        .collect();
+    batteries.push(Vec::new());
+    for inputs in batteries {
+        runs.push(run_limited(prog, &inputs, STEP_LIMIT).map_err(|e| e.to_string()));
+    }
+    runs
+}
+
+fn assert_same_exec(wname: &str, oname: &str, full: &Program, incr: &Program) {
+    let a = exec_battery(full);
+    let b = exec_battery(incr);
+    assert_eq!(a.len(), b.len());
+    for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        match (ra, rb) {
+            (Ok(ta), Ok(tb)) => assert!(
+                ta.same_outputs(tb),
+                "{wname}/{oname}: vector {i} diverges at output {:?}",
+                ta.first_mismatch(tb)
+            ),
+            (Err(ea), Err(eb)) => {
+                assert_eq!(ea, eb, "{wname}/{oname}: vector {i} errors differ")
+            }
+            _ => panic!(
+                "{wname}/{oname}: vector {i}: one mode errored, the other did not"
+            ),
+        }
+    }
+}
+
+/// The headline differential: every optimizer × every workload, full vs
+/// incremental drivers.
+#[test]
+fn full_and_incremental_drivers_agree_on_every_optimizer_and_workload() {
+    let opts = gospel_opts::catalog().expect("catalog generates");
+    for (wname, prog) in gospel_workloads::suite() {
+        for opt in &opts {
+            let mode = natural_mode(opt);
+            let (full, apps_f, cache_f) = run_mode(&prog, opt, mode, false);
+            let (incr, apps_i, cache_i) = run_mode(&prog, opt, mode, true);
+
+            let ftext = DisplayProgram(&full).to_string();
+            let itext = DisplayProgram(&incr).to_string();
+            assert_eq!(
+                ftext, itext,
+                "{wname}/{}: full vs incremental programs differ",
+                opt.name
+            );
+            assert_eq!(
+                apps_f, apps_i,
+                "{wname}/{}: application counts differ",
+                opt.name
+            );
+
+            // Whenever a mode kept its cache current, the cached graph
+            // must agree with a from-scratch analysis of the final
+            // program — the incremental updater may not drift.
+            for (label, cache, final_prog) in
+                [("full", &cache_f, &full), ("incremental", &cache_i, &incr)]
+            {
+                if let Some(g) = cache {
+                    let fresh = DepGraph::analyze(final_prog)
+                        .unwrap_or_else(|e| panic!("{wname}/{}: {e}", opt.name));
+                    assert!(
+                        g.agrees_with(&fresh),
+                        "{wname}/{}: {label} cache disagrees with fresh analysis",
+                        opt.name
+                    );
+                }
+            }
+
+            assert_same_exec(wname, &opt.name, &full, &incr);
+        }
+    }
+}
+
+/// Chaining the whole catalog over one program (the bench's sequence
+/// shape) must also be mode-independent: dependence-state carried across
+/// optimizers is where incremental drift would compound.
+#[test]
+fn chained_catalog_sequence_is_mode_independent() {
+    let opts = gospel_opts::catalog().expect("catalog generates");
+    for (wname, prog) in gospel_workloads::suite() {
+        let run_chain = |incremental: bool| -> Program {
+            let mut work = prog.clone();
+            let mut cache = None;
+            for opt in &opts {
+                let mut d = Driver::new(opt);
+                d.incremental_deps = incremental;
+                d.apply_cached(&mut work, natural_mode(opt), &mut cache)
+                    .unwrap_or_else(|e| panic!("{wname}/{}: {e}", opt.name));
+            }
+            work
+        };
+        let full = run_chain(false);
+        let incr = run_chain(true);
+        assert_eq!(
+            DisplayProgram(&full).to_string(),
+            DisplayProgram(&incr).to_string(),
+            "{wname}: chained sequence differs between modes"
+        );
+        assert_same_exec(wname, "catalog-chain", &full, &incr);
+    }
+}

@@ -1,0 +1,84 @@
+//! Golden snapshot tests for [`gospel_frontend::unparse`].
+//!
+//! Each of the ten suite workloads has a committed `.golden` file under
+//! `tests/golden/` holding its canonical unparse. A snapshot mismatch
+//! means the printer (or a workload source) changed — inspect the diff,
+//! then refresh with `UPDATE_GOLDENS=1 cargo test --test golden`.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{name}.golden"))
+}
+
+fn update_goldens() -> bool {
+    std::env::var_os("UPDATE_GOLDENS").is_some_and(|v| v != "0")
+}
+
+#[test]
+fn suite_unparse_matches_committed_goldens() {
+    let mut stale = Vec::new();
+    for (name, prog) in gospel_workloads::suite() {
+        let got = gospel_frontend::unparse(&prog);
+        let path = golden_path(name);
+        if update_goldens() {
+            fs::write(&path, &got).unwrap_or_else(|e| panic!("{name}: {e}"));
+            continue;
+        }
+        let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: missing golden at {} ({e}); run with UPDATE_GOLDENS=1 to create it"
+            , path.display())
+        });
+        if got != want {
+            stale.push(format!(
+                "{name}: unparse drifted from {}\n--- golden\n{want}\n--- current\n{got}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "{} stale goldens (UPDATE_GOLDENS=1 to refresh):\n{}",
+        stale.len(),
+        stale.join("\n")
+    );
+}
+
+/// Unparse must be a fixpoint of compile∘unparse: recompiling a printed
+/// program and printing it again reproduces the same text.
+#[test]
+fn unparse_round_trips_through_compile() {
+    for (name, prog) in gospel_workloads::suite() {
+        let once = gospel_frontend::unparse(&prog);
+        let reparsed = gospel_frontend::compile(&once)
+            .unwrap_or_else(|e| panic!("{name}: unparse output failed to recompile: {e}"));
+        let twice = gospel_frontend::unparse(&reparsed);
+        assert_eq!(once, twice, "{name}: unparse is not stable under round-trip");
+    }
+}
+
+/// No golden file is orphaned: every `.golden` corresponds to a suite
+/// workload, so renames can't silently leave dead snapshots behind.
+#[test]
+fn no_orphaned_golden_files() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden");
+    let names: Vec<String> = gospel_workloads::suite()
+        .iter()
+        .map(|(n, _)| format!("{n}.golden"))
+        .collect();
+    for entry in fs::read_dir(&dir).expect("tests/golden exists") {
+        let entry = entry.unwrap();
+        let fname = entry.file_name().to_string_lossy().into_owned();
+        if fname.ends_with(".golden") {
+            assert!(
+                names.contains(&fname),
+                "orphaned golden file {fname}: no suite workload matches"
+            );
+        }
+    }
+}

@@ -204,3 +204,47 @@ fn user_rollback_walks_the_checkpoint_ring() {
     assert!(gs.program().structurally_eq(&original));
     assert_eq!(gs.checkpoints(), 0);
 }
+
+#[test]
+fn panic_mid_action_leaves_a_validatable_program() {
+    // Regression: a panic fired *after* the actions have journaled edits
+    // used to escape with the in-flight `EditDelta` journal dropped,
+    // leaving the session's program half-transformed. The driver now
+    // replays the undo log under `catch_unwind` before re-raising, so a
+    // guarded session must come back with every statement still valid
+    // and the program byte-identical to the pre-apply snapshot.
+    let prog = gospel_frontend::compile(
+        "program p\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend",
+    )
+    .unwrap();
+    let original = prog.clone();
+    let mut gs = GuardedSession::new(prog, GuardConfig::default());
+    gs.register(gospel_opts::by_name("CTP"));
+    gs.register(gospel_opts::by_name("DCE"));
+    gs.set_fault(Some(FaultPlan::new(FaultKind::PanicInAction)));
+
+    let outcome = gs
+        .apply("CTP", ApplyMode::AllPoints)
+        .expect("panic must be contained, not escape the session");
+    let GuardOutcome::Rejected(report) = outcome else {
+        panic!("expected the injected panic to reject, got {outcome:?}");
+    };
+    assert!(report.rolled_back, "{report}");
+    assert!(report.quarantined, "a contained panic must quarantine: {report}");
+
+    // The surviving program is structurally intact statement by
+    // statement — no dangling operands from the aborted transaction.
+    let prog = gs.program();
+    for id in prog.iter() {
+        gospel_ir::validate_stmt(prog, id)
+            .unwrap_or_else(|e| panic!("post-panic statement {id:?} invalid: {e}"));
+    }
+    gospel_ir::validate(prog).expect("post-panic program fails whole-program validation");
+    assert!(prog.structurally_eq(&original), "program not restored");
+
+    // And the session still works: the panicking optimizer is
+    // quarantined, but an un-faulted one runs to completion.
+    gs.set_fault(None);
+    let next = gs.apply("DCE", ApplyMode::AllPoints).unwrap();
+    assert!(matches!(next, GuardOutcome::Applied(_)), "{next:?}");
+}

@@ -1,0 +1,216 @@
+//! Trace-contract tests: invariants every recorded event stream must
+//! satisfy, checked over a real end-to-end run (the full catalog chained
+//! over every suite workload under a [`GuardedSession`], plus a broken
+//! optimizer to exercise the rejection path).
+//!
+//! The contract:
+//! 1. Counter events carry monotone running totals (`value` never
+//!    decreases, and each equals the previous total plus `delta`).
+//! 2. Spans balance: every `span_open` has exactly one matching
+//!    `span_close`, and nothing stays open at the end of a run.
+//! 3. A `guard.rollback` is always *caused*: it must be preceded by a
+//!    `guard.validate` event with `outcome == "fail"` (user-requested
+//!    restores are the separate `guard.user_rollback` event).
+//! 4. Every event serializes to one line of valid JSONL.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use genesis::ApplyMode;
+use genesis_guard::{GuardConfig, GuardOutcome, GuardedSession};
+use gospel_opts::interaction::natural_mode;
+use gospel_trace::{Event, EventKind, Recorder, Value};
+
+/// CTP without its reaching-definition guard — wrong on two-def programs,
+/// so translation validation rejects it and the rollback path fires.
+const BROKEN_CTP: &str = r#"
+OPTIMIZATION CTP
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=))
+                   AND operand(Sj, pos) == Si.opr_1;
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+END
+"#;
+
+const TWO_DEFS: &str = "\
+program t
+  integer c, x, y
+  read c
+  x = 3
+  if (c > 0) then
+    x = 4
+  end if
+  y = x
+  write y
+end
+";
+
+/// Runs the whole catalog over every workload with a recorder attached
+/// and returns the drained event stream.
+fn record_suite_run() -> (Arc<Recorder>, Vec<Event>) {
+    let rec = Arc::new(Recorder::new());
+    for (_name, prog) in gospel_workloads::suite() {
+        let mut gs = GuardedSession::new(prog, GuardConfig::default());
+        gs.set_recorder(Some(rec.clone()));
+        let opts = gospel_opts::catalog().expect("catalog generates");
+        let modes: Vec<(String, ApplyMode)> = opts
+            .iter()
+            .map(|o| (o.name.clone(), natural_mode(o)))
+            .collect();
+        for opt in opts {
+            gs.register(opt);
+        }
+        for (name, mode) in &modes {
+            gs.apply(name, *mode).expect("catalog apply");
+        }
+    }
+    let events = rec.drain_events();
+    (rec, events)
+}
+
+/// Runs the broken CTP on a two-definition program so validation fails.
+fn record_rejection_run() -> Vec<Event> {
+    let rec = Arc::new(Recorder::new());
+    let prog = gospel_frontend::compile(TWO_DEFS).unwrap();
+    let mut gs = GuardedSession::new(prog, GuardConfig::default());
+    gs.set_recorder(Some(rec.clone()));
+    gs.register(gospel_opts::compile_spec(BROKEN_CTP).expect("broken spec compiles"));
+    let outcome = gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    assert!(
+        matches!(outcome, GuardOutcome::Rejected(_)),
+        "the broken spec must be rejected for this fixture to mean anything: {outcome:?}"
+    );
+    rec.drain_events()
+}
+
+fn assert_counters_monotone(events: &[Event]) {
+    let mut totals: HashMap<String, u64> = HashMap::new();
+    for e in events {
+        if e.kind != EventKind::Counter {
+            continue;
+        }
+        let value = e.value.unwrap_or_else(|| panic!("{}: counter without value", e.name));
+        let delta = e.delta.unwrap_or_else(|| panic!("{}: counter without delta", e.name));
+        let prev = totals.get(e.name.as_ref()).copied().unwrap_or(0);
+        assert!(
+            value >= prev,
+            "{}: counter total went backwards ({prev} -> {value})",
+            e.name
+        );
+        assert_eq!(
+            value,
+            prev + delta,
+            "{}: running total does not equal previous + delta",
+            e.name
+        );
+        totals.insert(e.name.to_string(), value);
+    }
+    assert!(
+        totals.contains_key("driver.applications"),
+        "a full-suite run must bump driver.applications"
+    );
+}
+
+fn assert_spans_balanced(events: &[Event]) {
+    let mut open: HashMap<u64, &str> = HashMap::new();
+    let mut closed = 0usize;
+    for e in events {
+        match e.kind {
+            EventKind::SpanOpen => {
+                let id = e.span.expect("span_open without id");
+                assert!(
+                    open.insert(id, e.name.as_ref()).is_none(),
+                    "span id {id} opened twice"
+                );
+            }
+            EventKind::SpanClose => {
+                let id = e.span.expect("span_close without id");
+                let opened_as = open
+                    .remove(&id)
+                    .unwrap_or_else(|| panic!("span id {id} closed but never opened"));
+                assert_eq!(
+                    opened_as,
+                    e.name.as_ref(),
+                    "span id {id} closed under a different name"
+                );
+                assert!(
+                    e.field("elapsed_ns").is_some(),
+                    "{}: span_close must carry elapsed_ns",
+                    e.name
+                );
+                closed += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        open.is_empty(),
+        "spans left open at end of run: {:?}",
+        open.values().collect::<Vec<_>>()
+    );
+    assert!(closed > 0, "a full-suite run must close at least one span");
+}
+
+#[test]
+fn suite_run_counters_are_monotone_and_spans_balance() {
+    let (rec, events) = record_suite_run();
+    assert!(!events.is_empty(), "a traced run must record events");
+    assert_counters_monotone(&events);
+    assert_spans_balanced(&events);
+    assert_eq!(rec.open_spans(), 0, "recorder still thinks spans are open");
+    // The headline vocabulary must be present in a real run.
+    for needle in ["driver.attempt", "search.match", "dep.update", "guard.apply"] {
+        assert!(
+            events.iter().any(|e| e.name == needle),
+            "expected at least one `{needle}` event"
+        );
+    }
+}
+
+#[test]
+fn every_rollback_is_preceded_by_a_validation_failure() {
+    let events = record_rejection_run();
+    let mut last_validate_failed = false;
+    let mut rollbacks = 0usize;
+    for e in events {
+        match e.name.as_ref() {
+            "guard.validate" => {
+                last_validate_failed =
+                    e.field("outcome") == Some(&Value::str("fail"));
+            }
+            "guard.rollback" => {
+                rollbacks += 1;
+                assert!(
+                    last_validate_failed,
+                    "guard.rollback without a preceding guard.validate failure"
+                );
+                last_validate_failed = false;
+            }
+            _ => {}
+        }
+    }
+    assert!(rollbacks > 0, "the broken spec must trigger a rollback");
+}
+
+#[test]
+fn recorded_events_serialize_to_valid_jsonl() {
+    let (_rec, mut events) = record_suite_run();
+    events.extend(record_rejection_run());
+    assert!(!events.is_empty());
+    for e in &events {
+        let line = e.to_jsonl();
+        assert!(
+            !line.contains('\n'),
+            "{}: JSONL line contains an embedded newline",
+            e.name
+        );
+        gospel_trace::json::validate(&line)
+            .unwrap_or_else(|err| panic!("{}: invalid JSONL `{line}`: {err}", e.name));
+    }
+}
