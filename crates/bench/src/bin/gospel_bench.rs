@@ -12,8 +12,18 @@
 //!
 //! Emits `BENCH_incremental.json` (override with `--out PATH`); `--smoke`
 //! drops the repeat count for CI.
+//!
+//! `gospel-bench match` runs the second comparison: the indexed candidate
+//! searcher ([`genesis::StmtIndex`] + negative match cache) against the
+//! full anchor scan, with dependence maintenance held incremental in both
+//! arms so the delta is the match phase alone. It cross-checks that both
+//! searchers bind identical application points, times the match phase via
+//! the driver's `driver.search_ns` histogram, measures batch throughput
+//! at 1/2/4 threads through [`genesis::run_batch`], and emits
+//! `BENCH_match.json`. `--scan-gate 1.05` exits nonzero if the indexed
+//! geomean falls below 1/1.05 of the scan.
 
-use genesis::{ApplyMode, ApplyReport, Driver, RunError};
+use genesis::{ApplyMode, ApplyReport, Bindings, Driver, RunError};
 use gospel_ir::{DisplayProgram, Program};
 use gospel_trace::Recorder;
 use std::sync::Arc;
@@ -247,8 +257,355 @@ fn measure_trace_overhead(
     (bare_total, traced_est as u128, pct)
 }
 
+// ---------------------------------------------------------------------------
+// `match` mode: indexed candidate search vs full anchor scan.
+// ---------------------------------------------------------------------------
+
+/// One full sequence over one program with the indexed searcher forced on
+/// or off. Dependence maintenance is incremental in both arms, so the only
+/// work that differs between them is the match phase itself.
+struct MatchRun {
+    prog: Program,
+    applications: usize,
+    anchor_visits: u64,
+    candidates_pruned: u64,
+    cache_hits: u64,
+    /// Per-optimizer application bindings, for the differential cross-check.
+    points: Vec<Vec<Bindings>>,
+}
+
+fn run_match_sequence(
+    base: &Program,
+    opts: &[genesis::CompiledOptimizer],
+    indexed: bool,
+    recorder: Option<&Arc<Recorder>>,
+) -> Result<MatchRun, RunError> {
+    let mut prog = base.clone();
+    let mut total = MatchRun {
+        prog: base.clone(),
+        applications: 0,
+        anchor_visits: 0,
+        candidates_pruned: 0,
+        cache_hits: 0,
+        points: Vec::with_capacity(opts.len()),
+    };
+    let mut cache = None;
+    for opt in opts {
+        let mut d = Driver::new(opt);
+        d.incremental_deps = true;
+        d.indexed_search = indexed;
+        d.recorder = recorder.cloned();
+        let report = d.apply_cached(&mut prog, ApplyMode::AllPoints, &mut cache)?;
+        total.applications += report.applications;
+        total.anchor_visits += report.cost.anchor_visits;
+        total.candidates_pruned += report.candidates_pruned;
+        total.cache_hits += report.cache_hits;
+        total.points.push(report.points);
+    }
+    total.prog = prog;
+    Ok(total)
+}
+
+/// Minimum (wall_ns, search_ns, match_ns) over `repeats` runs, read from
+/// the driver's per-attempt histograms: `driver.search_ns` is the whole
+/// precondition search (pattern + dependence phases), `driver.pattern_ns`
+/// the pattern-matching phase alone — candidate enumeration plus clause
+/// format evaluation, the part the statement index replaces. Both arms
+/// carry the same recorder and timer overhead, so the ratios are
+/// apples-to-apples.
+fn time_match_mode(
+    base: &Program,
+    opts: &[genesis::CompiledOptimizer],
+    indexed: bool,
+    repeats: usize,
+) -> Result<(u128, u64, u64), RunError> {
+    let mut best_wall = u128::MAX;
+    let mut best_search = u64::MAX;
+    let mut best_match = u64::MAX;
+    for _ in 0..repeats {
+        let rec = Arc::new(Recorder::new());
+        let started = Instant::now();
+        run_match_sequence(base, opts, indexed, Some(&rec))?;
+        let wall = started.elapsed().as_nanos();
+        let hist = |name: &str| {
+            rec.histograms()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.sum)
+                .unwrap_or(0)
+        };
+        best_wall = best_wall.min(wall);
+        best_search = best_search.min(hist("driver.search_ns"));
+        best_match = best_match.min(hist("driver.pattern_ns"));
+    }
+    Ok((best_wall, best_search, best_match))
+}
+
+struct MatchRow {
+    name: &'static str,
+    applications: usize,
+    scan_visits: u64,
+    indexed_visits: u64,
+    candidates_pruned: u64,
+    cache_hits: u64,
+    scan_wall_ns: u128,
+    indexed_wall_ns: u128,
+    scan_search_ns: u64,
+    indexed_search_ns: u64,
+    scan_match_ns: u64,
+    indexed_match_ns: u64,
+    match_speedup: f64,
+}
+
+fn emit_match_json(
+    rows: &[MatchRow],
+    seq: &[String],
+    repeats: usize,
+    geomean: f64,
+    items: usize,
+    batch: &[(usize, u128)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"match\",\n");
+    out.push_str(&format!(
+        "  \"sequence\": [{}],\n",
+        seq.iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"applications\": {}, \"scan_anchor_visits\": {}, \
+             \"indexed_anchor_visits\": {}, \"candidates_pruned\": {}, \"cache_hits\": {}, \
+             \"scan_wall_ns\": {}, \"indexed_wall_ns\": {}, \"scan_search_ns\": {}, \
+             \"indexed_search_ns\": {}, \"scan_match_ns\": {}, \"indexed_match_ns\": {}, \
+             \"match_speedup\": {:.3}, \"bindings_checked\": true}}{}\n",
+            json_escape(r.name),
+            r.applications,
+            r.scan_visits,
+            r.indexed_visits,
+            r.candidates_pruned,
+            r.cache_hits,
+            r.scan_wall_ns,
+            r.indexed_wall_ns,
+            r.scan_search_ns,
+            r.indexed_search_ns,
+            r.scan_match_ns,
+            r.indexed_match_ns,
+            r.match_speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"geomean_match_speedup\": {geomean:.3},\n"));
+    out.push_str("  \"batch\": {\n");
+    out.push_str(&format!("    \"items\": {items},\n    \"threads\": [\n"));
+    for (i, (threads, ns)) in batch.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"threads\": {threads}, \"wall_ns\": {ns}}}{}\n",
+            if i + 1 == batch.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ],\n");
+    let base = batch.first().map(|&(_, ns)| ns).unwrap_or(1).max(1);
+    let best = batch.last().map(|&(_, ns)| ns).unwrap_or(1).max(1);
+    out.push_str(&format!(
+        "    \"speedup_4_over_1\": {:.3}\n  }}\n}}\n",
+        base as f64 / best as f64
+    ));
+    out
+}
+
+/// Each workload appears this many times in the batch-scaling measurement,
+/// so the pool has enough items to keep every worker busy.
+const BATCH_REPLICAS: usize = 2;
+
+fn batch_items(suite: &[(&'static str, Program)]) -> Vec<genesis::BatchItem> {
+    let mut items = Vec::with_capacity(suite.len() * BATCH_REPLICAS);
+    for rep in 0..BATCH_REPLICAS {
+        for (name, prog) in suite {
+            items.push(genesis::BatchItem {
+                label: format!("{name}#{rep}"),
+                prog: prog.clone(),
+            });
+        }
+    }
+    items
+}
+
+fn run_match_bench(args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_path = String::from("BENCH_match.json");
+    let mut repeats = if smoke { 3 } else { 30 };
+    let mut scan_gate: Option<f64> = None;
+    let mut seq: Vec<String> = SEQUENCE.iter().map(|s| s.to_string()).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seq" => {
+                seq = it
+                    .next()
+                    .map(|v| v.split(',').map(str::to_string).collect())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seq needs a comma-separated optimizer list");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                out_path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--repeats" => {
+                repeats = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--repeats needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--scan-gate" => {
+                scan_gate = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scan-gate needs a ratio (e.g. 1.05)");
+                    std::process::exit(2);
+                }));
+            }
+            "--smoke" => {}
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (expected --seq A,B | --out PATH | --repeats N | --smoke | --scan-gate RATIO)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let opts: Vec<_> = seq.iter().map(|n| gospel_opts::by_name(n)).collect();
+    let suite = gospel_workloads::suite();
+    let mut rows = Vec::new();
+
+    for (name, base) in &suite {
+        // Differential cross-check (untimed): the indexed searcher must
+        // find exactly the bindings the scanning searcher finds, in the
+        // same order, application by application, and land on the same
+        // final program.
+        let scan = run_match_sequence(base, &opts, false, None)
+            .unwrap_or_else(|e| panic!("{name}: scan-mode run failed: {e}"));
+        let indexed = run_match_sequence(base, &opts, true, None)
+            .unwrap_or_else(|e| panic!("{name}: indexed-mode run failed: {e}"));
+        assert_eq!(
+            scan.points, indexed.points,
+            "{name}: indexed search bound different application points than the scan"
+        );
+        assert!(
+            DisplayProgram(&scan.prog).to_string() == DisplayProgram(&indexed.prog).to_string()
+                && scan.applications == indexed.applications,
+            "{name}: modes disagree (scan {} apps, indexed {} apps)",
+            scan.applications,
+            indexed.applications
+        );
+
+        let (scan_wall_ns, scan_search_ns, scan_match_ns) =
+            time_match_mode(base, &opts, false, repeats)
+                .unwrap_or_else(|e| panic!("{name}: timing scan mode failed: {e}"));
+        let (indexed_wall_ns, indexed_search_ns, indexed_match_ns) =
+            time_match_mode(base, &opts, true, repeats)
+                .unwrap_or_else(|e| panic!("{name}: timing indexed mode failed: {e}"));
+        rows.push(MatchRow {
+            name,
+            applications: indexed.applications,
+            scan_visits: scan.anchor_visits,
+            indexed_visits: indexed.anchor_visits,
+            candidates_pruned: indexed.candidates_pruned,
+            cache_hits: indexed.cache_hits,
+            scan_wall_ns,
+            indexed_wall_ns,
+            scan_search_ns,
+            indexed_search_ns,
+            scan_match_ns,
+            indexed_match_ns,
+            match_speedup: scan_match_ns as f64 / indexed_match_ns.max(1) as f64,
+        });
+    }
+
+    let geomean =
+        (rows.iter().map(|r| r.match_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+
+    println!(
+        "{:<12} {:>5} {:>8} {:>8} {:>7} {:>6} {:>11} {:>11} {:>8}",
+        "workload", "apps", "scan-av", "idx-av", "pruned", "hits", "scan-match", "idx-match",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>5} {:>8} {:>8} {:>7} {:>6} {:>11} {:>11} {:>7.2}x",
+            r.name,
+            r.applications,
+            r.scan_visits,
+            r.indexed_visits,
+            r.candidates_pruned,
+            r.cache_hits,
+            r.scan_match_ns,
+            r.indexed_match_ns,
+            r.match_speedup
+        );
+    }
+    println!(
+        "geomean match-phase speedup over {} workloads: {:.2}x",
+        rows.len(),
+        geomean
+    );
+
+    // Batch scaling: the whole suite (replicated) through the parallel
+    // batch driver at 1, 2 and 4 threads, indexed search on.
+    let options = genesis::SessionOptions {
+        indexed_search: true,
+        ..Default::default()
+    };
+    let seq_names: Vec<&str> = seq.iter().map(String::as_str).collect();
+    let mut batch = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut best = u128::MAX;
+        for _ in 0..repeats.min(10) {
+            let items = batch_items(&suite);
+            let started = Instant::now();
+            let out = genesis::run_batch(items, &opts, &seq_names, options, threads, None);
+            best = best.min(started.elapsed().as_nanos());
+            assert!(
+                out.iter().all(|o| o.result.is_ok()),
+                "batch run failed at {threads} thread(s)"
+            );
+        }
+        println!("batch of {} items at {threads} thread(s): {best} ns", suite.len() * BATCH_REPLICAS);
+        batch.push((threads, best));
+    }
+
+    let json = emit_match_json(&rows, &seq, repeats, geomean, suite.len() * BATCH_REPLICAS, &batch);
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+
+    if let Some(gate) = scan_gate {
+        if geomean < 1.0 / gate {
+            eprintln!(
+                "error: indexed search geomean {geomean:.3}x is slower than the 1/{gate} gate"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("match") {
+        args.remove(0);
+        run_match_bench(&args);
+        return;
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut out_path = String::from("BENCH_incremental.json");
     let mut repeats = if smoke { 3 } else { 30 };

@@ -31,6 +31,10 @@ USAGE:
         run/seq options: [--validate] [--timeout-ms N] [--fuel N]
         [--max-growth K] [--inject KIND[@OPT][:N]]
         [--trace FILE] [--metrics] plus the apply options
+    genesis-opt batch <prog.mf>… [--seq <OPT>,<OPT>…] [--threads N]
+        apply a sequence to many programs in parallel (one session per
+        program, results in input order); also accepts [--source]
+        [--trace FILE] [--metrics] plus the session options above
     genesis-opt emit <OPT> [--lang c|rust]         print the generated source
     genesis-opt interactive <prog.mf> [--spec FILE]…   the §3 interface
 
@@ -144,6 +148,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             run_optimizers(prog, &names, args)
         }
+        "batch" => run_batch_command(args),
         "emit" => {
             let name = args.get(1).ok_or("missing optimization name")?;
             let opt = find_opt(name, args)?;
@@ -347,6 +352,93 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
         Err(format!(
             "{rejections} optimization(s) rejected and rolled back (program output above is the validated state)"
         ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The `batch` command: one session per program file, fanned out over a
+/// worker pool, results printed in input order. A failing program marks
+/// the exit code but never disturbs the other slots.
+fn run_batch_command(args: &[String]) -> Result<(), String> {
+    const VALUE_OPTS: [&str; 7] = [
+        "--seq",
+        "--threads",
+        "--trace",
+        "--timeout-ms",
+        "--fuel",
+        "--max-growth",
+        "--spec",
+    ];
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_OPTS.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            files.push(a.clone());
+            i += 1;
+        }
+    }
+    if files.is_empty() {
+        return Err("batch requires at least one program file".into());
+    }
+    let threads: usize = num_option(args, "--threads")?.unwrap_or(1);
+    let seq_text = option(args, "--seq");
+    let sequence: Vec<&str> = seq_text
+        .as_deref()
+        .map(|s| s.split(',').collect())
+        .unwrap_or_default();
+    let opts = parse_session_options(args)?;
+    let (recorder, trace_path, metrics) = parse_trace(args)?;
+
+    let mut optimizers: Vec<genesis::CompiledOptimizer> = Vec::new();
+    for opt in gospel_opts::catalog().map_err(|e| e.to_string())? {
+        optimizers.push(opt);
+    }
+    for path in options(args, "--spec") {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let opt = gospel_opts::compile_spec(&src).map_err(|e| format!("{path}: {e}"))?;
+        println!("registered user optimization {}", opt.name);
+        optimizers.push(opt);
+    }
+
+    let items = files
+        .iter()
+        .map(|f| {
+            Ok(genesis::BatchItem {
+                label: f.clone(),
+                prog: load_program(Some(f))?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+
+    let outcomes = genesis::run_batch(items, &optimizers, &sequence, opts, threads, recorder.as_ref());
+
+    let total = outcomes.len();
+    let mut failures = 0usize;
+    for o in &outcomes {
+        match &o.result {
+            Ok(ok) => {
+                println!("== {}: {} application(s), cost {}", o.label, ok.applications, ok.cost);
+                if flag(args, "--source") {
+                    print!("{}", gospel_frontend::unparse(&ok.prog));
+                } else {
+                    print!("{}", DisplayProgram(&ok.prog));
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("== {}: error: {e}", o.label);
+            }
+        }
+    }
+    finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics)?;
+    if failures > 0 {
+        Err(format!("{failures} of {total} program(s) failed"))
     } else {
         Ok(())
     }

@@ -6,6 +6,7 @@ use crate::compile::{CompiledOptimizer, Strategy};
 use crate::cost::Cost;
 use crate::error::RunError;
 use crate::fault::{FaultKind, FaultPlan};
+use crate::index::{anchor_filter, MatchCache, StmtIndex};
 use crate::rt::Bindings;
 use crate::solve::Searcher;
 use gospel_dep::{DepGraph, UpdateKind};
@@ -54,6 +55,13 @@ pub struct ApplyReport {
     /// Edges re-derived (or rebuilt, for full refreshes) across all
     /// dependence-graph refreshes.
     pub dep_edges_added: usize,
+    /// Anchor candidates the statement index excluded without a visit
+    /// (they could never carry the clause's pinned opcode). Zero when the
+    /// indexed searcher is off.
+    pub candidates_pruned: u64,
+    /// Anchor candidates the negative match cache skipped (a remembered
+    /// first-clause rejection no later edit invalidated).
+    pub cache_hits: u64,
     /// How many candidate bindings each PRECOND dependence clause killed,
     /// indexed by clause position in the Depend section. A clause kills a
     /// candidate when an `any` clause finds no solution or a `no` clause
@@ -97,6 +105,13 @@ pub struct Driver<'o> {
     /// Absolute statement-count cap, checked after each commit; the
     /// caller usually derives it as k× the original program size.
     pub max_stmts: Option<usize>,
+    /// Drive the search from a [`StmtIndex`] maintained across
+    /// applications (opcode-bucket candidate lists plus a negative
+    /// anchor cache), instead of full program scans. Identical bindings
+    /// either way; defaults from the `GENESIS_INDEXED_SEARCH`
+    /// environment toggle (on unless set to `0`/`off`). The index is
+    /// only consulted while `recompute_deps` keeps program order fresh.
+    pub indexed_search: bool,
     /// Scripted fault to inject at the matching probe point (tests the
     /// recovery machinery around the driver).
     pub fault: Option<FaultPlan>,
@@ -120,9 +135,24 @@ impl<'o> Driver<'o> {
             timeout_ms: None,
             fuel: None,
             max_stmts: None,
+            indexed_search: indexed_search_default(),
             fault: None,
             recorder: None,
         }
+    }
+
+    /// Whether any of this optimizer's statement pattern clauses can be
+    /// served from a [`StmtIndex`] bucket. Building and maintaining an
+    /// index an optimizer cannot consult (a loop-anchored pattern, or a
+    /// format with no opcode bound) is pure overhead, so `apply_cached`
+    /// skips it.
+    fn uses_index(&self) -> bool {
+        self.opt.patterns.iter().any(|(c, ty)| {
+            *ty == gospel_lang::ast::ElemType::Stmt
+                && c.vars
+                    .first()
+                    .is_some_and(|v| anchor_filter(c, v).narrows())
+        })
     }
 
     /// True when the configured fault plan fires at this probe.
@@ -226,6 +256,15 @@ impl<'o> Driver<'o> {
         // scan from the top. Set from the incremental updater's dirty
         // frontier after each committed application.
         let mut resume_pt: Option<StmtId> = None;
+        // Indexed-search state, maintained across the fixpoint loop by
+        // replaying each committed delta. The index needs fresh program
+        // order (`deps.order_of`) to keep candidate enumeration identical
+        // to a scan, so it stays off in stale-graph mode.
+        let mut sidx = (self.indexed_search && self.recompute_deps && self.uses_index())
+            .then(|| StmtIndex::build(prog));
+        let mut mcache = self
+            .indexed_search
+            .then(|| MatchCache::new(self.opt.patterns.first().map(|(c, _)| c)));
 
         loop {
             if let Some(ms) = self.timeout_ms {
@@ -251,6 +290,7 @@ impl<'o> Driver<'o> {
             totals.attempts += 1;
 
             let search_started = Instant::now();
+            let mut pattern_ns = 0u64;
             let found = {
                 let mut s = Searcher::new(prog, &deps, self.opt);
                 match mode {
@@ -262,12 +302,20 @@ impl<'o> Driver<'o> {
                     _ => {}
                 }
                 s.resume_from = resume_pt;
+                s.index = sidx.as_ref();
+                s.cache = mcache.as_mut();
+                s.time_pattern = rec.is_some();
                 let mut found = s.find_first()?;
                 report.cost += s.cost;
                 totals.cost += s.cost;
+                report.candidates_pruned += s.candidates_pruned;
+                report.cache_hits += s.cache_hits;
+                totals.candidates_pruned += s.candidates_pruned;
+                totals.cache_hits += s.cache_hits;
                 report.strategies_used.append(&mut s.strategies_used);
                 merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
                 merge_rejects(&mut totals.rejects, &s.dep_rejects);
+                pattern_ns += s.pattern_ns;
                 if found.is_none() && resume_pt.is_some() {
                     // Safety net: the frontier filter only rescans anchors
                     // at or after the dirty frontier, but a pattern with
@@ -277,12 +325,20 @@ impl<'o> Driver<'o> {
                     // cover every anchor exactly once.
                     let mut s = Searcher::new(prog, &deps, self.opt);
                     s.stop_before = resume_pt;
+                    s.index = sidx.as_ref();
+                    s.cache = mcache.as_mut();
+                    s.time_pattern = rec.is_some();
                     found = s.find_first()?;
                     report.cost += s.cost;
                     totals.cost += s.cost;
+                    report.candidates_pruned += s.candidates_pruned;
+                    report.cache_hits += s.cache_hits;
+                    totals.candidates_pruned += s.candidates_pruned;
+                    totals.cache_hits += s.cache_hits;
                     report.strategies_used.append(&mut s.strategies_used);
                     merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
                     merge_rejects(&mut totals.rejects, &s.dep_rejects);
+                    pattern_ns += s.pattern_ns;
                 }
                 found
             };
@@ -292,6 +348,7 @@ impl<'o> Driver<'o> {
             // per-attempt stream for no information.
             if let Some(r) = rec.as_ref() {
                 r.observe("driver.search_ns", ns_since(search_started));
+                r.observe("driver.pattern_ns", pattern_ns);
                 if let Some(env) = found.as_ref() {
                     let mut fields = vec![
                         ("optimizer", Value::str(self.opt.name.clone())),
@@ -401,6 +458,18 @@ impl<'o> Driver<'o> {
                         statements: prog.len(),
                         limit: cap,
                     });
+                }
+            }
+
+            // Replay the committed delta into the search index and drop
+            // the cached verdicts of every touched statement — same
+            // journal, same O(|delta|) contract as `DepGraph::update`.
+            if !delta.is_empty() {
+                if let Some(ix) = sidx.as_mut() {
+                    ix.update(prog, &delta);
+                }
+                if let Some(c) = mcache.as_mut() {
+                    c.invalidate(&delta);
                 }
             }
 
@@ -518,6 +587,22 @@ impl<'o> Driver<'o> {
     }
 }
 
+/// The session-wide default for [`Driver::indexed_search`]: on, unless
+/// the `GENESIS_INDEXED_SEARCH` environment variable says `0` or `off`
+/// (the CI differential suite runs both settings). Read once per
+/// process.
+pub fn indexed_search_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !std::env::var("GENESIS_INDEXED_SEARCH")
+            .map(|v| {
+                let v = v.trim();
+                v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")
+            })
+            .unwrap_or(false)
+    })
+}
+
 fn analyze(prog: &Program) -> Result<DepGraph, RunError> {
     DepGraph::analyze(prog).map_err(|e| RunError::Analyze(e.to_string()))
 }
@@ -566,6 +651,8 @@ struct RunTotals {
     update_noop: u64,
     edges_dropped: u64,
     edges_added: u64,
+    candidates_pruned: u64,
+    cache_hits: u64,
     cost: Cost,
     /// Per-dependence-clause rejection counts (clause counters are
     /// emitted as `search.dep_reject.<OPT>.clause<i>`).
@@ -587,6 +674,8 @@ impl RunTotals {
             update_noop: 0,
             edges_dropped: 0,
             edges_added: 0,
+            candidates_pruned: 0,
+            cache_hits: 0,
             cost: Cost::default(),
             rejects: Vec::new(),
         }
@@ -612,10 +701,17 @@ impl Drop for RunTotals {
             ("dep.update.edges_dropped", self.edges_dropped),
             ("dep.update.edges_added", self.edges_added),
             ("search.dep_reject", self.rejects.iter().sum()),
+            ("search.candidates_pruned", self.candidates_pruned),
         ] {
             if n > 0 {
                 items.push((Name::Borrowed(name), n));
             }
+        }
+        if self.cache_hits > 0 {
+            items.push((
+                Name::Owned(format!("search.cache_hit.{}", self.opt_name)),
+                self.cache_hits,
+            ));
         }
         for (i, &n) in self.rejects.iter().enumerate() {
             if n > 0 {

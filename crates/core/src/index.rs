@@ -1,0 +1,857 @@
+//! Indexed candidate search: a [`StmtIndex`] keying the program's
+//! statements by opcode, defined variable, used variable and enclosing
+//! loop, plus a delta-invalidated negative [`MatchCache`].
+//!
+//! Both structures serve the driver hot loop. The index lets
+//! `Searcher::pattern_candidates` start from the opcode bucket named by
+//! an anchor clause (`any Si: Si.opc == assign AND …`) instead of
+//! scanning every statement per fixpoint iteration, and it answers the
+//! members-then-deps cost model's "how big is this loop body" question
+//! in O(1). The cache remembers anchors an optimizer's *anchor-local*
+//! first pattern clause already rejected, so a converging run stops
+//! re-checking clean regions.
+//!
+//! Maintenance follows the same contract as `DepGraph::update`: replay
+//! the [`EditDelta`] journal in O(|delta| + touched-bucket) work, with a
+//! full rebuild whenever the batch touched control structure
+//! (`EditDelta::requires_full`).
+
+use gospel_ir::{EditDelta, Opcode, Operand, Program, Quad, StmtId, Sym};
+use gospel_lang::ast::{Attr, BoolExpr, CmpOp, OperandClass, PatternClause, ValExpr};
+use std::collections::HashMap;
+
+/// Reverse record for one indexed statement: everything needed to remove
+/// it from the buckets without consulting the (possibly already-edited)
+/// program.
+#[derive(Clone, Debug)]
+struct StmtEntry {
+    /// `Opcode::gospel_name` — the `by_opcode` bucket key.
+    op_key: &'static str,
+    /// Operand class per position (`opr_1`..`opr_3`), for the
+    /// [`AnchorFilter`] class constraints.
+    cls: [OperandClass; 3],
+    /// `Quad::def_base` — the `by_def` bucket key, if defining.
+    def: Option<Sym>,
+    /// `Quad::used_vars` — the `by_use` bucket keys.
+    uses: Vec<Sym>,
+    /// Innermost enclosing loop, identified by its header statement
+    /// (a loop's own head/end belong to the surrounding context, the
+    /// `LoopTable` convention).
+    encl: Option<StmtId>,
+}
+
+fn class_of(o: &Operand) -> OperandClass {
+    match o {
+        Operand::Const(_) => OperandClass::Const,
+        Operand::Var(_) => OperandClass::Var,
+        Operand::Elem { .. } => OperandClass::Elem,
+        Operand::None => OperandClass::None,
+    }
+}
+
+/// Statements of one program keyed four ways — by opcode, by defined
+/// variable, by used variable, and by enclosing loop — maintained
+/// incrementally from [`EditDelta`] journals.
+///
+/// Bucket order is unspecified; consumers needing program order sort by
+/// `DepGraph::order_of` (which the driver keeps fresh whenever the index
+/// is in play).
+#[derive(Clone, Debug, Default)]
+pub struct StmtIndex {
+    by_opcode: HashMap<&'static str, Vec<StmtId>>,
+    by_def: HashMap<Sym, Vec<StmtId>>,
+    by_use: HashMap<Sym, Vec<StmtId>>,
+    /// Direct members of each loop, keyed by the loop's header statement.
+    by_loop: HashMap<StmtId, Vec<StmtId>>,
+    /// Transitive body size per loop header: exactly the number of live
+    /// statements strictly between the header and its `end do` — what
+    /// `LoopTable::body(..).count()` would report.
+    body_count: HashMap<StmtId, usize>,
+    /// Dense per-statement reverse records, indexed by `StmtId::index`.
+    entries: Vec<Option<StmtEntry>>,
+    live: usize,
+}
+
+fn is_head(op: Opcode) -> bool {
+    op.is_loop_head()
+}
+
+impl StmtIndex {
+    /// Builds the index from scratch with one walk over the program.
+    pub fn build(prog: &Program) -> StmtIndex {
+        let mut ix = StmtIndex {
+            entries: Vec::new(),
+            ..StmtIndex::default()
+        };
+        ix.entries.resize_with(prog.id_bound(), || None);
+        // Marker-stack walk: no LoopTable needed, same enclosing-loop
+        // semantics (head/end belong to the parent context).
+        let mut stack: Vec<StmtId> = Vec::new();
+        for id in prog.iter() {
+            let quad = prog.quad(id);
+            match quad.op {
+                Opcode::DoHead | Opcode::ParDo => {
+                    ix.insert(id, quad, stack.last().copied());
+                    stack.push(id);
+                }
+                Opcode::EndDo => {
+                    stack.pop();
+                    ix.insert(id, quad, stack.last().copied());
+                }
+                _ => ix.insert(id, quad, stack.last().copied()),
+            }
+        }
+        ix
+    }
+
+    /// Number of indexed (live) statements.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Statements whose opcode's `gospel_name` is `key` (unordered).
+    pub fn by_opcode(&self, key: &str) -> &[StmtId] {
+        self.by_opcode.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Statements defining `sym` (scalar, LCV, or array written into).
+    pub fn by_def(&self, sym: Sym) -> &[StmtId] {
+        self.by_def.get(&sym).map_or(&[], Vec::as_slice)
+    }
+
+    /// Statements reading `sym` (including subscript reads).
+    pub fn by_use(&self, sym: Sym) -> &[StmtId] {
+        self.by_use.get(&sym).map_or(&[], Vec::as_slice)
+    }
+
+    /// Direct members of the loop headed at `head` (unordered; nested
+    /// statements belong to their own innermost loop's bucket).
+    pub fn loop_members(&self, head: StmtId) -> &[StmtId] {
+        self.by_loop.get(&head).map_or(&[], Vec::as_slice)
+    }
+
+    /// Transitive body size of the loop headed at `head`: the number of
+    /// live statements strictly between the header and its `end do` —
+    /// the value `LoopTable::body(prog, l).count()` computes in O(body).
+    pub fn body_size(&self, head: StmtId) -> Option<usize> {
+        self.body_count.get(&head).copied()
+    }
+
+    /// Innermost enclosing loop header of `id`, if the statement is
+    /// indexed and inside a loop.
+    pub fn enclosing(&self, id: StmtId) -> Option<StmtId> {
+        self.entries.get(id.index())?.as_ref()?.encl
+    }
+
+    /// Every statement an [`AnchorFilter`] admits, unordered: the union
+    /// of the filter's opcode buckets, narrowed by its operand-class
+    /// constraints against the per-statement entries. `None` when the
+    /// filter has no opcode bound (nothing to start from — the scan path
+    /// is as good).
+    ///
+    /// The result over-approximates the clause: a statement outside it
+    /// provably fails the clause's opcode disjunction or one of its
+    /// top-level `type(var.opr_N)` conjuncts, so restricting any
+    /// quantifier's candidates to it is sound.
+    pub fn candidates(&self, filter: &AnchorFilter) -> Option<Vec<StmtId>> {
+        let opcodes = filter.opcodes.as_ref()?;
+        let mut out = Vec::new();
+        for key in opcodes {
+            for &id in self.by_opcode(key) {
+                let entry = self.entries[id.index()]
+                    .as_ref()
+                    .expect("bucket members are indexed");
+                if filter
+                    .classes
+                    .iter()
+                    .all(|&(pos, cls, positive)| (entry.cls[pos] == cls) == positive)
+                {
+                    out.push(id);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn insert(&mut self, id: StmtId, quad: &Quad, encl: Option<StmtId>) {
+        let entry = StmtEntry {
+            op_key: quad.op.gospel_name(),
+            cls: [class_of(&quad.dst), class_of(&quad.a), class_of(&quad.b)],
+            def: quad.def_base(),
+            uses: quad.used_vars(),
+            encl,
+        };
+        self.by_opcode.entry(entry.op_key).or_default().push(id);
+        if let Some(d) = entry.def {
+            self.by_def.entry(d).or_default().push(id);
+        }
+        for &u in &entry.uses {
+            self.by_use.entry(u).or_default().push(id);
+        }
+        if is_head(quad.op) {
+            self.body_count.entry(id).or_insert(0);
+            self.by_loop.entry(id).or_default();
+        }
+        if let Some(h) = encl {
+            self.by_loop.entry(h).or_default().push(id);
+        }
+        // Every enclosing head up the chain gains one body statement.
+        let mut cur = encl;
+        while let Some(h) = cur {
+            *self.body_count.entry(h).or_insert(0) += 1;
+            cur = self.entries[h.index()].as_ref().and_then(|e| e.encl);
+        }
+        if id.index() >= self.entries.len() {
+            self.entries.resize_with(id.index() + 1, || None);
+        }
+        self.entries[id.index()] = Some(entry);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: StmtId) {
+        let Some(entry) = self.entries[id.index()].take() else {
+            return;
+        };
+        remove_from(self.by_opcode.get_mut(entry.op_key), id);
+        if let Some(d) = entry.def {
+            remove_from(self.by_def.get_mut(&d), id);
+        }
+        for u in &entry.uses {
+            remove_from(self.by_use.get_mut(u), id);
+        }
+        if let Some(h) = entry.encl {
+            remove_from(self.by_loop.get_mut(&h), id);
+        }
+        let mut cur = entry.encl;
+        while let Some(h) = cur {
+            if let Some(n) = self.body_count.get_mut(&h) {
+                *n = n.saturating_sub(1);
+            }
+            cur = self.entries[h.index()].as_ref().and_then(|e| e.encl);
+        }
+        self.live -= 1;
+    }
+
+    /// Replays one committed edit batch, leaving the index exactly as
+    /// [`StmtIndex::build`] over the post-edit program would.
+    ///
+    /// Non-structural batches are replayed in O(|delta| + touched
+    /// buckets): every touched statement is unindexed from its recorded
+    /// entry, then re-derived from the current program (the enclosing
+    /// loop comes from a short backwards walk to the nearest untouched
+    /// neighbour, sound because non-structural batches never add, remove
+    /// or relocate loop markers). Structural batches rebuild from
+    /// scratch, the same fallback `DepGraph::update` takes.
+    pub fn update(&mut self, prog: &Program, delta: &EditDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        if delta.requires_full() {
+            *self = StmtIndex::build(prog);
+            return;
+        }
+        if prog.id_bound() > self.entries.len() {
+            self.entries.resize_with(prog.id_bound(), || None);
+        }
+        // Phase 1: unindex every touched statement. A statement can be
+        // touched by several ops (modified then deleted); the entry take
+        // in `remove` makes repeats harmless.
+        let mut touched: Vec<StmtId> = Vec::with_capacity(delta.len());
+        for op in delta.ops() {
+            let id = op.stmt();
+            if !touched.contains(&id) {
+                touched.push(id);
+            }
+        }
+        for &id in &touched {
+            self.remove(id);
+        }
+        // Phase 2: re-index the survivors from the program. The
+        // enclosing-loop walk skips other touched statements (their
+        // entries are gone, but a non-structural touched statement is
+        // never a loop marker, so skipping it cannot change the
+        // context); it stops at a live loop header, at an untouched
+        // statement's recorded context, or at the program start.
+        for &id in &touched {
+            if !prog.is_live(id) {
+                continue;
+            }
+            let encl = self.derive_encl(prog, id);
+            self.insert(id, prog.quad(id), encl);
+        }
+    }
+
+    fn derive_encl(&self, prog: &Program, id: StmtId) -> Option<StmtId> {
+        let mut cur = prog.prev(id);
+        while let Some(p) = cur {
+            let op = prog.quad(p).op;
+            if is_head(op) {
+                return Some(p);
+            }
+            if let Some(entry) = self.entries.get(p.index()).and_then(Option::as_ref) {
+                return entry.encl;
+            }
+            // A touched, not-yet-reindexed plain statement: same context.
+            cur = prog.prev(p);
+        }
+        None
+    }
+
+    /// Structural equality against another index, ignoring bucket order —
+    /// the property-test oracle (incrementally-maintained vs
+    /// rebuilt-from-scratch).
+    pub fn agrees_with(&self, other: &StmtIndex) -> bool {
+        fn norm<K: Ord + Copy>(m: &HashMap<K, Vec<StmtId>>) -> Vec<(K, Vec<StmtId>)> {
+            let mut out: Vec<(K, Vec<StmtId>)> = m
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(k, v)| {
+                    let mut v = v.clone();
+                    v.sort_unstable();
+                    (*k, v)
+                })
+                .collect();
+            out.sort_unstable_by_key(|(k, _)| *k);
+            out
+        }
+        fn norm_str(m: &HashMap<&'static str, Vec<StmtId>>) -> Vec<(&'static str, Vec<StmtId>)> {
+            let mut out: Vec<(&'static str, Vec<StmtId>)> = m
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(k, v)| {
+                    let mut v = v.clone();
+                    v.sort_unstable();
+                    (*k, v)
+                })
+                .collect();
+            out.sort_unstable_by_key(|(k, _)| *k);
+            out
+        }
+        let counts = |m: &HashMap<StmtId, usize>| {
+            let mut out: Vec<(StmtId, usize)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+            out.sort_unstable();
+            out
+        };
+        self.live == other.live
+            && norm_str(&self.by_opcode) == norm_str(&other.by_opcode)
+            && norm(&self.by_def) == norm(&other.by_def)
+            && norm(&self.by_use) == norm(&other.by_use)
+            && norm(&self.by_loop) == norm(&other.by_loop)
+            && counts(&self.body_count) == counts(&other.body_count)
+    }
+}
+
+fn remove_from(bucket: Option<&mut Vec<StmtId>>, id: StmtId) {
+    if let Some(v) = bucket {
+        if let Some(i) = v.iter().position(|&s| s == id) {
+            v.swap_remove(i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the negative match cache
+// ---------------------------------------------------------------------------
+
+/// Per-optimizer negative cache over anchor statements: remembers
+/// statements the optimizer's *first pattern clause* rejected, so later
+/// fixpoint iterations skip them without re-evaluating the format.
+///
+/// Soundness rests on eligibility: the cache only engages when the first
+/// clause is a `any`-quantified single-statement pattern whose format is
+/// *anchor-local* — it reads nothing but the anchor's own opcode and
+/// operands (no `.nxt`/`.prev` navigation, no other variables). Such a
+/// format's verdict can only change when the anchor's own quad changes,
+/// and every quad change appears in the committed [`EditDelta`] — the
+/// driver calls [`MatchCache::invalidate`] per delta, which clears
+/// exactly the touched statements (or everything, on structural
+/// batches). Deeper clauses (dependence clauses, later pattern clauses)
+/// are never cached: their verdicts depend on other statements.
+#[derive(Clone, Debug)]
+pub struct MatchCache {
+    rejected: Vec<bool>,
+    eligible: bool,
+}
+
+impl MatchCache {
+    /// A cache for one optimizer's run; `eligible` is decided from the
+    /// first pattern clause (see [`MatchCache::clause_eligible`]).
+    pub fn new(first_clause: Option<&PatternClause>) -> MatchCache {
+        MatchCache {
+            rejected: Vec::new(),
+            eligible: first_clause.is_some_and(Self::clause_eligible),
+        }
+    }
+
+    /// Whether a first pattern clause qualifies for negative caching:
+    /// `any`-quantified, one variable, and an anchor-local format.
+    pub fn clause_eligible(clause: &PatternClause) -> bool {
+        use gospel_lang::ast::Quant;
+        clause.quant == Quant::Any
+            && clause.vars.len() == 1
+            && clause
+                .format
+                .as_ref()
+                .is_some_and(|f| anchor_local(f, &clause.vars[0]))
+    }
+
+    /// True when the cache is active for this optimizer.
+    pub fn enabled(&self) -> bool {
+        self.eligible
+    }
+
+    /// True when `id` was rejected by the first clause and nothing has
+    /// touched it since.
+    pub fn is_rejected(&self, id: StmtId) -> bool {
+        self.eligible && self.rejected.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Remembers a first-clause format rejection of `id`.
+    pub fn mark_rejected(&mut self, id: StmtId) {
+        if !self.eligible {
+            return;
+        }
+        if id.index() >= self.rejected.len() {
+            self.rejected.resize(id.index() + 1, false);
+        }
+        self.rejected[id.index()] = true;
+    }
+
+    /// Drops cached verdicts for every statement the committed delta
+    /// touched (all of them, on a structural batch — positions moved
+    /// wholesale, and cheap full invalidation keeps the argument simple).
+    pub fn invalidate(&mut self, delta: &EditDelta) {
+        if !self.eligible || delta.is_empty() {
+            return;
+        }
+        if delta.requires_full() {
+            self.rejected.clear();
+            return;
+        }
+        // Inserts land in fresh slots (which already default to "not
+        // rejected"), so one uniform clear per touched id suffices.
+        for op in delta.ops() {
+            let i = op.stmt().index();
+            if let Some(slot) = self.rejected.get_mut(i) {
+                *slot = false;
+            }
+        }
+    }
+}
+
+/// True when `b` reads only the anchor statement itself: every element
+/// reference is rooted at `var` with a path of local attributes
+/// (`opr_N` / `opc` — never `.nxt`/`.prev`), and every leaf is a
+/// literal. `operand()`, `eval()` and `bump()` calls are conservatively
+/// non-local (they can reach other bindings).
+fn anchor_local(b: &BoolExpr, var: &str) -> bool {
+    match b {
+        BoolExpr::And(l, r) | BoolExpr::Or(l, r) => {
+            anchor_local(l, var) && anchor_local(r, var)
+        }
+        BoolExpr::Not(i) => anchor_local(i, var),
+        BoolExpr::Cmp(l, _, r) => val_local(l, var) && val_local(r, var),
+        BoolExpr::TypeIs(v, _, _) => val_local(v, var),
+        BoolExpr::Dep { .. } => false,
+    }
+}
+
+fn val_local(v: &ValExpr, var: &str) -> bool {
+    match v {
+        ValExpr::Int(_) | ValExpr::Real(_) => true,
+        // A bare name only stays local when it is a literal (opcode or
+        // keyword): a reference to the anchor variable itself, or to any
+        // other binding, is a statement value we cannot track.
+        ValExpr::Name(n) => n != var,
+        ValExpr::Ref(r) => {
+            r.base == var
+                && !r.path.is_empty()
+                && r.path.iter().all(|a| matches!(a, Attr::Opr(_) | Attr::Opc))
+        }
+        ValExpr::OperandFn(_, _) | ValExpr::Eval(_, _, _) | ValExpr::Bump(_, _, _) => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// anchor-clause constraint extraction
+// ---------------------------------------------------------------------------
+
+/// What a pattern clause's format provably requires of its variable's
+/// statement, extracted once per search and checked against
+/// [`StmtIndex`] entries instead of evaluating the format:
+/// an over-approximating opcode set and the operand classes pinned by
+/// top-level `type(var.opr_N) ==/!= class` conjuncts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnchorFilter {
+    /// Admissible `gospel_name` bucket keys — every statement satisfying
+    /// the format carries one of these opcodes. `None` when the format
+    /// does not bound the opcode (no narrowing possible).
+    pub opcodes: Option<Vec<&'static str>>,
+    /// `(position, class, positive)` requirements: position is 0-based
+    /// (`opr_1` → 0), and `positive` distinguishes `==` from `!=`.
+    pub classes: Vec<(usize, OperandClass, bool)>,
+    /// True when admission *equals* the format: every top-level conjunct
+    /// is either a pure opcode disjunction over the variable or an
+    /// extracted `type(var.opr_N)` test, so a statement is in the
+    /// admission set **iff** its format holds. The searcher then skips
+    /// format evaluation for bucket members entirely. The equivalence
+    /// rests on two invariants checked by the differential suite: the
+    /// index buckets on [`gospel_ir::Opcode::gospel_name`], the same key
+    /// the runtime's case-insensitive `opc ==` comparison uses, and the
+    /// indexed operand classification matches the runtime
+    /// `type()` test over a statically valid `opr_1..=3` position
+    /// (which can never raise a navigation error).
+    pub exact: bool,
+}
+
+impl AnchorFilter {
+    /// True when the filter can narrow a candidate enumeration at all.
+    pub fn narrows(&self) -> bool {
+        self.opcodes.is_some()
+    }
+}
+
+/// Extracts the [`AnchorFilter`] of `var` from a clause's format.
+///
+/// The opcode bound is computed over the whole boolean structure:
+/// `var.opc == <name>` leaves bound to one opcode, conjunctions
+/// intersect, disjunctions union (an unbounded disjunct unbounds the
+/// whole disjunction). `any S: S.opc == assign OR S.opc == add` thus
+/// yields the two-bucket union, and `(S.opc == div AND S.opr_3 != 0)
+/// OR S.opc == mod` yields `{div, mod}`. Class constraints come from
+/// the top-level conjuncts only — inside a disjunction they hold on
+/// just one branch, so lifting them would over-narrow.
+pub fn anchor_filter(clause: &PatternClause, var: &str) -> AnchorFilter {
+    let Some(format) = clause.format.as_ref() else {
+        return AnchorFilter::default();
+    };
+    let mut filter = AnchorFilter {
+        opcodes: opcode_set(format, var),
+        classes: Vec::new(),
+        exact: false,
+    };
+    let mut atoms = Vec::new();
+    flatten_conj(format, &mut atoms);
+    let mut all_captured = true;
+    for atom in atoms {
+        if let BoolExpr::TypeIs(ValExpr::Ref(r), cls, positive) = atom {
+            if r.base == var {
+                if let [Attr::Opr(n)] = r.path.as_slice() {
+                    if let Some(pos) = (*n as usize).checked_sub(1).filter(|&p| p < 3) {
+                        filter.classes.push((pos, *cls, *positive));
+                        continue;
+                    }
+                }
+            }
+        }
+        if !pure_opcode(atom, var) {
+            all_captured = false;
+        }
+    }
+    filter.exact = filter.opcodes.is_some() && all_captured;
+    filter
+}
+
+/// True when `b` is a disjunction of `var.opc == <known name>` leaves and
+/// nothing else, so admission by the extracted opcode set is *equivalent*
+/// to `b` — the condition under which [`AnchorFilter::exact`] may claim a
+/// conjunct without evaluating it.
+fn pure_opcode(b: &BoolExpr, var: &str) -> bool {
+    match b {
+        BoolExpr::Or(l, r) => pure_opcode(l, var) && pure_opcode(r, var),
+        BoolExpr::Cmp(l, CmpOp::Eq, r) => [(l, r), (r, l)].into_iter().any(|(a, b)| {
+            is_opc_ref(a, var) && matches!(b, ValExpr::Name(n) if opcode_key(n).is_some())
+        }),
+        _ => false,
+    }
+}
+
+/// The set of opcodes that could satisfy `b`, or `None` when `b` does
+/// not bound `var`'s opcode.
+fn opcode_set(b: &BoolExpr, var: &str) -> Option<Vec<&'static str>> {
+    match b {
+        BoolExpr::And(l, r) => match (opcode_set(l, var), opcode_set(r, var)) {
+            (Some(a), Some(b)) => Some(a.into_iter().filter(|k| b.contains(k)).collect()),
+            (Some(s), None) | (None, Some(s)) => Some(s),
+            (None, None) => None,
+        },
+        BoolExpr::Or(l, r) => {
+            let mut a = opcode_set(l, var)?;
+            let b = opcode_set(r, var)?;
+            for k in b {
+                if !a.contains(&k) {
+                    a.push(k);
+                }
+            }
+            Some(a)
+        }
+        BoolExpr::Cmp(l, CmpOp::Eq, r) => {
+            for (a, b) in [(l, r), (r, l)] {
+                if is_opc_ref(a, var) {
+                    if let ValExpr::Name(n) = b {
+                        return opcode_key(n).map(|k| vec![k]);
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn flatten_conj<'b>(b: &'b BoolExpr, out: &mut Vec<&'b BoolExpr>) {
+    match b {
+        BoolExpr::And(l, r) => {
+            flatten_conj(l, out);
+            flatten_conj(r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn is_opc_ref(v: &ValExpr, var: &str) -> bool {
+    matches!(v, ValExpr::Ref(r) if r.base == var && r.path.as_slice() == [Attr::Opc])
+}
+
+/// Maps a GOSpeL opcode literal to the interned `gospel_name` key the
+/// index buckets on (all `call` variants share one bucket).
+fn opcode_key(name: &str) -> Option<&'static str> {
+    const KEYS: [&str; 22] = [
+        "assign", "add", "sub", "mul", "div", "mod", "neg", "call", "do", "pardo", "enddo",
+        "if_lt", "if_le", "if_gt", "if_ge", "if_eq", "if_ne", "else", "endif", "read", "write",
+        "nop",
+    ];
+    KEYS.iter()
+        .find(|k| k.eq_ignore_ascii_case(name))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gospel_ir::{Operand, OperandPos, ProgramBuilder};
+    use gospel_lang::parse_validated;
+
+    fn loopy() -> Program {
+        // n = 10 ; do i = 1, n { a(i) = 0 ; do j = 1, 2 { x = i } } ; x = n
+        let mut b = ProgramBuilder::new("loopy");
+        let n = b.scalar_int("n");
+        let i = b.scalar_int("i");
+        let j = b.scalar_int("j");
+        let x = b.scalar_int("x");
+        let a = b.array_int("a", &[10]);
+        b.assign(Operand::Var(n), Operand::int(10));
+        let li = b.do_head(i, Operand::int(1), Operand::Var(n));
+        b.assign(
+            Operand::elem1(a, gospel_ir::AffineExpr::var(i)),
+            Operand::int(0),
+        );
+        let lj = b.do_head(j, Operand::int(1), Operand::int(2));
+        b.assign(Operand::Var(x), Operand::Var(i));
+        b.end_do(lj);
+        b.end_do(li);
+        b.assign(Operand::Var(x), Operand::Var(n));
+        b.finish()
+    }
+
+    #[test]
+    fn build_buckets_by_all_four_keys() {
+        let p = loopy();
+        let ix = StmtIndex::build(&p);
+        assert_eq!(ix.len(), p.len());
+        assert_eq!(ix.by_opcode("assign").len(), 4);
+        assert_eq!(ix.by_opcode("do").len(), 2);
+        assert_eq!(ix.by_opcode("enddo").len(), 2);
+        let syms = p.syms();
+        let x = syms.lookup("x").unwrap();
+        let n = syms.lookup("n").unwrap();
+        let i = syms.lookup("i").unwrap();
+        assert_eq!(ix.by_def(x).len(), 2);
+        // n is read by the outer do header's bound and the final assign
+        assert_eq!(ix.by_use(n).len(), 2);
+        // i is read by the subscript of a(i) and by x = i
+        assert_eq!(ix.by_use(i).len(), 2);
+
+        let heads: Vec<StmtId> = p
+            .iter()
+            .filter(|&s| p.quad(s).op.is_loop_head())
+            .collect();
+        let (outer, inner) = (heads[0], heads[1]);
+        // outer body: a(i)=0, inner head, x=i, inner enddo
+        assert_eq!(ix.body_size(outer), Some(4));
+        assert_eq!(ix.body_size(inner), Some(1));
+        // direct members exclude the nested loop's own body
+        assert_eq!(ix.loop_members(outer).len(), 3);
+        assert_eq!(ix.loop_members(inner).len(), 1);
+        let body_stmt = ix.loop_members(inner)[0];
+        assert_eq!(ix.enclosing(body_stmt), Some(inner));
+        assert_eq!(ix.enclosing(inner), Some(outer));
+    }
+
+    #[test]
+    fn incremental_update_matches_rebuild() {
+        let mut p = loopy();
+        let mut ix = StmtIndex::build(&p);
+        let stmts: Vec<StmtId> = p.iter().collect();
+        let x = p.syms().lookup("x").unwrap();
+
+        // modify: retarget the final assign's source
+        let mut d = EditDelta::new();
+        d.modify(&mut p, *stmts.last().unwrap(), OperandPos::A, Operand::Var(x));
+        ix.update(&p, &d);
+        assert!(ix.agrees_with(&StmtIndex::build(&p)), "after modify");
+
+        // insert inside the inner loop, then delete the array write
+        let mut d = EditDelta::new();
+        let inner_body = stmts[4]; // x = i
+        d.insert_after(
+            &mut p,
+            Some(inner_body),
+            Quad::assign(Operand::Var(x), Operand::int(7)),
+        );
+        d.delete(&mut p, stmts[2]); // a(i) = 0
+        ix.update(&p, &d);
+        assert!(ix.agrees_with(&StmtIndex::build(&p)), "after insert+delete");
+
+        // move the fresh statement out of the loops entirely
+        let moved = p.iter().nth(4).unwrap();
+        let mut d = EditDelta::new();
+        d.move_after(&mut p, moved, Some(*stmts.last().unwrap()));
+        ix.update(&p, &d);
+        assert!(ix.agrees_with(&StmtIndex::build(&p)), "after move");
+    }
+
+    #[test]
+    fn structural_batch_falls_back_to_rebuild() {
+        let mut p = loopy();
+        let mut ix = StmtIndex::build(&p);
+        let last = p.iter().last().unwrap();
+        let mut d = EditDelta::new();
+        // Append a fresh (empty) loop — structural.
+        let j2 = p.declare("j2", gospel_ir::VarType::Int, gospel_ir::VarKind::Scalar);
+        let head = d.insert_after(
+            &mut p,
+            Some(last),
+            Quad::new(
+                Opcode::DoHead,
+                Operand::Var(j2),
+                Operand::int(1),
+                Operand::int(3),
+            ),
+        );
+        d.insert_after(&mut p, Some(head), Quad::marker(Opcode::EndDo));
+        assert!(d.requires_full());
+        ix.update(&p, &d);
+        assert!(ix.agrees_with(&StmtIndex::build(&p)));
+        assert_eq!(ix.body_size(head), Some(0));
+    }
+
+    #[test]
+    fn cache_eligibility_and_invalidation() {
+        let spec = "OPTIMIZATION T\nTYPE\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+                    any S: S.opc == assign AND type(S.opr_2) == const;\nACTION\n  \
+                    delete(S);\nEND";
+        let (ast, _) = parse_validated(spec).unwrap();
+        assert!(MatchCache::clause_eligible(&ast.patterns[0]));
+        let mut cache = MatchCache::new(Some(&ast.patterns[0]));
+        assert!(cache.enabled());
+
+        let mut p = loopy();
+        let s0 = p.first().unwrap();
+        let s_last = p.iter().last().unwrap();
+        cache.mark_rejected(s0);
+        cache.mark_rejected(s_last);
+        assert!(cache.is_rejected(s0));
+
+        // an edit touching s0 clears exactly s0
+        let mut d = EditDelta::new();
+        d.modify(&mut p, s0, OperandPos::A, Operand::int(11));
+        cache.invalidate(&d);
+        assert!(!cache.is_rejected(s0));
+        assert!(cache.is_rejected(s_last));
+
+        // a structural batch clears everything
+        cache.mark_rejected(s0);
+        let mut d = EditDelta::new();
+        d.insert_after(&mut p, Some(s_last), Quad::marker(Opcode::EndIf));
+        cache.invalidate(&d);
+        assert!(!cache.is_rejected(s0));
+        assert!(!cache.is_rejected(s_last));
+    }
+
+    #[test]
+    fn neighbour_navigation_defeats_eligibility() {
+        // `.nxt` reads a different statement: never cacheable.
+        let spec = "OPTIMIZATION T\nTYPE\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+                    any S: S.nxt.opc == assign;\nACTION\n  delete(S);\nEND";
+        let (ast, _) = parse_validated(spec).unwrap();
+        assert!(!MatchCache::clause_eligible(&ast.patterns[0]));
+    }
+
+    fn clause_of(txt: &str) -> PatternClause {
+        let spec = format!(
+            "OPTIMIZATION T\nTYPE\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+             any S: {txt};\nACTION\n  delete(S);\nEND"
+        );
+        parse_validated(&spec).unwrap().0.patterns.remove(0)
+    }
+
+    #[test]
+    fn anchor_filter_extraction() {
+        let c = clause_of("S.opc == assign AND type(S.opr_2) == const");
+        let f = anchor_filter(&c, "S");
+        assert_eq!(f.opcodes, Some(vec!["assign"]));
+        assert_eq!(f.classes, vec![(1, OperandClass::Const, true)]);
+        assert!(f.exact, "opcode leaf + class conjunct capture the format");
+        // reversed sides and case-insensitivity
+        let c = clause_of("ASSIGN == S.opc");
+        let f = anchor_filter(&c, "S");
+        assert_eq!(f.opcodes, Some(vec!["assign"]));
+        assert!(f.exact);
+        // a disjunction unions buckets; branch-local conjuncts stay put
+        let c = clause_of(
+            "(S.opc == add OR (S.opc == div AND S.opr_3 != 0)) AND type(S.opr_3) == const",
+        );
+        let f = anchor_filter(&c, "S");
+        assert_eq!(f.opcodes, Some(vec!["add", "div"]));
+        assert_eq!(f.classes, vec![(2, OperandClass::Const, true)]);
+        assert!(
+            !f.exact,
+            "the admission set over-approximates: `S.opr_3 != 0` is not enforced"
+        );
+        // a pure opcode disjunction is exact on its own
+        let f = anchor_filter(&clause_of("S.opc == assign OR S.opc == do"), "S");
+        assert!(f.exact);
+        // a disjunct with no opcode bound unbounds the whole disjunction
+        let c = clause_of("S.opc == assign OR type(S.opr_2) == const");
+        let f = anchor_filter(&c, "S");
+        assert!(f.opcodes.is_none());
+        assert!(!f.exact);
+        // an uncaptured conjunct forfeits exactness but keeps the bound
+        let c = clause_of("S.opc == assign AND S.opr_1 == S.opr_2");
+        let f = anchor_filter(&c, "S");
+        assert_eq!(f.opcodes, Some(vec!["assign"]));
+        assert!(!f.exact);
+        // wrong variable pins nothing
+        let c = clause_of("S.opc == assign");
+        assert!(!anchor_filter(&c, "T").narrows());
+    }
+
+    #[test]
+    fn filtered_candidates_respect_opcode_and_class() {
+        let p = loopy();
+        let ix = StmtIndex::build(&p);
+        // loopy has four assigns; two of them assign a constant.
+        let f = anchor_filter(&clause_of("S.opc == assign AND type(S.opr_2) == const"), "S");
+        assert_eq!(ix.candidates(&f).unwrap().len(), 2);
+        let f = anchor_filter(&clause_of("S.opc == assign OR S.opc == do"), "S");
+        assert_eq!(ix.candidates(&f).unwrap().len(), 6);
+        let f = anchor_filter(&clause_of("S.opr_1 == S.opr_2"), "S");
+        assert!(ix.candidates(&f).is_none(), "no opcode bound, no bucket");
+    }
+}

@@ -46,21 +46,25 @@
 #![warn(missing_docs)]
 
 mod actions;
+pub mod batch;
 mod compile;
 mod cost;
 mod driver;
 pub mod emit;
 mod error;
 pub mod fault;
+pub mod index;
 mod rt;
 mod session;
 mod solve;
 
+pub use batch::{run_batch, BatchItem, BatchOutcome, BatchSuccess};
 pub use compile::{generate, CompiledClause, CompiledOptimizer, Strategy};
 pub use cost::Cost;
-pub use driver::{ApplyMode, ApplyReport, Driver, MatchSet};
+pub use driver::{indexed_search_default, ApplyMode, ApplyReport, Driver, MatchSet};
 pub use error::{GenerateError, RunError};
 pub use fault::{FaultKind, FaultPlan};
+pub use index::{anchor_filter, AnchorFilter, MatchCache, StmtIndex};
 pub use rt::{Bindings, RtVal};
 pub use session::{Session, SessionOptions};
 

@@ -36,6 +36,10 @@ pub struct SessionOptions {
     /// Growth cap: abort an `apply` once the program exceeds this
     /// multiple of its statement count at the start of the call.
     pub max_growth: Option<u32>,
+    /// Drive searches from the incrementally maintained statement index
+    /// (see [`crate::StmtIndex`]); bindings are identical either way.
+    /// Defaults from the `GENESIS_INDEXED_SEARCH` environment toggle.
+    pub indexed_search: bool,
 }
 
 impl Default for SessionOptions {
@@ -48,6 +52,7 @@ impl Default for SessionOptions {
             timeout_ms: None,
             fuel: None,
             max_growth: None,
+            indexed_search: crate::driver::indexed_search_default(),
         }
     }
 }
@@ -219,6 +224,7 @@ impl Session {
         driver.max_stmts = options
             .max_growth
             .map(|k| (k as usize).saturating_mul(prog.len().max(1)));
+        driver.indexed_search = options.indexed_search;
         driver.fault = fault.clone();
         driver.recorder = recorder.clone();
         // `apply_cached` takes the cache on entry, so an early error below

@@ -4,6 +4,7 @@
 use crate::compile::{CompiledClause, CompiledOptimizer, Strategy};
 use crate::cost::Cost;
 use crate::error::RunError;
+use crate::index::{anchor_filter, MatchCache, StmtIndex};
 use crate::rt::{Bindings, RtVal};
 use gospel_dep::{DepEdge, DepGraph, DepKind, DirElem, DirPattern};
 use gospel_ir::{LoopTable, Operand, OperandPos, Program, StmtId};
@@ -12,6 +13,7 @@ use gospel_lang::ast::{
 };
 use gospel_lang::VarClass;
 use std::collections::HashMap;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // value evaluation (shared with the action interpreter)
@@ -134,14 +136,13 @@ fn step_attr(
         (RtVal::Loop(l), Attr::Init) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).a.clone())),
         (RtVal::Loop(l), Attr::Final) => Ok(RtVal::Operand(prog.quad(loops.get(l).head).b.clone())),
         (RtVal::Loop(l), Attr::Nxt) => loops
-            .iter()
-            .nth(l.index() + 1)
+            .by_index(l.index() + 1)
             .map(|info| RtVal::Loop(info.id))
             .ok_or_else(nav_err),
         (RtVal::Loop(l), Attr::Prev) => l
             .index()
             .checked_sub(1)
-            .and_then(|i| loops.iter().nth(i))
+            .and_then(|i| loops.by_index(i))
             .map(|info| RtVal::Loop(info.id))
             .ok_or_else(nav_err),
         (other, a) => Err(RunError::Action(format!(
@@ -295,6 +296,39 @@ pub(crate) struct Searcher<'a> {
     /// often an `any` clause found no solution or a `no` clause found one,
     /// failing the candidate binding reached from the pattern section.
     pub dep_rejects: Vec<u64>,
+    /// Statement index over `prog`, when the driver maintains one. Lets
+    /// opcode-constrained pattern clauses start from the matching bucket
+    /// instead of scanning the whole program, and answers the
+    /// members-then-deps size estimate in O(1). Only consulted when the
+    /// candidate bucket can be restored to program order (every member
+    /// has a `deps.order_of`); otherwise the scan path runs unchanged.
+    pub index: Option<&'a StmtIndex>,
+    /// Negative anchor cache for this optimizer, when the driver keeps
+    /// one across fixpoint iterations.
+    pub cache: Option<&'a mut MatchCache>,
+    /// Anchor candidates skipped without a visit because the index bucket
+    /// excluded them (they could never satisfy the clause's opcode
+    /// constraint).
+    pub candidates_pruned: u64,
+    /// Anchor candidates skipped because the negative cache remembered a
+    /// first-clause rejection that no later edit invalidated.
+    pub cache_hits: u64,
+    /// Accumulate wall time spent in the pattern-matching phase
+    /// (candidate enumeration + clause format evaluation) into
+    /// `pattern_ns`. Off by default — the driver turns it on when a
+    /// recorder is attached, keeping the per-anchor timer calls out of
+    /// untraced runs.
+    pub time_pattern: bool,
+    /// Nanoseconds spent in the pattern-matching phase, when
+    /// `time_pattern` is set. Dependence-clause evaluation is excluded:
+    /// the paper's cost model splits precondition checking into the two
+    /// phases, and the statement index targets only this one.
+    pub pattern_ns: u64,
+    /// Set by the most recent `pattern_candidates` call when the
+    /// candidates came from an index bucket whose [`crate::AnchorFilter`]
+    /// is `exact` — the bucket *is* the format's satisfying set, so
+    /// `rec_pattern` skips format evaluation for those candidates.
+    format_known: bool,
 }
 
 impl<'a> Searcher<'a> {
@@ -310,6 +344,13 @@ impl<'a> Searcher<'a> {
             ignore_depends: false,
             strategies_used: Vec::new(),
             dep_rejects: vec![0; opt.depends.len()],
+            index: None,
+            cache: None,
+            candidates_pruned: 0,
+            cache_hits: 0,
+            time_pattern: false,
+            pattern_ns: 0,
+            format_known: false,
         }
     }
 
@@ -317,11 +358,28 @@ impl<'a> Searcher<'a> {
         self.deps.loops()
     }
 
+    /// Starts a pattern-phase timing interval when `time_pattern` is on.
+    fn pattern_timer(&self) -> Option<Instant> {
+        self.time_pattern.then(Instant::now)
+    }
+
+    /// Closes a [`Searcher::pattern_timer`] interval.
+    fn note_pattern(&mut self, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.pattern_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+
     /// Finds the first full binding satisfying the precondition.
+    ///
+    /// Short-circuits inside the search: `rec` with limit 1 returns
+    /// `true` up through every active clause loop the moment the first
+    /// full binding lands, so no anchor after the match is visited (see
+    /// `find_first_short_circuits_anchor_visits`).
     pub fn find_first(&mut self) -> Result<Option<Bindings>, RunError> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(1);
         self.rec(0, Bindings::new(), &mut out, 1)?;
-        Ok(out.into_iter().next())
+        Ok(out.pop())
     }
 
     /// Finds up to `limit` bindings (all application points).
@@ -369,10 +427,31 @@ impl<'a> Searcher<'a> {
         out: &mut Vec<Bindings>,
         limit: usize,
     ) -> Result<bool, RunError> {
-        let candidates = self.pattern_candidates(ty, idx == 0);
+        let t = self.pattern_timer();
+        let candidates = self.pattern_candidates(clause, ty, idx == 0);
+        self.note_pattern(t);
+        // Snapshot before recursing: nested clauses re-enter
+        // `pattern_candidates` and overwrite the flag.
+        let known_hold = self.format_known;
         match clause.quant {
             Quant::Any => {
+                // The negative cache only ever covers the anchor clause:
+                // its verdict there is anchor-local by construction
+                // (`MatchCache::clause_eligible`), so a remembered
+                // rejection stays valid until an edit touches the
+                // statement itself.
+                let caching = idx == 0
+                    && ty == ElemType::Stmt
+                    && self.cache.as_ref().is_some_and(|c| c.enabled());
                 'cands: for cand in candidates {
+                    if caching {
+                        if let Some(RtVal::Stmt(s)) = cand.first() {
+                            if self.cache.as_ref().is_some_and(|c| c.is_rejected(*s)) {
+                                self.cache_hits += 1;
+                                continue 'cands;
+                            }
+                        }
+                    }
                     if idx == 0 {
                         self.cost.anchor_visits += 1;
                     }
@@ -387,7 +466,25 @@ impl<'a> Searcher<'a> {
                         }
                         env2.set(v, val.clone());
                     }
-                    if self.format_holds(clause, &env2)? && self.rec(idx + 1, env2, out, limit)? {
+                    let holds = if known_hold {
+                        true
+                    } else {
+                        let t = self.pattern_timer();
+                        let h = self.format_holds(clause, &env2)?;
+                        self.note_pattern(t);
+                        h
+                    };
+                    if !holds {
+                        if caching {
+                            if let (Some(RtVal::Stmt(s)), Some(c)) =
+                                (cand.first(), self.cache.as_mut())
+                            {
+                                c.mark_rejected(*s);
+                            }
+                        }
+                        continue 'cands;
+                    }
+                    if self.rec(idx + 1, env2, out, limit)? {
                         return Ok(true);
                     }
                 }
@@ -402,7 +499,15 @@ impl<'a> Searcher<'a> {
                     for (v, val) in clause.vars.iter().zip(&cand) {
                         env2.set(v, val.clone());
                     }
-                    if self.format_holds(clause, &env2)? {
+                    let holds = if known_hold {
+                        true
+                    } else {
+                        let t = self.pattern_timer();
+                        let h = self.format_holds(clause, &env2)?;
+                        self.note_pattern(t);
+                        h
+                    };
+                    if holds {
                         return Ok(false); // an element matches: clause fails
                     }
                 }
@@ -426,7 +531,40 @@ impl<'a> Searcher<'a> {
         }
     }
 
-    fn pattern_candidates(&self, ty: ElemType, first: bool) -> Vec<Vec<RtVal>> {
+    /// The candidate bucket for one opcode-constrained statement clause,
+    /// in program order, or `None` when the scan path must run: no
+    /// index, a format with no opcode bound, or a bucket member whose
+    /// program position is unknown to the dependence snapshot (stale
+    /// order — the scan stays authoritative).
+    ///
+    /// Restricting candidates to the [`crate::AnchorFilter`]'s admission
+    /// set is sound for both `any` and `no` quantifiers: a statement
+    /// outside it provably fails the clause's opcode disjunction or one
+    /// of its top-level `type(var.opr_N)` conjuncts, so its format can
+    /// never hold.
+    /// The second component reports [`crate::AnchorFilter::exact`]: the
+    /// admission set *equals* the format's satisfying set, so the caller
+    /// may treat every returned candidate as already format-checked.
+    fn indexed_stmt_candidates(&self, clause: &PatternClause) -> Option<(Vec<StmtId>, bool)> {
+        let ix = self.index?;
+        let var = clause.vars.first()?;
+        let filter = anchor_filter(clause, var);
+        let bucket = ix.candidates(&filter)?;
+        let mut ordered = Vec::with_capacity(bucket.len());
+        for s in bucket {
+            ordered.push((self.deps.order_of(s)?, s));
+        }
+        ordered.sort_unstable();
+        Some((ordered.into_iter().map(|(_, s)| s).collect(), filter.exact))
+    }
+
+    fn pattern_candidates(
+        &mut self,
+        clause: &PatternClause,
+        ty: ElemType,
+        first: bool,
+    ) -> Vec<Vec<RtVal>> {
+        self.format_known = false;
         let loops = self.loops();
         let resume_bar = self
             .resume_from
@@ -454,12 +592,27 @@ impl<'a> Searcher<'a> {
             }
         };
         match ty {
-            ElemType::Stmt => self
-                .prog
-                .iter()
-                .filter(|&s| anchor_ok(s))
-                .map(|s| vec![RtVal::Stmt(s)])
-                .collect(),
+            ElemType::Stmt => {
+                let mut pruned = 0u64;
+                let out: Vec<Vec<RtVal>> =
+                    if let Some((bucket, exact)) = self.indexed_stmt_candidates(clause) {
+                        pruned = (self.prog.len().saturating_sub(bucket.len())) as u64;
+                        self.format_known = exact;
+                        bucket
+                            .into_iter()
+                            .filter(|&s| anchor_ok(s))
+                            .map(|s| vec![RtVal::Stmt(s)])
+                            .collect()
+                    } else {
+                        self.prog
+                            .iter()
+                            .filter(|&s| anchor_ok(s))
+                            .map(|s| vec![RtVal::Stmt(s)])
+                            .collect()
+                    };
+                self.candidates_pruned += pruned;
+                out
+            }
             ElemType::Loop => loops
                 .iter()
                 .filter(|l| anchor_ok(l.head))
@@ -587,12 +740,39 @@ impl<'a> Searcher<'a> {
         let mut product = 1usize;
         for v in &cc.clause.vars {
             let size = self
-                .member_generator(cc, v, env)
-                .map(|set| set.len())
+                .member_set_size(cc, v, env)
                 .unwrap_or_else(|| self.prog.len());
             product = product.saturating_mul(size.max(1));
         }
         product
+    }
+
+    /// Size of the candidate set `member_generator` would produce for
+    /// `var`, without materializing it when the index can answer: a
+    /// loop-body membership constraint reads `StmtIndex::body_size` in
+    /// O(1), which is by construction the exact count
+    /// `LoopTable::body(..).count()` reports. The value — and therefore
+    /// the strategy the heuristic picks — is identical either way; only
+    /// the estimation cost changes.
+    fn member_set_size(&self, cc: &CompiledClause, var: &str, env: &Bindings) -> Option<usize> {
+        for m in &cc.clause.members {
+            if m.negated {
+                continue;
+            }
+            if let ValExpr::Name(n) = &m.elem {
+                if n == var {
+                    if let (Some(ix), SetExpr::Named(s)) = (self.index, &m.set) {
+                        if let Some(RtVal::Loop(l)) = env.get(s) {
+                            if let Some(sz) = ix.body_size(self.loops().get(*l).head) {
+                                return Some(sz);
+                            }
+                        }
+                    }
+                    return self.set_elements(&m.set, env).ok().map(|els| els.len());
+                }
+            }
+        }
+        None
     }
 
     /// Cost estimate for deps-then-membership: the number of edges the
@@ -1387,5 +1567,115 @@ END
             }
             other => panic!("expected a set, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn find_first_short_circuits_anchor_visits() {
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: S;
+PRECOND
+  Code_Pattern
+    any S: S.opc == assign;
+ACTION
+  delete(S);
+END
+"#;
+        let opt = opt_of(spec);
+        let (p, d) = world("program p\ninteger a, b, c, e\na = 1\nb = 2\nc = 3\ne = 4\nend");
+        let n = p.iter().count() as u64;
+        assert!(n >= 4);
+
+        let mut s = Searcher::new(&p, &d, &opt);
+        s.find_all(usize::MAX).unwrap();
+        assert_eq!(s.cost.anchor_visits, n, "find_all visits every anchor");
+
+        // The very first statement matches, so `find_first` must stop
+        // there: one anchor visit, not a collect-then-discard pass.
+        let mut s = Searcher::new(&p, &d, &opt);
+        let found = s.find_first().unwrap();
+        assert!(found.is_some());
+        assert_eq!(s.cost.anchor_visits, 1);
+    }
+
+    #[test]
+    fn indexed_candidates_agree_with_scan_and_prune() {
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: S;
+PRECOND
+  Code_Pattern
+    any S: S.opc == assign;
+ACTION
+  delete(S);
+END
+"#;
+        let opt = opt_of(spec);
+        let (p, d) = world(LOOPY);
+        let ix = StmtIndex::build(&p);
+
+        let stmts_of = |found: &[Bindings]| -> Vec<StmtId> {
+            found
+                .iter()
+                .map(|b| b.get("S").unwrap().as_stmt().unwrap())
+                .collect()
+        };
+
+        let mut scan = Searcher::new(&p, &d, &opt);
+        let scan_found = scan.find_all(usize::MAX).unwrap();
+        assert_eq!(scan.candidates_pruned, 0);
+
+        let mut fast = Searcher::new(&p, &d, &opt);
+        fast.index = Some(&ix);
+        let fast_found = fast.find_all(usize::MAX).unwrap();
+
+        // Identical bindings in identical order; the index merely skipped
+        // the statements that could never carry the pinned opcode.
+        assert_eq!(stmts_of(&scan_found), stmts_of(&fast_found));
+        let assigns = ix.by_opcode("assign").len() as u64;
+        assert_eq!(fast.cost.anchor_visits, assigns);
+        assert_eq!(fast.candidates_pruned, p.len() as u64 - assigns);
+        assert!(fast.candidates_pruned > 0);
+    }
+
+    #[test]
+    fn negative_cache_skips_remembered_rejections() {
+        let spec = r#"
+OPTIMIZATION T
+TYPE Stmt: S;
+PRECOND
+  Code_Pattern
+    any S: S.opc == assign AND type(S.opr_2) == const;
+ACTION
+  delete(S);
+END
+"#;
+        let opt = opt_of(spec);
+        let (p, d) = world("program p\ninteger a, b, x\nx = 2\na = x\nb = 3\nend");
+        let mut cache = MatchCache::new(Some(&opt.patterns[0].0));
+        assert!(cache.enabled());
+
+        let stmts_of = |found: &[Bindings]| -> Vec<StmtId> {
+            found
+                .iter()
+                .map(|b| b.get("S").unwrap().as_stmt().unwrap())
+                .collect()
+        };
+
+        let mut s = Searcher::new(&p, &d, &opt);
+        s.cache = Some(&mut cache);
+        let first_pass = s.find_all(usize::MAX).unwrap();
+        assert_eq!(s.cache_hits, 0, "an empty cache skips nothing");
+        let cold_visits = s.cost.anchor_visits;
+
+        // Same program, same cache: every statement the first pass
+        // rejected is now skipped without a visit, and the solutions are
+        // unchanged.
+        let mut s = Searcher::new(&p, &d, &opt);
+        s.cache = Some(&mut cache);
+        let second_pass = s.find_all(usize::MAX).unwrap();
+        assert_eq!(stmts_of(&first_pass), stmts_of(&second_pass));
+        assert!(s.cache_hits > 0);
+        assert_eq!(s.cost.anchor_visits + s.cache_hits, cold_visits);
     }
 }

@@ -1,0 +1,231 @@
+//! Property test for incremental statement-index maintenance: for random
+//! structured programs and random journaled primitive-edit batches,
+//! [`StmtIndex::update`] must agree bucket-for-bucket with a fresh
+//! [`StmtIndex::build`] of the post-edit program.
+//!
+//! Same generator shape as `crates/dep/tests/incremental_props.rs`: the
+//! vendored proptest shim's deterministic RNG drives an imperative
+//! program grower, so every failure reproduces from its seed case.
+
+use genesis::StmtIndex;
+use gospel_ir::{
+    AffineExpr, EditDelta, Opcode, Operand, OperandPos, Program, ProgramBuilder, Quad, StmtId, Sym,
+};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+struct Vars {
+    scalars: Vec<Sym>,
+    arrays: Vec<Sym>,
+}
+
+/// A random operand reading one of the declared names (or a constant).
+fn gen_read(rng: &mut TestRng, v: &Vars, idx: Sym) -> Operand {
+    match rng.below(4) {
+        0 => Operand::int(rng.below(100) as i64),
+        1 => Operand::Var(v.scalars[rng.below(v.scalars.len())]),
+        2 => Operand::elem1(v.arrays[rng.below(v.arrays.len())], AffineExpr::var(idx)),
+        _ => Operand::elem1(
+            v.arrays[rng.below(v.arrays.len())],
+            AffineExpr::var(idx).plus(&AffineExpr::constant_expr(rng.below(3) as i64)),
+        ),
+    }
+}
+
+/// A random destination: a scalar or an array element subscripted by
+/// `idx` (the enclosing loop variable, or a plain scalar outside loops).
+fn gen_dst(rng: &mut TestRng, v: &Vars, idx: Sym) -> Operand {
+    if rng.below(2) == 0 {
+        Operand::Var(v.scalars[rng.below(v.scalars.len())])
+    } else {
+        Operand::elem1(v.arrays[rng.below(v.arrays.len())], AffineExpr::var(idx))
+    }
+}
+
+fn gen_assign(b: &mut ProgramBuilder, rng: &mut TestRng, v: &Vars, idx: Sym) {
+    let dst = gen_dst(rng, v, idx);
+    if rng.below(2) == 0 {
+        b.assign(dst, gen_read(rng, v, idx));
+    } else {
+        b.add(dst, gen_read(rng, v, idx), gen_read(rng, v, idx));
+    }
+}
+
+/// A random structured program: straight-line assignments, single-level
+/// loops (distinct control variables), and conditionals. Loops matter
+/// here — the index's enclosing-loop key is exactly what structural
+/// edits can silently shift.
+fn gen_program(rng: &mut TestRng) -> (Program, Vars) {
+    let mut b = ProgramBuilder::new("prop");
+    let vars = Vars {
+        scalars: (0..4).map(|k| b.scalar_int(&format!("x{k}"))).collect(),
+        arrays: (0..2).map(|k| b.array_int(&format!("a{k}"), &[32])).collect(),
+    };
+    let lcvs: Vec<Sym> = (0..3).map(|k| b.scalar_int(&format!("i{k}"))).collect();
+    let mut next_lcv = 0;
+    for _ in 0..2 + rng.below(4) {
+        match rng.below(4) {
+            0 | 1 => gen_assign(&mut b, rng, &vars, vars.scalars[0]),
+            2 => {
+                let lcv = lcvs[next_lcv % lcvs.len()];
+                next_lcv += 1;
+                let tok = b.do_head(lcv, Operand::int(1), Operand::int(10 + rng.below(10) as i64));
+                for _ in 0..1 + rng.below(3) {
+                    gen_assign(&mut b, rng, &vars, lcv);
+                }
+                b.end_do(tok);
+            }
+            _ => {
+                let tok = b.if_head(
+                    Opcode::IfGt,
+                    Operand::Var(vars.scalars[rng.below(vars.scalars.len())]),
+                    Operand::int(0),
+                );
+                gen_assign(&mut b, rng, &vars, vars.scalars[0]);
+                if rng.below(2) == 0 {
+                    b.else_mark(tok);
+                    gen_assign(&mut b, rng, &vars, vars.scalars[0]);
+                }
+                b.end_if(tok);
+            }
+        }
+    }
+    (b.finish(), vars)
+}
+
+/// Live statements that are plain computations (no loop/branch markers),
+/// i.e. safe to delete, move, copy, or rewrite without breaking nesting.
+fn plain_stmts(prog: &Program) -> Vec<StmtId> {
+    prog.iter()
+        .filter(|&s| {
+            let op = prog.quad(s).op;
+            !op.is_loop_head()
+                && !op.is_if()
+                && !matches!(op, Opcode::EndDo | Opcode::Else | Opcode::EndIf)
+        })
+        .collect()
+}
+
+/// An insertion anchor: before the first statement or after any live one.
+fn gen_anchor(rng: &mut TestRng, prog: &Program) -> Option<StmtId> {
+    let live: Vec<StmtId> = prog.iter().collect();
+    if live.is_empty() || rng.below(live.len() + 1) == 0 {
+        None
+    } else {
+        Some(live[rng.below(live.len())])
+    }
+}
+
+/// One random batch of journaled primitive edits, mixing all five
+/// primitives plus the occasional structural insertion (an adjacent
+/// `if`/`end if` pair) so the index's full-rebuild fallback is
+/// exercised alongside the per-statement replay.
+fn gen_batch(rng: &mut TestRng, prog: &mut Program, v: &Vars) -> EditDelta {
+    let mut d = EditDelta::new();
+    for _ in 0..1 + rng.below(4) {
+        let plain = plain_stmts(prog);
+        match rng.below(6) {
+            0 if !plain.is_empty() => {
+                // modify: rewrite an operand of a plain statement. Hits
+                // every index key at once: opcode stays, but def/use
+                // sets and operand classes all change.
+                let s = plain[rng.below(plain.len())];
+                let pos = match (prog.quad(s).op, rng.below(3)) {
+                    (_, 0) => OperandPos::Dst,
+                    (Opcode::Add, 1) => OperandPos::B,
+                    _ => OperandPos::A,
+                };
+                let operand = if pos == OperandPos::Dst {
+                    gen_dst(rng, v, v.scalars[0])
+                } else {
+                    gen_read(rng, v, v.scalars[0])
+                };
+                d.modify(prog, s, pos, operand);
+            }
+            1 => {
+                let anchor = gen_anchor(rng, prog);
+                let quad = Quad::assign(
+                    gen_dst(rng, v, v.scalars[0]),
+                    gen_read(rng, v, v.scalars[0]),
+                );
+                d.insert_after(prog, anchor, quad);
+            }
+            2 if !plain.is_empty() => {
+                d.delete(prog, plain[rng.below(plain.len())]);
+            }
+            3 if !plain.is_empty() => {
+                let anchor = gen_anchor(rng, prog);
+                d.copy_after(prog, plain[rng.below(plain.len())], anchor);
+            }
+            4 if plain.len() >= 2 => {
+                let s = plain[rng.below(plain.len())];
+                let anchor = match gen_anchor(rng, prog) {
+                    Some(a) if a == s => None,
+                    other => other,
+                };
+                d.move_after(prog, s, anchor);
+            }
+            5 if rng.below(3) == 0 => {
+                // Structural: an adjacent if/end-if pair (empty branch keeps
+                // nesting valid); forces the index's rebuild fallback.
+                let anchor = gen_anchor(rng, prog);
+                let head = d.insert_after(
+                    prog,
+                    anchor,
+                    Quad::new(
+                        Opcode::IfGt,
+                        Operand::None,
+                        Operand::Var(v.scalars[rng.below(v.scalars.len())]),
+                        Operand::int(0),
+                    ),
+                );
+                d.insert_after(prog, Some(head), Quad::marker(Opcode::EndIf));
+            }
+            _ => {}
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn update_agrees_with_fresh_build(seed in any::<u64>()) {
+        let mut rng = TestRng::from_name(&format!("index-props-{seed}"));
+        let (mut prog, vars) = gen_program(&mut rng);
+        gospel_ir::validate(&prog).expect("generator produced an invalid program");
+        let mut ix = StmtIndex::build(&prog);
+
+        for batch in 0..1 + rng.below(3) {
+            let delta = gen_batch(&mut rng, &mut prog, &vars);
+            ix.update(&prog, &delta);
+            let fresh = StmtIndex::build(&prog);
+            prop_assert!(
+                ix.agrees_with(&fresh),
+                "seed {seed} batch {batch} ({} ops, structural: {}): \
+                 incrementally maintained index diverged from a rebuild\nprogram:\n{}",
+                delta.len(),
+                delta.requires_full(),
+                gospel_ir::DisplayProgram(&prog)
+            );
+        }
+    }
+
+    #[test]
+    fn undo_then_update_restores_the_index(seed in any::<u64>()) {
+        let mut rng = TestRng::from_name(&format!("index-undo-{seed}"));
+        let (mut prog, vars) = gen_program(&mut rng);
+        let original = StmtIndex::build(&prog);
+
+        // The journal must be a faithful inverse from the index's point
+        // of view too: rebuild after undo equals the original.
+        let delta = gen_batch(&mut rng, &mut prog, &vars);
+        delta.undo(&mut prog);
+        let restored = StmtIndex::build(&prog);
+        prop_assert!(
+            restored.agrees_with(&original),
+            "seed {seed}: undo did not restore the statement index"
+        );
+    }
+}

@@ -173,6 +173,13 @@ impl LoopTable {
         &self.loops[id.index()]
     }
 
+    /// Info for the loop at table position `i` (the same order `iter`
+    /// yields — program order of the headers), or `None` past the end.
+    /// O(1), unlike `iter().nth(i)`.
+    pub fn by_index(&self, i: usize) -> Option<&LoopInfo> {
+        self.loops.get(i)
+    }
+
     /// All loops in program order of their headers.
     pub fn iter(&self) -> impl Iterator<Item = &LoopInfo> + '_ {
         self.loops.iter()

@@ -74,6 +74,28 @@ fn record_suite_run() -> (Arc<Recorder>, Vec<Event>) {
     (rec, events)
 }
 
+/// Runs the peephole self-copy remover over a program whose self-copy
+/// sits *after* a run of ordinary assigns. The clause's `opr_1 == opr_2`
+/// test is anchor-local (so rejections are cacheable) but not expressible
+/// by the statement index's opcode/class buckets, so the first fixpoint
+/// iteration genuinely evaluates and rejects every ordinary assign — and
+/// the next iteration's safety-net pass over the pre-frontier anchors
+/// must answer from the negative cache.
+fn record_cache_run() -> Vec<Event> {
+    let rec = Arc::new(Recorder::new());
+    let prog = gospel_frontend::compile(
+        "program c\ninteger x, y, z\nx = 1\ny = 2\nz = 3\nx = x\nwrite x\nwrite y\nwrite z\nend",
+    )
+    .unwrap();
+    let mut gs = GuardedSession::new(prog, GuardConfig::default());
+    gs.set_recorder(Some(rec.clone()));
+    gs.register(
+        gospel_opts::compile_spec(gospel_opts::specs::PEEPHOLE_REDUN).expect("REDUN compiles"),
+    );
+    gs.apply("REDUN", ApplyMode::AllPoints).unwrap();
+    rec.drain_events()
+}
+
 /// Runs the broken CTP on a two-definition program so validation fails.
 fn record_rejection_run() -> Vec<Event> {
     let rec = Arc::new(Recorder::new());
@@ -164,13 +186,36 @@ fn suite_run_counters_are_monotone_and_spans_balance() {
     assert_counters_monotone(&events);
     assert_spans_balanced(&events);
     assert_eq!(rec.open_spans(), 0, "recorder still thinks spans are open");
-    // The headline vocabulary must be present in a real run.
-    for needle in ["driver.attempt", "search.match", "dep.update", "guard.apply"] {
+    // The headline vocabulary must be present in a real run. The suite
+    // runs with indexed search at its default (on), so the index must
+    // report pruned anchor candidates.
+    for needle in [
+        "driver.attempt",
+        "search.match",
+        "dep.update",
+        "guard.apply",
+        "search.candidates_pruned",
+    ] {
         assert!(
             events.iter().any(|e| e.name == needle),
             "expected at least one `{needle}` event"
         );
     }
+}
+
+#[test]
+fn negative_cache_hits_surface_as_a_per_optimizer_counter() {
+    let events = record_cache_run();
+    assert_counters_monotone(&events);
+    let hits: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name == "search.cache_hit.REDUN")
+        .filter_map(|e| e.delta)
+        .sum();
+    assert!(
+        hits > 0,
+        "revisiting cached anchor rejections must bump search.cache_hit.REDUN"
+    );
 }
 
 #[test]
