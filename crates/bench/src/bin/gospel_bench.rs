@@ -571,10 +571,18 @@ fn run_match_bench(args: &[String]) {
         for _ in 0..repeats.min(10) {
             let items = batch_items(&suite);
             let started = Instant::now();
-            let out = genesis::run_batch(items, &opts, &seq_names, options, threads, None);
+            let out = genesis::run_batch(
+                items,
+                &opts,
+                &seq_names,
+                options,
+                &genesis::BatchPolicy::default(),
+                threads,
+                None,
+            );
             best = best.min(started.elapsed().as_nanos());
             assert!(
-                out.iter().all(|o| o.result.is_ok()),
+                out.iter().all(|o| o.status.is_done()),
                 "batch run failed at {threads} thread(s)"
             );
         }

@@ -33,8 +33,11 @@ USAGE:
         [--trace FILE] [--metrics] plus the apply options
     genesis-opt batch <prog.mf>… [--seq <OPT>,<OPT>…] [--threads N]
         apply a sequence to many programs in parallel (one session per
-        program, results in input order); also accepts [--source]
-        [--trace FILE] [--metrics] plus the session options above
+        program, results in input order); self-healing: worker panics are
+        contained per file and transient failures retried
+        [--keep-going] [--retries N] [--file-timeout-ms N] [--report FILE]
+        also accepts [--source] [--inject PLAN] [--trace FILE] [--metrics]
+        plus the session options above
     genesis-opt emit <OPT> [--lang c|rust]         print the generated source
     genesis-opt interactive <prog.mf> [--spec FILE]…   the §3 interface
 
@@ -43,8 +46,14 @@ Catalog: CPP CTP DCE ICM INX CRC BMP PAR LUR FUS CFO.
 --validate checks every application by structural validation and by
 executing the program before/after on seeded inputs; a divergent
 optimizer is rolled back and quarantined, and the exit code is nonzero.
---inject arms a scripted fault (analysis|action|corrupt|panic|
-panic-action) to exercise those recovery paths.
+--inject arms a scripted fault ([~]KIND[@OPT][:N] with KIND one of
+analysis|action|corrupt|panic|panic-action|timeout|fuel|corrupt-deps;
+a leading ~ makes it transient, firing at most once) to exercise the
+recovery paths. --no-degrade turns off the driver's degradation ladder
+(stale index → scan → full re-analysis) and restores hard failures.
+--keep-going drives the remaining batch files past a failure; --retries
+and --file-timeout-ms bound each file's attempts; --report FILE writes
+the structured per-file batch report as JSON.
 --trace FILE streams one JSON object per structured event (attempt
 spans, match outcomes, dependence-update counters, guard events) to
 FILE; --metrics prints an end-of-run counter/latency summary table.
@@ -250,6 +259,7 @@ fn parse_session_options(args: &[String]) -> Result<SessionOptions, String> {
         timeout_ms: num_option(args, "--timeout-ms")?,
         fuel: num_option(args, "--fuel")?,
         max_growth: num_option(args, "--max-growth")?,
+        degraded_recovery: !flag(args, "--no-degrade"),
         ..SessionOptions::default()
     })
 }
@@ -358,10 +368,13 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
 }
 
 /// The `batch` command: one session per program file, fanned out over a
-/// worker pool, results printed in input order. A failing program marks
-/// the exit code but never disturbs the other slots.
+/// self-healing worker pool (panic containment, transient-error retries,
+/// per-file deadlines), results printed in input order. By default the
+/// first ultimate failure aborts the remaining files; `--keep-going`
+/// drives every file regardless. The exit code is nonzero only when at
+/// least one file ultimately failed.
 fn run_batch_command(args: &[String]) -> Result<(), String> {
-    const VALUE_OPTS: [&str; 7] = [
+    const VALUE_OPTS: [&str; 11] = [
         "--seq",
         "--threads",
         "--trace",
@@ -369,6 +382,10 @@ fn run_batch_command(args: &[String]) -> Result<(), String> {
         "--fuel",
         "--max-growth",
         "--spec",
+        "--retries",
+        "--file-timeout-ms",
+        "--report",
+        "--inject",
     ];
     let mut files: Vec<String> = Vec::new();
     let mut i = 1;
@@ -416,25 +433,64 @@ fn run_batch_command(args: &[String]) -> Result<(), String> {
         })
         .collect::<Result<Vec<_>, String>>()?;
 
-    let outcomes = genesis::run_batch(items, &optimizers, &sequence, opts, threads, recorder.as_ref());
+    let policy = genesis::BatchPolicy {
+        keep_going: flag(args, "--keep-going"),
+        retries: num_option(args, "--retries")?.unwrap_or(1),
+        file_timeout_ms: num_option(args, "--file-timeout-ms")?,
+        fault: parse_inject(args)?,
+    };
+
+    // Contained worker panics are reported per file; the default hook's
+    // backtrace spew would bury the batch report.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcomes = genesis::run_batch(
+        items,
+        &optimizers,
+        &sequence,
+        opts,
+        &policy,
+        threads,
+        recorder.as_ref(),
+    );
+    std::panic::set_hook(prev_hook);
 
     let total = outcomes.len();
     let mut failures = 0usize;
     for o in &outcomes {
-        match &o.result {
-            Ok(ok) => {
-                println!("== {}: {} application(s), cost {}", o.label, ok.applications, ok.cost);
+        match &o.status {
+            genesis::BatchStatus::Done(ok) => {
+                let retry_note = if o.attempts > 1 {
+                    format!(" ({} attempts)", o.attempts)
+                } else {
+                    String::new()
+                };
+                println!(
+                    "== {}: {} application(s), cost {}{retry_note}",
+                    o.label, ok.applications, ok.cost
+                );
                 if flag(args, "--source") {
                     print!("{}", gospel_frontend::unparse(&ok.prog));
                 } else {
                     print!("{}", DisplayProgram(&ok.prog));
                 }
             }
-            Err(e) => {
+            genesis::BatchStatus::Failed(e) => {
                 failures += 1;
-                println!("== {}: error: {e}", o.label);
+                println!(
+                    "== {}: error after {} attempt(s): {e}",
+                    o.label, o.attempts
+                );
+            }
+            genesis::BatchStatus::Skipped => {
+                println!("== {}: skipped (earlier failure, no --keep-going)", o.label);
             }
         }
+    }
+    if let Some(path) = option(args, "--report") {
+        std::fs::write(&path, batch_report_json(&outcomes))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
     }
     finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics)?;
     if failures > 0 {
@@ -442,6 +498,50 @@ fn run_batch_command(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// The structured per-file batch report (`--report FILE`): one entry per
+/// input slot with status, attempt count and elapsed time.
+fn batch_report_json(outcomes: &[genesis::BatchOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"files\": [\n");
+    let (mut done, mut failed, mut skipped) = (0usize, 0usize, 0usize);
+    for (i, o) in outcomes.iter().enumerate() {
+        out.push_str("    {\"file\": ");
+        gospel_trace::write_json_string(&o.label, &mut out);
+        let _ = write!(out, ", \"attempts\": {}, \"elapsed_ms\": {}", o.attempts, o.elapsed_ms);
+        match &o.status {
+            genesis::BatchStatus::Done(ok) => {
+                done += 1;
+                let _ = write!(
+                    out,
+                    ", \"status\": \"done\", \"applications\": {}, \"cost\": {}",
+                    ok.applications,
+                    ok.cost.total()
+                );
+            }
+            genesis::BatchStatus::Failed(e) => {
+                failed += 1;
+                out.push_str(", \"status\": \"failed\", \"error\": ");
+                gospel_trace::write_json_string(&e.to_string(), &mut out);
+            }
+            genesis::BatchStatus::Skipped => {
+                skipped += 1;
+                out.push_str(", \"status\": \"skipped\"");
+            }
+        }
+        out.push('}');
+        if i + 1 < outcomes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"total\": {}, \"done\": {done}, \"failed\": {failed}, \"skipped\": {skipped}\n}}\n",
+        outcomes.len()
+    );
+    out
 }
 
 /// Parsed `--trace FILE` / `--metrics` options: the recorder (created

@@ -9,15 +9,26 @@
 //! after the scope joins ([`Recorder::merge_from`]), so `--metrics`
 //! reports one coherent stream with no cross-thread lock traffic during
 //! the run.
+//!
+//! The pool is **self-healing**: a panic escaping one file's session is
+//! contained in that file's slot ([`RunError::Internal`]), transient
+//! errors (timeout, fuel exhaustion, contained panics) earn up to
+//! [`BatchPolicy::retries`] fresh attempts from the pristine input
+//! program within the per-file deadline, and a failure either aborts the
+//! remaining files ([`BatchStatus::Skipped`]) or — under
+//! [`BatchPolicy::keep_going`] — leaves the other slots untouched.
 
 use crate::compile::CompiledOptimizer;
 use crate::cost::Cost;
 use crate::error::RunError;
+use crate::fault::FaultPlan;
 use crate::session::{Session, SessionOptions};
 use gospel_ir::Program;
-use gospel_trace::Recorder;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use gospel_trace::{Recorder, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One program going into a batch run.
 #[derive(Debug)]
@@ -29,14 +40,85 @@ pub struct BatchItem {
     pub prog: Program,
 }
 
+/// Supervision policy for a batch run: what happens when a file fails.
+#[derive(Clone, Debug)]
+pub struct BatchPolicy {
+    /// Keep driving the remaining files after one ultimately fails. Off,
+    /// a failure aborts the batch: files not yet started come back
+    /// [`BatchStatus::Skipped`] (in-flight files still finish).
+    pub keep_going: bool,
+    /// Extra attempts granted to a file whose run fails *transiently*
+    /// (timeout, fuel exhaustion, or a contained panic). Each retry
+    /// restarts from the pristine input program.
+    pub retries: usize,
+    /// Wall-clock deadline per file across all its attempts, clipping the
+    /// per-apply timeout of every attempt. `None` = no file deadline.
+    pub file_timeout_ms: Option<u64>,
+    /// Scripted fault for chaos testing. Each file gets its own re-armed
+    /// copy ([`FaultPlan::rearmed`]), so a transient fault fires once per
+    /// file rather than once per batch.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            keep_going: false,
+            retries: 1,
+            file_timeout_ms: None,
+            fault: None,
+        }
+    }
+}
+
 /// What one batch slot produced, in the input slot's position.
 #[derive(Debug)]
 pub struct BatchOutcome {
     /// The label of the [`BatchItem`] this outcome belongs to.
     pub label: String,
-    /// The optimized program (with run statistics) or the first error
-    /// the sequence hit. An error in one slot never affects the others.
-    pub result: Result<BatchSuccess, RunError>,
+    /// How many attempts the file consumed (0 when skipped).
+    pub attempts: usize,
+    /// Wall-clock time the slot spent across all attempts.
+    pub elapsed_ms: u64,
+    /// How the slot ended.
+    pub status: BatchStatus,
+}
+
+/// Terminal state of one batch slot.
+#[derive(Debug)]
+pub enum BatchStatus {
+    /// The whole sequence ran; the optimized program and its statistics
+    /// (boxed: the program dwarfs the other variants).
+    Done(Box<BatchSuccess>),
+    /// The final attempt failed with this error (earlier transient
+    /// failures were retried per [`BatchPolicy::retries`]).
+    Failed(RunError),
+    /// Never attempted: an earlier file failed without
+    /// [`BatchPolicy::keep_going`].
+    Skipped,
+}
+
+impl BatchStatus {
+    /// True for [`BatchStatus::Done`].
+    pub fn is_done(&self) -> bool {
+        matches!(self, BatchStatus::Done(_))
+    }
+
+    /// The success payload, when done.
+    pub fn success(&self) -> Option<&BatchSuccess> {
+        match self {
+            BatchStatus::Done(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The terminal error, when failed.
+    pub fn error(&self) -> Option<&RunError> {
+        match self {
+            BatchStatus::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// The success side of a [`BatchOutcome`].
@@ -59,12 +141,14 @@ pub struct BatchSuccess {
 /// clone of every optimizer in `optimizers`, so workers share nothing
 /// mutable. When `recorder` is given, each worker traces into a private
 /// recorder; the pool merges them into `recorder` (in worker order)
-/// once every item is done.
+/// once every item is done. `policy` governs panic containment, retry,
+/// per-file deadlines, and whether one failure aborts the rest.
 pub fn run_batch(
     items: Vec<BatchItem>,
     optimizers: &[CompiledOptimizer],
     sequence: &[&str],
     options: SessionOptions,
+    policy: &BatchPolicy,
     threads: usize,
     recorder: Option<&Arc<Recorder>>,
 ) -> Vec<BatchOutcome> {
@@ -89,6 +173,7 @@ pub fn run_batch(
         .collect();
     let outputs: Vec<Mutex<Option<BatchOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
 
     let mut worker_recs: Vec<Arc<Recorder>> = Vec::new();
     if recorder.is_some() {
@@ -101,6 +186,7 @@ pub fn run_batch(
             let inputs = &inputs;
             let outputs = &outputs;
             let cursor = &cursor;
+            let abort = &abort;
             let sequence = &sequence;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -112,7 +198,21 @@ pub fn run_batch(
                     .unwrap_or_else(|p| p.into_inner())
                     .take()
                     .expect("slot claimed twice");
-                let outcome = run_one(item, optimizers, sequence, options, my_rec.clone());
+                let outcome = if abort.load(Ordering::Relaxed) {
+                    BatchOutcome {
+                        label: item.label,
+                        attempts: 0,
+                        elapsed_ms: 0,
+                        status: BatchStatus::Skipped,
+                    }
+                } else {
+                    let out =
+                        run_supervised(item, optimizers, sequence, options, policy, my_rec.clone());
+                    if !policy.keep_going && matches!(out.status, BatchStatus::Failed(_)) {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    out
+                };
                 *outputs[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
             });
         }
@@ -134,38 +234,125 @@ pub fn run_batch(
         .collect()
 }
 
-fn run_one(
+/// Errors worth a second attempt: budget exhaustion can be input-order
+/// luck, and a contained panic may be a transient interaction the retry
+/// (with its cleared session state) avoids. Everything else is
+/// deterministic and would just fail again.
+fn transient(e: &RunError) -> bool {
+    matches!(
+        e,
+        RunError::Timeout { .. } | RunError::FuelExhausted { .. } | RunError::Internal(_)
+    )
+}
+
+fn elapsed_ms(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Drives one file through the sequence with panic containment and
+/// transient-retry supervision.
+fn run_supervised(
     item: BatchItem,
     optimizers: &[CompiledOptimizer],
     sequence: &[&str],
     options: SessionOptions,
+    policy: &BatchPolicy,
     rec: Option<Arc<Recorder>>,
 ) -> BatchOutcome {
     let BatchItem { label, prog } = item;
-    let mut sess = Session::with_options(prog, options);
-    for opt in optimizers {
-        sess.register(opt.clone());
-    }
-    sess.set_recorder(rec);
-    let result = match sess.run_sequence(sequence) {
-        Ok(reports) => {
-            let applications = reports.iter().map(|r| r.applications).sum();
-            let cost = sess.total_cost();
-            Ok(BatchSuccess {
-                prog: sess.into_program(),
-                applications,
-                cost,
-            })
+    let started = Instant::now();
+    let fault = policy.fault.as_ref().map(FaultPlan::rearmed);
+    let mut attempts = 0usize;
+    let status = loop {
+        attempts += 1;
+        let mut opts = options;
+        if let Some(total) = policy.file_timeout_ms {
+            // Clip this attempt's timeout to what is left of the file
+            // deadline (at least 1ms so the driver's probe still runs
+            // and reports Timeout rather than an arbitrary other error).
+            let left = total.saturating_sub(elapsed_ms(started)).max(1);
+            opts.timeout_ms = Some(opts.timeout_ms.map_or(left, |t| t.min(left)));
         }
-        Err(e) => Err(e),
+        match run_attempt(prog.clone(), optimizers, sequence, opts, fault.clone(), rec.clone()) {
+            Ok(success) => break BatchStatus::Done(Box::new(success)),
+            Err(e) => {
+                let deadline_left = policy
+                    .file_timeout_ms
+                    .is_none_or(|total| elapsed_ms(started) < total);
+                if transient(&e) && attempts <= policy.retries && deadline_left {
+                    if let Some(r) = rec.as_ref() {
+                        r.add("batch.file_retry", 1);
+                        r.event(
+                            "batch.file_retry",
+                            &[
+                                ("file", Value::str(label.clone())),
+                                ("error", Value::str(e.to_string())),
+                                ("attempt", Value::us(attempts)),
+                            ],
+                        );
+                    }
+                    continue;
+                }
+                break BatchStatus::Failed(e);
+            }
+        }
     };
-    BatchOutcome { label, result }
+    BatchOutcome {
+        label,
+        attempts,
+        elapsed_ms: elapsed_ms(started),
+        status,
+    }
+}
+
+/// One attempt: a fresh session over a pristine copy of the program.
+/// Panics escaping generated search/action code surface as
+/// [`RunError::Internal`] instead of poisoning the worker pool.
+fn run_attempt(
+    prog: Program,
+    optimizers: &[CompiledOptimizer],
+    sequence: &[&str],
+    options: SessionOptions,
+    fault: Option<FaultPlan>,
+    rec: Option<Arc<Recorder>>,
+) -> Result<BatchSuccess, RunError> {
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let mut sess = Session::with_options(prog, options);
+        for opt in optimizers {
+            sess.register(opt.clone());
+        }
+        sess.set_fault(fault);
+        sess.set_recorder(rec);
+        let reports = sess.run_sequence(sequence)?;
+        let applications = reports.iter().map(|r| r.applications).sum();
+        let cost = sess.total_cost();
+        Ok(BatchSuccess {
+            prog: sess.into_program(),
+            applications,
+            cost,
+        })
+    }));
+    match run {
+        Ok(result) => result,
+        Err(payload) => Err(RunError::Internal(panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compile::generate;
+    use crate::fault::FaultKind;
     use gospel_frontend::compile as minifor;
 
     fn ctp() -> CompiledOptimizer {
@@ -195,13 +382,15 @@ mod tests {
                 &opts,
                 &["CTP"],
                 SessionOptions::default(),
+                &BatchPolicy::default(),
                 threads,
                 None,
             );
             assert_eq!(out.len(), 6);
             for (i, o) in out.iter().enumerate() {
                 assert_eq!(o.label, format!("p{i}"));
-                let ok = o.result.as_ref().unwrap();
+                assert_eq!(o.attempts, 1);
+                let ok = o.status.success().unwrap();
                 assert_eq!(ok.applications, 2, "CTP propagates twice per program");
                 // the propagated constant is this program's own
                 let shown = format!("{}", gospel_ir::DisplayProgram(&ok.prog));
@@ -213,12 +402,13 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_output() {
         let opts = [ctp()];
-        let seq = run_batch(progs(5), &opts, &[], SessionOptions::default(), 1, None);
-        let par = run_batch(progs(5), &opts, &[], SessionOptions::default(), 4, None);
+        let policy = BatchPolicy::default();
+        let seq = run_batch(progs(5), &opts, &[], SessionOptions::default(), &policy, 1, None);
+        let par = run_batch(progs(5), &opts, &[], SessionOptions::default(), &policy, 4, None);
         for (a, b) in seq.iter().zip(&par) {
             let (pa, pb) = (
-                &a.result.as_ref().unwrap().prog,
-                &b.result.as_ref().unwrap().prog,
+                &a.status.success().unwrap().prog,
+                &b.status.success().unwrap().prog,
             );
             assert!(pa.structurally_eq(pb));
         }
@@ -227,18 +417,23 @@ mod tests {
     #[test]
     fn per_item_errors_stay_per_item_and_recorders_merge() {
         let opts = [ctp()];
+        let keep_going = BatchPolicy {
+            keep_going: true,
+            ..BatchPolicy::default()
+        };
         let rec = Arc::new(Recorder::new());
         let out = run_batch(
             progs(3),
             &opts,
             &["NOPE"],
             SessionOptions::default(),
+            &keep_going,
             2,
             Some(&rec),
         );
         assert!(out
             .iter()
-            .all(|o| matches!(o.result, Err(RunError::UnknownOptimizer { .. }))));
+            .all(|o| matches!(o.status.error(), Some(RunError::UnknownOptimizer { .. }))));
 
         let rec2 = Arc::new(Recorder::new());
         let out = run_batch(
@@ -246,11 +441,93 @@ mod tests {
             &opts,
             &["CTP"],
             SessionOptions::default(),
+            &keep_going,
             2,
             Some(&rec2),
         );
-        assert!(out.iter().all(|o| o.result.is_ok()));
+        assert!(out.iter().all(|o| o.status.is_done()));
         // 3 programs x 2 applications each, merged from both workers
         assert_eq!(rec2.counter("driver.applications"), 6);
+    }
+
+    #[test]
+    fn failure_without_keep_going_skips_the_rest() {
+        let opts = [ctp()];
+        // Single worker so the claim order is deterministic: p0 fails,
+        // p1/p2 must be skipped and reported as such.
+        let out = run_batch(
+            progs(3),
+            &opts,
+            &["NOPE"],
+            SessionOptions::default(),
+            &BatchPolicy::default(),
+            1,
+            None,
+        );
+        assert!(matches!(
+            out[0].status.error(),
+            Some(RunError::UnknownOptimizer { .. })
+        ));
+        for o in &out[1..] {
+            assert!(matches!(o.status, BatchStatus::Skipped), "{o:?}");
+            assert_eq!(o.attempts, 0);
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_retried_per_file() {
+        let opts = [ctp()];
+        // A transient panic per file: every file's first attempt dies,
+        // every retry succeeds — the pool self-heals and the batch is
+        // fully green with exactly 2 attempts per slot.
+        let policy = BatchPolicy {
+            fault: Some(FaultPlan::new(FaultKind::Panic).transient()),
+            ..BatchPolicy::default()
+        };
+        let rec = Arc::new(Recorder::new());
+        let out = run_batch(
+            progs(3),
+            &opts,
+            &["CTP"],
+            SessionOptions::default(),
+            &policy,
+            2,
+            Some(&rec),
+        );
+        for o in &out {
+            assert!(o.status.is_done(), "{o:?}");
+            assert_eq!(o.attempts, 2);
+            assert_eq!(o.status.success().unwrap().applications, 2);
+        }
+        assert_eq!(rec.counter("batch.file_retry"), 3);
+    }
+
+    #[test]
+    fn persistent_panic_fails_only_its_own_slot_under_keep_going() {
+        let opts = [ctp()];
+        let policy = BatchPolicy {
+            keep_going: true,
+            fault: Some(FaultPlan::new(FaultKind::Panic).at(1)),
+            ..BatchPolicy::default()
+        };
+        let out = run_batch(
+            progs(3),
+            &opts,
+            &["CTP"],
+            SessionOptions::default(),
+            &policy,
+            1,
+            None,
+        );
+        for o in &out {
+            // Retries are allowed but the fault re-fires at the same
+            // application index every attempt; the slot ultimately fails
+            // as Internal without touching its neighbours.
+            assert!(
+                matches!(o.status.error(), Some(RunError::Internal(_))),
+                "{o:?}"
+            );
+            assert_eq!(o.attempts, 1 + BatchPolicy::default().retries);
+        }
     }
 }

@@ -1,0 +1,216 @@
+//! Session-scoped search state carried across `apply` calls.
+//!
+//! A [`SessionCaches`] bundles everything a [`crate::Driver`] run can
+//! reuse from the previous run over the same program: the dependence
+//! graph, the statement index, and — per optimizer — the negative match
+//! cache and the per-clause anchor filters. The driver keeps each piece
+//! consistent by replaying every committed [`EditDelta`] into it; any
+//! path that cannot argue consistency (a corrupted commit, a user
+//! restore) clears the whole bundle instead.
+//!
+//! The per-optimizer entries are keyed by upper-cased optimizer name, the
+//! same normalization the guard's quarantine map uses. Re-registering a
+//! specification under an existing name must call
+//! [`SessionCaches::drop_optimizer`]: the old spec's remembered
+//! rejections and filters describe the *old* clauses, and letting them
+//! answer for the new spec would silently suppress matches.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gospel_dep::DepGraph;
+use gospel_ir::{EditDelta, Program};
+use gospel_lang::ast::ElemType;
+
+use crate::compile::CompiledOptimizer;
+use crate::index::{anchor_filter, AnchorFilter, MatchCache, StmtIndex};
+
+/// Reusable driver state for one program, carried across `apply` calls.
+#[derive(Clone, Debug, Default)]
+pub struct SessionCaches {
+    /// Dependence graph describing the current program exactly, when the
+    /// last run kept it current (same contract as the old per-session
+    /// `Option<DepGraph>` cache).
+    pub deps: Option<DepGraph>,
+    /// Statement index over the current program, maintained by delta
+    /// replay across applies — including applies of optimizers that
+    /// cannot consult it, so it never silently goes stale.
+    pub index: Option<StmtIndex>,
+    match_caches: HashMap<String, MatchCache>,
+    anchor_filters: HashMap<String, Arc<Vec<Option<AnchorFilter>>>>,
+}
+
+impl SessionCaches {
+    /// An empty bundle — every first use builds from scratch.
+    pub fn new() -> SessionCaches {
+        SessionCaches::default()
+    }
+
+    /// Drops everything. Called whenever the program changes outside the
+    /// driver's journaled commits (a user restore, a corrupted commit).
+    pub fn clear(&mut self) {
+        self.deps = None;
+        self.index = None;
+        self.match_caches.clear();
+        self.anchor_filters.clear();
+    }
+
+    /// Drops every entry derived from optimizer `name` (case-insensitive).
+    /// Required when a specification is re-registered under an existing
+    /// name — stale negative matches and filters from the old spec must
+    /// not survive into the new one's runs.
+    pub fn drop_optimizer(&mut self, name: &str) {
+        let key = normalize(name);
+        self.match_caches.remove(&key);
+        self.anchor_filters.remove(&key);
+    }
+
+    /// Whether a negative match cache is currently parked for `name`.
+    pub fn has_match_cache(&self, name: &str) -> bool {
+        self.match_caches.contains_key(&normalize(name))
+    }
+
+    /// Whether anchor filters are currently cached for `name`.
+    pub fn has_anchor_filters(&self, name: &str) -> bool {
+        self.anchor_filters.contains_key(&normalize(name))
+    }
+
+    /// Takes `opt`'s parked match cache, or builds a fresh one from its
+    /// first pattern clause.
+    pub(crate) fn take_match_cache(&mut self, opt: &CompiledOptimizer) -> MatchCache {
+        self.match_caches
+            .remove(&normalize(&opt.name))
+            .unwrap_or_else(|| MatchCache::new(opt.patterns.first().map(|(c, _)| c)))
+    }
+
+    /// Parks a match cache for reuse by the next run of `name`. Caches
+    /// that can never engage (ineligible first clause) are not worth
+    /// keeping.
+    pub(crate) fn store_match_cache(&mut self, name: &str, cache: MatchCache) {
+        if cache.enabled() {
+            self.match_caches.insert(normalize(name), cache);
+        }
+    }
+
+    /// Replays a committed delta into every *parked* match cache (the
+    /// active optimizer's cache is invalidated separately by the driver).
+    pub(crate) fn invalidate_match_caches(&mut self, delta: &EditDelta) {
+        for c in self.match_caches.values_mut() {
+            c.invalidate(delta);
+        }
+    }
+
+    /// Drops every parked match verdict — the conservative response when
+    /// delta-replay consistency can no longer be argued (e.g. after the
+    /// verifier catches a diverged dependence graph).
+    pub(crate) fn drop_match_verdicts(&mut self) {
+        self.match_caches.clear();
+    }
+
+    /// The per-pattern-clause anchor filters for `opt`, computed once and
+    /// cached under its name. Entry `i` is `None` when clause `i` is not
+    /// an anchor-filterable statement clause (the scan path runs there).
+    pub(crate) fn filters_for(&mut self, opt: &CompiledOptimizer) -> Arc<Vec<Option<AnchorFilter>>> {
+        self.anchor_filters
+            .entry(normalize(&opt.name))
+            .or_insert_with(|| {
+                Arc::new(
+                    opt.patterns
+                        .iter()
+                        .map(|(c, ty)| {
+                            (*ty == ElemType::Stmt)
+                                .then(|| c.vars.first().map(|v| anchor_filter(c, v)))
+                                .flatten()
+                        })
+                        .collect(),
+                )
+            })
+            .clone()
+    }
+
+    /// Audits every cached structure against a from-scratch rebuild and
+    /// returns one line per inconsistency (empty = consistent). This is
+    /// the chaos campaign's "no state divergence vs. a fresh rebuild"
+    /// invariant: the dependence graph and statement index must agree
+    /// with fresh analyses of `prog`, and every parked negative match
+    /// cache must leave the optimizer's found bindings unchanged.
+    pub fn audit(&self, prog: &Program, optimizers: &[CompiledOptimizer]) -> Vec<String> {
+        let mut out = Vec::new();
+        let fresh = match DepGraph::analyze(prog) {
+            Ok(g) => g,
+            Err(e) => {
+                out.push(format!("program fails fresh dependence analysis: {e}"));
+                return out;
+            }
+        };
+        if let Some(g) = &self.deps {
+            if !g.agrees_with(&fresh) {
+                out.push("cached dependence graph disagrees with fresh analysis".into());
+            }
+        }
+        if let Some(ix) = &self.index {
+            if !ix.agrees_with(&StmtIndex::build(prog)) {
+                out.push("cached statement index disagrees with fresh rebuild".into());
+            }
+        }
+        for (key, cache) in &self.match_caches {
+            let Some(opt) = optimizers.iter().find(|o| o.name.eq_ignore_ascii_case(key)) else {
+                out.push(format!("match cache parked for unregistered optimizer {key}"));
+                continue;
+            };
+            match crate::driver::bindings_agree_with_cache(prog, &fresh, opt, cache) {
+                Ok(true) => {}
+                Ok(false) => out.push(format!(
+                    "negative match cache of {key} changes the found bindings"
+                )),
+                Err(e) => out.push(format!("audit search of {key} failed: {e}")),
+            }
+        }
+        out
+    }
+}
+
+/// The shared cache/quarantine key normalization: upper-cased name.
+pub(crate) fn normalize(name: &str) -> String {
+    name.to_ascii_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::generate;
+
+    fn ctp() -> CompiledOptimizer {
+        let (spec, info) = gospel_lang::parse_validated(crate::CTP_EXAMPLE_SPEC).unwrap();
+        generate(spec, info).unwrap()
+    }
+
+    #[test]
+    fn drop_optimizer_is_case_insensitive_and_surgical() {
+        let opt = ctp();
+        let mut caches = SessionCaches::new();
+        let _ = caches.filters_for(&opt);
+        caches.store_match_cache(&opt.name, MatchCache::new(opt.patterns.first().map(|(c, _)| c)));
+        assert!(caches.has_anchor_filters("ctp"));
+        assert!(caches.has_match_cache("CTP"));
+        caches.drop_optimizer("ctp");
+        assert!(!caches.has_anchor_filters("CTP"));
+        assert!(!caches.has_match_cache("CTP"));
+    }
+
+    #[test]
+    fn audit_flags_a_stale_index() {
+        let prog =
+            gospel_frontend::compile("program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend").unwrap();
+        let other =
+            gospel_frontend::compile("program q\ninteger a\na = 1\na = 2\nwrite a\nend").unwrap();
+        let mut caches = SessionCaches::new();
+        // An index built from a different program must be caught.
+        caches.index = Some(StmtIndex::build(&other));
+        let problems = caches.audit(&prog, &[]);
+        assert!(
+            problems.iter().any(|p| p.contains("statement index")),
+            "{problems:?}"
+        );
+    }
+}

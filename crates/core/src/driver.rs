@@ -2,11 +2,12 @@
 //! (`match_OPT`, `pre_OPT`), apply the actions (`act_OPT`), repeat.
 
 use crate::actions::run_actions;
+use crate::caches::SessionCaches;
 use crate::compile::{CompiledOptimizer, Strategy};
 use crate::cost::Cost;
 use crate::error::RunError;
 use crate::fault::{FaultKind, FaultPlan};
-use crate::index::{anchor_filter, MatchCache, StmtIndex};
+use crate::index::{MatchCache, StmtIndex};
 use crate::rt::Bindings;
 use crate::solve::Searcher;
 use gospel_dep::{DepGraph, UpdateKind};
@@ -67,6 +68,36 @@ pub struct ApplyReport {
     /// candidate when an `any` clause finds no solution or a `no` clause
     /// finds one.
     pub dep_clause_rejects: Vec<u64>,
+    /// How often each degradation-ladder rung fired during this run (each
+    /// fall is also emitted as a `search.degraded.<reason>` counter).
+    pub degraded: DegradeStats,
+}
+
+/// Per-rung degradation-ladder fall counts for one `apply` run.
+///
+/// The ladder replaces hard aborts with progressively cheaper-to-trust
+/// strategies: indexed candidate enumeration falls back to the
+/// authoritative scan (`stale_order`), a failed incremental dependence
+/// update falls back to a full re-analysis (`dep_update_failed`), and a
+/// verifier-caught graph divergence is healed by adopting the fresh
+/// analysis and rebuilding the derived caches (`dep_divergence`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Indexed candidate enumeration met a bucket member with unknown
+    /// program order and bowed out to the scan path.
+    pub stale_order: u64,
+    /// The verifier caught the maintained graph diverging; the run
+    /// adopted the fresh analysis and rebuilt index + match caches.
+    pub dep_divergence: u64,
+    /// `DepGraph::update` failed; the run fell back to a full analysis.
+    pub dep_update_failed: u64,
+}
+
+impl DegradeStats {
+    /// Total falls across all rungs.
+    pub fn total(&self) -> u64 {
+        self.stale_order + self.dep_divergence + self.dep_update_failed
+    }
 }
 
 /// All application points found by [`Driver::matches`], without applying.
@@ -112,6 +143,14 @@ pub struct Driver<'o> {
     /// environment toggle (on unless set to `0`/`off`). The index is
     /// only consulted while `recompute_deps` keeps program order fresh.
     pub indexed_search: bool,
+    /// Degrade instead of hard-aborting on dependence-maintenance
+    /// trouble: a failed [`DepGraph::update`] falls back to a full
+    /// analysis, and a verifier-caught divergence adopts the fresh graph
+    /// and rebuilds the derived caches, each recorded via
+    /// `search.degraded.<reason>` counters. Off by default so the bare
+    /// driver keeps its strict fail-loudly semantics (the differential
+    /// and bench oracles depend on it); sessions enable it.
+    pub degraded_recovery: bool,
     /// Scripted fault to inject at the matching probe point (tests the
     /// recovery machinery around the driver).
     pub fault: Option<FaultPlan>,
@@ -136,23 +175,10 @@ impl<'o> Driver<'o> {
             fuel: None,
             max_stmts: None,
             indexed_search: indexed_search_default(),
+            degraded_recovery: false,
             fault: None,
             recorder: None,
         }
-    }
-
-    /// Whether any of this optimizer's statement pattern clauses can be
-    /// served from a [`StmtIndex`] bucket. Building and maintaining an
-    /// index an optimizer cannot consult (a loop-anchored pattern, or a
-    /// format with no opcode bound) is pure overhead, so `apply_cached`
-    /// skips it.
-    fn uses_index(&self) -> bool {
-        self.opt.patterns.iter().any(|(c, ty)| {
-            *ty == gospel_lang::ast::ElemType::Stmt
-                && c.vars
-                    .first()
-                    .is_some_and(|v| anchor_filter(c, v).narrows())
-        })
     }
 
     /// True when the configured fault plan fires at this probe.
@@ -208,8 +234,8 @@ impl<'o> Driver<'o> {
     /// last committed application — callers wanting atomicity snapshot
     /// first, as `GuardedSession` does).
     pub fn apply(&mut self, prog: &mut Program, mode: ApplyMode) -> Result<ApplyReport, RunError> {
-        let mut cache = None;
-        self.apply_cached(prog, mode, &mut cache)
+        let mut caches = SessionCaches::new();
+        self.apply_with(prog, mode, &mut caches)
     }
 
     /// Like [`Driver::apply`] but reusing (and refreshing) a dependence
@@ -231,6 +257,30 @@ impl<'o> Driver<'o> {
         mode: ApplyMode,
         cache: &mut Option<DepGraph>,
     ) -> Result<ApplyReport, RunError> {
+        let mut caches = SessionCaches::new();
+        caches.deps = cache.take();
+        let result = self.apply_with(prog, mode, &mut caches);
+        *cache = caches.deps.take();
+        result
+    }
+
+    /// The full cached-state entry point: runs the optimizer per `mode`
+    /// while reusing *and maintaining* every piece of session search
+    /// state in `caches` — the dependence graph, the statement index, and
+    /// the per-optimizer negative match caches and anchor filters. Each
+    /// committed delta is replayed into every live structure; any exit
+    /// that cannot argue a structure's consistency drops it instead of
+    /// publishing it back.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Driver::apply`].
+    pub fn apply_with(
+        &mut self,
+        prog: &mut Program,
+        mode: ApplyMode,
+        caches: &mut SessionCaches,
+    ) -> Result<ApplyReport, RunError> {
         let mut report = ApplyReport::default();
         let rec = self.recorder.clone();
         let mut totals = RunTotals::new(rec.clone(), &self.opt.name);
@@ -238,7 +288,7 @@ impl<'o> Driver<'o> {
         if self.fault_fires(FaultKind::Analysis, 0) {
             return Err(RunError::Analyze("injected fault: analysis failure".into()));
         }
-        let mut deps = match cache.take() {
+        let mut deps = match caches.deps.take() {
             Some(g) => g,
             None => {
                 let t = Instant::now();
@@ -256,21 +306,45 @@ impl<'o> Driver<'o> {
         // scan from the top. Set from the incremental updater's dirty
         // frontier after each committed application.
         let mut resume_pt: Option<StmtId> = None;
-        // Indexed-search state, maintained across the fixpoint loop by
-        // replaying each committed delta. The index needs fresh program
-        // order (`deps.order_of`) to keep candidate enumeration identical
-        // to a scan, so it stays off in stale-graph mode.
-        let mut sidx = (self.indexed_search && self.recompute_deps && self.uses_index())
-            .then(|| StmtIndex::build(prog));
+        // Per-clause anchor filters, computed once per optimizer and
+        // parked in the session caches across calls.
+        let filters = self.indexed_search.then(|| caches.filters_for(self.opt));
+        // Whether this optimizer can be served from an index bucket at
+        // all; building one it cannot consult is pure overhead. The index
+        // also needs fresh program order (`deps.order_of`) to keep
+        // candidate enumeration identical to a scan, so consultation
+        // stays off in stale-graph mode — a stale order discovered
+        // mid-bucket degrades to the scan (`search.degraded.stale_order`).
+        let consult_index = self.recompute_deps
+            && filters
+                .as_ref()
+                .is_some_and(|fs| fs.iter().flatten().any(|f| f.narrows()));
+        // A session-carried index is adopted and kept fresh by delta
+        // replay even when this optimizer cannot consult it — otherwise
+        // it would silently go stale for the next optimizer that can.
+        let mut sidx = match caches.index.take() {
+            Some(ix) => Some(ix),
+            None => consult_index.then(|| StmtIndex::build(prog)),
+        };
         let mut mcache = self
             .indexed_search
-            .then(|| MatchCache::new(self.opt.patterns.first().map(|(c, _)| c)));
+            .then(|| caches.take_match_cache(self.opt));
 
         loop {
             if let Some(ms) = self.timeout_ms {
                 if started.elapsed().as_millis() as u64 > ms {
                     return Err(RunError::Timeout { ms });
                 }
+            }
+            if self.fault_fires(FaultKind::Timeout, report.applications) {
+                return Err(RunError::Timeout {
+                    ms: self.timeout_ms.unwrap_or(0),
+                });
+            }
+            if self.fault_fires(FaultKind::Fuel, report.applications) {
+                return Err(RunError::FuelExhausted {
+                    limit: self.fuel.unwrap_or(0),
+                });
             }
             if self.fault_fires(FaultKind::Panic, report.applications) {
                 panic!("injected fault: panic mid-search");
@@ -302,7 +376,8 @@ impl<'o> Driver<'o> {
                     _ => {}
                 }
                 s.resume_from = resume_pt;
-                s.index = sidx.as_ref();
+                s.index = if consult_index { sidx.as_ref() } else { None };
+                s.filters = filters.as_deref().map(|v| v.as_slice());
                 s.cache = mcache.as_mut();
                 s.time_pattern = rec.is_some();
                 let mut found = s.find_first()?;
@@ -312,6 +387,8 @@ impl<'o> Driver<'o> {
                 report.cache_hits += s.cache_hits;
                 totals.candidates_pruned += s.candidates_pruned;
                 totals.cache_hits += s.cache_hits;
+                report.degraded.stale_order += s.degraded_stale_order;
+                totals.degraded_stale_order += s.degraded_stale_order;
                 report.strategies_used.append(&mut s.strategies_used);
                 merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
                 merge_rejects(&mut totals.rejects, &s.dep_rejects);
@@ -325,7 +402,8 @@ impl<'o> Driver<'o> {
                     // cover every anchor exactly once.
                     let mut s = Searcher::new(prog, &deps, self.opt);
                     s.stop_before = resume_pt;
-                    s.index = sidx.as_ref();
+                    s.index = if consult_index { sidx.as_ref() } else { None };
+                    s.filters = filters.as_deref().map(|v| v.as_slice());
                     s.cache = mcache.as_mut();
                     s.time_pattern = rec.is_some();
                     found = s.find_first()?;
@@ -335,6 +413,8 @@ impl<'o> Driver<'o> {
                     report.cache_hits += s.cache_hits;
                     totals.candidates_pruned += s.candidates_pruned;
                     totals.cache_hits += s.cache_hits;
+                    report.degraded.stale_order += s.degraded_stale_order;
+                    totals.degraded_stale_order += s.degraded_stale_order;
                     report.strategies_used.append(&mut s.strategies_used);
                     merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
                     merge_rejects(&mut totals.rejects, &s.dep_rejects);
@@ -448,7 +528,10 @@ impl<'o> Driver<'o> {
             if corrupted {
                 // Return "success" with the bad commit in place: the fault
                 // models corruption the driver itself does not notice, so
-                // it must escape this loop for an outer gate to catch.
+                // it must escape this loop for an outer gate to catch. The
+                // unjournaled edit broke every cache's delta-replay
+                // argument, so none of them may survive.
+                caches.clear();
                 return Ok(report);
             }
 
@@ -464,6 +547,8 @@ impl<'o> Driver<'o> {
             // Replay the committed delta into the search index and drop
             // the cached verdicts of every touched statement — same
             // journal, same O(|delta|) contract as `DepGraph::update`.
+            // Parked caches of *other* optimizers see the same replay, so
+            // they stay truthful while this optimizer edits the program.
             if !delta.is_empty() {
                 if let Some(ix) = sidx.as_mut() {
                     ix.update(prog, &delta);
@@ -471,6 +556,7 @@ impl<'o> Driver<'o> {
                 if let Some(c) = mcache.as_mut() {
                     c.invalidate(&delta);
                 }
+                caches.invalidate_match_caches(&delta);
             }
 
             let one_shot = !matches!(mode, ApplyMode::AllPoints);
@@ -490,53 +576,123 @@ impl<'o> Driver<'o> {
                     // the graph is still exact — skip the refresh entirely.
                     resume_pt = None;
                 } else if self.incremental_deps {
-                    let update_started = Instant::now();
-                    let up = deps
-                        .update(prog, &delta)
-                        .map_err(|e| RunError::Analyze(e.to_string()))?;
-                    match up.kind {
-                        UpdateKind::Full => report.full_recomputes += 1,
-                        UpdateKind::Incremental | UpdateKind::Noop => {
-                            report.incremental_updates += 1;
+                    // Probe: a "missed invalidation" — the refresh below is
+                    // silently skipped, leaving the graph stale. Only the
+                    // verifier (or a later healing full analysis) can
+                    // restore exactness, so the graph is unpublishable
+                    // until one of them runs.
+                    let skip_update = self
+                        .fault_fires(FaultKind::CorruptDeps, report.applications.saturating_sub(1));
+                    if skip_update {
+                        current = false;
+                        resume_pt = None;
+                    } else {
+                        let update_started = Instant::now();
+                        match deps.update(prog, &delta) {
+                            Ok(up) => {
+                                match up.kind {
+                                    UpdateKind::Full => report.full_recomputes += 1,
+                                    UpdateKind::Incremental | UpdateKind::Noop => {
+                                        report.incremental_updates += 1;
+                                    }
+                                }
+                                report.dep_dirty_syms += up.stats.dirty_syms;
+                                report.dep_edges_dropped += up.stats.edges_dropped;
+                                report.dep_edges_added += up.stats.edges_added;
+                                match up.kind {
+                                    UpdateKind::Full => totals.update_full += 1,
+                                    UpdateKind::Incremental => totals.update_incremental += 1,
+                                    UpdateKind::Noop => totals.update_noop += 1,
+                                }
+                                totals.edges_dropped += up.stats.edges_dropped as u64;
+                                totals.edges_added += up.stats.edges_added as u64;
+                                if let Some(r) = rec.as_ref() {
+                                    r.observe("dep.update_ns", ns_since(update_started));
+                                    let kind = match up.kind {
+                                        UpdateKind::Full => "full",
+                                        UpdateKind::Incremental => "incremental",
+                                        UpdateKind::Noop => "noop",
+                                    };
+                                    let frontier = up.frontier.map(|f| f.to_string());
+                                    let mut fields = vec![
+                                        ("kind", Value::str(kind)),
+                                        ("dirty_syms", Value::us(up.stats.dirty_syms)),
+                                        ("edges_dropped", Value::us(up.stats.edges_dropped)),
+                                        ("edges_added", Value::us(up.stats.edges_added)),
+                                    ];
+                                    if let Some(fr) = frontier {
+                                        fields.push(("frontier", Value::str(fr)));
+                                    }
+                                    r.event("dep.update", &fields);
+                                }
+                                resume_pt = up.frontier;
+                            }
+                            Err(e) if self.degraded_recovery => {
+                                // Ladder: a failed incremental update falls
+                                // back to a full analysis instead of
+                                // aborting the run.
+                                report.degraded.dep_update_failed += 1;
+                                totals.degraded_update_failed += 1;
+                                if let Some(r) = rec.as_ref() {
+                                    r.event(
+                                        "search.degraded",
+                                        &[
+                                            ("optimizer", Value::str(self.opt.name.clone())),
+                                            ("reason", Value::str("dep_update_failed")),
+                                            ("error", Value::str(e.to_string())),
+                                        ],
+                                    );
+                                }
+                                let t = Instant::now();
+                                deps = analyze(prog)?;
+                                report.full_recomputes += 1;
+                                totals.analyze_full += 1;
+                                if let Some(r) = rec.as_ref() {
+                                    r.observe("dep.analyze_ns", ns_since(t));
+                                }
+                                resume_pt = None;
+                                current = true;
+                            }
+                            Err(e) => return Err(RunError::Analyze(e.to_string())),
                         }
                     }
-                    report.dep_dirty_syms += up.stats.dirty_syms;
-                    report.dep_edges_dropped += up.stats.edges_dropped;
-                    report.dep_edges_added += up.stats.edges_added;
-                    match up.kind {
-                        UpdateKind::Full => totals.update_full += 1,
-                        UpdateKind::Incremental => totals.update_incremental += 1,
-                        UpdateKind::Noop => totals.update_noop += 1,
-                    }
-                    totals.edges_dropped += up.stats.edges_dropped as u64;
-                    totals.edges_added += up.stats.edges_added as u64;
-                    if let Some(r) = rec.as_ref() {
-                        r.observe("dep.update_ns", ns_since(update_started));
-                        let kind = match up.kind {
-                            UpdateKind::Full => "full",
-                            UpdateKind::Incremental => "incremental",
-                            UpdateKind::Noop => "noop",
-                        };
-                        let frontier = up.frontier.map(|f| f.to_string());
-                        let mut fields = vec![
-                            ("kind", Value::str(kind)),
-                            ("dirty_syms", Value::us(up.stats.dirty_syms)),
-                            ("edges_dropped", Value::us(up.stats.edges_dropped)),
-                            ("edges_added", Value::us(up.stats.edges_added)),
-                        ];
-                        if let Some(fr) = frontier {
-                            fields.push(("frontier", Value::str(fr)));
-                        }
-                        r.event("dep.update", &fields);
-                    }
-                    resume_pt = up.frontier;
                     if self.verify_deps {
                         let fresh = analyze(prog)?;
                         let ok = deps.agrees_with(&fresh);
                         if let Some(r) = rec.as_ref() {
                             r.event("dep.verify", &[("ok", Value::b(ok))]);
                         }
-                        if !ok {
+                        if ok {
+                            // Verified exact — even a skipped refresh turned
+                            // out to have no dependence effect.
+                            current = true;
+                        } else if self.degraded_recovery {
+                            // Ladder: adopt the fresh graph and rebuild
+                            // every structure whose delta-replay argument
+                            // the divergence just voided.
+                            report.degraded.dep_divergence += 1;
+                            totals.degraded_divergence += 1;
+                            if let Some(r) = rec.as_ref() {
+                                r.event(
+                                    "search.degraded",
+                                    &[
+                                        ("optimizer", Value::str(self.opt.name.clone())),
+                                        ("reason", Value::str("dep_divergence")),
+                                        ("application", Value::us(report.applications)),
+                                    ],
+                                );
+                            }
+                            deps = fresh;
+                            resume_pt = None;
+                            current = true;
+                            if let Some(ix) = sidx.as_mut() {
+                                *ix = StmtIndex::build(prog);
+                            }
+                            if let Some(c) = mcache.as_mut() {
+                                c.clear();
+                            }
+                            caches.drop_match_verdicts();
+                        } else {
                             if std::env::var("GENESIS_DEBUG_DEPS").is_ok() {
                                 eprintln!("delta: {delta:?}");
                                 eprintln!("program:\n{}", gospel_ir::DisplayProgram(prog));
@@ -581,10 +737,37 @@ impl<'o> Driver<'o> {
             }
         }
         if current {
-            *cache = Some(deps);
+            caches.deps = Some(deps);
+        }
+        // The index and match cache saw every committed delta replayed
+        // into them (and are rebuilt outright when the ladder voids the
+        // replay argument), so they are exact for the final program even
+        // when the dependence graph is not.
+        caches.index = sidx.take();
+        if let Some(c) = mcache.take() {
+            caches.store_match_cache(&self.opt.name, c);
         }
         Ok(report)
     }
+}
+
+/// Audit helper for [`SessionCaches::audit`]: runs `opt`'s full search
+/// twice — once consulting a clone of `cache`'s remembered rejections,
+/// once from scratch — and reports whether both find the same bindings
+/// in the same order.
+pub(crate) fn bindings_agree_with_cache(
+    prog: &Program,
+    deps: &DepGraph,
+    opt: &CompiledOptimizer,
+    cache: &MatchCache,
+) -> Result<bool, RunError> {
+    let mut cached = cache.clone();
+    let mut s = Searcher::new(prog, deps, opt);
+    s.cache = Some(&mut cached);
+    let with_cache = s.find_all(usize::MAX)?;
+    let mut s = Searcher::new(prog, deps, opt);
+    let without = s.find_all(usize::MAX)?;
+    Ok(with_cache == without)
 }
 
 /// The session-wide default for [`Driver::indexed_search`]: on, unless
@@ -653,6 +836,9 @@ struct RunTotals {
     edges_added: u64,
     candidates_pruned: u64,
     cache_hits: u64,
+    degraded_stale_order: u64,
+    degraded_divergence: u64,
+    degraded_update_failed: u64,
     cost: Cost,
     /// Per-dependence-clause rejection counts (clause counters are
     /// emitted as `search.dep_reject.<OPT>.clause<i>`).
@@ -676,6 +862,9 @@ impl RunTotals {
             edges_added: 0,
             candidates_pruned: 0,
             cache_hits: 0,
+            degraded_stale_order: 0,
+            degraded_divergence: 0,
+            degraded_update_failed: 0,
             cost: Cost::default(),
             rejects: Vec::new(),
         }
@@ -702,6 +891,12 @@ impl Drop for RunTotals {
             ("dep.update.edges_added", self.edges_added),
             ("search.dep_reject", self.rejects.iter().sum()),
             ("search.candidates_pruned", self.candidates_pruned),
+            ("search.degraded.stale_order", self.degraded_stale_order),
+            ("search.degraded.dep_divergence", self.degraded_divergence),
+            (
+                "search.degraded.dep_update_failed",
+                self.degraded_update_failed,
+            ),
         ] {
             if n > 0 {
                 items.push((Name::Borrowed(name), n));

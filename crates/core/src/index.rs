@@ -442,6 +442,13 @@ impl MatchCache {
             }
         }
     }
+
+    /// Forgets every remembered rejection while keeping eligibility —
+    /// the degradation ladder's "start over" rung when cache consistency
+    /// can no longer be argued from the delta journal alone.
+    pub fn clear(&mut self) {
+        self.rejected.clear();
+    }
 }
 
 /// True when `b` reads only the anchor statement itself: every element

@@ -47,6 +47,7 @@
 
 mod actions;
 pub mod batch;
+mod caches;
 mod compile;
 mod cost;
 mod driver;
@@ -58,10 +59,11 @@ mod rt;
 mod session;
 mod solve;
 
-pub use batch::{run_batch, BatchItem, BatchOutcome, BatchSuccess};
+pub use batch::{run_batch, BatchItem, BatchOutcome, BatchPolicy, BatchStatus, BatchSuccess};
+pub use caches::SessionCaches;
 pub use compile::{generate, CompiledClause, CompiledOptimizer, Strategy};
 pub use cost::Cost;
-pub use driver::{indexed_search_default, ApplyMode, ApplyReport, Driver, MatchSet};
+pub use driver::{indexed_search_default, ApplyMode, ApplyReport, DegradeStats, Driver, MatchSet};
 pub use error::{GenerateError, RunError};
 pub use fault::{FaultKind, FaultPlan};
 pub use index::{anchor_filter, AnchorFilter, MatchCache, StmtIndex};

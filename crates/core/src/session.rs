@@ -3,12 +3,12 @@
 //! user-facing options — select optimizations, select application points,
 //! override dependence restrictions, control dependence recomputation.
 
+use crate::caches::SessionCaches;
 use crate::compile::CompiledOptimizer;
 use crate::cost::Cost;
 use crate::driver::{ApplyMode, ApplyReport, Driver, MatchSet};
 use crate::error::RunError;
 use crate::fault::FaultPlan;
-use gospel_dep::DepGraph;
 use gospel_ir::Program;
 use gospel_trace::Recorder;
 use std::sync::Arc;
@@ -40,6 +40,12 @@ pub struct SessionOptions {
     /// (see [`crate::StmtIndex`]); bindings are identical either way.
     /// Defaults from the `GENESIS_INDEXED_SEARCH` environment toggle.
     pub indexed_search: bool,
+    /// Degrade instead of hard-aborting on dependence-maintenance
+    /// trouble (see [`crate::Driver::degraded_recovery`]). On by default
+    /// for sessions: an interactive or batch run prefers a slower, healed
+    /// apply over an aborted one, and every fall is visible through the
+    /// `search.degraded.<reason>` counters.
+    pub degraded_recovery: bool,
 }
 
 impl Default for SessionOptions {
@@ -53,6 +59,7 @@ impl Default for SessionOptions {
             fuel: None,
             max_growth: None,
             indexed_search: crate::driver::indexed_search_default(),
+            degraded_recovery: true,
         }
     }
 }
@@ -77,9 +84,11 @@ pub struct Session {
     options: SessionOptions,
     log: Vec<SessionEvent>,
     fault: Option<FaultPlan>,
-    /// Dependence graph carried across applies when the driver kept it
-    /// current — the next apply or match skips its initial full analysis.
-    deps_cache: Option<DepGraph>,
+    /// Search state carried across applies — the dependence graph, the
+    /// statement index, and per-optimizer match caches and anchor
+    /// filters. The driver maintains all of it by delta replay; see
+    /// [`SessionCaches`].
+    caches: SessionCaches,
     /// Structured-event sink handed to every driver this session runs.
     recorder: Option<Arc<Recorder>>,
 }
@@ -93,7 +102,7 @@ impl Session {
             options: SessionOptions::default(),
             log: Vec::new(),
             fault: None,
-            deps_cache: None,
+            caches: SessionCaches::new(),
             recorder: None,
         }
     }
@@ -107,7 +116,11 @@ impl Session {
     }
 
     /// Registers a generated optimizer; it becomes selectable by name.
+    /// Re-registering an existing name replaces the old specification
+    /// *and* drops its cached match verdicts and anchor filters — the old
+    /// spec's remembered rejections must not answer for the new one.
     pub fn register(&mut self, opt: CompiledOptimizer) {
+        self.caches.drop_optimizer(&opt.name);
         self.optimizers.retain(|o| o.name != opt.name);
         self.optimizers.push(opt);
     }
@@ -157,15 +170,28 @@ impl Session {
         self.recorder.as_ref()
     }
 
+    /// The current session options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
     /// The session options (mutable, so budgets can be tuned mid-session).
     pub fn options_mut(&mut self) -> &mut SessionOptions {
         &mut self.options
     }
 
-    /// Replaces the session's program, e.g. to restore a checkpoint.
+    /// Replaces the session's program, e.g. to restore a checkpoint. The
+    /// program changed outside the driver's journaled commits, so every
+    /// carried cache is dropped.
     pub fn restore_program(&mut self, prog: Program) {
         self.prog = prog;
-        self.deps_cache = None;
+        self.caches.clear();
+    }
+
+    /// The search state carried across applies — read-only introspection
+    /// for tests and the chaos campaign's consistency audit.
+    pub fn caches(&self) -> &SessionCaches {
+        &self.caches
     }
 
     fn find_index(&self, name: &str) -> Result<usize, RunError> {
@@ -187,7 +213,7 @@ impl Session {
     pub fn matches(&self, name: &str) -> Result<MatchSet, RunError> {
         let opt = self.find(name)?;
         let d = Driver::new(opt);
-        match &self.deps_cache {
+        match &self.caches.deps {
             // The carried graph already describes the current program.
             Some(g) => d.matches_with(&self.prog, g),
             None => d.matches(&self.prog),
@@ -210,7 +236,7 @@ impl Session {
             options,
             log,
             fault,
-            deps_cache,
+            caches,
             recorder,
         } = self;
         let opt = &optimizers[idx];
@@ -225,11 +251,12 @@ impl Session {
             .max_growth
             .map(|k| (k as usize).saturating_mul(prog.len().max(1)));
         driver.indexed_search = options.indexed_search;
+        driver.degraded_recovery = options.degraded_recovery;
         driver.fault = fault.clone();
         driver.recorder = recorder.clone();
-        // `apply_cached` takes the cache on entry, so an early error below
-        // leaves it empty — never stale.
-        let report = driver.apply_cached(prog, mode, deps_cache)?;
+        // `apply_with` takes each cache on entry, so an early error below
+        // leaves the bundle empty — never stale.
+        let report = driver.apply_with(prog, mode, caches)?;
         log.push(SessionEvent {
             optimizer: opt.name.clone(),
             mode,
@@ -287,6 +314,45 @@ mod tests {
         let prog = gospel_frontend::compile("program p\ninteger x\nx = 1\nend").unwrap();
         let mut s = Session::new(prog);
         assert!(s.apply("nope", ApplyMode::FirstPoint).is_err());
+    }
+
+    #[test]
+    fn reregistering_a_name_drops_its_stale_negative_cache() {
+        // Spec A's anchor-local `opr_1 == opr_2` test is cacheable but not
+        // index-expressible, so a failed run parks real negative verdicts.
+        // Spec B under the same name matches exactly the statements A
+        // rejected — if A's parked cache answered for B, the match would
+        // be silently suppressed.
+        let reject_all = "OPTIMIZATION T\nTYPE\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+                          any S: S.opc == assign AND S.opr_1 == S.opr_2;\nACTION\n  \
+                          delete(S);\nEND";
+        let match_assign = "OPTIMIZATION T\nTYPE\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+                            any S: S.opc == assign;\nACTION\n  delete(S);\nEND";
+        let compile_opt = |src: &str| {
+            let (spec, info) = gospel_lang::parse_validated(src).unwrap();
+            generate(spec, info).unwrap()
+        };
+        let prog =
+            gospel_frontend::compile("program p\ninteger x, y\nx = y\nwrite x\nend").unwrap();
+        let mut s = Session::new(prog);
+        s.options_mut().indexed_search = true;
+        s.register(compile_opt(reject_all));
+        let r = s.apply("T", ApplyMode::AllPoints).unwrap();
+        assert_eq!(r.applications, 0);
+        assert!(
+            s.caches().has_match_cache("T"),
+            "the failed run must park its negative verdicts"
+        );
+        s.register(compile_opt(match_assign));
+        assert!(
+            !s.caches().has_match_cache("T"),
+            "re-registration must drop the old spec's cache entries"
+        );
+        let r = s.apply("T", ApplyMode::AllPoints).unwrap();
+        assert_eq!(
+            r.applications, 1,
+            "stale negative matches must not survive re-registration"
+        );
     }
 
     #[test]

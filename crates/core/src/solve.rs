@@ -4,7 +4,7 @@
 use crate::compile::{CompiledClause, CompiledOptimizer, Strategy};
 use crate::cost::Cost;
 use crate::error::RunError;
-use crate::index::{anchor_filter, MatchCache, StmtIndex};
+use crate::index::{anchor_filter, AnchorFilter, MatchCache, StmtIndex};
 use crate::rt::{Bindings, RtVal};
 use gospel_dep::{DepEdge, DepGraph, DepKind, DirElem, DirPattern};
 use gospel_ir::{LoopTable, Operand, OperandPos, Program, StmtId};
@@ -306,6 +306,15 @@ pub(crate) struct Searcher<'a> {
     /// Negative anchor cache for this optimizer, when the driver keeps
     /// one across fixpoint iterations.
     pub cache: Option<&'a mut MatchCache>,
+    /// Precomputed per-pattern-clause anchor filters (entry `i` belongs
+    /// to clause `i`; `None` = not anchor-filterable). When absent, the
+    /// filter is derived from the clause on every enumeration.
+    pub filters: Option<&'a [Option<AnchorFilter>]>,
+    /// How often the indexed candidate path bowed out because a bucket
+    /// member's program order was unknown to the dependence snapshot —
+    /// the first rung of the degradation ladder (indexed → scan). The
+    /// driver surfaces it as `search.degraded.stale_order`.
+    pub degraded_stale_order: u64,
     /// Anchor candidates skipped without a visit because the index bucket
     /// excluded them (they could never satisfy the clause's opcode
     /// constraint).
@@ -346,6 +355,8 @@ impl<'a> Searcher<'a> {
             dep_rejects: vec![0; opt.depends.len()],
             index: None,
             cache: None,
+            filters: None,
+            degraded_stale_order: 0,
             candidates_pruned: 0,
             cache_hits: 0,
             time_pattern: false,
@@ -428,7 +439,7 @@ impl<'a> Searcher<'a> {
         limit: usize,
     ) -> Result<bool, RunError> {
         let t = self.pattern_timer();
-        let candidates = self.pattern_candidates(clause, ty, idx == 0);
+        let candidates = self.pattern_candidates(clause, ty, idx);
         self.note_pattern(t);
         // Snapshot before recursing: nested clauses re-enter
         // `pattern_candidates` and overwrite the flag.
@@ -545,26 +556,56 @@ impl<'a> Searcher<'a> {
     /// The second component reports [`crate::AnchorFilter::exact`]: the
     /// admission set *equals* the format's satisfying set, so the caller
     /// may treat every returned candidate as already format-checked.
-    fn indexed_stmt_candidates(&self, clause: &PatternClause) -> Option<(Vec<StmtId>, bool)> {
+    fn indexed_stmt_candidates(
+        &mut self,
+        idx: usize,
+        clause: &PatternClause,
+    ) -> Option<(Vec<StmtId>, bool)> {
         let ix = self.index?;
-        let var = clause.vars.first()?;
-        let filter = anchor_filter(clause, var);
-        let bucket = ix.candidates(&filter)?;
+        // Prefer the driver's precomputed per-clause filter; derive one
+        // from the clause only when none was provided.
+        let derived;
+        let filter: &AnchorFilter = match self.filters {
+            Some(fs) => fs.get(idx)?.as_ref()?,
+            None => {
+                let var = clause.vars.first()?;
+                derived = anchor_filter(clause, var);
+                &derived
+            }
+        };
+        let bucket = ix.candidates(filter)?;
+        let exact = filter.exact;
         let mut ordered = Vec::with_capacity(bucket.len());
         for s in bucket {
-            ordered.push((self.deps.order_of(s)?, s));
+            match self.deps.order_of(s) {
+                Some(o) => ordered.push((o, s)),
+                None => {
+                    // First ladder rung: the dependence snapshot cannot
+                    // order this bucket member (stale order), so the scan
+                    // path stays authoritative for this enumeration.
+                    self.degraded_stale_order += 1;
+                    return None;
+                }
+            }
         }
         ordered.sort_unstable();
-        Some((ordered.into_iter().map(|(_, s)| s).collect(), filter.exact))
+        Some((ordered.into_iter().map(|(_, s)| s).collect(), exact))
     }
 
     fn pattern_candidates(
         &mut self,
         clause: &PatternClause,
         ty: ElemType,
-        first: bool,
+        idx: usize,
     ) -> Vec<Vec<RtVal>> {
+        let first = idx == 0;
         self.format_known = false;
+        // Hoisted ahead of the anchor_ok closure: candidate enumeration
+        // may mutate the searcher (stale-order accounting), while the
+        // closure holds a shared borrow for the rest of the function.
+        let indexed = (ty == ElemType::Stmt)
+            .then(|| self.indexed_stmt_candidates(idx, clause))
+            .flatten();
         let loops = self.loops();
         let resume_bar = self
             .resume_from
@@ -595,7 +636,7 @@ impl<'a> Searcher<'a> {
             ElemType::Stmt => {
                 let mut pruned = 0u64;
                 let out: Vec<Vec<RtVal>> =
-                    if let Some((bucket, exact)) = self.indexed_stmt_candidates(clause) {
+                    if let Some((bucket, exact)) = indexed {
                         pruned = (self.prog.len().saturating_sub(bucket.len())) as u64;
                         self.format_known = exact;
                         bucket

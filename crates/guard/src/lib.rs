@@ -75,6 +75,20 @@ pub struct GuardConfig {
     /// against a fresh full analysis after every application (the
     /// `--validate` belt-and-braces mode; slow but airtight).
     pub verify_deps: bool,
+    /// Retry an apply once when it fails with a *transient* error
+    /// (wall-clock timeout or fuel exhaustion). The retry is budget-aware:
+    /// the overall wall-clock allowance is twice [`Self::timeout_ms`], and
+    /// the retry only gets whatever of it the first attempt left over.
+    pub retry_transient: bool,
+    /// Parole: a first-offense quarantined optimizer becomes eligible for
+    /// one retrial after this many *clean* applications of other
+    /// optimizers. A second quarantining offense is permanent. `None`
+    /// disables parole (quarantine is final, the pre-parole behaviour).
+    pub parole_after: Option<usize>,
+    /// Let the driver degrade (indexed search → scan → full re-analysis)
+    /// on internal cache/index inconsistencies instead of hard-aborting
+    /// the apply. See [`genesis::SessionOptions::degraded_recovery`].
+    pub degraded_recovery: bool,
 }
 
 impl Default for GuardConfig {
@@ -89,6 +103,9 @@ impl Default for GuardConfig {
             max_growth: Some(16),
             checkpoints: 8,
             verify_deps: false,
+            retry_transient: true,
+            parole_after: Some(3),
+            degraded_recovery: true,
         }
     }
 }
@@ -198,6 +215,27 @@ impl GuardOutcome {
     }
 }
 
+/// One optimizer's quarantine record, including its parole state.
+#[derive(Clone, Debug)]
+pub struct QuarantineEntry {
+    /// Why it was quarantined (stage + detail of the latest offense).
+    pub reason: String,
+    /// How many times it has been quarantined. Two offenses make the
+    /// quarantine permanent — no further parole.
+    pub offenses: u32,
+    /// Clean applications of *other* optimizers still required before a
+    /// first-offense entry becomes parole-eligible.
+    pub parole_in: usize,
+}
+
+impl QuarantineEntry {
+    /// Whether this entry can still earn a parole trial (first offense
+    /// only; the countdown may still be running).
+    pub fn parolable(&self) -> bool {
+        self.offenses < 2
+    }
+}
+
 /// A [`Session`] wrapped in validation, checkpointing, quarantine, and
 /// panic containment. See the crate docs for the full policy.
 #[derive(Debug)]
@@ -206,7 +244,7 @@ pub struct GuardedSession {
     config: GuardConfig,
     vectors: Vec<Vec<ExecValue>>,
     ring: VecDeque<Program>,
-    quarantine: BTreeMap<String, String>,
+    quarantine: BTreeMap<String, QuarantineEntry>,
     reports: Vec<ValidationReport>,
     recorder: Option<Arc<Recorder>>,
 }
@@ -228,6 +266,7 @@ impl GuardedSession {
         opts.fuel = config.fuel;
         opts.max_growth = config.max_growth;
         opts.verify_deps = config.verify_deps;
+        opts.degraded_recovery = config.degraded_recovery;
         GuardedSession {
             session,
             config,
@@ -277,7 +316,15 @@ impl GuardedSession {
 
     /// Quarantined optimizer names with the reason each was quarantined.
     pub fn quarantined(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.quarantine.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.quarantine
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.reason.as_str()))
+    }
+
+    /// The full quarantine record for `name` (case-insensitive), with
+    /// offense count and parole countdown.
+    pub fn quarantine_entry(&self, name: &str) -> Option<&QuarantineEntry> {
+        self.quarantine.get(&normalize(name))
     }
 
     /// Number of checkpoints currently available to [`Self::rollback`].
@@ -337,28 +384,41 @@ impl GuardedSession {
     /// Returns [`GuardOutcome::Applied`] when both gates pass,
     /// [`GuardOutcome::Rejected`] (program rolled back, diagnostic
     /// recorded) when either gate fails or the run errors, and
-    /// [`GuardOutcome::Skipped`] when `name` is quarantined.
+    /// [`GuardOutcome::Skipped`] when `name` is quarantined and not yet
+    /// parole-eligible. A parole-eligible first offender gets one trial
+    /// run instead of a skip: success releases it, a second quarantining
+    /// offense revokes parole permanently. Transient run errors (timeout,
+    /// fuel) get one budget-aware retry when
+    /// [`GuardConfig::retry_transient`] is set.
     ///
     /// # Errors
     ///
     /// Only caller errors propagate: an unknown optimizer name.
     pub fn apply(&mut self, name: &str, mode: ApplyMode) -> Result<GuardOutcome, RunError> {
-        if let Some(reason) = self.quarantine.get(&normalize(name)) {
-            if let Some(r) = self.recorder.as_ref() {
-                r.add("guard.skips", 1);
-                r.event(
-                    "guard.skip",
-                    &[
-                        ("optimizer", Value::str(name.to_string())),
-                        ("reason", Value::str(reason.to_string())),
-                    ],
-                );
+        let parole_trial = if let Some(entry) = self.quarantine.get(&normalize(name)) {
+            let eligible =
+                self.config.parole_after.is_some() && entry.parolable() && entry.parole_in == 0;
+            if !eligible {
+                if let Some(r) = self.recorder.as_ref() {
+                    r.add("guard.skips", 1);
+                    r.event(
+                        "guard.skip",
+                        &[
+                            ("optimizer", Value::str(name.to_string())),
+                            ("reason", Value::str(entry.reason.clone())),
+                        ],
+                    );
+                }
+                return Ok(GuardOutcome::Skipped {
+                    optimizer: name.to_string(),
+                    reason: entry.reason.clone(),
+                });
             }
-            return Ok(GuardOutcome::Skipped {
-                optimizer: name.to_string(),
-                reason: reason.clone(),
-            });
-        }
+            self.parole_event(name, "trial");
+            true
+        } else {
+            false
+        };
         let guard_span = Span::open(
             self.recorder.as_ref(),
             "guard.apply",
@@ -381,10 +441,53 @@ impl GuardedSession {
             .map(|v| gospel_exec::run_limited(&checkpoint, v, self.config.step_limit))
             .collect();
 
-        let session = &mut self.session;
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            session.apply(name, mode).cloned()
-        }));
+        let started = std::time::Instant::now();
+        let mut retried = false;
+        let run = loop {
+            let session = &mut self.session;
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                session.apply(name, mode).cloned()
+            }));
+            let transient = matches!(
+                attempt,
+                Ok(Err(RunError::Timeout { .. } | RunError::FuelExhausted { .. }))
+            );
+            if !(transient && self.config.retry_transient && !retried) {
+                break attempt;
+            }
+            // Budget-aware retry: the overall wall-clock allowance is 2×
+            // the per-attempt timeout; the retry runs on whatever of it
+            // the failed attempt left over.
+            let remaining = self
+                .config
+                .timeout_ms
+                .map(|ms| (2 * ms).saturating_sub(u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)));
+            if remaining == Some(0) {
+                break attempt;
+            }
+            retried = true;
+            let error = match &attempt {
+                Ok(Err(e)) => e.to_string(),
+                _ => unreachable!("transient implies Ok(Err(_))"),
+            };
+            // A timed-out run may have committed partial applications;
+            // restart the retry from the checkpoint.
+            self.session.restore_program(checkpoint.clone());
+            if let Some(ms) = remaining {
+                self.session.options_mut().timeout_ms = Some(ms);
+            }
+            if let Some(r) = self.recorder.as_ref() {
+                r.add("guard.transient_retries", 1);
+                r.event(
+                    "guard.transient_retry",
+                    &[
+                        ("optimizer", Value::str(name.to_string())),
+                        ("error", Value::str(error)),
+                    ],
+                );
+            }
+        };
+        self.session.options_mut().timeout_ms = self.config.timeout_ms;
 
         let canonical = self
             .session
@@ -428,6 +531,17 @@ impl GuardedSession {
                                 ],
                             );
                         }
+                        if parole_trial {
+                            self.quarantine.remove(&normalize(&canonical));
+                            self.parole_event(&canonical, "released");
+                        }
+                        // A clean apply advances every first offender's
+                        // parole countdown.
+                        for entry in self.quarantine.values_mut() {
+                            if entry.parolable() {
+                                entry.parole_in = entry.parole_in.saturating_sub(1);
+                            }
+                        }
                         guard_span.close(&[("outcome", Value::str("applied"))]);
                         return Ok(GuardOutcome::Applied(apply_report));
                     }
@@ -435,8 +549,37 @@ impl GuardedSession {
                 }
             }
         };
+        if parole_trial {
+            if report.quarantined {
+                // reject() bumped the offense count; two strikes make the
+                // quarantine permanent.
+                self.parole_event(&canonical, "revoked");
+            } else {
+                // A non-incriminating failure (budget, plain run error):
+                // back to quarantine, earn another trial the same way.
+                if let Some(entry) = self.quarantine.get_mut(&normalize(&canonical)) {
+                    entry.parole_in = self.config.parole_after.unwrap_or(0);
+                }
+                self.parole_event(&canonical, "deferred");
+            }
+        }
         guard_span.close(&[("outcome", Value::str("rejected"))]);
         Ok(GuardOutcome::Rejected(report))
+    }
+
+    /// Emits the parole counter/event pair (`outcome` is one of `trial`,
+    /// `released`, `revoked`, `deferred`).
+    fn parole_event(&self, name: &str, outcome: &str) {
+        if let Some(r) = self.recorder.as_ref() {
+            r.add("guard.parole", 1);
+            r.event(
+                "guard.parole",
+                &[
+                    ("optimizer", Value::str(name.to_string())),
+                    ("outcome", Value::str(outcome.to_string())),
+                ],
+            );
+        }
     }
 
     /// Applies a sequence of optimizers, each at all points, skipping
@@ -565,8 +708,17 @@ impl GuardedSession {
             GuardStage::Structural | GuardStage::Translation | GuardStage::Internal
         );
         if quarantined {
-            self.quarantine
-                .insert(normalize(name), format!("[{stage}] {detail}"));
+            let entry = self
+                .quarantine
+                .entry(normalize(name))
+                .or_insert_with(|| QuarantineEntry {
+                    reason: String::new(),
+                    offenses: 0,
+                    parole_in: 0,
+                });
+            entry.reason = format!("[{stage}] {detail}");
+            entry.offenses += 1;
+            entry.parole_in = self.config.parole_after.unwrap_or(0);
             if let Some(r) = self.recorder.as_ref() {
                 r.add("guard.quarantines", 1);
                 r.event(
@@ -750,6 +902,94 @@ mod tests {
         assert!(matches!(outcomes[2].1, GuardOutcome::Skipped { .. }));
         assert_eq!(s.reports().len(), 1);
         assert_eq!(s.quarantined().count(), 1);
+    }
+
+    #[test]
+    fn parole_releases_a_first_offender_after_clean_applies() {
+        let mut s = GuardedSession::new(chain_prog(), GuardConfig::default());
+        s.register(gospel_opts::by_name("CTP"));
+        s.register(gospel_opts::by_name("DCE"));
+        s.set_fault(Some(FaultPlan::new(FaultKind::Panic).for_optimizer("CTP")));
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Rejected(_)));
+        s.set_fault(None);
+        let entry = s.quarantine_entry("CTP").unwrap();
+        assert_eq!((entry.offenses, entry.parole_in), (1, 3));
+
+        // Not yet eligible: the countdown is still running.
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Skipped { .. }), "{out:?}");
+
+        // Three clean applies of another optimizer earn the trial.
+        for _ in 0..3 {
+            assert!(s.apply("DCE", ApplyMode::AllPoints).unwrap().is_applied());
+        }
+        assert_eq!(s.quarantine_entry("CTP").unwrap().parole_in, 0);
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(out.is_applied(), "parole trial should succeed: {out:?}");
+        assert_eq!(s.quarantined().count(), 0);
+    }
+
+    #[test]
+    fn second_offense_makes_quarantine_permanent() {
+        let mut s = GuardedSession::new(chain_prog(), GuardConfig::default());
+        s.register(gospel_opts::by_name("CTP"));
+        s.register(gospel_opts::by_name("DCE"));
+        // A persistent CTP-only fault: the trial re-offends.
+        s.set_fault(Some(FaultPlan::new(FaultKind::Panic).for_optimizer("CTP")));
+        s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        for _ in 0..3 {
+            assert!(s.apply("DCE", ApplyMode::AllPoints).unwrap().is_applied());
+        }
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Rejected(_)), "{out:?}");
+        let entry = s.quarantine_entry("CTP").unwrap();
+        assert_eq!(entry.offenses, 2);
+        assert!(!entry.parolable());
+
+        // No amount of clean work earns another trial.
+        s.set_fault(None);
+        for _ in 0..4 {
+            s.apply("DCE", ApplyMode::AllPoints).unwrap();
+        }
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Skipped { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn transient_timeout_gets_one_retry_and_succeeds() {
+        use gospel_trace::Recorder;
+        let mut s = GuardedSession::new(chain_prog(), GuardConfig::default());
+        let rec = Arc::new(Recorder::new());
+        s.set_recorder(Some(rec.clone()));
+        s.register(gospel_opts::by_name("CTP"));
+        s.set_fault(Some(FaultPlan::new(FaultKind::Timeout).transient()));
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(out.is_applied(), "retry should recover: {out:?}");
+        assert_eq!(out.applications(), 3);
+        assert_eq!(rec.counter("guard.transient_retries"), 1);
+        assert!(s.reports().is_empty(), "a recovered transient is not a rejection");
+
+        // The per-attempt budget is restored after the retry dance.
+        assert_eq!(
+            s.session().options().timeout_ms,
+            GuardConfig::default().timeout_ms
+        );
+    }
+
+    #[test]
+    fn persistent_timeout_still_rejects_after_the_retry() {
+        let mut s = GuardedSession::new(chain_prog(), GuardConfig::default());
+        s.register(gospel_opts::by_name("CTP"));
+        let before = s.program().clone();
+        s.set_fault(Some(FaultPlan::new(FaultKind::Timeout)));
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        let GuardOutcome::Rejected(report) = out else {
+            panic!("expected rejection, got {out:?}");
+        };
+        assert_eq!(report.stage, GuardStage::Resource);
+        assert!(!report.quarantined);
+        assert!(s.program().structurally_eq(&before));
     }
 
     #[test]

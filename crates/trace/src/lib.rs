@@ -212,7 +212,10 @@ impl Event {
     }
 }
 
-fn write_json_string(s: &str, out: &mut String) {
+/// Appends `s` to `out` as a quoted, escaped JSON string literal — the
+/// same escaping the event stream uses, shared so report writers stay
+/// consistent with it.
+pub fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

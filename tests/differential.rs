@@ -14,12 +14,34 @@ use gospel_dep::DepGraph;
 use gospel_exec::{run_limited, ExecValue, Trace};
 use gospel_ir::{DisplayProgram, Program};
 use gospel_opts::interaction::natural_mode;
-use gospel_workloads::generator::input_vectors;
+use gospel_workloads::generator::{self, input_vectors, GenConfig};
 
 const SEED: u64 = 0xD1FF;
 const VECTORS: usize = 6;
 const VECTOR_LEN: usize = 24;
 const STEP_LIMIT: u64 = 2_000_000;
+/// Seeded random programs appended to the fixed ten-workload suite; the
+/// generator reaches shapes (deep expression nests, array aliasing
+/// patterns) the hand-written workloads do not.
+const GENERATED: u64 = 4;
+
+/// The differential corpus: the ten fixed workloads plus `GENERATED`
+/// seeded random programs.
+fn workloads() -> Vec<(String, Program)> {
+    let mut all: Vec<(String, Program)> = gospel_workloads::suite()
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect();
+    for i in 0..GENERATED {
+        let seed = SEED.wrapping_add(i);
+        let cfg = GenConfig {
+            statements: 24,
+            ..GenConfig::default()
+        };
+        all.push((format!("gen{seed:#x}"), generator::generate(seed, cfg)));
+    }
+    all
+}
 
 /// Runs `opt` to fixpoint on a copy of `prog`, returning the optimized
 /// program, how many times the actions fired, and the cached dependence
@@ -81,7 +103,7 @@ fn assert_same_exec(wname: &str, oname: &str, full: &Program, incr: &Program) {
 #[test]
 fn full_and_incremental_drivers_agree_on_every_optimizer_and_workload() {
     let opts = gospel_opts::catalog().expect("catalog generates");
-    for (wname, prog) in gospel_workloads::suite() {
+    for (wname, prog) in workloads() {
         for opt in &opts {
             let mode = natural_mode(opt);
             let (full, apps_f, cache_f) = run_mode(&prog, opt, mode, false);
@@ -117,7 +139,7 @@ fn full_and_incremental_drivers_agree_on_every_optimizer_and_workload() {
                 }
             }
 
-            assert_same_exec(wname, &opt.name, &full, &incr);
+            assert_same_exec(&wname, &opt.name, &full, &incr);
         }
     }
 }
@@ -128,7 +150,7 @@ fn full_and_incremental_drivers_agree_on_every_optimizer_and_workload() {
 #[test]
 fn chained_catalog_sequence_is_mode_independent() {
     let opts = gospel_opts::catalog().expect("catalog generates");
-    for (wname, prog) in gospel_workloads::suite() {
+    for (wname, prog) in workloads() {
         let run_chain = |incremental: bool| -> Program {
             let mut work = prog.clone();
             let mut cache = None;
@@ -147,6 +169,6 @@ fn chained_catalog_sequence_is_mode_independent() {
             DisplayProgram(&incr).to_string(),
             "{wname}: chained sequence differs between modes"
         );
-        assert_same_exec(wname, "catalog-chain", &full, &incr);
+        assert_same_exec(&wname, "catalog-chain", &full, &incr);
     }
 }

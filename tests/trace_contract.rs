@@ -16,7 +16,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use genesis::ApplyMode;
+use genesis::{
+    run_batch, ApplyMode, BatchItem, BatchPolicy, FaultKind, FaultPlan, SessionOptions,
+};
 use genesis_guard::{GuardConfig, GuardOutcome, GuardedSession};
 use gospel_opts::interaction::natural_mode;
 use gospel_trace::{Event, EventKind, Recorder, Value};
@@ -241,6 +243,160 @@ fn every_rollback_is_preceded_by_a_validation_failure() {
         }
     }
     assert!(rollbacks > 0, "the broken spec must trigger a rollback");
+}
+
+/// A copy-propagation cascade the driver applies several times — enough
+/// applications for a mid-run fault probe to hit.
+const CASCADE: &str = "program d\ninteger x, y, z\nx = 3\ny = x\nz = y\nwrite z\nend";
+
+/// Skips the dependence refresh after CTP's first application (a scripted
+/// stale-graph fault) with the verifier on: the degradation ladder must
+/// detect the divergence, heal transparently, and say so in the trace.
+fn record_degraded_run() -> Vec<Event> {
+    let rec = Arc::new(Recorder::new());
+    let prog = gospel_frontend::compile(CASCADE).unwrap();
+    let cfg = GuardConfig {
+        verify_deps: true,
+        ..GuardConfig::default()
+    };
+    let mut gs = GuardedSession::new(prog, cfg);
+    gs.set_recorder(Some(rec.clone()));
+    gs.register(gospel_opts::by_name("CTP"));
+    gs.set_fault(Some(
+        FaultPlan::new(FaultKind::CorruptDeps).for_optimizer("CTP"),
+    ));
+    let out = gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    assert!(
+        out.is_applied(),
+        "the ladder must heal the stale graph transparently: {out:?}"
+    );
+    rec.drain_events()
+}
+
+/// Quarantines CTP with an injected panic, earns parole with clean
+/// applies of another optimizer, and passes the retrial.
+fn record_parole_run() -> Vec<Event> {
+    let rec = Arc::new(Recorder::new());
+    let prog = gospel_frontend::compile(CASCADE).unwrap();
+    let mut gs = GuardedSession::new(prog, GuardConfig::default());
+    gs.set_recorder(Some(rec.clone()));
+    gs.register(gospel_opts::by_name("CTP"));
+    gs.register(gospel_opts::by_name("DCE"));
+    gs.set_fault(Some(FaultPlan::new(FaultKind::Panic).for_optimizer("CTP")));
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    std::panic::set_hook(hook);
+    assert!(
+        matches!(&out, GuardOutcome::Rejected(r) if r.quarantined),
+        "the injected panic must quarantine CTP: {out:?}"
+    );
+    gs.set_fault(None);
+    let clean_applies = GuardConfig::default()
+        .parole_after
+        .expect("parole is on by default");
+    for _ in 0..clean_applies {
+        gs.apply("DCE", ApplyMode::AllPoints).unwrap();
+    }
+    let out = gs.apply("CTP", ApplyMode::AllPoints).unwrap();
+    assert!(out.is_applied(), "the parole trial must apply: {out:?}");
+    rec.drain_events()
+}
+
+/// Runs a three-file batch whose every file hits a transient timeout once
+/// (per-file re-armed plans), so the supervisor retries each exactly once.
+fn record_batch_retry_run() -> Vec<Event> {
+    let rec = Arc::new(Recorder::new());
+    let items: Vec<BatchItem> = (0..3)
+        .map(|i| BatchItem {
+            label: format!("file{i}"),
+            prog: gospel_frontend::compile(CASCADE).unwrap(),
+        })
+        .collect();
+    let opts = vec![gospel_opts::by_name("CTP")];
+    let policy = BatchPolicy {
+        fault: Some(FaultPlan::new(FaultKind::Timeout).transient()),
+        ..BatchPolicy::default()
+    };
+    let outcomes = run_batch(
+        items,
+        &opts,
+        &["CTP"],
+        SessionOptions::default(),
+        &policy,
+        2,
+        Some(&rec),
+    );
+    for o in &outcomes {
+        assert!(o.status.is_done(), "{}: {:?}", o.label, o.status);
+        assert_eq!(o.attempts, 2, "{}: expected exactly one retry", o.label);
+    }
+    rec.drain_events()
+}
+
+/// One event with `name` carrying `field == value`, or panic.
+fn assert_event_with(events: &[Event], name: &str, field: &str, value: &str) {
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.name == name)
+            .any(|e| e.field(field) == Some(&Value::str(value.to_string()))),
+        "expected a `{name}` event with {field}={value}"
+    );
+}
+
+#[test]
+fn degraded_search_announces_its_reason_in_the_trace() {
+    let events = record_degraded_run();
+    assert_counters_monotone(&events);
+    assert_spans_balanced(&events);
+    assert_event_with(&events, "search.degraded", "reason", "dep_divergence");
+    let healed: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name == "search.degraded.dep_divergence")
+        .filter_map(|e| e.delta)
+        .sum();
+    assert!(healed > 0, "the heal must also surface as a counter");
+}
+
+#[test]
+fn parole_lifecycle_is_traced_from_trial_to_release() {
+    let events = record_parole_run();
+    assert_counters_monotone(&events);
+    assert_spans_balanced(&events);
+    assert_event_with(&events, "guard.parole", "outcome", "trial");
+    assert_event_with(&events, "guard.parole", "outcome", "released");
+    let paroles: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name == "guard.parole")
+        .filter_map(|e| e.delta)
+        .sum();
+    assert!(paroles >= 2, "trial and release must both bump guard.parole");
+}
+
+#[test]
+fn batch_retries_are_counted_and_attributed_per_file() {
+    let events = record_batch_retry_run();
+    assert_counters_monotone(&events);
+    assert_spans_balanced(&events);
+    let retries: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Counter && e.name == "batch.file_retry")
+        .filter_map(|e| e.delta)
+        .sum();
+    assert_eq!(retries, 3, "one retry per file, no more");
+    for i in 0..3 {
+        assert_event_with(&events, "batch.file_retry", "file", &format!("file{i}"));
+    }
+    for e in events
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant && e.name == "batch.file_retry")
+    {
+        assert!(
+            e.field("error").is_some() && e.field("attempt").is_some(),
+            "a retry event must say what failed and on which attempt"
+        );
+    }
 }
 
 #[test]
