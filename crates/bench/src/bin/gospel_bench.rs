@@ -13,17 +13,25 @@
 //! Emits `BENCH_incremental.json` (override with `--out PATH`); `--smoke`
 //! drops the repeat count for CI.
 //!
-//! `gospel-bench match` runs the second comparison: the indexed candidate
-//! searcher ([`genesis::StmtIndex`] + negative match cache) against the
-//! full anchor scan, with dependence maintenance held incremental in both
-//! arms so the delta is the match phase alone. It cross-checks that both
-//! searchers bind identical application points, times the match phase via
-//! the driver's `driver.search_ns` histogram, measures batch throughput
-//! at 1/2/4 threads through [`genesis::run_batch`], and emits
-//! `BENCH_match.json`. `--scan-gate 1.05` exits nonzero if the indexed
-//! geomean falls below 1/1.05 of the scan.
+//! `gospel-bench match` runs the matcher comparison three ways: the full
+//! anchor scan, the per-optimizer indexed searcher ([`genesis::StmtIndex`]
+//! plus negative match cache), and the fused catalog automaton
+//! ([`genesis::FusedAutomaton`]), with dependence maintenance held
+//! incremental in every arm so the delta is the match phase alone. All
+//! three arms share one [`genesis::SessionCaches`] across the optimizer
+//! chain — the amortization the fused automaton exists to exploit. It
+//! cross-checks that every matcher binds identical application points and
+//! lands on the same final program, times the match phase via the
+//! driver's `driver.search_ns`/`driver.pattern_ns` histograms, measures
+//! batch throughput at 1/2/4 threads through [`genesis::run_batch`], and
+//! emits `BENCH_match.json`. `--scan-gate 1.05` exits nonzero if the
+//! indexed match-phase geomean falls below 1/1.05 of the scan;
+//! `--fused-gate 1.0` exits nonzero if the fused *wall-clock* geomean
+//! falls below the scan's.
 
-use genesis::{ApplyMode, ApplyReport, Bindings, Driver, RunError};
+use genesis::{
+    ApplyMode, ApplyReport, Bindings, Driver, FusedAutomaton, MatcherKind, RunError, SessionCaches,
+};
 use gospel_ir::{DisplayProgram, Program};
 use gospel_trace::Recorder;
 use std::sync::Arc;
@@ -76,6 +84,10 @@ fn run_sequence(
         let mut d = Driver::new(opt);
         d.incremental_deps = incremental;
         d.verify_deps = verify;
+        // Pin the per-optimizer indexed matcher so this benchmark keeps
+        // measuring dependence maintenance alone, independent of the
+        // session default (the matcher comparison lives in `match` mode).
+        d.matcher = MatcherKind::Indexed;
         d.recorder = recorder.cloned();
         let report: ApplyReport = if incremental {
             d.apply_cached(&mut prog, ApplyMode::AllPoints, &mut cache)?
@@ -258,12 +270,13 @@ fn measure_trace_overhead(
 }
 
 // ---------------------------------------------------------------------------
-// `match` mode: indexed candidate search vs full anchor scan.
+// `match` mode: scan vs indexed vs fused candidate search.
 // ---------------------------------------------------------------------------
 
-/// One full sequence over one program with the indexed searcher forced on
-/// or off. Dependence maintenance is incremental in both arms, so the only
-/// work that differs between them is the match phase itself.
+/// One full sequence over one program under one matcher. Dependence
+/// maintenance is incremental in every arm and all arms carry one
+/// [`SessionCaches`] across the optimizer chain, so the only work that
+/// differs between them is the match phase itself.
 struct MatchRun {
     prog: Program,
     applications: usize,
@@ -277,7 +290,7 @@ struct MatchRun {
 fn run_match_sequence(
     base: &Program,
     opts: &[genesis::CompiledOptimizer],
-    indexed: bool,
+    matcher: MatcherKind,
     recorder: Option<&Arc<Recorder>>,
 ) -> Result<MatchRun, RunError> {
     let mut prog = base.clone();
@@ -289,13 +302,20 @@ fn run_match_sequence(
         cache_hits: 0,
         points: Vec::with_capacity(opts.len()),
     };
-    let mut cache = None;
+    // One cache bundle for the whole chain — the session amortization the
+    // fused automaton exists to exploit. The fused arm builds the catalog
+    // automaton once up front, exactly as `Session::apply` does; the
+    // drivers then keep it current by delta replay.
+    let mut caches = SessionCaches::new();
+    if matcher == MatcherKind::Fused {
+        caches.automaton = Some(FusedAutomaton::build(opts, &prog));
+    }
     for opt in opts {
         let mut d = Driver::new(opt);
         d.incremental_deps = true;
-        d.indexed_search = indexed;
+        d.matcher = matcher;
         d.recorder = recorder.cloned();
-        let report = d.apply_cached(&mut prog, ApplyMode::AllPoints, &mut cache)?;
+        let report = d.apply_with(&mut prog, ApplyMode::AllPoints, &mut caches)?;
         total.applications += report.applications;
         total.anchor_visits += report.cost.anchor_visits;
         total.candidates_pruned += report.candidates_pruned;
@@ -310,13 +330,13 @@ fn run_match_sequence(
 /// the driver's per-attempt histograms: `driver.search_ns` is the whole
 /// precondition search (pattern + dependence phases), `driver.pattern_ns`
 /// the pattern-matching phase alone — candidate enumeration plus clause
-/// format evaluation, the part the statement index replaces. Both arms
-/// carry the same recorder and timer overhead, so the ratios are
+/// format evaluation, the part the index and automaton replace. Every arm
+/// carries the same recorder and timer overhead, so the ratios are
 /// apples-to-apples.
 fn time_match_mode(
     base: &Program,
     opts: &[genesis::CompiledOptimizer],
-    indexed: bool,
+    matcher: MatcherKind,
     repeats: usize,
 ) -> Result<(u128, u64, u64), RunError> {
     let mut best_wall = u128::MAX;
@@ -325,7 +345,7 @@ fn time_match_mode(
     for _ in 0..repeats {
         let rec = Arc::new(Recorder::new());
         let started = Instant::now();
-        run_match_sequence(base, opts, indexed, Some(&rec))?;
+        run_match_sequence(base, opts, matcher, Some(&rec))?;
         let wall = started.elapsed().as_nanos();
         let hist = |name: &str| {
             rec.histograms()
@@ -341,32 +361,41 @@ fn time_match_mode(
     Ok((best_wall, best_search, best_match))
 }
 
+/// Per-matcher timing triple: (wall_ns, search_ns, match_ns).
+type MatchTimes = (u128, u64, u64);
+
 struct MatchRow {
     name: &'static str,
     applications: usize,
     scan_visits: u64,
     indexed_visits: u64,
+    fused_visits: u64,
     candidates_pruned: u64,
     cache_hits: u64,
-    scan_wall_ns: u128,
-    indexed_wall_ns: u128,
-    scan_search_ns: u64,
-    indexed_search_ns: u64,
-    scan_match_ns: u64,
-    indexed_match_ns: u64,
+    scan: MatchTimes,
+    indexed: MatchTimes,
+    fused: MatchTimes,
+    /// scan match-phase ns over indexed match-phase ns.
     match_speedup: f64,
+    /// scan match-phase ns over fused match-phase ns.
+    fused_match_speedup: f64,
+    /// scan wall ns over fused wall ns — the end-to-end win the fused
+    /// automaton has to deliver.
+    fused_wall_speedup: f64,
 }
 
 fn emit_match_json(
     rows: &[MatchRow],
     seq: &[String],
     repeats: usize,
-    geomean: f64,
+    geomeans: (f64, f64, f64),
     items: usize,
     batch: &[(usize, u128)],
 ) -> String {
+    let (geomean, fused_match_geomean, fused_wall_geomean) = geomeans;
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"match\",\n");
+    out.push_str("  \"matchers\": [\"scan\", \"indexed\", \"fused\"],\n");
     out.push_str(&format!(
         "  \"sequence\": [{}],\n",
         seq.iter()
@@ -379,28 +408,43 @@ fn emit_match_json(
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"applications\": {}, \"scan_anchor_visits\": {}, \
-             \"indexed_anchor_visits\": {}, \"candidates_pruned\": {}, \"cache_hits\": {}, \
-             \"scan_wall_ns\": {}, \"indexed_wall_ns\": {}, \"scan_search_ns\": {}, \
-             \"indexed_search_ns\": {}, \"scan_match_ns\": {}, \"indexed_match_ns\": {}, \
-             \"match_speedup\": {:.3}, \"bindings_checked\": true}}{}\n",
+             \"indexed_anchor_visits\": {}, \"fused_anchor_visits\": {}, \
+             \"candidates_pruned\": {}, \"cache_hits\": {}, \
+             \"scan_wall_ns\": {}, \"indexed_wall_ns\": {}, \"fused_wall_ns\": {}, \
+             \"scan_search_ns\": {}, \"indexed_search_ns\": {}, \"fused_search_ns\": {}, \
+             \"scan_match_ns\": {}, \"indexed_match_ns\": {}, \"fused_match_ns\": {}, \
+             \"match_speedup\": {:.3}, \"fused_match_speedup\": {:.3}, \
+             \"fused_wall_speedup\": {:.3}, \"bindings_checked\": true}}{}\n",
             json_escape(r.name),
             r.applications,
             r.scan_visits,
             r.indexed_visits,
+            r.fused_visits,
             r.candidates_pruned,
             r.cache_hits,
-            r.scan_wall_ns,
-            r.indexed_wall_ns,
-            r.scan_search_ns,
-            r.indexed_search_ns,
-            r.scan_match_ns,
-            r.indexed_match_ns,
+            r.scan.0,
+            r.indexed.0,
+            r.fused.0,
+            r.scan.1,
+            r.indexed.1,
+            r.fused.1,
+            r.scan.2,
+            r.indexed.2,
+            r.fused.2,
             r.match_speedup,
+            r.fused_match_speedup,
+            r.fused_wall_speedup,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"geomean_match_speedup\": {geomean:.3},\n"));
+    out.push_str(&format!(
+        "  \"geomean_fused_match_speedup\": {fused_match_geomean:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"geomean_fused_wall_speedup\": {fused_wall_geomean:.3},\n"
+    ));
     out.push_str("  \"batch\": {\n");
     out.push_str(&format!("    \"items\": {items},\n    \"threads\": [\n"));
     for (i, (threads, ns)) in batch.iter().enumerate() {
@@ -441,6 +485,7 @@ fn run_match_bench(args: &[String]) {
     let mut out_path = String::from("BENCH_match.json");
     let mut repeats = if smoke { 3 } else { 30 };
     let mut scan_gate: Option<f64> = None;
+    let mut fused_gate: Option<f64> = None;
     let mut seq: Vec<String> = SEQUENCE.iter().map(|s| s.to_string()).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -472,10 +517,16 @@ fn run_match_bench(args: &[String]) {
                     std::process::exit(2);
                 }));
             }
+            "--fused-gate" => {
+                fused_gate = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fused-gate needs a ratio (e.g. 1.0)");
+                    std::process::exit(2);
+                }));
+            }
             "--smoke" => {}
             other => {
                 eprintln!(
-                    "unknown flag `{other}` (expected --seq A,B | --out PATH | --repeats N | --smoke | --scan-gate RATIO)"
+                    "unknown flag `{other}` (expected --seq A,B | --out PATH | --repeats N | --smoke | --scan-gate RATIO | --fused-gate RATIO)"
                 );
                 std::process::exit(2);
             }
@@ -487,81 +538,95 @@ fn run_match_bench(args: &[String]) {
     let mut rows = Vec::new();
 
     for (name, base) in &suite {
-        // Differential cross-check (untimed): the indexed searcher must
-        // find exactly the bindings the scanning searcher finds, in the
-        // same order, application by application, and land on the same
-        // final program.
-        let scan = run_match_sequence(base, &opts, false, None)
+        // Differential cross-check (untimed): every matcher must find
+        // exactly the bindings the scanning searcher finds, in the same
+        // order, application by application, and land on the same final
+        // program.
+        let scan = run_match_sequence(base, &opts, MatcherKind::Scan, None)
             .unwrap_or_else(|e| panic!("{name}: scan-mode run failed: {e}"));
-        let indexed = run_match_sequence(base, &opts, true, None)
+        let indexed = run_match_sequence(base, &opts, MatcherKind::Indexed, None)
             .unwrap_or_else(|e| panic!("{name}: indexed-mode run failed: {e}"));
-        assert_eq!(
-            scan.points, indexed.points,
-            "{name}: indexed search bound different application points than the scan"
-        );
-        assert!(
-            DisplayProgram(&scan.prog).to_string() == DisplayProgram(&indexed.prog).to_string()
-                && scan.applications == indexed.applications,
-            "{name}: modes disagree (scan {} apps, indexed {} apps)",
-            scan.applications,
-            indexed.applications
-        );
+        let fused = run_match_sequence(base, &opts, MatcherKind::Fused, None)
+            .unwrap_or_else(|e| panic!("{name}: fused-mode run failed: {e}"));
+        for (label, arm) in [("indexed", &indexed), ("fused", &fused)] {
+            assert_eq!(
+                scan.points, arm.points,
+                "{name}: {label} search bound different application points than the scan"
+            );
+            assert!(
+                DisplayProgram(&scan.prog).to_string() == DisplayProgram(&arm.prog).to_string()
+                    && scan.applications == arm.applications,
+                "{name}: modes disagree (scan {} apps, {label} {} apps)",
+                scan.applications,
+                arm.applications
+            );
+        }
 
-        let (scan_wall_ns, scan_search_ns, scan_match_ns) =
-            time_match_mode(base, &opts, false, repeats)
-                .unwrap_or_else(|e| panic!("{name}: timing scan mode failed: {e}"));
-        let (indexed_wall_ns, indexed_search_ns, indexed_match_ns) =
-            time_match_mode(base, &opts, true, repeats)
-                .unwrap_or_else(|e| panic!("{name}: timing indexed mode failed: {e}"));
+        let time = |matcher: MatcherKind| {
+            time_match_mode(base, &opts, matcher, repeats).unwrap_or_else(|e| {
+                panic!("{name}: timing {} mode failed: {e}", matcher.as_str())
+            })
+        };
+        let scan_t = time(MatcherKind::Scan);
+        let indexed_t = time(MatcherKind::Indexed);
+        let fused_t = time(MatcherKind::Fused);
         rows.push(MatchRow {
             name,
-            applications: indexed.applications,
+            applications: fused.applications,
             scan_visits: scan.anchor_visits,
             indexed_visits: indexed.anchor_visits,
-            candidates_pruned: indexed.candidates_pruned,
-            cache_hits: indexed.cache_hits,
-            scan_wall_ns,
-            indexed_wall_ns,
-            scan_search_ns,
-            indexed_search_ns,
-            scan_match_ns,
-            indexed_match_ns,
-            match_speedup: scan_match_ns as f64 / indexed_match_ns.max(1) as f64,
+            fused_visits: fused.anchor_visits,
+            candidates_pruned: fused.candidates_pruned,
+            cache_hits: fused.cache_hits,
+            scan: scan_t,
+            indexed: indexed_t,
+            fused: fused_t,
+            match_speedup: scan_t.2 as f64 / indexed_t.2.max(1) as f64,
+            fused_match_speedup: scan_t.2 as f64 / fused_t.2.max(1) as f64,
+            fused_wall_speedup: scan_t.0 as f64 / fused_t.0.max(1) as f64,
         });
     }
 
-    let geomean =
-        (rows.iter().map(|r| r.match_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let geomean_of = |f: &dyn Fn(&MatchRow) -> f64| {
+        (rows.iter().map(|r| f(r).ln()).sum::<f64>() / rows.len() as f64).exp()
+    };
+    let geomean = geomean_of(&|r| r.match_speedup);
+    let fused_match_geomean = geomean_of(&|r| r.fused_match_speedup);
+    let fused_wall_geomean = geomean_of(&|r| r.fused_wall_speedup);
 
     println!(
-        "{:<12} {:>5} {:>8} {:>8} {:>7} {:>6} {:>11} {:>11} {:>8}",
-        "workload", "apps", "scan-av", "idx-av", "pruned", "hits", "scan-match", "idx-match",
-        "speedup"
+        "{:<12} {:>5} {:>8} {:>8} {:>8} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8}",
+        "workload", "apps", "scan-av", "idx-av", "fus-av", "scan-match", "idx-match", "fus-match",
+        "idx-spd", "fus-spd", "fus-wall"
     );
     for r in &rows {
         println!(
-            "{:<12} {:>5} {:>8} {:>8} {:>7} {:>6} {:>11} {:>11} {:>7.2}x",
+            "{:<12} {:>5} {:>8} {:>8} {:>8} {:>11} {:>11} {:>11} {:>7.2}x {:>7.2}x {:>7.2}x",
             r.name,
             r.applications,
             r.scan_visits,
             r.indexed_visits,
-            r.candidates_pruned,
-            r.cache_hits,
-            r.scan_match_ns,
-            r.indexed_match_ns,
-            r.match_speedup
+            r.fused_visits,
+            r.scan.2,
+            r.indexed.2,
+            r.fused.2,
+            r.match_speedup,
+            r.fused_match_speedup,
+            r.fused_wall_speedup
         );
     }
     println!(
-        "geomean match-phase speedup over {} workloads: {:.2}x",
+        "geomean over {} workloads: match-phase indexed {:.2}x, fused {:.2}x; fused wall {:.2}x",
         rows.len(),
-        geomean
+        geomean,
+        fused_match_geomean,
+        fused_wall_geomean
     );
 
     // Batch scaling: the whole suite (replicated) through the parallel
-    // batch driver at 1, 2 and 4 threads, indexed search on.
+    // batch driver at 1, 2 and 4 threads, fused matcher on.
     let options = genesis::SessionOptions {
-        indexed_search: true,
+        matcher: MatcherKind::Fused,
         ..Default::default()
     };
     let seq_names: Vec<&str> = seq.iter().map(String::as_str).collect();
@@ -590,7 +655,14 @@ fn run_match_bench(args: &[String]) {
         batch.push((threads, best));
     }
 
-    let json = emit_match_json(&rows, &seq, repeats, geomean, suite.len() * BATCH_REPLICAS, &batch);
+    let json = emit_match_json(
+        &rows,
+        &seq,
+        repeats,
+        (geomean, fused_match_geomean, fused_wall_geomean),
+        suite.len() * BATCH_REPLICAS,
+        &batch,
+    );
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -601,6 +673,15 @@ fn run_match_bench(args: &[String]) {
         if geomean < 1.0 / gate {
             eprintln!(
                 "error: indexed search geomean {geomean:.3}x is slower than the 1/{gate} gate"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(gate) = fused_gate {
+        if fused_wall_geomean < gate {
+            eprintln!(
+                "error: fused matcher wall-clock geomean {fused_wall_geomean:.3}x vs scan is \
+                 below the {gate} gate"
             );
             std::process::exit(1);
         }
@@ -671,6 +752,15 @@ fn main() {
             full.applications,
             incr.applications,
             same_prog
+        );
+        // Regression gate: structural batches (the `interact` workload's
+        // loop-restructuring edits especially) must be absorbed by
+        // `DepGraph::update`'s signature-diff path, never by falling back
+        // to a full re-analysis mid-chain.
+        assert_eq!(
+            incr.full_recomputes, 0,
+            "{name}: incremental mode fell back to {} full dependence recomputation(s)",
+            incr.full_recomputes
         );
 
         let full_ns = time_mode(base, &opts, false, repeats, None)

@@ -1,0 +1,539 @@
+//! The fused anchor automaton: one shared matcher for the whole catalog.
+//!
+//! Every registered optimizer whose anchor (first) pattern clause pins an
+//! opcode is compiled into a single trie over *discriminating tests* —
+//! the opcode bucket at the root, then the per-position operand-class
+//! tests its [`AnchorFilter`] extracted — with common prefixes merged at
+//! build time. Classifying one statement is a single walk over that trie
+//! and yields the admission verdict of **all** fused optimizers at once,
+//! instead of N independent per-optimizer filter probes: the shared
+//! prefix (`opc == assign`, say) is tested once no matter how many
+//! catalog entries start with it.
+//!
+//! The automaton keeps two layers:
+//!
+//! * **catalog-scoped** — the trie itself. Built once per catalog,
+//!   immutable until (de/re)registration changes the catalog, at which
+//!   point the whole automaton is dropped and rebuilt
+//!   ([`crate::SessionCaches::drop_optimizer`] treats it like the other
+//!   per-optimizer caches).
+//! * **program-scoped** — per-statement admission masks and per-optimizer
+//!   posting lists, maintained O(|delta| · trie-depth) by replaying
+//!   [`EditDelta`] journals exactly like [`crate::StmtIndex`]: touched
+//!   statements are unlisted via their recorded masks and reclassified
+//!   from the post-edit program. Structural batches reclassify the whole
+//!   program against the unchanged trie.
+//!
+//! Loop-membership is part of the automaton's test vocabulary in
+//! principle (the anchor of a loop-shaped optimizer), but GOSpeL anchor
+//! clauses cannot constrain membership — `mem()` lives in the Depend
+//! section — and loop-anchored optimizers (`ICM`, `FUS`, `LUR`) enumerate
+//! the loop table directly, which is already small. They are recorded as
+//! *non-fused*: the searcher's degradation ladder (fused → per-optimizer
+//! index → scan) falls through for them.
+//!
+//! Admission is sound for the same reason [`AnchorFilter`] admission is:
+//! a statement outside an optimizer's posting provably fails its anchor
+//! clause's opcode disjunction or one of its top-level
+//! `type(var.opr_N)` conjuncts. When the filter was `exact`, the posting
+//! *is* the satisfying set and the searcher skips format evaluation
+//! entirely. The property suite asserts posting ≡ filter admission ≡
+//! scan satisfaction over random journaled edit batches.
+
+use crate::caches::normalize;
+use crate::compile::CompiledOptimizer;
+use crate::index::{anchor_filter, class_of, AnchorFilter};
+use gospel_dep::DepGraph;
+use gospel_ir::{EditDelta, Program, Quad, StmtId};
+use gospel_lang::ast::{ElemType, OperandClass};
+use std::collections::HashMap;
+
+/// One discriminating test on an edge of the trie: the operand at
+/// `pos` is (`positive`) or is not (`!positive`) of class `cls`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Test {
+    pos: usize,
+    cls: OperandClass,
+    positive: bool,
+}
+
+impl Test {
+    fn passes(&self, cls: &[OperandClass; 3]) -> bool {
+        (cls[self.pos] == self.cls) == self.positive
+    }
+}
+
+/// One trie node: optimizers whose whole test chain ends here, plus the
+/// outgoing test edges (children with strictly longer chains).
+#[derive(Clone, Debug, Default)]
+struct Node {
+    outputs: Vec<usize>,
+    edges: Vec<(Test, usize)>,
+}
+
+/// Per-fused-optimizer metadata carried out of trie construction.
+#[derive(Clone, Debug)]
+struct FusedEntry {
+    /// The anchor filter was `exact`: admission equals format
+    /// satisfaction, so the searcher skips format evaluation for posting
+    /// members.
+    exact: bool,
+}
+
+/// The fused anchor automaton. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct FusedAutomaton {
+    /// Normalized optimizer names, in catalog (registration) order. The
+    /// index into this vector is the optimizer id used everywhere below.
+    names: Vec<String>,
+    /// `Some` for optimizers with a narrowing anchor filter; `None` for
+    /// the rest (loop anchors, unbounded opcodes) — those fall down the
+    /// ladder.
+    fused: Vec<Option<FusedEntry>>,
+    /// Trie nodes; roots are reached through `root`.
+    nodes: Vec<Node>,
+    /// Opcode bucket at the root: `gospel_name` key → node.
+    root: HashMap<&'static str, usize>,
+    /// Mask words per statement slot (`ceil(names.len() / 64)`).
+    words: usize,
+    /// Per-statement admission masks, `words` words per `StmtId` slot —
+    /// the reverse record `remove` needs, like `StmtIndex`'s entries.
+    masks: Vec<u64>,
+    /// Per-optimizer posting lists (unordered; the searcher restores
+    /// program order through `DepGraph::order_of`).
+    postings: Vec<Vec<StmtId>>,
+    /// Trie states created by builds (drained by the driver into the
+    /// `search.fused.states` counter).
+    stat_states: u64,
+    /// Trie nodes visited by classification walks since the last drain
+    /// (`search.fused.visits`).
+    stat_visits: u64,
+}
+
+/// Deterministic ordering of class tests, so equal filters produce equal
+/// chains and shared prefixes actually merge. Class outranks position:
+/// the catalog's common discriminator ("some operand is a constant")
+/// then leads every chain that uses it, maximizing sharing; conjunction
+/// order is semantically free.
+fn test_rank(t: &Test) -> (u8, usize, bool) {
+    let c = match t.cls {
+        OperandClass::Const => 0,
+        OperandClass::Var => 1,
+        OperandClass::Elem => 2,
+        OperandClass::None => 3,
+    };
+    (c, t.pos, !t.positive)
+}
+
+impl FusedAutomaton {
+    /// Compiles the catalog's anchor clauses into one trie and classifies
+    /// every statement of `prog` against it.
+    pub fn build(optimizers: &[CompiledOptimizer], prog: &Program) -> FusedAutomaton {
+        Self::build_refs(&optimizers.iter().collect::<Vec<_>>(), prog)
+    }
+
+    /// [`FusedAutomaton::build`] over borrowed optimizers — the audit
+    /// path reassembles the catalog in automaton order without cloning.
+    pub fn build_refs(optimizers: &[&CompiledOptimizer], prog: &Program) -> FusedAutomaton {
+        let mut auto = FusedAutomaton {
+            words: optimizers.len().div_ceil(64).max(1),
+            ..FusedAutomaton::default()
+        };
+        for &opt in optimizers {
+            auto.names.push(normalize(&opt.name));
+            let filter = opt
+                .patterns
+                .first()
+                .filter(|(_, ty)| *ty == ElemType::Stmt)
+                .and_then(|(c, _)| c.vars.first().map(|v| anchor_filter(c, v)))
+                .filter(AnchorFilter::narrows);
+            let id = auto.names.len() - 1;
+            match filter {
+                Some(f) => {
+                    auto.insert_filter(id, &f);
+                    auto.fused.push(Some(FusedEntry { exact: f.exact }));
+                }
+                None => auto.fused.push(None),
+            }
+            auto.postings.push(Vec::new());
+        }
+        auto.reclassify(prog);
+        auto
+    }
+
+    /// Threads one optimizer's filter into the trie: one chain of class
+    /// tests (sorted canonically) under each of its opcode buckets.
+    fn insert_filter(&mut self, id: usize, filter: &AnchorFilter) {
+        let mut tests: Vec<Test> = filter
+            .classes
+            .iter()
+            .map(|&(pos, cls, positive)| Test { pos, cls, positive })
+            .collect();
+        tests.sort_unstable_by_key(test_rank);
+        tests.dedup();
+        let keys = filter.opcodes.clone().unwrap_or_default();
+        for key in keys {
+            let mut cur = match self.root.get(key) {
+                Some(&n) => n,
+                None => {
+                    let n = self.fresh_node();
+                    self.root.insert(key, n);
+                    n
+                }
+            };
+            for t in &tests {
+                cur = match self.nodes[cur].edges.iter().find(|(e, _)| e == t) {
+                    Some(&(_, child)) => child,
+                    None => {
+                        let child = self.fresh_node();
+                        self.nodes[cur].edges.push((*t, child));
+                        child
+                    }
+                };
+            }
+            if !self.nodes[cur].outputs.contains(&id) {
+                self.nodes[cur].outputs.push(id);
+            }
+        }
+    }
+
+    fn fresh_node(&mut self) -> usize {
+        self.nodes.push(Node::default());
+        self.stat_states += 1;
+        self.nodes.len() - 1
+    }
+
+    /// Number of trie states.
+    pub fn states(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The normalized optimizer names the automaton was built over, in
+    /// catalog order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The id of `name` *when it is fused* — `None` for unknown names and
+    /// for registered-but-not-fused optimizers (the ladder falls through
+    /// for those).
+    pub fn opt_id(&self, name: &str) -> Option<usize> {
+        let key = normalize(name);
+        let id = self.names.iter().position(|n| *n == key)?;
+        self.fused[id].is_some().then_some(id)
+    }
+
+    /// True when the automaton was built over exactly `names` (normalized,
+    /// in order) — the session's staleness check against the registered
+    /// catalog.
+    pub fn covers(&self, names: &[String]) -> bool {
+        self.names == names
+    }
+
+    /// The admission posting of fused optimizer `id`, unordered.
+    pub fn posting(&self, id: usize) -> &[StmtId] {
+        &self.postings[id]
+    }
+
+    /// Whether `id`'s admission equals format satisfaction.
+    pub fn exact(&self, id: usize) -> bool {
+        self.fused[id].as_ref().is_some_and(|f| f.exact)
+    }
+
+    /// Drains the accumulated (states-built, trie-visits) statistics.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.stat_states),
+            std::mem::take(&mut self.stat_visits),
+        )
+    }
+
+    /// One trie walk: the admission mask of a quad — bit `id` set iff
+    /// fused optimizer `id` admits the statement.
+    fn classify(&mut self, quad: &Quad) -> Vec<u64> {
+        let mut mask = vec![0u64; self.words];
+        let Some(&start) = self.root.get(quad.op.gospel_name()) else {
+            return mask;
+        };
+        let cls = [
+            class_of(&quad.dst),
+            class_of(&quad.a),
+            class_of(&quad.b),
+        ];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            self.stat_visits += 1;
+            for &o in &self.nodes[n].outputs {
+                mask[o / 64] |= 1u64 << (o % 64);
+            }
+            for &(t, child) in &self.nodes[n].edges {
+                if t.passes(&cls) {
+                    stack.push(child);
+                }
+            }
+        }
+        mask
+    }
+
+    /// Classifies one live statement and lists it in the admitted
+    /// postings.
+    fn insert(&mut self, id: StmtId, quad: &Quad) {
+        let mask = self.classify(quad);
+        let base = id.index() * self.words;
+        for (w, &m) in mask.iter().enumerate() {
+            self.masks[base + w] = m;
+            let mut bits = m;
+            while bits != 0 {
+                let o = w * 64 + bits.trailing_zeros() as usize;
+                self.postings[o].push(id);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Unlists a statement from every posting its recorded mask names.
+    fn remove(&mut self, id: StmtId) {
+        let base = id.index() * self.words;
+        if base + self.words > self.masks.len() {
+            return;
+        }
+        for w in 0..self.words {
+            let mut bits = std::mem::take(&mut self.masks[base + w]);
+            while bits != 0 {
+                let o = w * 64 + bits.trailing_zeros() as usize;
+                if let Some(i) = self.postings[o].iter().position(|&s| s == id) {
+                    self.postings[o].swap_remove(i);
+                }
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Rebuilds the program-scoped layer (masks + postings) against the
+    /// unchanged trie.
+    pub fn reclassify(&mut self, prog: &Program) {
+        self.masks.clear();
+        self.masks.resize(prog.id_bound() * self.words, 0);
+        for p in &mut self.postings {
+            p.clear();
+        }
+        for s in prog.iter() {
+            self.insert(s, prog.quad(s));
+        }
+    }
+
+    /// Replays one committed edit batch, leaving the postings exactly as
+    /// [`FusedAutomaton::build`] over the post-edit program would — the
+    /// same O(|delta|) contract as [`crate::StmtIndex::update`].
+    /// Structural batches reclassify the whole program; the trie (a pure
+    /// function of the catalog) never changes here.
+    pub fn update(&mut self, prog: &Program, delta: &EditDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        if delta.requires_full() {
+            self.reclassify(prog);
+            return;
+        }
+        let need = prog.id_bound() * self.words;
+        if need > self.masks.len() {
+            self.masks.resize(need, 0);
+        }
+        let mut touched: Vec<StmtId> = Vec::with_capacity(delta.len());
+        for op in delta.ops() {
+            let id = op.stmt();
+            if !touched.contains(&id) {
+                touched.push(id);
+            }
+        }
+        for &id in &touched {
+            self.remove(id);
+        }
+        for &id in &touched {
+            if prog.is_live(id) {
+                self.insert(id, prog.quad(id));
+            }
+        }
+    }
+
+    /// Every `(optimizer id, statement)` candidate pair, in program
+    /// order (ties between optimizers at one statement resolve in
+    /// catalog order) — one pass over the postings dispatching the whole
+    /// catalog at once. `None` when any posting member's program order
+    /// is unknown to `deps` (stale order: the scan path stays
+    /// authoritative, same rung as the per-optimizer index).
+    pub fn dispatch(&self, deps: &DepGraph) -> Option<Vec<(usize, StmtId)>> {
+        let mut out: Vec<(usize, usize, StmtId)> = Vec::new();
+        for (id, posting) in self.postings.iter().enumerate() {
+            for &s in posting {
+                out.push((deps.order_of(s)?, id, s));
+            }
+        }
+        out.sort_unstable();
+        Some(out.into_iter().map(|(_, id, s)| (id, s)).collect())
+    }
+
+    /// Structural equality against another automaton over the same
+    /// catalog, ignoring posting order — the audit/property-test oracle
+    /// (incrementally-maintained vs rebuilt-from-scratch).
+    pub fn agrees_with(&self, other: &FusedAutomaton) -> bool {
+        let norm = |p: &[Vec<StmtId>]| -> Vec<Vec<StmtId>> {
+            p.iter()
+                .map(|v| {
+                    let mut v = v.clone();
+                    v.sort_unstable();
+                    v
+                })
+                .collect()
+        };
+        self.names == other.names
+            && self.fused.iter().map(|f| f.as_ref().map(|e| e.exact)).collect::<Vec<_>>()
+                == other.fused.iter().map(|f| f.as_ref().map(|e| e.exact)).collect::<Vec<_>>()
+            && norm(&self.postings) == norm(&other.postings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::generate;
+    use crate::index::StmtIndex;
+    use gospel_ir::{Opcode, Operand, OperandPos};
+
+    fn opt_of(name: &str, anchor: &str) -> CompiledOptimizer {
+        let spec = format!(
+            "OPTIMIZATION {name}\nTYPE\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+             any S: {anchor};\nACTION\n  delete(S);\nEND"
+        );
+        let (spec, info) = gospel_lang::parse_validated(&spec).unwrap();
+        generate(spec, info).unwrap()
+    }
+
+    fn prog() -> Program {
+        gospel_frontend::compile(
+            "program p\ninteger i, x, y\nreal a(10)\nx = 1\ny = x\ndo i = 1, 10\na(i) = x\nend do\nwrite y\nend",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_prefixes_merge_and_admission_matches_filters() {
+        let opts = vec![
+            opt_of("A", "S.opc == assign AND type(S.opr_2) == const"),
+            opt_of("B", "S.opc == assign AND type(S.opr_2) == const AND type(S.opr_1) == var"),
+            opt_of("C", "S.opc == assign"),
+            opt_of("D", "S.opr_1 == S.opr_2"), // no opcode bound: not fused
+        ];
+        let p = prog();
+        let auto = FusedAutomaton::build(&opts, &p);
+        // A and B share the whole `assign → type(opr_2)==const` prefix; C
+        // outputs at the bucket root. One bucket node, one class node for
+        // the shared conjunct, one more for B's extra test.
+        assert_eq!(auto.states(), 3, "common prefixes must merge");
+        assert_eq!(auto.opt_id("a"), Some(0));
+        assert_eq!(auto.opt_id("D"), None, "unfiltered anchors are not fused");
+        assert_eq!(auto.opt_id("nope"), None);
+
+        // Posting ≡ per-optimizer AnchorFilter admission, for every opt.
+        let ix = StmtIndex::build(&p);
+        for (i, opt) in opts.iter().enumerate() {
+            let Some(id) = auto.opt_id(&opt.name) else { continue };
+            assert_eq!(id, i);
+            let (clause, _) = &opt.patterns[0];
+            let filter = anchor_filter(clause, &clause.vars[0]);
+            let mut want = ix.candidates(&filter).unwrap();
+            let mut got = auto.posting(id).to_vec();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "posting of {} diverged from its filter", opt.name);
+        }
+    }
+
+    #[test]
+    fn update_replays_deltas_like_a_rebuild() {
+        let opts = vec![
+            opt_of("A", "S.opc == assign AND type(S.opr_2) == const"),
+            opt_of("B", "S.opc == write"),
+        ];
+        let mut p = prog();
+        let mut auto = FusedAutomaton::build(&opts, &p);
+
+        // Modify: y = x becomes y = 7 — enters A's posting.
+        let s1 = p.iter().nth(1).unwrap();
+        let mut d = EditDelta::new();
+        d.modify(&mut p, s1, OperandPos::A, Operand::int(7));
+        auto.update(&p, &d);
+        assert!(auto.agrees_with(&FusedAutomaton::build(&opts, &p)), "after modify");
+        assert!(auto.posting(0).contains(&s1));
+
+        // Insert + delete in one batch.
+        let mut d = EditDelta::new();
+        let x = p.syms().lookup("x").unwrap();
+        d.insert_after(
+            &mut p,
+            Some(s1),
+            Quad::assign(Operand::Var(x), Operand::int(9)),
+        );
+        let head = p.first().unwrap();
+        d.delete(&mut p, head);
+        auto.update(&p, &d);
+        assert!(auto.agrees_with(&FusedAutomaton::build(&opts, &p)), "after insert+delete");
+
+        // Structural batch: reclassify against the unchanged trie.
+        let mut d = EditDelta::new();
+        let last = p.iter().last().unwrap();
+        d.insert_after(&mut p, Some(last), Quad::marker(Opcode::EndIf));
+        assert!(d.requires_full());
+        auto.update(&p, &d);
+        assert!(auto.agrees_with(&FusedAutomaton::build(&opts, &p)), "after structural");
+
+        // Undo round-trip: the journal replayed in reverse restores the
+        // automaton to its original postings.
+        let mut p2 = prog();
+        let mut auto2 = FusedAutomaton::build(&opts, &p2);
+        let before = FusedAutomaton::build(&opts, &p2);
+        let s1 = p2.iter().nth(1).unwrap();
+        let mut d = EditDelta::new();
+        d.modify(&mut p2, s1, OperandPos::A, Operand::int(7));
+        auto2.update(&p2, &d);
+        d.undo(&mut p2);
+        auto2.reclassify(&p2);
+        assert!(auto2.agrees_with(&before));
+    }
+
+    #[test]
+    fn dispatch_yields_pairs_in_program_order() {
+        let opts = vec![
+            opt_of("A", "S.opc == assign"),
+            opt_of("B", "S.opc == write"),
+        ];
+        let p = prog();
+        let deps = DepGraph::analyze(&p).unwrap();
+        let auto = FusedAutomaton::build(&opts, &p);
+        let pairs = auto.dispatch(&deps).unwrap();
+        assert!(!pairs.is_empty());
+        let orders: Vec<usize> = pairs
+            .iter()
+            .map(|&(_, s)| deps.order_of(s).unwrap())
+            .collect();
+        assert!(orders.windows(2).all(|w| w[0] <= w[1]), "{orders:?}");
+        // Every pair is genuinely admitted; every admitted pair is there.
+        let total: usize = (0..opts.len())
+            .filter_map(|i| auto.opt_id(&opts[i].name))
+            .map(|id| auto.posting(id).len())
+            .sum();
+        assert_eq!(pairs.len(), total);
+    }
+
+    #[test]
+    fn stats_accumulate_and_drain() {
+        let opts = vec![opt_of("A", "S.opc == assign")];
+        let p = prog();
+        let mut auto = FusedAutomaton::build(&opts, &p);
+        let (states, visits) = auto.take_stats();
+        assert_eq!(states, auto.states() as u64);
+        // one classification visit per assign-bucket statement
+        assert!(visits > 0);
+        assert_eq!(auto.take_stats(), (0, 0), "drained");
+    }
+}

@@ -22,6 +22,7 @@ use gospel_dep::DepGraph;
 use gospel_ir::{EditDelta, Program};
 use gospel_lang::ast::ElemType;
 
+use crate::automaton::FusedAutomaton;
 use crate::compile::CompiledOptimizer;
 use crate::index::{anchor_filter, AnchorFilter, MatchCache, StmtIndex};
 
@@ -36,6 +37,11 @@ pub struct SessionCaches {
     /// replay across applies — including applies of optimizers that
     /// cannot consult it, so it never silently goes stale.
     pub index: Option<StmtIndex>,
+    /// The fused anchor automaton over the registered catalog, maintained
+    /// by delta replay like the index. Dropped whenever the catalog
+    /// changes under it ([`SessionCaches::drop_optimizer`]) and rebuilt
+    /// by the session before the next fused apply.
+    pub automaton: Option<FusedAutomaton>,
     match_caches: HashMap<String, MatchCache>,
     anchor_filters: HashMap<String, Arc<Vec<Option<AnchorFilter>>>>,
 }
@@ -51,18 +57,55 @@ impl SessionCaches {
     pub fn clear(&mut self) {
         self.deps = None;
         self.index = None;
+        self.automaton = None;
         self.match_caches.clear();
         self.anchor_filters.clear();
     }
 
     /// Drops every entry derived from optimizer `name` (case-insensitive).
     /// Required when a specification is re-registered under an existing
-    /// name — stale negative matches and filters from the old spec must
-    /// not survive into the new one's runs.
+    /// name — stale negative matches, filters, and fused-automaton states
+    /// compiled from the old spec must not survive into the new one's
+    /// runs. The automaton is catalog-scoped, so covering the name at all
+    /// voids it outright (the session rebuilds it from the new catalog).
     pub fn drop_optimizer(&mut self, name: &str) {
         let key = normalize(name);
         self.match_caches.remove(&key);
         self.anchor_filters.remove(&key);
+        if self
+            .automaton
+            .as_ref()
+            .is_some_and(|a| a.names().contains(&key))
+        {
+            self.automaton = None;
+        }
+    }
+
+    /// Ensures the parked automaton was built over exactly the registered
+    /// catalog (normalized names, registration order) and describes
+    /// `prog`; rebuilds it otherwise. Called by the session before each
+    /// fused apply. Rebuilds announce themselves as an `automaton.build`
+    /// span on `rec` (the state count lands in `search.fused.states` when
+    /// the next driver run drains the build stats).
+    pub(crate) fn ensure_automaton(
+        &mut self,
+        optimizers: &[CompiledOptimizer],
+        prog: &Program,
+        rec: Option<&Arc<gospel_trace::Recorder>>,
+    ) {
+        let names: Vec<String> = optimizers.iter().map(|o| normalize(&o.name)).collect();
+        match &self.automaton {
+            Some(a) if a.covers(&names) => {}
+            _ => {
+                let span = gospel_trace::Span::open(rec, "automaton.build", &[]);
+                let a = FusedAutomaton::build(optimizers, prog);
+                span.close(&[(
+                    "states",
+                    gospel_trace::Value::us(a.states()),
+                )]);
+                self.automaton = Some(a);
+            }
+        }
     }
 
     /// Whether a negative match cache is currently parked for `name`.
@@ -151,6 +194,24 @@ impl SessionCaches {
         if let Some(ix) = &self.index {
             if !ix.agrees_with(&StmtIndex::build(prog)) {
                 out.push("cached statement index disagrees with fresh rebuild".into());
+            }
+        }
+        if let Some(a) = &self.automaton {
+            let mut catalog: Vec<&CompiledOptimizer> = Vec::with_capacity(a.names().len());
+            let mut known = true;
+            for key in a.names() {
+                match optimizers.iter().find(|o| o.name.eq_ignore_ascii_case(key)) {
+                    Some(o) => catalog.push(o),
+                    None => {
+                        out.push(format!(
+                            "fused automaton covers unregistered optimizer {key}"
+                        ));
+                        known = false;
+                    }
+                }
+            }
+            if known && !a.agrees_with(&FusedAutomaton::build_refs(&catalog, prog)) {
+                out.push("fused automaton disagrees with fresh rebuild".into());
             }
         }
         for (key, cache) in &self.match_caches {

@@ -2,6 +2,7 @@
 //! (`match_OPT`, `pre_OPT`), apply the actions (`act_OPT`), repeat.
 
 use crate::actions::run_actions;
+use crate::automaton::FusedAutomaton;
 use crate::caches::SessionCaches;
 use crate::compile::{CompiledOptimizer, Strategy};
 use crate::cost::Cost;
@@ -16,6 +17,49 @@ use gospel_trace::{Name, Recorder, Span, Value};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Which candidate-enumeration machinery drives the search.
+///
+/// All three produce identical bindings (the differential suite and the
+/// bench cross-checks hold them to it); they differ only in how anchor
+/// candidates are enumerated, and each rung degrades to the next on
+/// stale state: fused → per-optimizer index → scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatcherKind {
+    /// Full program scans — the authoritative baseline.
+    Scan,
+    /// Per-optimizer [`StmtIndex`] bucket probes with [`AnchorFilter`]
+    /// narrowing and the negative [`MatchCache`] (the PR-4 machinery).
+    ///
+    /// [`AnchorFilter`]: crate::AnchorFilter
+    Indexed,
+    /// The catalog-wide [`FusedAutomaton`]: every registered anchor
+    /// clause compiled into one shared trie, one classification pass
+    /// admitting all optimizers per statement at once.
+    Fused,
+}
+
+impl MatcherKind {
+    /// Parses the CLI/environment spelling (`fused`/`indexed`/`scan`,
+    /// case-insensitive).
+    pub fn parse(s: &str) -> Option<MatcherKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fused" => Some(MatcherKind::Fused),
+            "indexed" => Some(MatcherKind::Indexed),
+            "scan" => Some(MatcherKind::Scan),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, for traces and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MatcherKind::Scan => "scan",
+            MatcherKind::Indexed => "indexed",
+            MatcherKind::Fused => "fused",
+        }
+    }
+}
 
 /// How the driver should apply the optimizer (the §3 interface options).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,13 +180,13 @@ pub struct Driver<'o> {
     /// Absolute statement-count cap, checked after each commit; the
     /// caller usually derives it as k× the original program size.
     pub max_stmts: Option<usize>,
-    /// Drive the search from a [`StmtIndex`] maintained across
-    /// applications (opcode-bucket candidate lists plus a negative
-    /// anchor cache), instead of full program scans. Identical bindings
-    /// either way; defaults from the `GENESIS_INDEXED_SEARCH`
-    /// environment toggle (on unless set to `0`/`off`). The index is
+    /// Which candidate-enumeration machinery to search with — the fused
+    /// catalog automaton, the per-optimizer [`StmtIndex`], or full
+    /// program scans. Identical bindings in every mode; defaults from
+    /// [`matcher_default`] (`GENESIS_MATCHER`, falling back to the
+    /// legacy `GENESIS_INDEXED_SEARCH` toggle). Index and automaton are
     /// only consulted while `recompute_deps` keeps program order fresh.
-    pub indexed_search: bool,
+    pub matcher: MatcherKind,
     /// Degrade instead of hard-aborting on dependence-maintenance
     /// trouble: a failed [`DepGraph::update`] falls back to a full
     /// analysis, and a verifier-caught divergence adopts the fresh graph
@@ -174,7 +218,7 @@ impl<'o> Driver<'o> {
             timeout_ms: None,
             fuel: None,
             max_stmts: None,
-            indexed_search: indexed_search_default(),
+            matcher: matcher_default(),
             degraded_recovery: false,
             fault: None,
             recorder: None,
@@ -307,8 +351,10 @@ impl<'o> Driver<'o> {
         // frontier after each committed application.
         let mut resume_pt: Option<StmtId> = None;
         // Per-clause anchor filters, computed once per optimizer and
-        // parked in the session caches across calls.
-        let filters = self.indexed_search.then(|| caches.filters_for(self.opt));
+        // parked in the session caches across calls (indexed mode; the
+        // fused automaton embeds the same filters in its trie).
+        let filters =
+            (self.matcher == MatcherKind::Indexed).then(|| caches.filters_for(self.opt));
         // Whether this optimizer can be served from an index bucket at
         // all; building one it cannot consult is pure overhead. The index
         // also needs fresh program order (`deps.order_of`) to keep
@@ -326,9 +372,34 @@ impl<'o> Driver<'o> {
             Some(ix) => Some(ix),
             None => consult_index.then(|| StmtIndex::build(prog)),
         };
-        let mut mcache = self
-            .indexed_search
+        let mut mcache = (self.matcher != MatcherKind::Scan)
             .then(|| caches.take_match_cache(self.opt));
+        // The fused automaton: adopted from the session (which builds it
+        // over the whole catalog) or built here over just this optimizer
+        // for the standalone-driver case. Same ordering contract as the
+        // index, so the same `recompute_deps` gate applies. A
+        // session-carried automaton is kept fresh by delta replay even
+        // under another matcher, like the index above.
+        let use_fused = self.matcher == MatcherKind::Fused && self.recompute_deps;
+        let mut auto = match caches.automaton.take() {
+            Some(a) => Some(a),
+            None => use_fused.then(|| {
+                let span = Span::open(rec.as_ref(), "automaton.build", &[]);
+                let a = FusedAutomaton::build(std::slice::from_ref(self.opt), prog);
+                span.close(&[("states", Value::us(a.states()))]);
+                a
+            }),
+        };
+        let fused_id = if use_fused {
+            auto.as_ref().and_then(|a| a.opt_id(&self.opt.name))
+        } else {
+            None
+        };
+        if let Some(a) = auto.as_mut() {
+            let (states, visits) = a.take_stats();
+            totals.fused_states += states;
+            totals.fused_visits += visits;
+        }
 
         loop {
             if let Some(ms) = self.timeout_ms {
@@ -377,6 +448,7 @@ impl<'o> Driver<'o> {
                 }
                 s.resume_from = resume_pt;
                 s.index = if consult_index { sidx.as_ref() } else { None };
+                s.fused = fused_id.and_then(|id| auto.as_ref().map(|a| (a, id)));
                 s.filters = filters.as_deref().map(|v| v.as_slice());
                 s.cache = mcache.as_mut();
                 s.time_pattern = rec.is_some();
@@ -387,6 +459,7 @@ impl<'o> Driver<'o> {
                 report.cache_hits += s.cache_hits;
                 totals.candidates_pruned += s.candidates_pruned;
                 totals.cache_hits += s.cache_hits;
+                totals.fused_dispatched += s.fused_dispatched;
                 report.degraded.stale_order += s.degraded_stale_order;
                 totals.degraded_stale_order += s.degraded_stale_order;
                 report.strategies_used.append(&mut s.strategies_used);
@@ -403,6 +476,7 @@ impl<'o> Driver<'o> {
                     let mut s = Searcher::new(prog, &deps, self.opt);
                     s.stop_before = resume_pt;
                     s.index = if consult_index { sidx.as_ref() } else { None };
+                    s.fused = fused_id.and_then(|id| auto.as_ref().map(|a| (a, id)));
                     s.filters = filters.as_deref().map(|v| v.as_slice());
                     s.cache = mcache.as_mut();
                     s.time_pattern = rec.is_some();
@@ -413,6 +487,7 @@ impl<'o> Driver<'o> {
                     report.cache_hits += s.cache_hits;
                     totals.candidates_pruned += s.candidates_pruned;
                     totals.cache_hits += s.cache_hits;
+                    totals.fused_dispatched += s.fused_dispatched;
                     report.degraded.stale_order += s.degraded_stale_order;
                     totals.degraded_stale_order += s.degraded_stale_order;
                     report.strategies_used.append(&mut s.strategies_used);
@@ -553,6 +628,14 @@ impl<'o> Driver<'o> {
                 if let Some(ix) = sidx.as_mut() {
                     ix.update(prog, &delta);
                 }
+                if let Some(a) = auto.as_mut() {
+                    let span = Span::open(rec.as_ref(), "automaton.update", &[]);
+                    a.update(prog, &delta);
+                    let (states, visits) = a.take_stats();
+                    totals.fused_states += states;
+                    totals.fused_visits += visits;
+                    span.close(&[("visits", Value::u(visits))]);
+                }
                 if let Some(c) = mcache.as_mut() {
                     c.invalidate(&delta);
                 }
@@ -592,7 +675,9 @@ impl<'o> Driver<'o> {
                             Ok(up) => {
                                 match up.kind {
                                     UpdateKind::Full => report.full_recomputes += 1,
-                                    UpdateKind::Incremental | UpdateKind::Noop => {
+                                    UpdateKind::Incremental
+                                    | UpdateKind::Structural
+                                    | UpdateKind::Noop => {
                                         report.incremental_updates += 1;
                                     }
                                 }
@@ -602,6 +687,7 @@ impl<'o> Driver<'o> {
                                 match up.kind {
                                     UpdateKind::Full => totals.update_full += 1,
                                     UpdateKind::Incremental => totals.update_incremental += 1,
+                                    UpdateKind::Structural => totals.update_structural += 1,
                                     UpdateKind::Noop => totals.update_noop += 1,
                                 }
                                 totals.edges_dropped += up.stats.edges_dropped as u64;
@@ -611,6 +697,7 @@ impl<'o> Driver<'o> {
                                     let kind = match up.kind {
                                         UpdateKind::Full => "full",
                                         UpdateKind::Incremental => "incremental",
+                                        UpdateKind::Structural => "structural",
                                         UpdateKind::Noop => "noop",
                                     };
                                     let frontier = up.frontier.map(|f| f.to_string());
@@ -688,6 +775,12 @@ impl<'o> Driver<'o> {
                             if let Some(ix) = sidx.as_mut() {
                                 *ix = StmtIndex::build(prog);
                             }
+                            if let Some(a) = auto.as_mut() {
+                                a.reclassify(prog);
+                                let (states, visits) = a.take_stats();
+                                totals.fused_states += states;
+                                totals.fused_visits += visits;
+                            }
                             if let Some(c) = mcache.as_mut() {
                                 c.clear();
                             }
@@ -739,11 +832,12 @@ impl<'o> Driver<'o> {
         if current {
             caches.deps = Some(deps);
         }
-        // The index and match cache saw every committed delta replayed
-        // into them (and are rebuilt outright when the ladder voids the
-        // replay argument), so they are exact for the final program even
-        // when the dependence graph is not.
+        // The index, automaton and match cache saw every committed delta
+        // replayed into them (and are rebuilt outright when the ladder
+        // voids the replay argument), so they are exact for the final
+        // program even when the dependence graph is not.
         caches.index = sidx.take();
+        caches.automaton = auto.take();
         if let Some(c) = mcache.take() {
             caches.store_match_cache(&self.opt.name, c);
         }
@@ -770,20 +864,38 @@ pub(crate) fn bindings_agree_with_cache(
     Ok(with_cache == without)
 }
 
-/// The session-wide default for [`Driver::indexed_search`]: on, unless
-/// the `GENESIS_INDEXED_SEARCH` environment variable says `0` or `off`
-/// (the CI differential suite runs both settings). Read once per
-/// process.
-pub fn indexed_search_default() -> bool {
-    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+/// The session-wide default for [`Driver::matcher`]: `GENESIS_MATCHER`
+/// (`fused`/`indexed`/`scan`) when set to a recognized value, else the
+/// legacy `GENESIS_INDEXED_SEARCH` toggle (`0`/`off`/`false` → scan,
+/// any other value → indexed), else fused. Read once per process; the
+/// CI differential suite runs all three settings.
+pub fn matcher_default() -> MatcherKind {
+    static DEFAULT: std::sync::OnceLock<MatcherKind> = std::sync::OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        !std::env::var("GENESIS_INDEXED_SEARCH")
-            .map(|v| {
+        if let Some(kind) = std::env::var("GENESIS_MATCHER")
+            .ok()
+            .and_then(|v| MatcherKind::parse(&v))
+        {
+            return kind;
+        }
+        match std::env::var("GENESIS_INDEXED_SEARCH") {
+            Ok(v) => {
                 let v = v.trim();
-                v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")
-            })
-            .unwrap_or(false)
+                if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    MatcherKind::Scan
+                } else {
+                    MatcherKind::Indexed
+                }
+            }
+            Err(_) => MatcherKind::Fused,
+        }
     })
+}
+
+/// Legacy spelling of [`matcher_default`]: true for any non-scan
+/// matcher.
+pub fn indexed_search_default() -> bool {
+    matcher_default() != MatcherKind::Scan
 }
 
 fn analyze(prog: &Program) -> Result<DepGraph, RunError> {
@@ -831,11 +943,15 @@ struct RunTotals {
     analyze_full: u64,
     update_full: u64,
     update_incremental: u64,
+    update_structural: u64,
     update_noop: u64,
     edges_dropped: u64,
     edges_added: u64,
     candidates_pruned: u64,
     cache_hits: u64,
+    fused_states: u64,
+    fused_visits: u64,
+    fused_dispatched: u64,
     degraded_stale_order: u64,
     degraded_divergence: u64,
     degraded_update_failed: u64,
@@ -857,11 +973,15 @@ impl RunTotals {
             analyze_full: 0,
             update_full: 0,
             update_incremental: 0,
+            update_structural: 0,
             update_noop: 0,
             edges_dropped: 0,
             edges_added: 0,
             candidates_pruned: 0,
             cache_hits: 0,
+            fused_states: 0,
+            fused_visits: 0,
+            fused_dispatched: 0,
             degraded_stale_order: 0,
             degraded_divergence: 0,
             degraded_update_failed: 0,
@@ -886,11 +1006,14 @@ impl Drop for RunTotals {
             ("dep.analyze.full", self.analyze_full),
             ("dep.update.full", self.update_full),
             ("dep.update.incremental", self.update_incremental),
+            ("dep.update.structural", self.update_structural),
             ("dep.update.noop", self.update_noop),
             ("dep.update.edges_dropped", self.edges_dropped),
             ("dep.update.edges_added", self.edges_added),
             ("search.dep_reject", self.rejects.iter().sum()),
             ("search.candidates_pruned", self.candidates_pruned),
+            ("search.fused.states", self.fused_states),
+            ("search.fused.visits", self.fused_visits),
             ("search.degraded.stale_order", self.degraded_stale_order),
             ("search.degraded.dep_divergence", self.degraded_divergence),
             (
@@ -906,6 +1029,12 @@ impl Drop for RunTotals {
             items.push((
                 Name::Owned(format!("search.cache_hit.{}", self.opt_name)),
                 self.cache_hits,
+            ));
+        }
+        if self.fused_dispatched > 0 {
+            items.push((
+                Name::Owned(format!("search.fused.dispatched.{}", self.opt_name)),
+                self.fused_dispatched,
             ));
         }
         for (i, &n) in self.rejects.iter().enumerate() {

@@ -40,7 +40,7 @@ struct StmtEntry {
     encl: Option<StmtId>,
 }
 
-fn class_of(o: &Operand) -> OperandClass {
+pub(crate) fn class_of(o: &Operand) -> OperandClass {
     match o {
         Operand::Const(_) => OperandClass::Const,
         Operand::Var(_) => OperandClass::Var,

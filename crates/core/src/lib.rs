@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod actions;
+mod automaton;
 pub mod batch;
 mod caches;
 mod compile;
@@ -59,11 +60,15 @@ mod rt;
 mod session;
 mod solve;
 
+pub use automaton::FusedAutomaton;
 pub use batch::{run_batch, BatchItem, BatchOutcome, BatchPolicy, BatchStatus, BatchSuccess};
 pub use caches::SessionCaches;
 pub use compile::{generate, CompiledClause, CompiledOptimizer, Strategy};
 pub use cost::Cost;
-pub use driver::{indexed_search_default, ApplyMode, ApplyReport, DegradeStats, Driver, MatchSet};
+pub use driver::{
+    indexed_search_default, matcher_default, ApplyMode, ApplyReport, DegradeStats, Driver,
+    MatchSet, MatcherKind,
+};
 pub use error::{GenerateError, RunError};
 pub use fault::{FaultKind, FaultPlan};
 pub use index::{anchor_filter, AnchorFilter, MatchCache, StmtIndex};

@@ -6,7 +6,7 @@
 use crate::caches::SessionCaches;
 use crate::compile::CompiledOptimizer;
 use crate::cost::Cost;
-use crate::driver::{ApplyMode, ApplyReport, Driver, MatchSet};
+use crate::driver::{ApplyMode, ApplyReport, Driver, MatchSet, MatcherKind};
 use crate::error::RunError;
 use crate::fault::FaultPlan;
 use gospel_ir::Program;
@@ -36,10 +36,12 @@ pub struct SessionOptions {
     /// Growth cap: abort an `apply` once the program exceeds this
     /// multiple of its statement count at the start of the call.
     pub max_growth: Option<u32>,
-    /// Drive searches from the incrementally maintained statement index
-    /// (see [`crate::StmtIndex`]); bindings are identical either way.
-    /// Defaults from the `GENESIS_INDEXED_SEARCH` environment toggle.
-    pub indexed_search: bool,
+    /// Which candidate-enumeration machinery drives searches — the fused
+    /// catalog automaton, the per-optimizer statement index, or full
+    /// scans (see [`MatcherKind`]); bindings are identical in every
+    /// mode. Defaults from [`crate::matcher_default`] (`GENESIS_MATCHER`
+    /// / legacy `GENESIS_INDEXED_SEARCH` environment toggles).
+    pub matcher: MatcherKind,
     /// Degrade instead of hard-aborting on dependence-maintenance
     /// trouble (see [`crate::Driver::degraded_recovery`]). On by default
     /// for sessions: an interactive or batch run prefers a slower, healed
@@ -58,7 +60,7 @@ impl Default for SessionOptions {
             timeout_ms: None,
             fuel: None,
             max_growth: None,
-            indexed_search: crate::driver::indexed_search_default(),
+            matcher: crate::driver::matcher_default(),
             degraded_recovery: true,
         }
     }
@@ -117,8 +119,9 @@ impl Session {
 
     /// Registers a generated optimizer; it becomes selectable by name.
     /// Re-registering an existing name replaces the old specification
-    /// *and* drops its cached match verdicts and anchor filters — the old
-    /// spec's remembered rejections must not answer for the new one.
+    /// *and* drops its cached match verdicts, anchor filters, and
+    /// fused-automaton states — the old spec's remembered rejections and
+    /// compiled anchor tests must not answer for the new one.
     pub fn register(&mut self, opt: CompiledOptimizer) {
         self.caches.drop_optimizer(&opt.name);
         self.optimizers.retain(|o| o.name != opt.name);
@@ -239,6 +242,13 @@ impl Session {
             caches,
             recorder,
         } = self;
+        // A fused apply dispatches from the catalog-wide automaton: build
+        // (or rebuild) it here whenever the registered catalog changed
+        // under the parked one — registration and quarantine transitions
+        // drop it via `SessionCaches::drop_optimizer`.
+        if options.matcher == MatcherKind::Fused {
+            caches.ensure_automaton(optimizers, prog, recorder.as_ref());
+        }
         let opt = &optimizers[idx];
         let mut driver = Driver::new(opt);
         driver.recompute_deps = options.recompute_deps;
@@ -250,7 +260,7 @@ impl Session {
         driver.max_stmts = options
             .max_growth
             .map(|k| (k as usize).saturating_mul(prog.len().max(1)));
-        driver.indexed_search = options.indexed_search;
+        driver.matcher = options.matcher;
         driver.degraded_recovery = options.degraded_recovery;
         driver.fault = fault.clone();
         driver.recorder = recorder.clone();
@@ -335,7 +345,7 @@ mod tests {
         let prog =
             gospel_frontend::compile("program p\ninteger x, y\nx = y\nwrite x\nend").unwrap();
         let mut s = Session::new(prog);
-        s.options_mut().indexed_search = true;
+        s.options_mut().matcher = MatcherKind::Indexed;
         s.register(compile_opt(reject_all));
         let r = s.apply("T", ApplyMode::AllPoints).unwrap();
         assert_eq!(r.applications, 0);

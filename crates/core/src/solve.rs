@@ -303,6 +303,13 @@ pub(crate) struct Searcher<'a> {
     /// candidate bucket can be restored to program order (every member
     /// has a `deps.order_of`); otherwise the scan path runs unchanged.
     pub index: Option<&'a StmtIndex>,
+    /// The catalog-wide fused automaton and this optimizer's id in it,
+    /// when the driver runs the fused matcher and the automaton fuses
+    /// this optimizer's anchor. The top rung of the degradation ladder:
+    /// anchor candidates come from the optimizer's posting (admission
+    /// already classified — zero per-search test evaluation), falling to
+    /// the per-optimizer index and then the scan on stale order.
+    pub fused: Option<(&'a crate::automaton::FusedAutomaton, usize)>,
     /// Negative anchor cache for this optimizer, when the driver keeps
     /// one across fixpoint iterations.
     pub cache: Option<&'a mut MatchCache>,
@@ -322,6 +329,9 @@ pub(crate) struct Searcher<'a> {
     /// Anchor candidates skipped because the negative cache remembered a
     /// first-clause rejection that no later edit invalidated.
     pub cache_hits: u64,
+    /// Anchor candidates dispatched from the fused automaton's posting
+    /// (surfaced as `search.fused.dispatched.<OPT>`).
+    pub fused_dispatched: u64,
     /// Accumulate wall time spent in the pattern-matching phase
     /// (candidate enumeration + clause format evaluation) into
     /// `pattern_ns`. Off by default — the driver turns it on when a
@@ -354,11 +364,13 @@ impl<'a> Searcher<'a> {
             strategies_used: Vec::new(),
             dep_rejects: vec![0; opt.depends.len()],
             index: None,
+            fused: None,
             cache: None,
             filters: None,
             degraded_stale_order: 0,
             candidates_pruned: 0,
             cache_hits: 0,
+            fused_dispatched: 0,
             time_pattern: false,
             pattern_ns: 0,
             format_known: false,
@@ -592,6 +604,32 @@ impl<'a> Searcher<'a> {
         Some((ordered.into_iter().map(|(_, s)| s).collect(), exact))
     }
 
+    /// This optimizer's anchor posting from the fused automaton, in
+    /// program order, or `None` when the next ladder rung must run: no
+    /// automaton, the optimizer is not fused, or a posting member whose
+    /// program position is unknown to the dependence snapshot (stale
+    /// order). Admission soundness is the same [`crate::AnchorFilter`]
+    /// argument as [`Searcher::indexed_stmt_candidates`] — the automaton
+    /// compiles the very same filters into its trie, and the `exact`
+    /// flag carries over identically.
+    fn fused_stmt_candidates(&mut self) -> Option<(Vec<StmtId>, bool)> {
+        let (auto, id) = self.fused?;
+        let exact = auto.exact(id);
+        let posting = auto.posting(id);
+        let mut ordered = Vec::with_capacity(posting.len());
+        for &s in posting {
+            match self.deps.order_of(s) {
+                Some(o) => ordered.push((o, s)),
+                None => {
+                    self.degraded_stale_order += 1;
+                    return None;
+                }
+            }
+        }
+        ordered.sort_unstable();
+        Some((ordered.into_iter().map(|(_, s)| s).collect(), exact))
+    }
+
     fn pattern_candidates(
         &mut self,
         clause: &PatternClause,
@@ -603,9 +641,17 @@ impl<'a> Searcher<'a> {
         // Hoisted ahead of the anchor_ok closure: candidate enumeration
         // may mutate the searcher (stale-order accounting), while the
         // closure holds a shared borrow for the rest of the function.
-        let indexed = (ty == ElemType::Stmt)
-            .then(|| self.indexed_stmt_candidates(idx, clause))
+        // Ladder order: fused posting (anchor clause only — the automaton
+        // compiles anchor filters), then index bucket, then scan.
+        let fused = (first && ty == ElemType::Stmt)
+            .then(|| self.fused_stmt_candidates())
             .flatten();
+        let from_fused = fused.is_some();
+        let indexed = fused.or_else(|| {
+            (ty == ElemType::Stmt)
+                .then(|| self.indexed_stmt_candidates(idx, clause))
+                .flatten()
+        });
         let loops = self.loops();
         let resume_bar = self
             .resume_from
@@ -652,6 +698,9 @@ impl<'a> Searcher<'a> {
                             .collect()
                     };
                 self.candidates_pruned += pruned;
+                if from_fused {
+                    self.fused_dispatched += out.len() as u64;
+                }
                 out
             }
             ElemType::Loop => loops

@@ -28,12 +28,28 @@
 //! Edits that change the loop or branch *structure* (markers inserted,
 //! deleted or relocated, or a loop header's control variable rewritten)
 //! invalidate direction vectors and common nests for pairs that were
-//! never touched, so [`EditDelta::requires_full`] forces a fresh
-//! [`DepGraph::analyze`]. Two milder cases are detected here rather than
-//! in the journal and handled by dirtying every array referenced in the
-//! affected *focus loops* (re-deriving their slice of the array layer,
-//! previews included), while the scalar layer stays restricted to the
-//! edit's symbols:
+//! never touched. [`EditDelta::requires_full`] batches are still updated
+//! incrementally, by *signature diffing*: every [`DepGraph`] snapshot
+//! stores a per-statement **context signature** (the chain of enclosing
+//! loop/branch constructs, hashing each header's identity and full quad
+//! plus the branch side) and a per-loop **partnership signature** (the
+//! adjacency neighborhood the fusion-preview pass reads). After a
+//! structural batch the signatures are recomputed and every statement
+//! whose context changed — entered or left a loop or branch, or sits
+//! under a header whose bounds/control variable were rewritten — has its
+//! symbols dirtied, and every loop whose partnership changed has its
+//! body's arrays dirtied. Dataflow facts of a variable none of whose
+//! accesses changed context are untouched by construction: in structured
+//! code, reachability and kill paths between two accesses are a function
+//! of their context chains, their relative order (which survivor
+//! statements keep under any batch), and the accesses between them —
+//! all either unchanged or dirty. Direction vectors and common nests
+//! hash in through the header quads; preview edges through the
+//! partnership signatures. Two milder cases are detected here rather
+//! than in the journal and handled by dirtying every array referenced in
+//! the affected *focus loops* (re-deriving their slice of the array
+//! layer, previews included), while the scalar layer stays restricted to
+//! the edit's symbols:
 //!
 //! * a plain statement inserted between or removed from between an
 //!   `end do`/`do` pair changes whether those two loops are adjacent,
@@ -67,7 +83,12 @@ pub enum UpdateKind {
     Noop,
     /// Only the dirty symbols' edges were re-derived.
     Incremental,
-    /// A structural edit forced a full re-analysis.
+    /// A structural batch, handled incrementally: the dirty set was
+    /// widened by context- and partnership-signature diffs instead of
+    /// re-analyzing the whole program.
+    Structural,
+    /// A full re-analysis (structural batches only reach it through the
+    /// caller's degradation ladder now).
     Full,
 }
 
@@ -100,6 +121,99 @@ pub struct UpdateStats {
     /// dirty symbols plus the rebuilt control layer; for a full fallback,
     /// every edge of the fresh graph).
     pub edges_added: usize,
+}
+
+/// Deterministic 64-bit hash combine (FNV-1a step over whole words).
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Deterministic hash of one quad (std's `DefaultHasher` seeds with
+/// fixed keys, unlike `RandomState`).
+fn quad_hash(q: &Quad) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    q.hash(&mut h);
+    h.finish()
+}
+
+/// Per-statement context signatures: one linear walk folding a stack of
+/// enclosing-construct frames. A frame hashes the construct header's
+/// identity and full quad (so a rewritten loop bound or control variable
+/// changes every body statement's signature, and two textually equal
+/// loops still produce distinct frames); `else` deterministically
+/// transforms the innermost frame, so the two sides of a branch differ.
+/// Markers take the surrounding context (the `LoopTable` convention:
+/// head and end belong to the parent).
+///
+/// Two snapshots assigning a statement the same signature agree on its
+/// whole dependence-relevant surroundings — the enclosing loop/branch
+/// chain, every enclosing header's operands, and its branch side.
+pub(crate) fn context_signatures(prog: &Program) -> Vec<u64> {
+    let combined =
+        |frames: &[u64]| frames.iter().fold(FNV_OFFSET, |h, &f| mix(h, f));
+    let mut ctx = vec![0u64; prog.id_bound()];
+    let mut frames: Vec<u64> = Vec::new();
+    for s in prog.iter() {
+        let q = prog.quad(s);
+        let frame = || mix(mix(FNV_OFFSET, s.index() as u64 + 1), quad_hash(q));
+        match q.op {
+            Opcode::EndDo | Opcode::EndIf => {
+                frames.pop();
+                ctx[s.index()] = combined(&frames);
+            }
+            Opcode::Else => {
+                if let Some(top) = frames.last_mut() {
+                    *top = mix(*top, 0x5e1f);
+                }
+                ctx[s.index()] = combined(&frames);
+            }
+            op if op.is_loop_head() || op.is_if() => {
+                ctx[s.index()] = combined(&frames);
+                frames.push(frame());
+            }
+            _ => ctx[s.index()] = combined(&frames),
+        }
+    }
+    ctx
+}
+
+/// Per-loop partnership signatures, keyed by header statement and sorted
+/// by it: the loop's own header quad plus each adjacent partner's header
+/// identity and quad. Everything the fusion-preview pass conditions on —
+/// which loops are adjacent and whether their bounds agree — is in the
+/// signature, so an unchanged signature means the loop's preview edges
+/// cannot have changed.
+pub(crate) fn partnership_signatures(
+    prog: &Program,
+    loops: &LoopTable,
+) -> Vec<(StmtId, u64)> {
+    let adjacent = loops.adjacent_pairs(prog);
+    let mut out: Vec<(StmtId, u64)> = loops
+        .iter()
+        .map(|info| {
+            let mut h = mix(FNV_OFFSET, quad_hash(prog.quad(info.head)));
+            for &(a, b) in &adjacent {
+                let partner = if a == info.id {
+                    Some(b)
+                } else if b == info.id {
+                    Some(a)
+                } else {
+                    None
+                };
+                if let Some(p) = partner {
+                    let head = loops.get(p).head;
+                    h = mix(h, head.index() as u64 + 1);
+                    h = mix(h, quad_hash(prog.quad(head)));
+                }
+            }
+            (info.head, h)
+        })
+        .collect();
+    out.sort_unstable_by_key(|&(head, _)| head);
+    out
 }
 
 /// Symbols mentioned by one operand: the scalar itself, or an array plus
@@ -162,18 +276,7 @@ pub(crate) fn update(
             stats: UpdateStats::default(),
         });
     }
-    if delta.requires_full() {
-        *g = build::analyze(prog)?;
-        return Ok(DepUpdate {
-            kind: UpdateKind::Full,
-            frontier: None,
-            stats: UpdateStats {
-                dirty_syms: 0,
-                edges_dropped: 0,
-                edges_added: g.len(),
-            },
-        });
-    }
+    let structural = delta.requires_full();
 
     // Dirty symbols and the statements whose neighborhood changed. A
     // statement touched by the batch may since have been deleted by a
@@ -258,17 +361,63 @@ pub(crate) fn update(
     // invalidation below and to re-derive the dirty edges. A
     // non-structural batch cannot unbalance the markers (none were
     // added, removed or relocated), so instead of the whole-program
-    // validation only the touched statements are rechecked; the loop
-    // table recovery below still errors on any structure defect.
-    for &s in &touched {
-        if prog.is_live(s) {
-            gospel_ir::validate_stmt(prog, s)?;
+    // validation only the touched statements are rechecked; a structural
+    // batch gets the full walk — marker balance is exactly what it can
+    // break.
+    if structural {
+        gospel_ir::validate(prog)?;
+    } else {
+        for &s in &touched {
+            if prog.is_live(s) {
+                gospel_ir::validate_stmt(prog, s)?;
+            }
         }
     }
     let cfg = Cfg::of(prog);
     let loops = LoopTable::of(prog)?;
 
-    if !bound_heads.is_empty() || !pair_markers.is_empty() {
+    let mut focus: Vec<gospel_ir::LoopId> = Vec::new();
+    let note = |l: gospel_ir::LoopId, focus: &mut Vec<gospel_ir::LoopId>| {
+        if !focus.contains(&l) {
+            focus.push(l);
+        }
+    };
+    // Earliest statement whose context signature changed, for the
+    // frontier scan below (structural batches only).
+    let mut ctx_frontier: Option<StmtId> = None;
+    if structural {
+        // Signature diffing: a statement that entered or left any
+        // loop/branch construct, or whose enclosing headers' quads were
+        // rewritten, gets its symbols dirtied; a loop whose
+        // fusion-partnership neighborhood changed gets its body's arrays
+        // dirtied (via the focus scan below). Everything else kept its
+        // context chain, relative order and operands, so its
+        // dependence facts are unchanged.
+        let fresh_ctx = context_signatures(prog);
+        for s in prog.iter() {
+            if g.ctx_sig(s) != Some(fresh_ctx[s.index()]) {
+                quad_syms(prog.quad(s), &mut dirty);
+                if ctx_frontier.is_none() {
+                    ctx_frontier = Some(s);
+                }
+            }
+        }
+        let stored = g.partner_sigs();
+        for &(head, sig) in &partnership_signatures(prog, &loops) {
+            let old = stored
+                .binary_search_by_key(&head, |&(h, _)| h)
+                .ok()
+                .map(|i| stored[i].1);
+            if old != Some(sig) {
+                if let Some(l) = loops.loop_of_head(head) {
+                    note(l, &mut focus);
+                }
+            }
+        }
+        // Loops present only in the old snapshot need no special case:
+        // a vanished header changes the context signature of every
+        // statement that was in its body.
+    } else if !bound_heads.is_empty() || !pair_markers.is_empty() {
         // Trip counts feed the subscript tests of every pair nested in
         // the modified loop, and adjacency (or bound equality) gates the
         // fusion previews between a loop and its neighbors — both affect
@@ -277,12 +426,6 @@ pub(crate) fn update(
         // adjacent preview partners, and the loops whose adjacency
         // changed. The scalar layer never reads bounds or adjacency, so
         // it stays restricted to the edit's own symbols.
-        let mut focus: Vec<gospel_ir::LoopId> = Vec::new();
-        let note = |l: gospel_ir::LoopId, focus: &mut Vec<gospel_ir::LoopId>| {
-            if !focus.contains(&l) {
-                focus.push(l);
-            }
-        };
         let adjacent = loops.adjacent_pairs(prog);
         for &h in &bound_heads {
             if let Some(l) = loops.loop_of_head(h) {
@@ -302,6 +445,8 @@ pub(crate) fn update(
                 note(l, &mut focus);
             }
         }
+    }
+    if !focus.is_empty() {
         for s in prog.iter() {
             if focus.iter().any(|&l| loops.contains(l, s)) {
                 for pos in OperandPos::ALL {
@@ -359,6 +504,12 @@ pub(crate) fn update(
         for &s in &touched {
             consider(s, &mut best);
         }
+        // Structural batches: a statement whose context changed can be a
+        // bare marker with no symbols of its own — the sym scan below
+        // would miss it.
+        if let Some(s) = ctx_frontier {
+            consider(s, &mut best);
+        }
         let mut syms = HashSet::new();
         for s in prog.iter() {
             syms.clear();
@@ -373,7 +524,11 @@ pub(crate) fn update(
 
     *g = DepGraph::from_edges(prog, loops, edges);
     Ok(DepUpdate {
-        kind: UpdateKind::Incremental,
+        kind: if structural {
+            UpdateKind::Structural
+        } else {
+            UpdateKind::Incremental
+        },
         frontier,
         stats,
     })
@@ -472,9 +627,11 @@ mod tests {
     }
 
     #[test]
-    fn structural_edit_falls_back_to_full() {
+    fn structural_edit_updates_by_signature_diff() {
         // Deleting the loop markers (head + end) dissolves the loop: a
-        // structural edit the journal flags for full re-analysis.
+        // structural batch, handled by context-signature diffing — the
+        // body statement left the loop, so its symbols are dirtied and
+        // its edges re-derived (the carried output dependence on s dies).
         let mut p = compile(
             "program p\ninteger i, s\ns = 0\ndo i = 1, 10\ns = s + 1\nend do\nend",
         )
@@ -486,8 +643,136 @@ mod tests {
         d.delete(&mut p, head);
         d.delete(&mut p, end);
         let up = g.update(&p, &d).unwrap();
-        assert_eq!(up.kind, UpdateKind::Full);
-        assert_eq!(up.frontier, None);
+        assert_eq!(up.kind, UpdateKind::Structural);
+        assert_matches_fresh(&p, &g);
+        // The frontier is justified: the first affected statement is the
+        // (former) loop body, not the program start — `s = 0` kept both
+        // its context and its symbols' edges... except s itself is dirty
+        // (the body mentions it), so the frontier is its first mention.
+        assert_eq!(up.frontier, p.first());
+    }
+
+    #[test]
+    fn loop_creation_updates_by_signature_diff() {
+        // Wrapping existing statements in new loop markers gives them a
+        // carried dependence they did not have: the inserted head/end are
+        // structural, the body statements' contexts change, and the
+        // signature diff dirties their symbols.
+        let mut p = compile(
+            "program p\ninteger i, s\ns = 0\ns = s + 1\nwrite s\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let s0 = nth(&p, 0);
+        let bump = nth(&p, 1);
+        let i = p.syms().lookup("i").unwrap();
+        let mut d = EditDelta::new();
+        d.insert_after(
+            &mut p,
+            Some(s0),
+            Quad::new(
+                Opcode::DoHead,
+                Operand::Var(i),
+                Operand::int(1),
+                Operand::int(10),
+            ),
+        );
+        d.insert_after(&mut p, Some(bump), Quad::marker(Opcode::EndDo));
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Structural);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn loop_merge_updates_by_signature_diff() {
+        // The FUS shape: deleting L1's end-do and L2's head merges the
+        // two bodies under one header. Statements from L2's body change
+        // context (new enclosing header identity), so cross-body carried
+        // edges are re-derived even though neither body statement was in
+        // the batch.
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100), x\ndo i = 1, 100\na(i) = x\nend do\ndo i = 1, 100\nx = a(i)\nend do\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let end1 = nth(&p, 2);
+        let head2 = nth(&p, 3);
+        let mut d = EditDelta::new();
+        d.delete(&mut p, end1);
+        d.delete(&mut p, head2);
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Structural);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn branch_restructure_updates_by_signature_diff() {
+        // Moving the else marker flips which branch `z = 2` sits on: its
+        // context signature changes via the else-transform of the
+        // innermost frame, so its symbols are re-derived even though the
+        // batch never named it.
+        let mut p = compile(
+            "program p\ninteger x, y, z\nx = 1\nif (x < 5) then\ny = 1\nz = 2\nelse\ny = 3\nend if\nwrite y\nwrite z\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        let y_then = nth(&p, 2); // y = 1
+        let else_m = nth(&p, 4);
+        let mut d = EditDelta::new();
+        d.move_after(&mut p, else_m, Some(y_then)); // z = 2 → else side
+        let up = g.update(&p, &d).unwrap();
+        assert_eq!(up.kind, UpdateKind::Structural);
+        assert_matches_fresh(&p, &g);
+    }
+
+    #[test]
+    fn structural_batches_converge_over_a_sequence() {
+        // Several structural rounds against the same graph: each update
+        // must leave signatures consistent for the next diff.
+        let mut p = compile(
+            "program p\ninteger i\nreal a(100), b(100), x\ndo i = 1, 100\na(i) = x\nend do\ndo i = 1, 100\nb(i) = a(i)\nend do\nwrite x\nend",
+        )
+        .unwrap();
+        let mut g = DepGraph::analyze(&p).unwrap();
+        // Round 1: merge the loops.
+        let end1 = nth(&p, 2);
+        let head2 = nth(&p, 3);
+        let mut d = EditDelta::new();
+        d.delete(&mut p, end1);
+        d.delete(&mut p, head2);
+        assert_eq!(
+            g.update(&p, &d).unwrap().kind,
+            UpdateKind::Structural
+        );
+        assert_matches_fresh(&p, &g);
+        // Round 2: split them again around the b-write.
+        let a_write = nth(&p, 1);
+        let i = p.syms().lookup("i").unwrap();
+        let mut d2 = EditDelta::new();
+        let new_end = d2.insert_after(&mut p, Some(a_write), Quad::marker(Opcode::EndDo));
+        d2.insert_after(
+            &mut p,
+            Some(new_end),
+            Quad::new(
+                Opcode::DoHead,
+                Operand::Var(i),
+                Operand::int(1),
+                Operand::int(100),
+            ),
+        );
+        assert_eq!(
+            g.update(&p, &d2).unwrap().kind,
+            UpdateKind::Structural
+        );
+        assert_matches_fresh(&p, &g);
+        // Round 3: a plain edit still takes the narrow path afterwards.
+        let mut d3 = EditDelta::new();
+        let wr = p.iter().find(|&s| p.quad(s).op == Opcode::Write).unwrap();
+        d3.modify(&mut p, wr, OperandPos::A, Operand::Var(i));
+        assert_eq!(
+            g.update(&p, &d3).unwrap().kind,
+            UpdateKind::Incremental
+        );
         assert_matches_fresh(&p, &g);
     }
 

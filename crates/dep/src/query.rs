@@ -23,6 +23,18 @@ pub struct DepGraph {
     /// Program-order position per statement index (`u32::MAX` = dead).
     order: Vec<u32>,
     loops: LoopTable,
+    /// Per-statement context signature (enclosing loop/branch chain, with
+    /// header quads and branch sides), indexed by `StmtId::index()`; only
+    /// meaningful where `order` marks the statement live. Derived data —
+    /// excluded from [`DepGraph::agrees_with`] — consumed by the
+    /// structural-batch path of [`DepGraph::update`] to find statements
+    /// whose dependence-relevant surroundings an edit changed.
+    ctx: Vec<u64>,
+    /// Per-loop fusion-partnership signature keyed by the loop's header
+    /// statement: own header quad plus each adjacent partner's identity
+    /// and quad. A changed signature means the loop's preview-edge
+    /// neighborhood changed even though its body statements did not.
+    partners: Vec<(StmtId, u64)>,
 }
 
 /// Compressed sparse row adjacency: `idx[offsets[s]..offsets[s+1]]` are
@@ -118,13 +130,30 @@ impl DepGraph {
         for (pos, s) in prog.iter().enumerate() {
             order[s.index()] = u32::try_from(pos).expect("program fits in u32");
         }
+        let ctx = incremental::context_signatures(prog);
+        let partners = incremental::partnership_signatures(prog, &loops);
         DepGraph {
             edges,
             from,
             to,
             order,
             loops,
+            ctx,
+            partners,
         }
+    }
+
+    /// Context signature of `s` in the snapshot this graph was computed
+    /// against; `None` when `s` was dead then.
+    pub(crate) fn ctx_sig(&self, s: StmtId) -> Option<u64> {
+        self.order_of(s)?;
+        self.ctx.get(s.index()).copied()
+    }
+
+    /// The per-loop partnership signatures of the snapshot, keyed by
+    /// header statement and sorted by it.
+    pub(crate) fn partner_sigs(&self) -> &[(StmtId, u64)] {
+        &self.partners
     }
 
     /// Program-order position of `s` in the snapshot this graph was

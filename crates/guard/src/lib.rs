@@ -873,6 +873,113 @@ mod tests {
         assert!(out.is_applied());
     }
 
+    /// The stale-automaton hazard: while an optimizer sits in quarantine
+    /// it stays registered, so applies of *other* optimizers park a fused
+    /// automaton that still covers the quarantined spec's compiled anchor
+    /// tests. Re-registering a fixed spec under the same name must void
+    /// those states — `SessionCaches::ensure_automaton` only compares
+    /// catalog names, so a surviving automaton would keep dispatching the
+    /// old anchors and silently suppress every new-spec application.
+    #[test]
+    fn reregistering_a_quarantined_spec_voids_the_fused_automaton() {
+        // v1 anchors on copies (`assign` with a var source); the fixed v2
+        // anchors on constants. Same name, disjoint anchor classes.
+        let v1 =
+            gospel_opts::compile_spec(&gospel_opts::specs::CPP.replace("CPP", "OPT")).unwrap();
+        let v2 =
+            gospel_opts::compile_spec(&gospel_opts::specs::CTP.replace("CTP", "OPT")).unwrap();
+        let v2_audit =
+            gospel_opts::compile_spec(&gospel_opts::specs::CTP.replace("CTP", "OPT")).unwrap();
+
+        let mut s = GuardedSession::new(chain_prog(), GuardConfig::default());
+        s.register(v1);
+        s.register(gospel_opts::by_name("DCE"));
+
+        // Quarantine v1 (the rejection rolls back and clears the caches).
+        s.set_fault(Some(FaultPlan::new(FaultKind::Panic)));
+        let out = s.apply("OPT", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Rejected(_)), "{out:?}");
+        s.set_fault(None);
+
+        // A clean DCE apply parks a fresh fused automaton that still
+        // compiles the quarantined v1's anchors; the quarantine skip
+        // leaves it untouched.
+        let out = s.apply("DCE", ApplyMode::AllPoints).unwrap();
+        assert!(out.is_applied(), "{out:?}");
+        let out = s.apply("OPT", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Skipped { .. }), "{out:?}");
+
+        // Re-registering the fixed spec lifts the quarantine and must
+        // rebuild the automaton: v2's constant anchors have to dispatch.
+        s.register(v2);
+        let out = s.apply("OPT", ApplyMode::AllPoints).unwrap();
+        assert!(out.is_applied(), "{out:?}");
+        assert_eq!(
+            out.applications(),
+            3,
+            "stale fused-automaton states suppressed the new spec's anchors"
+        );
+        let problems = s
+            .session()
+            .caches()
+            .audit(s.program(), &[v2_audit, gospel_opts::by_name("DCE")]);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    /// Parole transitions under the fused matcher: the release trial runs
+    /// against an automaton parked while the optimizer was quarantined,
+    /// and a revoked trial rolls everything back — the cache audit must
+    /// stay clean through release, and through revocation.
+    #[test]
+    fn parole_release_and_revoke_keep_the_fused_automaton_consistent() {
+        let config = GuardConfig {
+            parole_after: Some(1),
+            ..GuardConfig::default()
+        };
+        let audit_catalog = [gospel_opts::by_name("CTP"), gospel_opts::by_name("DCE")];
+
+        // Release: quarantine CTP, observe a skip, then let DCE's clean
+        // apply park an automaton *and* finish the parole countdown (a
+        // clean apply advances every first offender's counter); the trial
+        // then runs against that parked automaton.
+        let mut s = GuardedSession::new(chain_prog(), config.clone());
+        s.register(gospel_opts::by_name("CTP"));
+        s.register(gospel_opts::by_name("DCE"));
+        s.set_fault(Some(FaultPlan::new(FaultKind::Panic)));
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Rejected(_)), "{out:?}");
+        s.set_fault(None);
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Skipped { .. }), "{out:?}");
+        s.apply("DCE", ApplyMode::AllPoints).unwrap();
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(out.is_applied(), "parole trial should succeed: {out:?}");
+        assert_eq!(out.applications(), 3);
+        assert!(s.quarantine_entry("CTP").is_none());
+        let problems = s.session().caches().audit(s.program(), &audit_catalog);
+        assert!(problems.is_empty(), "after release: {problems:?}");
+
+        // Revoke: same setup, but the trial panics again — permanent
+        // quarantine, rolled back, and the caches stay auditable.
+        let mut s = GuardedSession::new(chain_prog(), config);
+        s.register(gospel_opts::by_name("CTP"));
+        s.register(gospel_opts::by_name("DCE"));
+        s.set_fault(Some(FaultPlan::new(FaultKind::Panic)));
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Rejected(_)), "{out:?}");
+        s.set_fault(None);
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Skipped { .. }), "{out:?}");
+        s.apply("DCE", ApplyMode::AllPoints).unwrap();
+        s.set_fault(Some(FaultPlan::new(FaultKind::Panic)));
+        let out = s.apply("CTP", ApplyMode::AllPoints).unwrap();
+        assert!(matches!(out, GuardOutcome::Rejected(_)), "{out:?}");
+        s.set_fault(None);
+        assert!(s.quarantine_entry("CTP").is_some());
+        let problems = s.session().caches().audit(s.program(), &audit_catalog);
+        assert!(problems.is_empty(), "after revoke: {problems:?}");
+    }
+
     #[test]
     fn corrupted_commit_is_caught_by_the_structural_gate() {
         let mut s = GuardedSession::new(chain_prog(), GuardConfig::default());

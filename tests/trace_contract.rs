@@ -189,14 +189,20 @@ fn suite_run_counters_are_monotone_and_spans_balance() {
     assert_spans_balanced(&events);
     assert_eq!(rec.open_spans(), 0, "recorder still thinks spans are open");
     // The headline vocabulary must be present in a real run. The suite
-    // runs with indexed search at its default (on), so the index must
-    // report pruned anchor candidates.
+    // runs with the matcher at its default (fused), so the session must
+    // announce the automaton build, the driver must report its state and
+    // visit totals, per-optimizer dispatches must be attributed, and
+    // candidate pruning must still fire for the non-exact anchors.
     for needle in [
         "driver.attempt",
         "search.match",
         "dep.update",
         "guard.apply",
         "search.candidates_pruned",
+        "automaton.build",
+        "search.fused.states",
+        "search.fused.visits",
+        "search.fused.dispatched.CTP",
     ] {
         assert!(
             events.iter().any(|e| e.name == needle),
