@@ -58,13 +58,15 @@ struct ModeRun {
 
 /// Runs the whole sequence over one program in the given mode. With a
 /// recorder attached every driver emits the full structured-event stream
-/// (the `--trace-gate` overhead measurement exercises exactly that path).
+/// (the `--trace-gate` overhead measurement exercises exactly that path);
+/// `trace_sample` keeps one in N attempt spans, as in production tracing.
 fn run_sequence(
     base: &Program,
     opts: &[genesis::CompiledOptimizer],
     incremental: bool,
     verify: bool,
     recorder: Option<&Arc<Recorder>>,
+    trace_sample: u64,
 ) -> Result<ModeRun, RunError> {
     let mut prog = base.clone();
     let mut total = ModeRun {
@@ -89,6 +91,7 @@ fn run_sequence(
         // session default (the matcher comparison lives in `match` mode).
         d.matcher = MatcherKind::Indexed;
         d.recorder = recorder.cloned();
+        d.trace_sample = trace_sample;
         let report: ApplyReport = if incremental {
             d.apply_cached(&mut prog, ApplyMode::AllPoints, &mut cache)?
         } else {
@@ -116,7 +119,7 @@ fn time_mode(
     let mut best = u128::MAX;
     for _ in 0..repeats {
         let started = Instant::now();
-        run_sequence(base, opts, incremental, false, recorder)?;
+        run_sequence(base, opts, incremental, false, recorder, 1)?;
         best = best.min(started.elapsed().as_nanos());
         // Keep the event buffer bounded across repeats; draining happens
         // outside the timed region, like a real consumer streaming events.
@@ -213,6 +216,7 @@ fn measure_trace_overhead(
     suite: &[(&'static str, Program)],
     opts: &[genesis::CompiledOptimizer],
     repeats: usize,
+    trace_sample: u64,
 ) -> (u128, u128, f64) {
     let rec = Arc::new(Recorder::new());
     // More repeats than the timing table uses: the gate compares two
@@ -223,7 +227,7 @@ fn measure_trace_overhead(
     for (name, base) in suite {
         for incremental in [false, true] {
             // Untimed warmup so neither arm pays first-touch costs.
-            run_sequence(base, opts, incremental, false, None)
+            run_sequence(base, opts, incremental, false, None, 1)
                 .unwrap_or_else(|e| panic!("{name}: overhead warmup run failed: {e}"));
             let mut bare_min = u128::MAX;
             let mut ratios = Vec::with_capacity(repeats);
@@ -235,7 +239,7 @@ fn measure_trace_overhead(
                 let time_arm = |traced: bool| -> u128 {
                     let r = if traced { Some(&rec) } else { None };
                     let t = Instant::now();
-                    run_sequence(base, opts, incremental, false, r)
+                    run_sequence(base, opts, incremental, false, r, trace_sample)
                         .unwrap_or_else(|e| panic!("{name}: overhead run failed: {e}"));
                     let ns = t.elapsed().as_nanos();
                     if traced {
@@ -699,6 +703,7 @@ fn main() {
     let mut out_path = String::from("BENCH_incremental.json");
     let mut repeats = if smoke { 3 } else { 30 };
     let mut trace_gate: Option<f64> = None;
+    let mut trace_sample: u64 = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -723,10 +728,20 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--trace-sample" => {
+                trace_sample = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n: &u64| *n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--trace-sample needs a positive integer (keep 1 in N attempt spans)");
+                        std::process::exit(2);
+                    });
+            }
             "--smoke" => {}
             other => {
                 eprintln!(
-                    "unknown flag `{other}` (expected --out PATH | --repeats N | --smoke | --trace-gate PCT)"
+                    "unknown flag `{other}` (expected --out PATH | --repeats N | --smoke | --trace-gate PCT | --trace-sample N)"
                 );
                 std::process::exit(2);
             }
@@ -740,9 +755,9 @@ fn main() {
     for (name, base) in &suite {
         // Cross-check pass (untimed): incremental with per-application
         // graph verification, compared against the full-recompute result.
-        let full = run_sequence(base, &opts, false, false, None)
+        let full = run_sequence(base, &opts, false, false, None, 1)
             .unwrap_or_else(|e| panic!("{name}: full-mode run failed: {e}"));
-        let incr = run_sequence(base, &opts, true, true, None)
+        let incr = run_sequence(base, &opts, true, true, None, 1)
             .unwrap_or_else(|e| panic!("{name}: incremental graph diverged: {e}"));
         let same_prog = DisplayProgram(&full.prog).to_string()
             == DisplayProgram(&incr.prog).to_string();
@@ -812,9 +827,11 @@ fn main() {
     );
 
     let overhead = trace_gate.map(|limit| {
-        let (bare_ns, traced_ns, pct) = measure_trace_overhead(&suite, &opts, repeats);
+        let (bare_ns, traced_ns, pct) =
+            measure_trace_overhead(&suite, &opts, repeats, trace_sample);
         println!(
-            "trace overhead: {pct:.2}% (bare {bare_ns} ns, traced {traced_ns} ns, limit {limit}%)"
+            "trace overhead: {pct:.2}% (bare {bare_ns} ns, traced {traced_ns} ns, \
+             limit {limit}%, sample 1/{trace_sample})"
         );
         (bare_ns, traced_ns, pct)
     });

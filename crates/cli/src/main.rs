@@ -39,6 +39,17 @@ USAGE:
         [--keep-going] [--retries N] [--file-timeout-ms N] [--report FILE]
         also accepts [--source] [--inject PLAN] [--trace FILE] [--metrics]
         plus the session options above
+    genesis-opt explain <prog.mf> --opt <OPT> [--stmt sN]
+        walk every anchor candidate through the fused automaton, the
+        anchor format and the Depend section, and name the first failing
+        discriminator (edge, conjunct or clause) per candidate
+    genesis-opt report <trace.jsonl>… [--format text|json]
+        [--baseline report.json] [--threshold-pct P]
+        aggregate one or more --trace files into a cross-run report:
+        span-tree wall-clock attribution, per-optimizer match funnels,
+        latency quantiles and incident counts; with --baseline, exit
+        nonzero when a shared metric drifts past the threshold
+        (default 10%; *_ns keys only regress upward)
     genesis-opt emit <OPT> [--lang c|rust]         print the generated source
     genesis-opt interactive <prog.mf> [--spec FILE]…   the §3 interface
 
@@ -62,6 +73,9 @@ the structured per-file batch report as JSON.
 --trace FILE streams one JSON object per structured event (attempt
 spans, match outcomes, dependence-update counters, guard events) to
 FILE; --metrics prints an end-of-run counter/latency summary table.
+--trace-sample N records the full attempt span (and its latency
+observations, weighted by N) for only one in N driver attempts; funnel
+and outcome counters stay exact. apply also accepts --trace/--metrics.
 ";
 
 fn main() -> ExitCode {
@@ -139,19 +153,23 @@ fn run(args: &[String]) -> Result<(), String> {
             let mut session =
                 build_session_with_options(prog, args, parse_session_options(args)?)?;
             let mode = parse_mode(args)?;
+            let (recorder, trace_path, metrics) = parse_trace(args)?;
+            session.set_recorder(recorder.clone());
             for name in list.split(',') {
-                let report = session.apply(name, mode).map_err(|e| e.to_string())?;
+                let report = match session.apply(name, mode) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics)?;
+                        return Err(e.to_string());
+                    }
+                };
                 println!(
                     "{name}: {} application(s), cost {}",
                     report.applications, report.cost
                 );
             }
-            if flag(args, "--source") {
-                print!("{}", gospel_frontend::unparse(session.program()));
-            } else {
-                print!("{}", DisplayProgram(session.program()));
-            }
-            Ok(())
+            print_program(session.program(), args);
+            finish_trace(recorder.as_deref(), trace_path.as_deref(), metrics)
         }
         "run" | "seq" => {
             let prog = load_program(args.get(1))?;
@@ -163,6 +181,8 @@ fn run(args: &[String]) -> Result<(), String> {
             run_optimizers(prog, &names, args)
         }
         "batch" => run_batch_command(args),
+        "explain" => run_explain_command(args),
+        "report" => run_report_command(args),
         "emit" => {
             let name = args.get(1).ok_or("missing optimization name")?;
             let opt = find_opt(name, args)?;
@@ -274,6 +294,7 @@ fn parse_session_options(args: &[String]) -> Result<SessionOptions, String> {
         max_growth: num_option(args, "--max-growth")?,
         degraded_recovery: !flag(args, "--no-degrade"),
         matcher,
+        trace_sample: num_option(args, "--trace-sample")?.unwrap_or(1),
         ..SessionOptions::default()
     })
 }
@@ -388,10 +409,11 @@ fn run_optimizers(prog: Program, names: &[&str], args: &[String]) -> Result<(), 
 /// drives every file regardless. The exit code is nonzero only when at
 /// least one file ultimately failed.
 fn run_batch_command(args: &[String]) -> Result<(), String> {
-    const VALUE_OPTS: [&str; 12] = [
+    const VALUE_OPTS: [&str; 13] = [
         "--seq",
         "--threads",
         "--trace",
+        "--trace-sample",
         "--timeout-ms",
         "--fuel",
         "--max-growth",
@@ -513,6 +535,90 @@ fn run_batch_command(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// The `explain` command: replay one optimizer's match funnel over every
+/// anchor candidate of a program and narrate where each candidate died —
+/// the automaton edge, the format conjunct, or the dependence clause.
+fn run_explain_command(args: &[String]) -> Result<(), String> {
+    let prog = load_program(args.get(1))?;
+    let name = option(args, "--opt").ok_or("explain requires --opt NAME")?;
+    let deps = DepGraph::analyze(&prog).map_err(|e| e.to_string())?;
+    // Assemble the same catalog a session would register (plus any
+    // --spec additions) so the fused automaton's trie — and therefore
+    // the replayed admission path — matches a real run's.
+    let mut optimizers: Vec<genesis::CompiledOptimizer> =
+        gospel_opts::catalog().map_err(|e| e.to_string())?;
+    for path in options(args, "--spec") {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let opt = gospel_opts::compile_spec(&src).map_err(|e| format!("{path}: {e}"))?;
+        optimizers.push(opt);
+    }
+    let opt = optimizers
+        .iter()
+        .find(|o| o.name.eq_ignore_ascii_case(&name))
+        .ok_or_else(|| format!("`{name}` is not in the catalog (try `specs`)"))?;
+    let auto = genesis::FusedAutomaton::build(&optimizers, &prog);
+    let stmt = match option(args, "--stmt") {
+        None if flag(args, "--stmt") => return Err("--stmt requires a statement id".into()),
+        None => None,
+        Some(s) => Some(parse_stmt(&s)?),
+    };
+    let report =
+        genesis::explain(&prog, &deps, opt, &auto, stmt).map_err(|e| e.to_string())?;
+    print!("{}", report.to_text());
+    Ok(())
+}
+
+/// The `report` command: aggregate one or more `--trace` JSONL files
+/// into a cross-run analytics report, and optionally gate it against a
+/// baseline report.
+fn run_report_command(args: &[String]) -> Result<(), String> {
+    const VALUE_OPTS: [&str; 3] = ["--format", "--baseline", "--threshold-pct"];
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_OPTS.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            files.push(a.clone());
+            i += 1;
+        }
+    }
+    if files.is_empty() {
+        return Err("report requires at least one trace file".into());
+    }
+    let mut traces = Vec::with_capacity(files.len());
+    for f in &files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        traces.push(gospel_trace::report::parse_trace(&text).map_err(|e| format!("{f}: {e}"))?);
+    }
+    let report = gospel_trace::report::Report::build(&traces);
+    match option(args, "--format").as_deref().unwrap_or("text") {
+        "text" => print!("{}", report.to_text()),
+        "json" => print!("{}", report.to_json()),
+        other => return Err(format!("--format: `{other}` is not one of text|json")),
+    }
+    if let Some(path) = option(args, "--baseline") {
+        let baseline = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let threshold: f64 = num_option(args, "--threshold-pct")?.unwrap_or(10.0);
+        let regressions = gospel_trace::report::compare(&report, &baseline, threshold)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("regression: {r}");
+            }
+            return Err(format!(
+                "{} metric(s) regressed past {threshold}% against {path}",
+                regressions.len()
+            ));
+        }
+        eprintln!("baseline check passed ({path}, threshold {threshold}%)");
+    }
+    Ok(())
 }
 
 /// The structured per-file batch report (`--report FILE`): one entry per

@@ -374,3 +374,145 @@ fn deps_dot_output_is_wellformed() {
     assert!(out.trim_end().ends_with('}'), "{out}");
     assert!(out.contains("style=solid"), "{out}");
 }
+
+#[test]
+fn apply_accepts_trace_and_metrics() {
+    let prog = write_prog();
+    let trace = tempfile_path::write("");
+    let out = run_ok(&[
+        "apply",
+        prog.0.to_str().unwrap(),
+        "CTP,PAR",
+        "--trace",
+        trace.0.to_str().unwrap(),
+        "--metrics",
+    ]);
+    assert!(out.contains("driver.applications"), "{out}");
+    let text = std::fs::read_to_string(&trace.0).unwrap();
+    assert!(text.contains("\"name\":\"driver.attempt\""), "{text}");
+    assert!(text.contains("\"name\":\"search.funnel\""), "{text}");
+}
+
+#[test]
+fn explain_names_the_blocking_clause_per_candidate() {
+    let prog = write_prog();
+    let out = run_ok(&["explain", prog.0.to_str().unwrap(), "--opt", "CTP"]);
+    assert!(out.contains("anchor candidate(s)"), "{out}");
+    assert!(out.contains("FIRES"), "{out}");
+    assert!(out.contains("not admitted"), "{out}");
+    // Restricting to one statement narrows the report to it.
+    let one = run_ok(&[
+        "explain",
+        prog.0.to_str().unwrap(),
+        "--opt",
+        "CTP",
+        "--stmt",
+        "0",
+    ]);
+    assert!(one.contains("1 anchor candidate(s)"), "{one}");
+}
+
+#[test]
+fn explain_requires_a_known_optimizer() {
+    let prog = write_prog();
+    let err = run_err(&["explain", prog.0.to_str().unwrap(), "--opt", "NOPE"]);
+    assert!(last_error_line(&err).contains("NOPE"), "{err}");
+}
+
+/// Records a real trace, reports it, and gates the report against a
+/// baseline whose match-phase time is half the measured one — an
+/// injected ≥20% regression that must exit nonzero — while the
+/// untampered baseline passes.
+#[test]
+fn report_baseline_gates_an_injected_match_regression() {
+    let prog = write_prog();
+    let trace = tempfile_path::write("");
+    run_ok(&[
+        "seq",
+        prog.0.to_str().unwrap(),
+        "CTP,DCE,PAR",
+        "--validate",
+        "--trace",
+        trace.0.to_str().unwrap(),
+    ]);
+    let json = run_ok(&["report", trace.0.to_str().unwrap(), "--format", "json"]);
+    assert!(json.contains("\"metrics\""), "{json}");
+
+    // Self-comparison passes at any threshold.
+    let clean = tempfile_path::write(&json);
+    run_ok(&[
+        "report",
+        trace.0.to_str().unwrap(),
+        "--baseline",
+        clean.0.to_str().unwrap(),
+        "--threshold-pct",
+        "5",
+    ]);
+
+    // Halve the baseline's match_ns: the current run now reads as a
+    // +100% match-phase regression and the gate must fail.
+    let start = json.find("\"match_ns\":").expect("match_ns in report") + "\"match_ns\":".len();
+    let end = start + json[start..].find(|c: char| !c.is_ascii_digit()).unwrap();
+    let measured: u64 = json[start..end].parse().unwrap();
+    assert!(measured > 0, "the traced run must spend time matching");
+    let tampered = format!("{}{}{}", &json[..start], measured / 2, &json[end..]);
+    let slow = tempfile_path::write(&tampered);
+    let err = run_err(&[
+        "report",
+        trace.0.to_str().unwrap(),
+        "--baseline",
+        slow.0.to_str().unwrap(),
+        "--threshold-pct",
+        "20",
+    ]);
+    assert!(err.contains("match_ns"), "{err}");
+    assert!(last_error_line(&err).contains("regressed"), "{err}");
+}
+
+#[test]
+fn report_rejects_a_malformed_trace_with_context() {
+    let junk = tempfile_path::write("this is not jsonl\n");
+    let err = run_err(&["report", junk.0.to_str().unwrap()]);
+    assert!(last_error_line(&err).contains("line 1"), "{err}");
+}
+
+#[test]
+fn trace_sample_keeps_counters_while_dropping_spans() {
+    let prog = write_prog();
+    let full = tempfile_path::write("");
+    let sampled = tempfile_path::write("");
+    run_ok(&[
+        "seq",
+        prog.0.to_str().unwrap(),
+        "CTP,PAR",
+        "--trace",
+        full.0.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "seq",
+        prog.0.to_str().unwrap(),
+        "CTP,PAR",
+        "--trace",
+        sampled.0.to_str().unwrap(),
+        "--trace-sample",
+        "1000000",
+    ]);
+    let count = |path: &std::path::Path, needle: &str| {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter(|l| l.contains(needle))
+            .count()
+    };
+    // Counters (exact by contract) survive sampling untouched...
+    assert_eq!(
+        count(&full.0, "\"name\":\"funnel.CTP.applied\""),
+        count(&sampled.0, "\"name\":\"funnel.CTP.applied\""),
+    );
+    // ...while attempt spans are decimated.
+    assert!(
+        count(&sampled.0, "\"name\":\"driver.attempt\"")
+            < count(&full.0, "\"name\":\"driver.attempt\""),
+        "sampling must drop attempt spans"
+    );
+}

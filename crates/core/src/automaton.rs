@@ -78,6 +78,69 @@ struct FusedEntry {
     /// satisfaction, so the searcher skips format evaluation for posting
     /// members.
     exact: bool,
+    /// The root bucket keys this optimizer's chain hangs under.
+    opcodes: Vec<&'static str>,
+    /// The optimizer's discriminator chain, in canonical (`test_rank`)
+    /// order — exactly the edge sequence `insert_filter` threaded into
+    /// the trie, kept so [`FusedAutomaton::explain_admission`] can
+    /// replay the walk and name the first failing edge.
+    tests: Vec<Test>,
+}
+
+/// The replayed trie path of one (optimizer, statement) admission query —
+/// what [`FusedAutomaton::explain_admission`] reports to the explain
+/// engine. The `Admitted`/failure split agrees with [`classify`]
+/// membership by construction: both walk the same edge chain.
+///
+/// [`classify`]: FusedAutomaton::reclassify
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// The optimizer is not in the trie (loop anchor or unbounded
+    /// opcode): admission does not narrow, every statement passes.
+    NotFused,
+    /// The root opcode bucket rejected the statement before any edge was
+    /// walked.
+    OpcodeMiss {
+        /// The statement's opcode (`gospel_name`).
+        got: &'static str,
+        /// The anchor's admissible opcode set.
+        expected: Vec<&'static str>,
+    },
+    /// The walk entered the opcode bucket but this discriminator edge —
+    /// the first failing one on the optimizer's chain — rejected it.
+    EdgeFailed {
+        /// 0-based operand position (`opr_1` → 0).
+        pos: usize,
+        /// The class the edge tests for.
+        cls: OperandClass,
+        /// `true` for `==`, `false` for `!=`.
+        positive: bool,
+        /// The operand's actual class.
+        actual: OperandClass,
+    },
+    /// The full chain passed: the statement is in the posting.
+    Admitted,
+}
+
+impl AdmissionVerdict {
+    /// The failing edge in GOSpeL concrete syntax, e.g.
+    /// `type(opr_2) == const` — empty for the non-failure variants.
+    pub fn edge(&self) -> String {
+        match self {
+            AdmissionVerdict::EdgeFailed {
+                pos,
+                cls,
+                positive,
+                ..
+            } => format!(
+                "type(opr_{}) {} {}",
+                pos + 1,
+                if *positive { "==" } else { "!=" },
+                cls.keyword()
+            ),
+            _ => String::new(),
+        }
+    }
 }
 
 /// The fused anchor automaton. See the module docs.
@@ -150,8 +213,12 @@ impl FusedAutomaton {
             let id = auto.names.len() - 1;
             match filter {
                 Some(f) => {
-                    auto.insert_filter(id, &f);
-                    auto.fused.push(Some(FusedEntry { exact: f.exact }));
+                    let (opcodes, tests) = auto.insert_filter(id, &f);
+                    auto.fused.push(Some(FusedEntry {
+                        exact: f.exact,
+                        opcodes,
+                        tests,
+                    }));
                 }
                 None => auto.fused.push(None),
             }
@@ -163,7 +230,13 @@ impl FusedAutomaton {
 
     /// Threads one optimizer's filter into the trie: one chain of class
     /// tests (sorted canonically) under each of its opcode buckets.
-    fn insert_filter(&mut self, id: usize, filter: &AnchorFilter) {
+    /// Returns the bucket keys and the canonical chain for the
+    /// optimizer's [`FusedEntry`].
+    fn insert_filter(
+        &mut self,
+        id: usize,
+        filter: &AnchorFilter,
+    ) -> (Vec<&'static str>, Vec<Test>) {
         let mut tests: Vec<Test> = filter
             .classes
             .iter()
@@ -172,7 +245,8 @@ impl FusedAutomaton {
         tests.sort_unstable_by_key(test_rank);
         tests.dedup();
         let keys = filter.opcodes.clone().unwrap_or_default();
-        for key in keys {
+        for key in &keys {
+            let key = *key;
             let mut cur = match self.root.get(key) {
                 Some(&n) => n,
                 None => {
@@ -195,6 +269,38 @@ impl FusedAutomaton {
                 self.nodes[cur].outputs.push(id);
             }
         }
+        (keys, tests)
+    }
+
+    /// Replays the trie walk of fused optimizer `name` over one quad and
+    /// reports where it ended: admitted, rejected at the root opcode
+    /// bucket, or rejected by a specific discriminator edge (the first
+    /// failing test on the optimizer's canonical chain). The explain
+    /// engine turns the verdict into its `NotAdmitted` narrative.
+    pub fn explain_admission(&self, name: &str, quad: &Quad) -> AdmissionVerdict {
+        let Some(id) = self.opt_id(name) else {
+            return AdmissionVerdict::NotFused;
+        };
+        let entry = self.fused[id].as_ref().expect("opt_id implies fused");
+        let got = quad.op.gospel_name();
+        if !entry.opcodes.contains(&got) {
+            return AdmissionVerdict::OpcodeMiss {
+                got,
+                expected: entry.opcodes.clone(),
+            };
+        }
+        let cls = [class_of(&quad.dst), class_of(&quad.a), class_of(&quad.b)];
+        for t in &entry.tests {
+            if !t.passes(&cls) {
+                return AdmissionVerdict::EdgeFailed {
+                    pos: t.pos,
+                    cls: t.cls,
+                    positive: t.positive,
+                    actual: cls[t.pos],
+                };
+            }
+        }
+        AdmissionVerdict::Admitted
     }
 
     fn fresh_node(&mut self) -> usize {
@@ -523,6 +629,53 @@ mod tests {
             .map(|id| auto.posting(id).len())
             .sum();
         assert_eq!(pairs.len(), total);
+    }
+
+    #[test]
+    fn explain_admission_replays_the_trie_path() {
+        let opts = vec![
+            opt_of("A", "S.opc == assign AND type(S.opr_2) == const"),
+            opt_of("D", "S.opr_1 == S.opr_2"), // not fused
+        ];
+        let p = prog();
+        let auto = FusedAutomaton::build(&opts, &p);
+        // x = 1: assign with a const source — the whole chain passes.
+        let s0 = p.first().unwrap();
+        assert_eq!(
+            auto.explain_admission("A", p.quad(s0)),
+            AdmissionVerdict::Admitted
+        );
+        // y = x: assign, but opr_2 is a var — the class edge fails.
+        let s1 = p.iter().nth(1).unwrap();
+        let v = auto.explain_admission("A", p.quad(s1));
+        assert_eq!(v.edge(), "type(opr_2) == const");
+        assert!(matches!(
+            v,
+            AdmissionVerdict::EdgeFailed {
+                pos: 1,
+                cls: OperandClass::Const,
+                positive: true,
+                actual: OperandClass::Var,
+            }
+        ));
+        // write y: rejected at the root opcode bucket.
+        let w = p.iter().find(|&s| p.quad(s).op == Opcode::Write).unwrap();
+        assert_eq!(
+            auto.explain_admission("A", p.quad(w)),
+            AdmissionVerdict::OpcodeMiss {
+                got: "write",
+                expected: vec!["assign"],
+            }
+        );
+        // Unfused and unknown optimizers do not narrow.
+        assert_eq!(
+            auto.explain_admission("D", p.quad(w)),
+            AdmissionVerdict::NotFused
+        );
+        assert_eq!(
+            auto.explain_admission("nope", p.quad(w)),
+            AdmissionVerdict::NotFused
+        );
     }
 
     #[test]

@@ -203,6 +203,15 @@ pub struct Driver<'o> {
     /// counters into it. `None` (the default) records nothing; with the
     /// `trace` feature off every call below compiles to a no-op anyway.
     pub recorder: Option<Arc<Recorder>>,
+    /// Attempt-span sampling: record the `driver.attempt` span and its
+    /// per-attempt timing observations for one in every N attempts
+    /// (`0`/`1` = every attempt). Sampled-in spans carry a `sample`
+    /// field and their histogram observations are weighted by N, so
+    /// latency estimates stay unbiased; counters are exact regardless —
+    /// they flush through [`RunTotals`], not the span stream. This is
+    /// what keeps large generator programs under the trace-overhead
+    /// gate.
+    pub trace_sample: u64,
 }
 
 impl<'o> Driver<'o> {
@@ -222,6 +231,7 @@ impl<'o> Driver<'o> {
             degraded_recovery: false,
             fault: None,
             recorder: None,
+            trace_sample: 1,
         }
     }
 
@@ -421,18 +431,25 @@ impl<'o> Driver<'o> {
                 panic!("injected fault: panic mid-search");
             }
 
+            totals.attempts += 1;
+            // Sampling controller: 1-in-N attempts get a span and timing
+            // observations (the first always does); the rest stay
+            // completely silent in the event stream. Counter totals are
+            // unaffected — they flush through `RunTotals`.
+            let sample = self.trace_sample.max(1);
+            let sampled = sample == 1 || (totals.attempts - 1).is_multiple_of(sample);
+            let attempt_rec = if sampled { rec.as_ref() } else { None };
             // The span closes on every exit from this iteration: explicitly
             // on the applied/fixpoint paths, via its drop guard on the
             // error returns below.
             let attempt_span = Span::open(
-                rec.as_ref(),
+                attempt_rec,
                 "driver.attempt",
                 &[
                     ("optimizer", Value::str(self.opt.name.clone())),
                     ("application", Value::us(report.applications)),
                 ],
             );
-            totals.attempts += 1;
 
             let search_started = Instant::now();
             let mut pattern_ns = 0u64;
@@ -465,6 +482,10 @@ impl<'o> Driver<'o> {
                 report.strategies_used.append(&mut s.strategies_used);
                 merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
                 merge_rejects(&mut totals.rejects, &s.dep_rejects);
+                totals.funnel_classified += s.funnel_classified;
+                totals.funnel_admitted += s.funnel_admitted;
+                totals.funnel_matched += s.funnel_matched;
+                totals.funnel_dep_checked += s.funnel_dep_checked;
                 pattern_ns += s.pattern_ns;
                 if found.is_none() && resume_pt.is_some() {
                     // Safety net: the frontier filter only rescans anchors
@@ -493,6 +514,10 @@ impl<'o> Driver<'o> {
                     report.strategies_used.append(&mut s.strategies_used);
                     merge_rejects(&mut report.dep_clause_rejects, &s.dep_rejects);
                     merge_rejects(&mut totals.rejects, &s.dep_rejects);
+                    totals.funnel_classified += s.funnel_classified;
+                    totals.funnel_admitted += s.funnel_admitted;
+                    totals.funnel_matched += s.funnel_matched;
+                    totals.funnel_dep_checked += s.funnel_dep_checked;
                     pattern_ns += s.pattern_ns;
                 }
                 found
@@ -500,10 +525,13 @@ impl<'o> Driver<'o> {
             // `search.match` is emitted only for successful matches — a
             // failed search is already explicit in the attempt span's
             // `fixpoint` close, and the extra event would double the
-            // per-attempt stream for no information.
-            if let Some(r) = rec.as_ref() {
-                r.observe("driver.search_ns", ns_since(search_started));
-                r.observe("driver.pattern_ns", pattern_ns);
+            // per-attempt stream for no information. Sampled-out
+            // attempts skip the whole block; sampled-in observations
+            // carry weight N so the histograms stay unbiased.
+            let search_ns = ns_since(search_started);
+            if let Some(r) = attempt_rec {
+                r.observe_n("driver.search_ns", search_ns, sample);
+                r.observe_n("driver.pattern_ns", pattern_ns, sample);
                 if let Some(env) = found.as_ref() {
                     let mut fields = vec![
                         ("optimizer", Value::str(self.opt.name.clone())),
@@ -523,7 +551,15 @@ impl<'o> Driver<'o> {
             }
 
             let Some(mut env) = found else {
-                attempt_span.close(&[("outcome", Value::str("fixpoint"))]);
+                let mut fields = vec![
+                    ("outcome", Value::str("fixpoint")),
+                    ("search_ns", Value::u(search_ns)),
+                    ("pattern_ns", Value::u(pattern_ns)),
+                ];
+                if sample > 1 {
+                    fields.push(("sample", Value::u(sample)));
+                }
+                attempt_span.close(&fields);
                 break;
             };
 
@@ -595,11 +631,17 @@ impl<'o> Driver<'o> {
             report.points.push(env);
             totals.applications += 1;
             totals.transform_ops += ops;
-            attempt_span.close(&[
+            let mut close_fields = vec![
                 ("outcome", Value::str("applied")),
                 ("ops", Value::u(ops)),
                 ("stmts", Value::us(prog.len())),
-            ]);
+                ("search_ns", Value::u(search_ns)),
+                ("pattern_ns", Value::u(pattern_ns)),
+            ];
+            if sample > 1 {
+                close_fields.push(("sample", Value::u(sample)));
+            }
+            attempt_span.close(&close_fields);
             if corrupted {
                 // Return "success" with the bad commit in place: the fault
                 // models corruption the driver itself does not notice, so
@@ -955,6 +997,14 @@ struct RunTotals {
     degraded_stale_order: u64,
     degraded_divergence: u64,
     degraded_update_failed: u64,
+    /// Match-funnel totals (see `Searcher::funnel_classified` and
+    /// friends), flushed as `funnel.<OPT>.<phase>` counters plus one
+    /// `search.funnel` event per run. `applied` and `rolled_back` reuse
+    /// `applications` / `action_rollbacks`.
+    funnel_classified: u64,
+    funnel_admitted: u64,
+    funnel_matched: u64,
+    funnel_dep_checked: u64,
     cost: Cost,
     /// Per-dependence-clause rejection counts (clause counters are
     /// emitted as `search.dep_reject.<OPT>.clause<i>`).
@@ -985,6 +1035,10 @@ impl RunTotals {
             degraded_stale_order: 0,
             degraded_divergence: 0,
             degraded_update_failed: 0,
+            funnel_classified: 0,
+            funnel_admitted: 0,
+            funnel_matched: 0,
+            funnel_dep_checked: 0,
             cost: Cost::default(),
             rejects: Vec::new(),
         }
@@ -994,7 +1048,44 @@ impl RunTotals {
 impl Drop for RunTotals {
     fn drop(&mut self) {
         let Some(rec) = self.rec.take() else { return };
+        if self.funnel_classified > 0 {
+            // One structured funnel event per run: the whole
+            // classified → admitted → matched → dep-checked →
+            // applied/rolled-back pipeline in a single record, so the
+            // report engine and the explain narrative need no counter
+            // joins. The per-phase counters below carry the same totals
+            // for metric consumers.
+            rec.event(
+                "search.funnel",
+                &[
+                    ("optimizer", Value::str(self.opt_name.clone())),
+                    ("classified", Value::u(self.funnel_classified)),
+                    ("admitted", Value::u(self.funnel_admitted)),
+                    ("matched", Value::u(self.funnel_matched)),
+                    ("dep_checked", Value::u(self.funnel_dep_checked)),
+                    ("applied", Value::u(self.applications)),
+                    ("rolled_back", Value::u(self.action_rollbacks)),
+                ],
+            );
+        }
         let mut items: Vec<(Name, u64)> = Vec::with_capacity(16);
+        if self.funnel_classified > 0 {
+            for (phase, n) in [
+                ("classified", self.funnel_classified),
+                ("admitted", self.funnel_admitted),
+                ("matched", self.funnel_matched),
+                ("dep_checked", self.funnel_dep_checked),
+                ("applied", self.applications),
+                ("rolled_back", self.action_rollbacks),
+            ] {
+                if n > 0 {
+                    items.push((
+                        Name::Owned(format!("funnel.{}.{phase}", self.opt_name)),
+                        n,
+                    ));
+                }
+            }
+        }
         for (name, n) in [
             ("driver.attempts", self.attempts),
             ("driver.applications", self.applications),

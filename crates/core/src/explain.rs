@@ -1,0 +1,719 @@
+//! The explain engine: *why didn't this optimizer fire here?*
+//!
+//! Where the match funnel ([`crate::Driver`]'s `funnel.*` counters) says
+//! how many candidates died at each stage, this module says **which**
+//! stage killed **this** candidate and names the exact discriminator.
+//! For every anchor candidate of one optimizer it walks the same three
+//! gates the searcher walks, in the same order, and stops at the first
+//! one that fails:
+//!
+//! 1. **admission** — the fused automaton's trie path is replayed via
+//!    [`FusedAutomaton::explain_admission`], reporting either the root
+//!    opcode-bucket miss or the first failing discriminator edge;
+//! 2. **anchor format** — the clause's top-level conjuncts are evaluated
+//!    one by one and the first false conjunct is named in GOSpeL
+//!    concrete syntax;
+//! 3. **the rest of the precondition** — the surviving binding
+//!    environments are pushed clause-by-clause through the remaining
+//!    pattern clauses and the Depend section (reusing the searcher's own
+//!    [`solve_clause`] machinery), and the first clause that kills every
+//!    environment is reported.
+//!
+//! The walk is breadth-first over environments (capped at
+//! [`ENV_CAP`] to bound pathological specs — the report says so when the
+//! cap bites), so unlike the searcher it does not stop at the first
+//! witness: it exists to attribute failure, not to find bindings fast.
+//!
+//! [`solve_clause`]: crate::solve::Searcher::solve_clause
+
+use crate::automaton::{AdmissionVerdict, FusedAutomaton};
+use crate::compile::CompiledOptimizer;
+use crate::error::RunError;
+use crate::rt::{Bindings, RtVal};
+use crate::solve::{eval_format, Searcher};
+use gospel_dep::DepGraph;
+use gospel_ir::{LoopTable, Program, StmtId};
+use gospel_lang::ast::{BoolExpr, ElemType, PatternClause, Quant};
+use gospel_lang::{pretty_bool, pretty_depend_clause, pretty_pattern_clause};
+use std::fmt;
+
+/// Environment-frontier cap: clause-by-clause survival tracking keeps at
+/// most this many binding environments alive. The catalog's optimizers
+/// stay in single digits; the cap only guards degenerate specifications,
+/// and [`ExplainReport::truncated`] records when it bit.
+pub const ENV_CAP: usize = 512;
+
+/// The first gate that killed one anchor candidate, with the exact
+/// discriminator that failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Blocker {
+    /// The fused automaton's root opcode bucket rejected the statement.
+    OpcodeMiss {
+        /// The statement's opcode.
+        got: String,
+        /// The anchor's admissible opcode set.
+        expected: Vec<String>,
+    },
+    /// A discriminator edge on the automaton's trie path rejected the
+    /// statement.
+    EdgeFailed {
+        /// The failing edge in GOSpeL syntax, e.g. `type(opr_2) == const`.
+        edge: String,
+        /// The operand's actual class keyword.
+        actual: String,
+    },
+    /// A top-level conjunct of a pattern clause's format is false.
+    FormatFailed {
+        /// 0-based pattern-clause index (0 = the anchor clause).
+        clause: usize,
+        /// The failing conjunct in GOSpeL syntax.
+        conjunct: String,
+    },
+    /// An `any` pattern clause after the anchor found no witness under
+    /// any surviving binding.
+    NoWitness {
+        /// 0-based pattern-clause index.
+        clause: usize,
+        /// The clause in GOSpeL syntax.
+        clause_text: String,
+    },
+    /// A `no` pattern clause matched an element it forbids, under every
+    /// surviving binding.
+    Forbidden {
+        /// 0-based pattern-clause index.
+        clause: usize,
+        /// The clause in GOSpeL syntax.
+        clause_text: String,
+        /// The matching element, e.g. `S4`.
+        witness: String,
+    },
+    /// An `any` Depend clause has no solution under any surviving
+    /// binding.
+    DepUnsatisfied {
+        /// 0-based Depend-clause index.
+        clause: usize,
+        /// The clause in GOSpeL syntax.
+        clause_text: String,
+    },
+    /// A `no` Depend clause found a solution — a forbidden dependence —
+    /// under every surviving binding.
+    DepForbidden {
+        /// 0-based Depend-clause index.
+        clause: usize,
+        /// The clause in GOSpeL syntax.
+        clause_text: String,
+        /// The forbidden solution's bindings, e.g. `Sl = S4`.
+        witness: String,
+    },
+}
+
+impl fmt::Display for Blocker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Blocker::OpcodeMiss { got, expected } => write!(
+                f,
+                "not admitted: opcode `{got}` is outside the anchor's \
+                 opcode set {{{}}} (rejected at the automaton's root bucket)",
+                expected.join(", ")
+            ),
+            Blocker::EdgeFailed { edge, actual } => write!(
+                f,
+                "not admitted: automaton edge `{edge}` failed (the operand is {actual})"
+            ),
+            Blocker::FormatFailed { clause, conjunct } => write!(
+                f,
+                "format of pattern clause {} failed at conjunct `{conjunct}`",
+                clause + 1
+            ),
+            Blocker::NoWitness { clause, clause_text } => write!(
+                f,
+                "pattern clause {} (`{clause_text}`) found no witness",
+                clause + 1
+            ),
+            Blocker::Forbidden {
+                clause,
+                clause_text,
+                witness,
+            } => write!(
+                f,
+                "pattern clause {} (`{clause_text}`) forbids {witness}, which matches",
+                clause + 1
+            ),
+            Blocker::DepUnsatisfied { clause, clause_text } => write!(
+                f,
+                "dependence clause {} (`{clause_text}`) has no solution",
+                clause + 1
+            ),
+            Blocker::DepForbidden {
+                clause,
+                clause_text,
+                witness,
+            } => write!(
+                f,
+                "dependence clause {} (`{clause_text}`) found a forbidden \
+                 dependence: {witness}",
+                clause + 1
+            ),
+        }
+    }
+}
+
+/// One anchor candidate's verdict: the element examined and the first
+/// gate that killed it (`None` = the optimizer fires here).
+#[derive(Clone, Debug)]
+pub struct CandidateExplanation {
+    /// The anchor element, rendered (`S3 (assign)`, `L0`, `(L0, L1)`).
+    pub anchor: String,
+    /// The anchor statement, when the anchor is statement-shaped.
+    pub stmt: Option<StmtId>,
+    /// The first failing gate; `None` when the precondition holds.
+    pub blocker: Option<Blocker>,
+}
+
+/// The full explain walk of one optimizer over one program.
+#[derive(Clone, Debug)]
+pub struct ExplainReport {
+    /// The optimizer's name as registered.
+    pub optimizer: String,
+    /// Whether the fused automaton narrows this optimizer's anchor.
+    pub fused: bool,
+    /// True when [`ENV_CAP`] truncated an environment frontier — blocker
+    /// attribution past the truncation point may name a later clause
+    /// than the searcher would.
+    pub truncated: bool,
+    /// One verdict per anchor candidate, in program order.
+    pub candidates: Vec<CandidateExplanation>,
+}
+
+impl ExplainReport {
+    /// How many anchor candidates satisfy the whole precondition.
+    pub fn fired(&self) -> usize {
+        self.candidates.iter().filter(|c| c.blocker.is_none()).count()
+    }
+
+    /// The first blocked candidate's blocker, if any.
+    pub fn first_blocker(&self) -> Option<&Blocker> {
+        self.candidates.iter().find_map(|c| c.blocker.as_ref())
+    }
+
+    /// Human-readable narrative, one line per candidate.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{}: {} anchor candidate(s), {} satisfy the precondition{}",
+            self.optimizer,
+            self.candidates.len(),
+            self.fired(),
+            if self.fused { " [fused anchor]" } else { "" }
+        );
+        if self.truncated {
+            let _ = writeln!(
+                s,
+                "  note: environment frontier truncated at {ENV_CAP}; \
+                 attribution past that point is approximate"
+            );
+        }
+        for c in &self.candidates {
+            match &c.blocker {
+                None => {
+                    let _ = writeln!(s, "  {}: FIRES", c.anchor);
+                }
+                Some(b) => {
+                    let _ = writeln!(s, "  {}: {b}", c.anchor);
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Anchor-shaped candidate tuples for one element type — the explain
+/// engine's (unfiltered) counterpart of the searcher's candidate
+/// enumeration.
+fn element_candidates(prog: &Program, loops: &LoopTable, ty: ElemType) -> Vec<Vec<RtVal>> {
+    match ty {
+        ElemType::Stmt => prog.iter().map(|s| vec![RtVal::Stmt(s)]).collect(),
+        ElemType::Loop => loops.iter().map(|l| vec![RtVal::Loop(l.id)]).collect(),
+        ElemType::NestedLoops => loops
+            .nested_pairs()
+            .into_iter()
+            .map(|(o, i)| vec![RtVal::Loop(o), RtVal::Loop(i)])
+            .collect(),
+        ElemType::TightLoops => loops
+            .tight_pairs(prog)
+            .into_iter()
+            .map(|(o, i)| vec![RtVal::Loop(o), RtVal::Loop(i)])
+            .collect(),
+        ElemType::AdjacentLoops => loops
+            .adjacent_pairs(prog)
+            .into_iter()
+            .map(|(a, b)| vec![RtVal::Loop(a), RtVal::Loop(b)])
+            .collect(),
+    }
+}
+
+fn render_val(v: &RtVal) -> String {
+    match v {
+        RtVal::Stmt(s) => s.to_string(),
+        RtVal::Loop(l) => l.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn render_candidate(prog: &Program, cand: &[RtVal]) -> String {
+    let parts: Vec<String> = cand
+        .iter()
+        .map(|v| match v {
+            RtVal::Stmt(s) => format!("{s} ({})", prog.quad(*s).op.gospel_name()),
+            other => render_val(other),
+        })
+        .collect();
+    if parts.len() == 1 {
+        parts.into_iter().next().unwrap()
+    } else {
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// Splits a format into its top-level conjuncts, in source order.
+fn conjuncts(b: &BoolExpr) -> Vec<&BoolExpr> {
+    let mut out = Vec::new();
+    fn walk<'b>(b: &'b BoolExpr, out: &mut Vec<&'b BoolExpr>) {
+        match b {
+            BoolExpr::And(l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(b, &mut out);
+    out
+}
+
+/// Walks every anchor candidate of `opt` through admission, format and
+/// the remaining precondition, and reports where each one stopped.
+/// `only_stmt` restricts the walk to candidates anchored at that
+/// statement (the CLI's `--stmt` flag).
+///
+/// # Errors
+///
+/// Propagates [`RunError`] from format or dependence evaluation — the
+/// same errors the searcher itself would raise (e.g. an `all` quantifier
+/// in `Code_Pattern`).
+pub fn explain(
+    prog: &Program,
+    deps: &DepGraph,
+    opt: &CompiledOptimizer,
+    auto: &FusedAutomaton,
+    only_stmt: Option<StmtId>,
+) -> Result<ExplainReport, RunError> {
+    let loops = deps.loops();
+    let Some((anchor_clause, anchor_ty)) = opt.patterns.first() else {
+        return Err(RunError::Action(
+            "optimizer has no pattern clause to explain".into(),
+        ));
+    };
+    if anchor_clause.quant != Quant::Any {
+        return Err(RunError::Action(
+            "`explain` requires an `any` anchor clause".into(),
+        ));
+    }
+    let fused = auto.opt_id(&opt.name).is_some();
+    let mut report = ExplainReport {
+        optimizer: opt.name.clone(),
+        fused,
+        truncated: false,
+        candidates: Vec::new(),
+    };
+    for cand in element_candidates(prog, loops, *anchor_ty) {
+        let stmt = cand.first().and_then(RtVal::as_stmt);
+        if let Some(only) = only_stmt {
+            if stmt != Some(only) {
+                continue;
+            }
+        }
+        let blocker = explain_candidate(
+            prog,
+            deps,
+            opt,
+            auto,
+            anchor_clause,
+            &cand,
+            &mut report.truncated,
+        )?;
+        report.candidates.push(CandidateExplanation {
+            anchor: render_candidate(prog, &cand),
+            stmt,
+            blocker,
+        });
+    }
+    Ok(report)
+}
+
+/// One candidate's walk; returns the first failing gate.
+fn explain_candidate(
+    prog: &Program,
+    deps: &DepGraph,
+    opt: &CompiledOptimizer,
+    auto: &FusedAutomaton,
+    anchor_clause: &PatternClause,
+    cand: &[RtVal],
+    truncated: &mut bool,
+) -> Result<Option<Blocker>, RunError> {
+    let loops = deps.loops();
+    // Gate 1: the fused automaton's admission path.
+    if let Some(RtVal::Stmt(s)) = cand.first() {
+        match auto.explain_admission(&opt.name, prog.quad(*s)) {
+            AdmissionVerdict::OpcodeMiss { got, expected } => {
+                return Ok(Some(Blocker::OpcodeMiss {
+                    got: got.to_owned(),
+                    expected: expected.iter().map(|&e| e.to_owned()).collect(),
+                }))
+            }
+            v @ AdmissionVerdict::EdgeFailed { actual, .. } => {
+                return Ok(Some(Blocker::EdgeFailed {
+                    edge: v.edge(),
+                    actual: actual.keyword().to_owned(),
+                }))
+            }
+            AdmissionVerdict::NotFused | AdmissionVerdict::Admitted => {}
+        }
+    }
+    // Gate 2: the anchor format, conjunct by conjunct.
+    let mut env = Bindings::new();
+    for (v, val) in anchor_clause.vars.iter().zip(cand) {
+        env.set(v, val.clone());
+    }
+    if let Some(format) = &anchor_clause.format {
+        let mut checks = 0u64;
+        for conjunct in conjuncts(format) {
+            if !eval_format(prog, loops, &env, conjunct, &mut checks)? {
+                return Ok(Some(Blocker::FormatFailed {
+                    clause: 0,
+                    conjunct: pretty_bool(conjunct),
+                }));
+            }
+        }
+    }
+    // Gate 3: the remaining pattern clauses, breadth-first over
+    // surviving environments.
+    let mut envs = vec![env];
+    for (idx, (clause, ty)) in opt.patterns.iter().enumerate().skip(1) {
+        let cands = element_candidates(prog, loops, *ty);
+        match clause.quant {
+            Quant::Any => {
+                let mut next = Vec::new();
+                for env in &envs {
+                    'cands: for c in &cands {
+                        let mut env2 = env.clone();
+                        for (v, val) in clause.vars.iter().zip(c) {
+                            if let Some(existing) = env2.get(v) {
+                                if existing != val {
+                                    continue 'cands;
+                                }
+                            }
+                            env2.set(v, val.clone());
+                        }
+                        if clause_format_holds(prog, loops, clause, &env2)? {
+                            if next.len() < ENV_CAP {
+                                next.push(env2);
+                            } else {
+                                *truncated = true;
+                            }
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    return Ok(Some(Blocker::NoWitness {
+                        clause: idx,
+                        clause_text: pretty_pattern_clause(clause),
+                    }));
+                }
+                envs = next;
+            }
+            Quant::No => {
+                let mut surviving = Vec::new();
+                let mut witness = String::new();
+                for env in envs {
+                    let mut dead = false;
+                    for c in &cands {
+                        let mut env2 = env.clone();
+                        for (v, val) in clause.vars.iter().zip(c) {
+                            env2.set(v, val.clone());
+                        }
+                        if clause_format_holds(prog, loops, clause, &env2)? {
+                            dead = true;
+                            witness = render_candidate(prog, c);
+                            break;
+                        }
+                    }
+                    if !dead {
+                        surviving.push(env);
+                    }
+                }
+                if surviving.is_empty() {
+                    return Ok(Some(Blocker::Forbidden {
+                        clause: idx,
+                        clause_text: pretty_pattern_clause(clause),
+                        witness,
+                    }));
+                }
+                envs = surviving;
+            }
+            Quant::All => {
+                return Err(RunError::Action(
+                    "`all` in Code_Pattern is rejected at generation time".into(),
+                ))
+            }
+        }
+    }
+    // Gate 4: the Depend section, clause by clause, reusing the
+    // searcher's solver so strategy selection and edge semantics are
+    // identical to a real run.
+    let mut searcher = Searcher::new(prog, deps, opt);
+    for (di, cc) in opt.depends.iter().enumerate() {
+        match cc.clause.quant {
+            Quant::Any => {
+                let mut next = Vec::new();
+                for env in &envs {
+                    for sol in searcher.solve_clause(cc, env, false)? {
+                        if next.len() < ENV_CAP {
+                            next.push(sol);
+                        } else {
+                            *truncated = true;
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    return Ok(Some(Blocker::DepUnsatisfied {
+                        clause: di,
+                        clause_text: pretty_depend_clause(&cc.clause),
+                    }));
+                }
+                envs = next;
+            }
+            Quant::No => {
+                let mut surviving = Vec::new();
+                let mut witness = String::new();
+                for env in envs {
+                    let sols = searcher.solve_clause(cc, &env, false)?;
+                    match sols.first() {
+                        Some(sol) => {
+                            witness = cc
+                                .clause
+                                .vars
+                                .iter()
+                                .filter_map(|v| {
+                                    sol.get(v).map(|val| format!("{v} = {}", render_val(val)))
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                        }
+                        None => surviving.push(env),
+                    }
+                }
+                if surviving.is_empty() {
+                    return Ok(Some(Blocker::DepForbidden {
+                        clause: di,
+                        clause_text: pretty_depend_clause(&cc.clause),
+                        witness,
+                    }));
+                }
+                envs = surviving;
+            }
+            Quant::All => {
+                // `all` collects a set; it never kills an environment.
+                // Mirror the searcher's collection so later clauses see
+                // the same bindings a real run would.
+                let mut next = Vec::new();
+                for env in &envs {
+                    let sols = searcher.solve_clause(cc, env, true)?;
+                    let mut env2 = env.clone();
+                    for (v, pv) in cc.clause.vars.iter().zip(&cc.clause.pos_vars) {
+                        let mut collected: Vec<(StmtId, Option<gospel_ir::OperandPos>)> =
+                            Vec::new();
+                        for sol in &sols {
+                            let stmt = sol.get(v).and_then(RtVal::as_stmt);
+                            let pos = pv
+                                .as_ref()
+                                .and_then(|p| sol.get(p))
+                                .and_then(RtVal::as_pos);
+                            if let Some(s) = stmt {
+                                if !collected.iter().any(|(cs, cp)| *cs == s && *cp == pos) {
+                                    collected.push((s, pos));
+                                }
+                            }
+                        }
+                        env2.set(v, RtVal::Set(collected));
+                    }
+                    next.push(env2);
+                }
+                envs = next;
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn clause_format_holds(
+    prog: &Program,
+    loops: &LoopTable,
+    clause: &PatternClause,
+    env: &Bindings,
+) -> Result<bool, RunError> {
+    match &clause.format {
+        None => Ok(true),
+        Some(f) => {
+            let mut checks = 0u64;
+            eval_format(prog, loops, env, f, &mut checks)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::generate;
+    use gospel_lang::parse_validated;
+
+    fn opt_of(src: &str) -> CompiledOptimizer {
+        let (s, i) = parse_validated(src).unwrap();
+        generate(s, i).unwrap()
+    }
+
+    fn ctp() -> CompiledOptimizer {
+        opt_of(crate::CTP_EXAMPLE_SPEC)
+    }
+
+    fn world(src: &str) -> (Program, DepGraph) {
+        let p = gospel_frontend::compile(src).unwrap();
+        let d = DepGraph::analyze(&p).unwrap();
+        (p, d)
+    }
+
+    #[test]
+    fn names_the_failing_automaton_edge_and_opcode_bucket() {
+        let (p, d) = world("program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend");
+        let opt = ctp();
+        let auto = FusedAutomaton::build(std::slice::from_ref(&opt), &p);
+        let report = explain(&p, &d, &opt, &auto, None).unwrap();
+        assert!(report.fused);
+        assert_eq!(report.candidates.len(), 3);
+        // x = 3 propagates into y = x: the precondition holds.
+        assert!(report.candidates[0].blocker.is_none());
+        // y = x: admitted opcode, but the const edge fails.
+        assert_eq!(
+            report.candidates[1].blocker,
+            Some(Blocker::EdgeFailed {
+                edge: "type(opr_2) == const".into(),
+                actual: "var".into(),
+            })
+        );
+        // write y: rejected at the root bucket.
+        assert_eq!(
+            report.candidates[2].blocker,
+            Some(Blocker::OpcodeMiss {
+                got: "write".into(),
+                expected: vec!["assign".into()],
+            })
+        );
+        assert_eq!(report.fired(), 1);
+        let text = report.to_text();
+        assert!(text.contains("type(opr_2) == const"), "{text}");
+        assert!(text.contains("FIRES"), "{text}");
+    }
+
+    #[test]
+    fn names_the_unsatisfied_and_forbidden_dependence_clauses() {
+        // x is never used: CTP's `any` flow-dep clause has no solution.
+        let (p, d) = world("program p\ninteger x\nx = 3\nend");
+        let opt = ctp();
+        let auto = FusedAutomaton::build(std::slice::from_ref(&opt), &p);
+        let report = explain(&p, &d, &opt, &auto, None).unwrap();
+        match &report.candidates[0].blocker {
+            Some(Blocker::DepUnsatisfied { clause: 0, clause_text }) => {
+                assert!(clause_text.contains("flow_dep(Si, Sj"), "{clause_text}");
+            }
+            other => panic!("expected DepUnsatisfied, got {other:?}"),
+        }
+
+        // Two defs of x reach y = x: the `no` clause finds the second
+        // (forbidden) reaching definition.
+        let (p, d) = world(
+            "program p\ninteger x, y, z\nread z\nx = 3\nif (z > 0) then\nx = 4\nend if\ny = x\nend",
+        );
+        let auto = FusedAutomaton::build(std::slice::from_ref(&opt), &p);
+        let report = explain(&p, &d, &opt, &auto, None).unwrap();
+        let anchors: Vec<&CandidateExplanation> = report
+            .candidates
+            .iter()
+            .filter(|c| c.blocker.is_some())
+            .collect();
+        assert!(
+            anchors.iter().any(|c| matches!(
+                c.blocker,
+                Some(Blocker::DepForbidden { clause: 1, .. })
+            )),
+            "expected a DepForbidden blocker on the second Depend clause: {:?}",
+            report.candidates
+        );
+    }
+
+    #[test]
+    fn names_the_failing_format_conjunct_past_an_inexact_filter() {
+        // The trailing self-comparison conjunct is not capturable by the
+        // anchor filter, so admission passes and the format walk must
+        // attribute the failure.
+        let opt = opt_of(
+            "OPTIMIZATION SELFA\nTYPE\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+             any S: S.opc == assign AND type(S.opr_2) == const AND S.opr_1 == S.opr_2;\n\
+             ACTION\n  delete(S);\nEND",
+        );
+        let (p, d) = world("program p\ninteger x\nx = 3\nend");
+        let auto = FusedAutomaton::build(std::slice::from_ref(&opt), &p);
+        let report = explain(&p, &d, &opt, &auto, None).unwrap();
+        assert_eq!(
+            report.candidates[0].blocker,
+            Some(Blocker::FormatFailed {
+                clause: 0,
+                conjunct: "S.opr_1 == S.opr_2".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn restricts_to_one_statement_and_counts_loop_anchors() {
+        let (p, d) = world("program p\ninteger x, y\nx = 3\ny = x\nwrite y\nend");
+        let opt = ctp();
+        let auto = FusedAutomaton::build(std::slice::from_ref(&opt), &p);
+        let s1 = p.iter().nth(1).unwrap();
+        let report = explain(&p, &d, &opt, &auto, Some(s1)).unwrap();
+        assert_eq!(report.candidates.len(), 1);
+        assert_eq!(report.candidates[0].stmt, Some(s1));
+
+        // A loop-anchored optimizer enumerates the loop table and is not
+        // narrowed by the automaton.
+        let lur = opt_of(
+            "OPTIMIZATION LOOPY\nTYPE\n  Loop: L;\n  Stmt: S;\nPRECOND\n  Code_Pattern\n    \
+             any L;\n  Depend\n    no S: mem(S, L), ctrl_dep(L.head, S);\n\
+             ACTION\n  delete(L.head);\nEND",
+        );
+        let (p, d) = world(
+            "program p\ninteger i, x\nreal a(10)\ndo i = 1, 10\na(i) = x\nend do\nend",
+        );
+        let auto = FusedAutomaton::build(std::slice::from_ref(&lur), &p);
+        let report = explain(&p, &d, &lur, &auto, None).unwrap();
+        assert!(!report.fused);
+        assert_eq!(report.candidates.len(), 1);
+        match &report.candidates[0].blocker {
+            Some(Blocker::DepForbidden { clause: 0, witness, .. }) => {
+                assert!(!witness.is_empty());
+            }
+            None => {} // no control dep recorded for loop bodies: fires
+            other => panic!("unexpected blocker {other:?}"),
+        }
+    }
+}

@@ -521,6 +521,25 @@ impl AnchorFilter {
     pub fn narrows(&self) -> bool {
         self.opcodes.is_some()
     }
+
+    /// Whether one statement is in this filter's admission set — the
+    /// predicate form of [`StmtIndex::candidates`] bucket membership.
+    /// The scan matcher's funnel accounting tests each visited anchor
+    /// with this so all three matchers report identical
+    /// automaton-admitted totals. A filter with no opcode bound admits
+    /// every statement (no rung of the ladder narrows it either).
+    pub fn admits(&self, quad: &Quad) -> bool {
+        let Some(opcodes) = self.opcodes.as_ref() else {
+            return true;
+        };
+        if !opcodes.contains(&quad.op.gospel_name()) {
+            return false;
+        }
+        let cls = [class_of(&quad.dst), class_of(&quad.a), class_of(&quad.b)];
+        self.classes
+            .iter()
+            .all(|&(pos, c, positive)| (cls[pos] == c) == positive)
+    }
 }
 
 /// Extracts the [`AnchorFilter`] of `var` from a clause's format.

@@ -54,13 +54,14 @@ mod cost;
 mod driver;
 pub mod emit;
 mod error;
+mod explain;
 pub mod fault;
 pub mod index;
 mod rt;
 mod session;
 mod solve;
 
-pub use automaton::FusedAutomaton;
+pub use automaton::{AdmissionVerdict, FusedAutomaton};
 pub use batch::{run_batch, BatchItem, BatchOutcome, BatchPolicy, BatchStatus, BatchSuccess};
 pub use caches::SessionCaches;
 pub use compile::{generate, CompiledClause, CompiledOptimizer, Strategy};
@@ -70,6 +71,7 @@ pub use driver::{
     MatchSet, MatcherKind,
 };
 pub use error::{GenerateError, RunError};
+pub use explain::{explain, Blocker, CandidateExplanation, ExplainReport, ENV_CAP};
 pub use fault::{FaultKind, FaultPlan};
 pub use index::{anchor_filter, AnchorFilter, MatchCache, StmtIndex};
 pub use rt::{Bindings, RtVal};

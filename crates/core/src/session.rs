@@ -48,6 +48,11 @@ pub struct SessionOptions {
     /// apply over an aborted one, and every fall is visible through the
     /// `search.degraded.<reason>` counters.
     pub degraded_recovery: bool,
+    /// Attempt-span sampling rate: trace one in every N
+    /// `driver.attempt` spans (`0`/`1` = every attempt). Counters stay
+    /// exact; sampled-in timing observations are weighted by N (see
+    /// [`crate::Driver::trace_sample`]).
+    pub trace_sample: u64,
 }
 
 impl Default for SessionOptions {
@@ -62,6 +67,7 @@ impl Default for SessionOptions {
             max_growth: None,
             matcher: crate::driver::matcher_default(),
             degraded_recovery: true,
+            trace_sample: 1,
         }
     }
 }
@@ -262,6 +268,7 @@ impl Session {
             .map(|k| (k as usize).saturating_mul(prog.len().max(1)));
         driver.matcher = options.matcher;
         driver.degraded_recovery = options.degraded_recovery;
+        driver.trace_sample = options.trace_sample;
         driver.fault = fault.clone();
         driver.recorder = recorder.clone();
         // `apply_with` takes each cache on entry, so an early error below

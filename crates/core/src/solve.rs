@@ -348,6 +348,46 @@ pub(crate) struct Searcher<'a> {
     /// is `exact` — the bucket *is* the format's satisfying set, so
     /// `rec_pattern` skips format evaluation for those candidates.
     format_known: bool,
+    /// How the most recent anchor enumeration relates to the admission
+    /// set, so funnel accounting stays matcher-independent (see
+    /// [`AnchorAdmission`]). Set by `pattern_candidates` for the anchor
+    /// clause only.
+    anchor_admission: AnchorAdmission,
+    /// Funnel: elements the anchor enumeration considered, before any
+    /// admission narrowing — `prog.len()` for statement anchors, the
+    /// loop-table candidate count for loop anchors. Matcher-independent
+    /// by construction.
+    pub funnel_classified: u64,
+    /// Funnel: visited anchor candidates inside the admission set. The
+    /// bucket/posting paths count every visit (membership *is*
+    /// admission); the scan path tests each visit with
+    /// [`AnchorFilter::admits`] — the same predicate — so totals agree
+    /// across all three matchers over identical visited prefixes.
+    pub funnel_admitted: u64,
+    /// Funnel: admitted anchors whose clause format held (the exact
+    /// `known_hold` shortcut counts here too — bucket membership already
+    /// proved the format).
+    pub funnel_matched: u64,
+    /// Funnel: pattern-section bindings that entered the Depend section.
+    /// Not part of the `classified ≥ admitted ≥ matched` chain — one
+    /// matched anchor can reach dependence checking under several
+    /// bindings, or under none when a later pattern clause fails.
+    pub funnel_dep_checked: u64,
+}
+
+/// How anchor candidates produced by `pattern_candidates` relate to the
+/// [`AnchorFilter`] admission set — the piece of bookkeeping that lets
+/// all three matchers report the same `admitted` funnel totals.
+enum AnchorAdmission {
+    /// Candidates came from an index bucket or fused posting: every
+    /// visited candidate is admitted by construction.
+    Bucket,
+    /// Scan candidates with a narrowing filter: each visited statement
+    /// is tested with [`AnchorFilter::admits`].
+    Filter(AnchorFilter),
+    /// No admission set narrows this enumeration (loop anchors, or a
+    /// format with no opcode bound): every visited candidate counts.
+    All,
 }
 
 impl<'a> Searcher<'a> {
@@ -374,6 +414,23 @@ impl<'a> Searcher<'a> {
             time_pattern: false,
             pattern_ns: 0,
             format_known: false,
+            anchor_admission: AnchorAdmission::All,
+            funnel_classified: 0,
+            funnel_admitted: 0,
+            funnel_matched: 0,
+            funnel_dep_checked: 0,
+        }
+    }
+
+    /// Whether a visited anchor candidate is in the admission set, under
+    /// the enumeration's [`AnchorAdmission`] accounting.
+    fn anchor_admitted(&self, admission: &AnchorAdmission, cand: &[RtVal]) -> bool {
+        match admission {
+            AnchorAdmission::Bucket | AnchorAdmission::All => true,
+            AnchorAdmission::Filter(f) => match cand.first() {
+                Some(RtVal::Stmt(s)) => f.admits(self.prog.quad(*s)),
+                _ => true,
+            },
         }
     }
 
@@ -434,6 +491,9 @@ impl<'a> Searcher<'a> {
             opt.depends.len()
         };
         if di < depends {
+            if di == 0 {
+                self.funnel_dep_checked += 1;
+            }
             let cc = &opt.depends[di];
             return self.rec_depend(idx, cc, env, out, limit);
         }
@@ -456,6 +516,8 @@ impl<'a> Searcher<'a> {
         // Snapshot before recursing: nested clauses re-enter
         // `pattern_candidates` and overwrite the flag.
         let known_hold = self.format_known;
+        let admission =
+            std::mem::replace(&mut self.anchor_admission, AnchorAdmission::All);
         match clause.quant {
             Quant::Any => {
                 // The negative cache only ever covers the anchor clause:
@@ -471,12 +533,23 @@ impl<'a> Searcher<'a> {
                         if let Some(RtVal::Stmt(s)) = cand.first() {
                             if self.cache.as_ref().is_some_and(|c| c.is_rejected(*s)) {
                                 self.cache_hits += 1;
+                                // A remembered rejection still passed
+                                // admission when it was first visited;
+                                // count it so cached and cold fixpoint
+                                // iterations report the same funnel.
+                                if self.anchor_admitted(&admission, &cand) {
+                                    self.funnel_admitted += 1;
+                                }
                                 continue 'cands;
                             }
                         }
                     }
+                    let admitted = idx == 0 && self.anchor_admitted(&admission, &cand);
                     if idx == 0 {
                         self.cost.anchor_visits += 1;
+                        if admitted {
+                            self.funnel_admitted += 1;
+                        }
                     }
                     let mut env2 = env.clone();
                     for (v, val) in clause.vars.iter().zip(&cand) {
@@ -497,6 +570,9 @@ impl<'a> Searcher<'a> {
                         self.note_pattern(t);
                         h
                     };
+                    if admitted && holds {
+                        self.funnel_matched += 1;
+                    }
                     if !holds {
                         if caching {
                             if let (Some(RtVal::Stmt(s)), Some(c)) =
@@ -515,8 +591,12 @@ impl<'a> Searcher<'a> {
             }
             Quant::No => {
                 for cand in candidates {
+                    let admitted = idx == 0 && self.anchor_admitted(&admission, &cand);
                     if idx == 0 {
                         self.cost.anchor_visits += 1;
+                        if admitted {
+                            self.funnel_admitted += 1;
+                        }
                     }
                     let mut env2 = env.clone();
                     for (v, val) in clause.vars.iter().zip(&cand) {
@@ -531,6 +611,9 @@ impl<'a> Searcher<'a> {
                         h
                     };
                     if holds {
+                        if admitted {
+                            self.funnel_matched += 1;
+                        }
                         return Ok(false); // an element matches: clause fails
                     }
                 }
@@ -653,6 +736,34 @@ impl<'a> Searcher<'a> {
                 .flatten()
         });
         let loops = self.loops();
+        if first {
+            // Funnel accounting, fixed before `anchor_ok` borrows the
+            // searcher. `classified` counts the enumeration's universe
+            // (pre-admission, pre-resume-filter), identical for every
+            // matcher; `anchor_admission` tells the visit loop how to
+            // recognise the admission set among visited candidates.
+            self.funnel_classified += match ty {
+                ElemType::Stmt => self.prog.len() as u64,
+                ElemType::Loop => loops.iter().count() as u64,
+                ElemType::NestedLoops => loops.nested_pairs().len() as u64,
+                ElemType::TightLoops => loops.tight_pairs(self.prog).len() as u64,
+                ElemType::AdjacentLoops => loops.adjacent_pairs(self.prog).len() as u64,
+            };
+            self.anchor_admission = if ty != ElemType::Stmt {
+                AnchorAdmission::All
+            } else if indexed.is_some() {
+                AnchorAdmission::Bucket
+            } else {
+                let filter = match self.filters {
+                    Some(fs) => fs.get(idx).and_then(|f| f.clone()),
+                    None => clause.vars.first().map(|v| anchor_filter(clause, v)),
+                };
+                match filter {
+                    Some(f) if f.narrows() => AnchorAdmission::Filter(f),
+                    _ => AnchorAdmission::All,
+                }
+            };
+        }
         let resume_bar = self
             .resume_from
             .and_then(|r| self.deps.order_of(r));

@@ -49,7 +49,7 @@ mod validate;
 
 pub use lexer::{LexError, Token, TokenKind};
 pub use parser::ParseError;
-pub use pretty::pretty;
+pub use pretty::{pretty, pretty_bool, pretty_depend_clause, pretty_pattern_clause};
 pub use validate::{validate_spec, SpecError, SpecInfo, VarClass};
 
 /// Parses a GOSpeL specification.

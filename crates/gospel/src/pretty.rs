@@ -30,32 +30,12 @@ pub fn pretty(spec: &Spec) -> String {
     let _ = writeln!(s, "PRECOND");
     let _ = writeln!(s, "  Code_Pattern");
     for p in &spec.patterns {
-        let vars = if p.vars.len() == 1 {
-            p.vars[0].clone()
-        } else {
-            format!("({})", p.vars.join(", "))
-        };
-        let _ = match &p.format {
-            Some(f) => writeln!(s, "    {} {}: {};", p.quant.keyword(), vars, bool_str(f)),
-            None => writeln!(s, "    {} {};", p.quant.keyword(), vars),
-        };
+        let _ = writeln!(s, "    {};", pretty_pattern_clause(p));
     }
     if !spec.depends.is_empty() {
         let _ = writeln!(s, "  Depend");
         for d in &spec.depends {
-            let mut binds = Vec::new();
-            for (v, pv) in d.vars.iter().zip(&d.pos_vars) {
-                match pv {
-                    Some(p) => binds.push(format!("({v}, {p})")),
-                    None => binds.push(v.clone()),
-                }
-            }
-            let mut line = format!("    {} {}: ", d.quant.keyword(), binds.join(", "));
-            if !d.members.is_empty() {
-                let mems: Vec<String> = d.members.iter().map(mem_str).collect();
-                let _ = write!(line, "{}, ", mems.join(" AND "));
-            }
-            let _ = writeln!(s, "{line}{};", bool_str(&d.cond));
+            let _ = writeln!(s, "    {};", pretty_depend_clause(d));
         }
     }
     let _ = writeln!(s, "ACTION");
@@ -64,6 +44,46 @@ pub fn pretty(spec: &Spec) -> String {
     }
     let _ = writeln!(s, "END");
     s
+}
+
+/// Renders a boolean expression (format or dependence condition) in
+/// concrete syntax — the clause-level entry point the explain engine
+/// uses to name a failing conjunct.
+pub fn pretty_bool(b: &BoolExpr) -> String {
+    bool_str(b)
+}
+
+/// Renders one `Code_Pattern` clause (without the trailing `;`), e.g.
+/// `any Si: Si.opc == assign AND type(Si.opr_2) == const`.
+pub fn pretty_pattern_clause(p: &PatternClause) -> String {
+    let vars = if p.vars.len() == 1 {
+        p.vars[0].clone()
+    } else {
+        format!("({})", p.vars.join(", "))
+    };
+    match &p.format {
+        Some(f) => format!("{} {}: {}", p.quant.keyword(), vars, bool_str(f)),
+        None => format!("{} {}", p.quant.keyword(), vars),
+    }
+}
+
+/// Renders one `Depend` clause (without the trailing `;`), e.g.
+/// `any (Sj, pos): flow_dep(Si, Sj, (=))`.
+pub fn pretty_depend_clause(d: &DependClause) -> String {
+    let mut binds = Vec::new();
+    for (v, pv) in d.vars.iter().zip(&d.pos_vars) {
+        match pv {
+            Some(p) => binds.push(format!("({v}, {p})")),
+            None => binds.push(v.clone()),
+        }
+    }
+    let mut line = format!("{} {}: ", d.quant.keyword(), binds.join(", "));
+    if !d.members.is_empty() {
+        let mems: Vec<String> = d.members.iter().map(mem_str).collect();
+        let _ = write!(line, "{}, ", mems.join(" AND "));
+    }
+    let _ = write!(line, "{}", bool_str(&d.cond));
+    line
 }
 
 fn mem_str(m: &MemExpr) -> String {

@@ -1,6 +1,103 @@
-//! A minimal JSON validator (no external dependencies) used by the
-//! trace-contract tests and the CLI to assert that every `--trace` line
-//! is well-formed JSON. It validates syntax only — no DOM is built.
+//! A minimal JSON parser (no external dependencies). [`validate`] checks
+//! that a `--trace` line is well-formed; [`parse`] builds a [`Json`]
+//! value for consumers that need the content — the cross-run report
+//! engine reads whole JSONL traces and baseline reports through it.
+
+/// A parsed JSON value. Numbers keep their raw token text so integer
+/// values round-trip losslessly (trace sequence numbers and nanosecond
+/// totals can exceed the 2^53 range where `f64` goes lossy).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw token text.
+    Num(String),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; member order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member `key`, if this is an object that has one.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an unsigned integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` as exactly one JSON value (leading and trailing
+/// whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a one-line description with the byte offset of the first
+/// syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
 
 /// Validates that `text` is exactly one well-formed JSON value (leading
 /// and trailing whitespace allowed).
@@ -10,15 +107,7 @@
 /// Returns a one-line description with the byte offset of the first
 /// syntax error.
 pub fn validate(text: &str) -> Result<(), String> {
-    let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
-    p.skip_ws();
-    p.value()?;
-    p.skip_ws();
-    if p.pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(())
+    parse(text).map(|_| ())
 }
 
 struct Parser<'a> {
@@ -65,37 +154,39 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Json::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Json::Obj(members));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let val = self.value()?;
+            members.push((key, val));
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(()),
+                Some(b'}') => return Ok(Json::Obj(members)),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     return Err(self.err("expected `,` or `}`"));
@@ -104,20 +195,21 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(());
+            return Ok(Json::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(()),
+                Some(b']') => return Ok(Json::Arr(items)),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     return Err(self.err("expected `,` or `]`"));
@@ -126,24 +218,55 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = String::new();
+        // Collect raw UTF-8 runs between escapes byte-wise; the input is
+        // a &str so any multi-byte sequence is already valid UTF-8.
+        let mut run_start = self.pos;
         loop {
             match self.bump() {
                 None => return Err(self.err("unterminated string")),
-                Some(b'"') => return Ok(()),
-                Some(b'\\') => match self.bump() {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
-                    Some(b'u') => {
-                        for _ in 0..4 {
-                            match self.bump() {
-                                Some(b) if b.is_ascii_hexdigit() => {}
-                                _ => return Err(self.err("bad \\u escape")),
+                Some(b'"') => {
+                    out.push_str(self.run(run_start, self.pos - 1));
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.run(run_start, self.pos - 1));
+                    match self.bump() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate must pair with a
+                                // following \uXXXX low surrogate.
+                                self.literal("\\u")
+                                    .map_err(|_| self.err("unpaired surrogate"))?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("bad \\u escape")),
                             }
                         }
+                        _ => return Err(self.err("bad escape")),
                     }
-                    _ => return Err(self.err("bad escape")),
-                },
+                    run_start = self.pos;
+                }
                 Some(b) if b < 0x20 => {
                     return Err(self.err("unescaped control character"));
                 }
@@ -152,7 +275,25 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn run(&self, start: usize, end: usize) -> &'a str {
+        std::str::from_utf8(&self.bytes[start..end]).unwrap_or("")
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            match self.bump() {
+                Some(b) if b.is_ascii_hexdigit() => {
+                    code = code * 16 + (b as char).to_digit(16).unwrap_or(0);
+                }
+                _ => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -190,13 +331,13 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected an exponent digit"));
             }
         }
-        Ok(())
+        Ok(Json::Num(self.run(start, self.pos).to_string()))
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{parse, validate, Json};
 
     #[test]
     fn accepts_valid_json() {
@@ -225,8 +366,26 @@ mod tests {
             "1.",
             "{\"a\":1}garbage",
             "{'a':1}",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
         ] {
             assert!(validate(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn parses_values_and_escapes() {
+        let v = parse(r#"{"n":"a\u00e9\n\"b\\","big":18446744073709551615,"neg":-7}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_str), Some("aé\n\"b\\"));
+        assert_eq!(v.get("big").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("neg").and_then(Json::as_i64), Some(-7));
+        let v = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        let v = parse("[1,2.5,true,null]").unwrap();
+        let items = v.items().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2], Json::Bool(true));
+        assert_eq!(items[3], Json::Null);
     }
 }

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod report;
 
 use std::borrow::Cow;
 #[cfg(feature = "record")]
@@ -244,7 +245,7 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest observation.
     pub max: u64,
-    /// log₂ buckets: `buckets[i]` counts observations in `[2^(i-1), 2^i)`
+    /// log₂ buckets: `buckets[i]` counts observations in `[2^i, 2^(i+1))`
     /// (bucket 0 counts zeros and ones).
     pub buckets: [u64; 64],
 }
@@ -267,23 +268,178 @@ impl HistogramSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    /// Upper bound of the bucket containing the q-quantile (q in 0..=100),
-    /// an upper estimate good to a factor of two — enough for a summary
-    /// table without storing every observation.
+    /// Estimate of the q-quantile (q in 0..=100): the rank is located in
+    /// its log₂ bucket and the value interpolated linearly by rank
+    /// position within that bucket's bounds, clamped to the observed
+    /// `min`/`max`. Still an estimate (the true distribution inside a
+    /// bucket is unknown) but no longer biased to the bucket's upper
+    /// bound, so p50 of a tight cluster lands inside the cluster.
     pub fn quantile_upper(&self, q: u64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = self.count.saturating_mul(q.min(100)).div_ceil(100);
+        let rank = self
+            .count
+            .saturating_mul(q.min(100))
+            .div_ceil(100)
+            .max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank.max(1) {
-                return if i == 0 { 1 } else { 1u64 << i };
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                let lo: u64 = if i == 0 { 0 } else { 1u64 << i };
+                let hi: u64 = if i == 0 {
+                    1
+                } else if i >= 63 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                let pos = rank - seen; // 1..=n within this bucket
+                let est = lo + (u128::from(hi - lo) * u128::from(pos) / u128::from(n)) as u64;
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
         }
         self.max
     }
+
+    /// Records `weight` observations of `value` (weight 0 is a no-op).
+    /// The weighted form backs trace sampling: observing 1-in-N spans
+    /// with weight N keeps count/sum/quantile estimates unbiased.
+    pub fn record(&mut self, value: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.max = self.max.max(value);
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
+        self.count += weight;
+        self.sum = self.sum.saturating_add(value.saturating_mul(weight));
+        let bucket = (64 - u64::leading_zeros(value.max(1))).saturating_sub(1) as usize;
+        self.buckets[bucket.min(63)] += weight;
+    }
+
+    /// Folds another snapshot into this one bucket-wise — the histogram
+    /// half of recorder merging and [`MetricsSnapshot::merge`].
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.min = match (self.count, other.count) {
+            (_, 0) => self.min,
+            (0, _) => other.min,
+            _ => self.min.min(other.min),
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets) {
+            *b += o;
+        }
+    }
+}
+
+/// A point-in-time, mergeable export of a recorder's metric totals —
+/// counters and histograms without the event stream. Batch workers and
+/// chaos cells each take a snapshot, merge them, and expose one rollup;
+/// [`MetricsSnapshot::to_prometheus`] renders the text exposition format
+/// a scrape endpoint serves.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The total of one counter (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Folds `other` into this snapshot: counters add, histograms merge
+    /// bucket-wise. Order-independent, so any merge tree over workers
+    /// produces the same rollup.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, total) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.counters[i].1 = self.counters[i].1.saturating_add(*total),
+                Err(i) => self.counters.insert(i, (name.clone(), *total)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.histograms[i].1.merge(h),
+                Err(i) => self.histograms.insert(i, (name.clone(), *h)),
+            }
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Dots and other non-metric characters in names become `_`;
+    /// counters get a `_total` suffix, histograms emit cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, total) in &self.counters {
+            let m = prom_name(name);
+            let _ = writeln!(out, "# TYPE {m}_total counter");
+            let _ = writeln!(out, "{m}_total {total}");
+        }
+        for (name, h) in &self.histograms {
+            let m = prom_name(name);
+            let _ = writeln!(out, "# TYPE {m} histogram");
+            let mut cumulative = 0u64;
+            let top = h
+                .buckets
+                .iter()
+                .rposition(|&n| n > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            for (i, &n) in h.buckets.iter().take(top).enumerate() {
+                cumulative += n;
+                let le: u64 = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let _ = writeln!(out, "{m}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{m}_sum {}", h.sum);
+            let _ = writeln!(out, "{m}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Maps an event-vocabulary name (`driver.attempts`) onto a legal
+/// Prometheus metric name (`driver_attempts`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
+        out.insert(0, '_');
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -417,6 +573,17 @@ mod imp {
         /// `name`. Histograms feed the metrics table only; they do not
         /// emit per-observation events.
         pub fn observe(&self, name: &str, value: u64) {
+            self.observe_n(name, value, 1);
+        }
+
+        /// Records `weight` observations of `value` into histogram
+        /// `name` under one lock acquisition. The sampling controller
+        /// observes 1-in-N spans with weight N so the histogram stays an
+        /// unbiased estimate of the full population.
+        pub fn observe_n(&self, name: &str, value: u64, weight: u64) {
+            if weight == 0 {
+                return;
+            }
             let mut inner = self.lock();
             if !inner.histograms.contains_key(name) {
                 inner
@@ -424,12 +591,25 @@ mod imp {
                     .insert(name.to_string(), HistogramSnapshot::default());
             }
             let h = inner.histograms.get_mut(name).expect("just inserted");
-            h.count += 1;
-            h.sum = h.sum.saturating_add(value);
-            h.max = h.max.max(value);
-            h.min = if h.count == 1 { value } else { h.min.min(value) };
-            let bucket = (64 - u64::leading_zeros(value.max(1))).saturating_sub(1) as usize;
-            h.buckets[bucket.min(63)] += 1;
+            h.record(value, weight);
+        }
+
+        /// A point-in-time copy of every counter and histogram total —
+        /// the mergeable, exportable form of this recorder's metrics.
+        pub fn snapshot(&self) -> MetricsSnapshot {
+            let inner = self.lock();
+            MetricsSnapshot {
+                counters: inner
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect(),
+                histograms: inner
+                    .histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect(),
+            }
         }
 
         /// Opens a span; returns `(id, open_ts_ns)` so the close can
@@ -554,19 +734,7 @@ mod imp {
                     None => {
                         inner.histograms.insert(name, h);
                     }
-                    Some(mine) => {
-                        mine.min = match (mine.count, h.count) {
-                            (_, 0) => mine.min,
-                            (0, _) => h.min,
-                            _ => mine.min.min(h.min),
-                        };
-                        mine.max = mine.max.max(h.max);
-                        mine.count += h.count;
-                        mine.sum = mine.sum.saturating_add(h.sum);
-                        for (b, o) in mine.buckets.iter_mut().zip(h.buckets) {
-                            *b += o;
-                        }
-                    }
+                    Some(mine) => mine.merge(&h),
                 }
             }
         }
@@ -620,16 +788,18 @@ mod imp {
                 let width = hists.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(9);
                 let _ = writeln!(
                     out,
-                    "{:<width$} {:>8} {:>12} {:>12} {:>12}",
-                    "histogram", "count", "mean", "p90<=", "max"
+                    "{:<width$} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                    "histogram", "count", "mean", "p50", "p90", "p99", "max"
                 );
                 for (name, h) in &hists {
                     let _ = writeln!(
                         out,
-                        "{name:<width$} {:>8} {:>12} {:>12} {:>12}",
+                        "{name:<width$} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
                         h.count,
                         h.mean(),
+                        h.quantile_upper(50),
                         h.quantile_upper(90),
+                        h.quantile_upper(99),
                         h.max
                     );
                 }
@@ -739,6 +909,16 @@ mod imp {
         /// No-op.
         #[inline]
         pub fn observe(&self, _name: &str, _value: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn observe_n(&self, _name: &str, _value: u64, _weight: u64) {}
+
+        /// Always empty.
+        #[inline]
+        pub fn snapshot(&self) -> MetricsSnapshot {
+            MetricsSnapshot::default()
+        }
 
         /// Always empty.
         #[inline]
@@ -988,6 +1168,116 @@ mod tests {
         let table = rec.metrics_table();
         assert!(table.contains("histogram"), "{table}");
         assert!(table.contains("ns"), "{table}");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let rec = Recorder::new();
+        // 100 observations spread across [1024, 2048) — the old
+        // bucket-upper-bound estimate returned 2048 for every quantile;
+        // interpolation must spread estimates through the bucket.
+        for i in 0..100u64 {
+            rec.observe("ns", 1024 + i * 10);
+        }
+        let (_, h) = &rec.histograms()[0];
+        let p50 = h.quantile_upper(50);
+        let p99 = h.quantile_upper(99);
+        assert!((1024..=1600).contains(&p50), "p50 {p50} not interpolated");
+        assert!(p99 > p50, "p99 {p99} <= p50 {p50}");
+        assert!(p99 <= h.max, "p99 {p99} above observed max");
+        assert_eq!(h.quantile_upper(0), h.quantile_upper(1));
+        // Degenerate single observation: every quantile is that value.
+        let rec = Recorder::new();
+        rec.observe("one", 777);
+        let (_, h) = &rec.histograms()[0];
+        for q in [0, 50, 90, 99, 100] {
+            assert_eq!(h.quantile_upper(q), 777);
+        }
+    }
+
+    #[test]
+    fn weighted_observations_scale_counts_and_sums() {
+        let rec = Recorder::new();
+        rec.observe_n("ns", 100, 8);
+        rec.observe_n("ns", 200, 0); // weight 0 records nothing
+        let (_, h) = &rec.histograms()[0];
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum, 800);
+        assert_eq!((h.min, h.max), (100, 100));
+        assert_eq!(h.mean(), 100);
+        assert_eq!(h.quantile_upper(99), 100);
+    }
+
+    #[test]
+    fn snapshots_merge_and_expose_prometheus() {
+        let a = Recorder::new();
+        a.add("driver.attempts", 3);
+        a.observe("driver.search_ns", 100);
+        let b = Recorder::new();
+        b.add("driver.attempts", 2);
+        b.add("guard.rollbacks", 1);
+        b.observe("driver.search_ns", 300);
+
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("driver.attempts"), 5);
+        assert_eq!(snap.counter("guard.rollbacks"), 1);
+        assert_eq!(snap.counter("never.seen"), 0);
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "driver.search_ns")
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 400);
+
+        // Merging is order-independent.
+        let mut other = b.snapshot();
+        other.merge(&a.snapshot());
+        assert_eq!(other.counter("driver.attempts"), 5);
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE driver_attempts_total counter"), "{prom}");
+        assert!(prom.contains("driver_attempts_total 5"), "{prom}");
+        assert!(prom.contains("# TYPE driver_search_ns histogram"), "{prom}");
+        assert!(prom.contains("driver_search_ns_bucket{le=\"+Inf\"} 2"), "{prom}");
+        assert!(prom.contains("driver_search_ns_sum 400"), "{prom}");
+        assert!(prom.contains("driver_search_ns_count 2"), "{prom}");
+        // Exposition names never contain dots.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized metric name: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_hostile_names_and_values() {
+        let rec = Recorder::new();
+        rec.event(
+            "weird.\u{1}control\"quote\\slash\tname-ключ-名前",
+            &[("value", Value::str("v\u{0}null\u{1f}unit\r\n\"квота\"-引用"))],
+        );
+        rec.add(
+            Name::from("counter.\u{2}stx-\u{7f}-обл-🚀".to_string()),
+            3,
+        );
+        for e in rec.drain_events() {
+            let line = e.to_jsonl();
+            assert!(!line.contains('\n'), "JSONL lines must be single-line");
+            let v = json::parse(&line).unwrap_or_else(|err| panic!("{err}: {line}"));
+            // Decoding the line gives back the exact original strings.
+            assert_eq!(
+                v.get("name").and_then(json::Json::as_str),
+                Some(e.name.as_ref())
+            );
+            if let Some(Value::Str(s)) = e.field("value") {
+                let decoded = v
+                    .get("fields")
+                    .and_then(|f| f.get("value"))
+                    .and_then(json::Json::as_str);
+                assert_eq!(decoded, Some(s.as_ref()));
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use genesis::{
-    run_batch, ApplyMode, BatchItem, BatchPolicy, FaultKind, FaultPlan, SessionOptions,
+    run_batch, ApplyMode, BatchItem, BatchPolicy, FaultKind, FaultPlan, MatcherKind, Session,
+    SessionOptions,
 };
 use genesis_guard::{GuardConfig, GuardOutcome, GuardedSession};
 use gospel_opts::interaction::natural_mode;
@@ -420,4 +421,119 @@ fn recorded_events_serialize_to_valid_jsonl() {
         gospel_trace::json::validate(&line)
             .unwrap_or_else(|err| panic!("{}: invalid JSONL `{line}`: {err}", e.name));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Match-funnel invariants.
+// ---------------------------------------------------------------------------
+
+/// Sums the `funnel.<OPT>.<phase>` counter deltas of an event stream
+/// into a `(optimizer, phase) -> total` map.
+fn funnel_totals(events: &[Event]) -> std::collections::BTreeMap<(String, String), u64> {
+    let mut totals = std::collections::BTreeMap::new();
+    for e in events {
+        if e.kind != EventKind::Counter {
+            continue;
+        }
+        let Some(rest) = e.name.as_ref().strip_prefix("funnel.") else {
+            continue;
+        };
+        let Some((opt, phase)) = rest.split_once('.') else {
+            continue;
+        };
+        *totals
+            .entry((opt.to_string(), phase.to_string()))
+            .or_insert(0) += e.delta.unwrap_or(0);
+    }
+    totals
+}
+
+/// Runs the full catalog chain over every workload under one matcher
+/// (and one trace-sampling rate) and returns the funnel totals.
+fn funnel_run(matcher: MatcherKind, trace_sample: u64) -> std::collections::BTreeMap<(String, String), u64> {
+    let rec = Arc::new(Recorder::new());
+    for (_name, prog) in gospel_workloads::suite() {
+        let opts = SessionOptions {
+            matcher,
+            trace_sample,
+            ..SessionOptions::default()
+        };
+        let mut s = Session::with_options(prog, opts);
+        s.set_recorder(Some(rec.clone()));
+        let catalog = gospel_opts::catalog().expect("catalog generates");
+        let modes: Vec<(String, ApplyMode)> = catalog
+            .iter()
+            .map(|o| (o.name.clone(), natural_mode(o)))
+            .collect();
+        for opt in catalog {
+            s.register(opt);
+        }
+        for (name, mode) in &modes {
+            s.apply(name, *mode).expect("catalog apply");
+        }
+    }
+    funnel_totals(&rec.drain_events())
+}
+
+/// The funnel only narrows: per optimizer, classified ≥ admitted ≥
+/// matched ≥ applied — both in the aggregated counters and inside each
+/// per-run `search.funnel` event.
+#[test]
+fn funnel_phases_only_narrow() {
+    let (_rec, events) = record_suite_run();
+    let totals = funnel_totals(&events);
+    let opts: std::collections::BTreeSet<&String> =
+        totals.keys().map(|(opt, _)| opt).collect();
+    assert!(!opts.is_empty(), "the suite run must emit funnel counters");
+    let get = |opt: &String, phase: &str| {
+        totals
+            .get(&(opt.clone(), phase.to_string()))
+            .copied()
+            .unwrap_or(0)
+    };
+    for opt in opts {
+        let classified = get(opt, "classified");
+        let admitted = get(opt, "admitted");
+        let matched = get(opt, "matched");
+        let applied = get(opt, "applied");
+        assert!(
+            classified >= admitted && admitted >= matched && matched >= applied,
+            "{opt}: funnel widened: classified {classified} -> admitted \
+             {admitted} -> matched {matched} -> applied {applied}"
+        );
+    }
+    let uint = |e: &Event, f: &str| match e.field(f) {
+        Some(Value::UInt(n)) => *n,
+        other => panic!("search.funnel {f}: expected a uint, got {other:?}"),
+    };
+    let mut seen = 0;
+    for e in events.iter().filter(|e| e.name == "search.funnel") {
+        seen += 1;
+        let classified = uint(e, "classified");
+        let admitted = uint(e, "admitted");
+        let matched = uint(e, "matched");
+        let applied = uint(e, "applied");
+        assert!(
+            classified >= admitted && admitted >= matched && matched >= applied,
+            "search.funnel for {:?} widened: {classified} -> {admitted} \
+             -> {matched} -> {applied}",
+            e.field("optimizer")
+        );
+    }
+    assert!(seen > 0, "per-run search.funnel events must be emitted");
+}
+
+/// The funnel is an account of the *search*, not of the shortcut that
+/// produced the candidates: all three matchers (and any sampling rate)
+/// must report identical totals for the same work.
+#[test]
+fn funnel_totals_are_matcher_independent() {
+    let fused = funnel_run(MatcherKind::Fused, 1);
+    let indexed = funnel_run(MatcherKind::Indexed, 1);
+    let scan = funnel_run(MatcherKind::Scan, 1);
+    assert_eq!(fused, indexed, "fused vs indexed funnel totals diverge");
+    assert_eq!(fused, scan, "fused vs scan funnel totals diverge");
+    // Sampling drops attempt spans, never counter accounting.
+    let sampled = funnel_run(MatcherKind::Fused, 7);
+    assert_eq!(fused, sampled, "trace sampling changed funnel totals");
 }
